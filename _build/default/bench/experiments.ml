@@ -1,0 +1,594 @@
+(* The experiment implementations behind every figure and table of the
+   paper's evaluation (§7).  See DESIGN.md's per-experiment index (E1-E13)
+   for the mapping. *)
+
+type config = { nloaded : int; nops : int; threads : int; states : int; seed : int }
+
+let reset_env () =
+  Pmem.Mode.set_shadow false;
+  Pmem.Llc.set_enabled false;
+  Pmem.Crash.disarm ();
+  ignore (Pmem.persist_everything ());
+  Pmem.Stats.reset ();
+  Util.Lock.new_epoch ();
+  Recipe.Persist.set_naive false
+
+let space_of = function
+  | Ycsb.Randint -> Recipe.Wordkey.int_space ()
+  | Ycsb.Strkey -> Recipe.Wordkey.string_space ()
+
+(* Fresh instance + driver per ordered index. *)
+let ordered_indexes kind =
+  [
+    ( "FAST&FAIR",
+      fun p -> Harness.Drivers.fastfair p (Fastfair.create ~space:(space_of kind) ()) );
+    ( "P-BwTree",
+      fun p -> Harness.Drivers.bwtree p (Bwtree.create ~space:(space_of kind) ()) );
+    ("P-Masstree", fun p -> Harness.Drivers.masstree p (Masstree.create ()));
+    ("P-ART", fun p -> Harness.Drivers.art p (Art.create ()));
+    ("P-HOT", fun p -> Harness.Drivers.hot p (Hot.create ()));
+  ]
+
+let hash_indexes =
+  [
+    ("CCEH", fun p -> Harness.Drivers.cceh p (Cceh.create ()));
+    ("Level", fun p -> Harness.Drivers.levelhash p (Levelhash.create ()));
+    ("P-CLHT", fun p -> Harness.Drivers.clht p (Clht.create ()));
+  ]
+
+(* One (index, workload) cell: fresh index, load, then measure.  Load_a's
+   measurement is the load phase itself. *)
+let run_cell cfg kind build workload =
+  reset_env ();
+  let p =
+    Ycsb.prepare ~workload ~kind ~nloaded:cfg.nloaded ~nops:cfg.nops
+      ~threads:cfg.threads ~seed:cfg.seed ()
+  in
+  let d = build p in
+  let loadres = Ycsb.load p d in
+  if workload = Ycsb.Load_a then loadres else Ycsb.run p d
+
+(* --- E1/E2: Fig 4a / 4b — ordered indexes, YCSB throughput ------------------- *)
+
+let fig4 cfg kind =
+  let workloads = Ycsb.all_workloads in
+  let rows =
+    List.map
+      (fun (name, build) ->
+        name
+        :: List.map
+             (fun w -> Report.f3 (run_cell cfg kind build w).Ycsb.mops)
+             workloads)
+      (ordered_indexes kind)
+  in
+  Report.print_table
+    ~title:
+      (Printf.sprintf "Fig 4%s: YCSB %s keys, ordered indexes, %d threads (Mops/s)"
+         (if kind = Ycsb.Randint then "a" else "b")
+         (if kind = Ycsb.Randint then "integer" else "string")
+         cfg.threads)
+    ~header:("Index" :: List.map Ycsb.workload_name workloads)
+    rows
+
+(* --- E5: Fig 5 — hash indexes, YCSB throughput --------------------------------- *)
+
+let fig5 cfg =
+  let workloads = [ Ycsb.Load_a; Ycsb.A; Ycsb.B; Ycsb.C ] in
+  let rows =
+    List.map
+      (fun (name, build) ->
+        name
+        :: List.map
+             (fun w -> Report.f3 (run_cell cfg Ycsb.Randint build w).Ycsb.mops)
+             workloads)
+      hash_indexes
+  in
+  Report.print_table
+    ~title:
+      (Printf.sprintf
+         "Fig 5: YCSB integer keys, hash indexes, %d threads (Mops/s), 48KB start"
+         cfg.threads)
+    ~header:("Index" :: List.map Ycsb.workload_name workloads)
+    rows
+
+(* --- E3/E4/E6: Fig 4c / 4d / Table 4 — performance counters --------------------- *)
+
+(* clwb and mfence per insert: measured single-threaded over the second half
+   of a load (the table warm, rehashes amortized in). *)
+let flush_counters build =
+  reset_env ();
+  let p =
+    Ycsb.prepare ~workload:Ycsb.Load_a ~kind:Ycsb.Randint ~nloaded:40_000
+      ~nops:0 ~threads:1 ~seed:7 ()
+  in
+  let d = build p in
+  let half = Ycsb.nloaded p / 2 in
+  for i = 0 to half - 1 do
+    d.Ycsb.insert i
+  done;
+  let s0 = Pmem.Stats.snapshot () in
+  for i = half to Ycsb.nloaded p - 1 do
+    d.Ycsb.insert i
+  done;
+  let s = Pmem.Stats.(diff (snapshot ()) s0) in
+  let per x = float_of_int x /. float_of_int half in
+  (per s.Pmem.Stats.s_clwb, per s.Pmem.Stats.s_sfence)
+
+(* LLC misses per operation for one workload, single-threaded with the
+   cache simulator on (32 MB LLC, like the evaluation machine). *)
+let llc_misses_per_op kind build workload nloaded nops =
+  reset_env ();
+  let p =
+    Ycsb.prepare ~workload ~kind ~nloaded ~nops ~threads:1 ~seed:7 ()
+  in
+  let d = build p in
+  (* The paper's dataset (64M keys) exceeds its 32 MB LLC ~200x.  The
+     scaled-down runs keep a comparable dataset:cache ratio by shrinking
+     the simulated LLC to 2 MB. *)
+  Pmem.Llc.configure ~capacity_bytes:(2 * 1024 * 1024) ();
+  Pmem.Llc.set_enabled true;
+  Pmem.Llc.reset ();
+  if workload = Ycsb.Load_a then begin
+    (* Misses during the load itself, after a warm-up half. *)
+    let half = nloaded / 2 in
+    for i = 0 to half - 1 do
+      d.Ycsb.insert i
+    done;
+    let m0 = Pmem.Llc.misses () in
+    for i = half to nloaded - 1 do
+      d.Ycsb.insert i
+    done;
+    let m = Pmem.Llc.misses () - m0 in
+    Pmem.Llc.set_enabled false;
+    float_of_int m /. float_of_int half
+  end
+  else begin
+    ignore (Ycsb.load p d);
+    let m0 = Pmem.Llc.misses () in
+    let r = Ycsb.run p d in
+    let m = Pmem.Llc.misses () - m0 in
+    Pmem.Llc.set_enabled false;
+    float_of_int m /. float_of_int r.Ycsb.ops
+  end
+
+let counters_table ~title kind indexes workloads ~nloaded ~nops =
+  let rows =
+    List.map
+      (fun (name, build) ->
+        let clwb, mfence = flush_counters build in
+        (name :: [ Report.f2 clwb; Report.f2 mfence ])
+        @ List.map
+            (fun w -> Report.f2 (llc_misses_per_op kind build w nloaded nops))
+            workloads)
+      indexes
+  in
+  Report.print_table ~title
+    ~header:
+      (("Index" :: [ "clwb/ins"; "mfence/ins" ])
+      @ List.map (fun w -> "LLC:" ^ Ycsb.workload_name w) workloads)
+    rows
+
+let fig4c () =
+  counters_table ~title:"Fig 4c: counters, integer keys (per operation)"
+    Ycsb.Randint
+    (ordered_indexes Ycsb.Randint)
+    Ycsb.all_workloads ~nloaded:200_000 ~nops:50_000
+
+let fig4d () =
+  counters_table ~title:"Fig 4d: counters, string keys (per operation)"
+    Ycsb.Strkey
+    (ordered_indexes Ycsb.Strkey)
+    Ycsb.all_workloads ~nloaded:200_000 ~nops:50_000
+
+let table4 () =
+  counters_table ~title:"Table 4: counters, hash indexes, integer keys"
+    Ycsb.Randint hash_indexes
+    [ Ycsb.Load_a; Ycsb.A; Ycsb.B; Ycsb.C ]
+    ~nloaded:200_000 ~nops:50_000
+
+(* --- E8: §7.3 — P-ART vs WOART ----------------------------------------------------- *)
+
+let woart_comparison cfg =
+  let indexes =
+    [
+      ("P-ART", fun p -> Harness.Drivers.art p (Art.create ()));
+      ("WOART", fun p -> Harness.Drivers.woart p (Woart.create ()));
+    ]
+  in
+  let workloads = [ Ycsb.A; Ycsb.B; Ycsb.C; Ycsb.E ] in
+  let cells =
+    List.map
+      (fun (name, build) ->
+        ( name,
+          List.map (fun w -> (run_cell cfg Ycsb.Randint build w).Ycsb.mops) workloads ))
+      indexes
+  in
+  let rows =
+    List.map (fun (name, xs) -> name :: List.map Report.f3 xs) cells
+  in
+  let art_runs = List.assoc "P-ART" cells and wo = List.assoc "WOART" cells in
+  let speedups = List.map2 (fun a b -> a /. b) art_runs wo in
+  Report.print_table
+    ~title:
+      (Printf.sprintf "§7.3: P-ART vs WOART (global lock), %d threads (Mops/s)"
+         cfg.threads)
+    ~header:("Index" :: List.map Ycsb.workload_name workloads)
+    (rows @ [ "speedup" :: List.map Report.f2 speedups ]);
+  Report.note
+    "paper: P-ART outperforms WOART by 2-20x on multi-threaded YCSB.";
+  Report.note
+    "CAVEAT: that gap is lost parallelism from WOART's global lock; on a";
+  Report.note
+    "single hardware core (this container) no parallelism exists to lose,";
+  Report.note
+    "so the two run near parity here.  See DESIGN.md / EXPERIMENTS.md."
+
+(* --- E9: §7.5 — crash-recovery campaign ---------------------------------------------- *)
+
+let crash_campaign cfg =
+  Report.section "§7.5: crash-recovery testing";
+  let subjects =
+    [
+      ("P-CLHT", Harness.Subjects.clht);
+      ("P-HOT", Harness.Subjects.hot);
+      ("P-BwTree", Harness.Subjects.bwtree);
+      ("P-ART", Harness.Subjects.art);
+      ("P-Masstree", Harness.Subjects.masstree);
+      ("FAST&FAIR", fun () -> Harness.Subjects.fastfair ());
+      ("CCEH", fun () -> Harness.Subjects.cceh ());
+      ("Level", Harness.Subjects.levelhash);
+      ("WOART", Harness.Subjects.woart);
+    ]
+  in
+  Printf.printf
+    "consistency: %d crash states each; load=400 keys, 400 mixed ops on 4 threads\n"
+    cfg.states;
+  List.iter
+    (fun (name, mk) ->
+      let r =
+        Crashtest.consistency_campaign ~make:mk ~states:cfg.states ~load:400
+          ~ops:400 ~threads:4 ~seed:cfg.seed ()
+      in
+      Format.printf "  %-12s %a@." name Crashtest.pp_report r)
+    subjects;
+  print_endline "";
+  print_endline "double-crash campaigns (crash during recovery-era writes too):";
+  List.iter
+    (fun (name, mk) ->
+      let r =
+        Crashtest.double_crash_campaign ~make:mk ~states:(cfg.states / 2)
+          ~load:400 ~seed:cfg.seed ()
+      in
+      Format.printf "  %-12s %a@." name Crashtest.pp_report r)
+    [
+      ("P-CLHT", Harness.Subjects.clht);
+      ("P-HOT", Harness.Subjects.hot);
+      ("P-BwTree", Harness.Subjects.bwtree);
+      ("P-ART", Harness.Subjects.art);
+      ("P-Masstree", Harness.Subjects.masstree);
+    ];
+  print_endline "";
+  print_endline "deterministic sweeps against the reproduced paper bugs:";
+  let sweep name mk =
+    let r = Crashtest.sweep ~make:mk ~points:20_000 ~stride:1 ~load:3_000 () in
+    Format.printf "  %-18s %a@." name Crashtest.pp_report r
+  in
+  sweep "FAST&FAIR(buggy)" (fun () ->
+      Harness.Subjects.fastfair ~bug_split_order:true ());
+  sweep "CCEH(buggy)" (fun () -> Harness.Subjects.cceh ~bug_doubling:true ())
+
+(* --- E10: §5 durability test ----------------------------------------------------------- *)
+
+let durability () =
+  Report.section "§5 durability: every dirtied cache line flushed per operation";
+  List.iter
+    (fun (name, mk) ->
+      let v = Crashtest.durability_test ~make:mk ~inserts:2_000 ~seed:3 () in
+      Printf.printf "  %-18s violations=%-3d -> %s\n" name v
+        (if v = 0 then "PASS" else "FAIL"))
+    [
+      ("P-CLHT", Harness.Subjects.clht);
+      ("P-HOT", Harness.Subjects.hot);
+      ("P-BwTree", Harness.Subjects.bwtree);
+      ("P-ART", Harness.Subjects.art);
+      ("P-Masstree", Harness.Subjects.masstree);
+      ("FAST&FAIR", fun () -> Harness.Subjects.fastfair ());
+      ("CCEH", fun () -> Harness.Subjects.cceh ());
+      ("Level", Harness.Subjects.levelhash);
+      ("FAST&FAIR(buggy)", fun () -> Harness.Subjects.fastfair ~bug_root_flush:true ());
+    ];
+  Report.note "paper: the buggy baselines fail to persist the initial root"
+
+(* --- E11: Tables 1 & 2 — the RECIPE taxonomy --------------------------------------------- *)
+
+let taxonomy () =
+  Report.section "Tables 1 & 2: the RECIPE taxonomy";
+  List.iter
+    (fun e -> Format.printf "  %a@." Recipe.Condition.pp_entry e)
+    Recipe.Condition.converted
+
+(* --- E12: bechamel micro-benchmarks -------------------------------------------------------- *)
+
+let micro () =
+  let open Bechamel in
+  reset_env ();
+  let preload = 50_000 in
+  let keyspace = Array.init preload (fun i -> Util.Keys.encode_int ((i * 2) + 1)) in
+  let mk_pair name insert lookup =
+    let rng = Util.Rng.create 99 in
+    [
+      Test.make ~name:(name ^ "/insert")
+        (Staged.stage (fun () -> insert (Util.Keys.encode_int (Util.Rng.key rng))));
+      Test.make ~name:(name ^ "/lookup")
+        (Staged.stage (fun () -> lookup keyspace.(Util.Rng.below rng preload)));
+    ]
+  in
+  let art = Art.create () in
+  Array.iter (fun k -> ignore (Art.insert art k 1)) keyspace;
+  let hot = Hot.create () in
+  Array.iter (fun k -> ignore (Hot.insert hot k 1)) keyspace;
+  let mt = Masstree.create () in
+  Array.iter (fun k -> ignore (Masstree.insert mt k 1)) keyspace;
+  let bw = Bwtree.create ~space:(Recipe.Wordkey.int_space ()) () in
+  Array.iter (fun k -> ignore (Bwtree.insert bw k 1)) keyspace;
+  let ff = Fastfair.create ~space:(Recipe.Wordkey.int_space ()) () in
+  Array.iter (fun k -> ignore (Fastfair.insert ff k 1)) keyspace;
+  let clht = Clht.create () in
+  Array.iter (fun k -> ignore (Clht.insert clht (Util.Keys.decode_int k) 1)) keyspace;
+  let tests =
+    List.concat
+      [
+        mk_pair "P-ART"
+          (fun k -> ignore (Art.insert art k 1))
+          (fun k -> ignore (Art.lookup art k));
+        mk_pair "P-HOT"
+          (fun k -> ignore (Hot.insert hot k 1))
+          (fun k -> ignore (Hot.lookup hot k));
+        mk_pair "P-Masstree"
+          (fun k -> ignore (Masstree.insert mt k 1))
+          (fun k -> ignore (Masstree.lookup mt k));
+        mk_pair "P-BwTree"
+          (fun k -> ignore (Bwtree.insert bw k 1))
+          (fun k -> ignore (Bwtree.lookup bw k));
+        mk_pair "FAST&FAIR"
+          (fun k -> ignore (Fastfair.insert ff k 1))
+          (fun k -> ignore (Fastfair.lookup ff k));
+        mk_pair "P-CLHT"
+          (fun k -> ignore (Clht.insert clht (Util.Keys.decode_int k) 1))
+          (fun k -> ignore (Clht.lookup clht (Util.Keys.decode_int k)));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw =
+    Benchmark.all cfg
+      Toolkit.Instance.[ monotonic_clock ]
+      (Test.make_grouped ~name:"micro" tests)
+  in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with Some (x :: _) -> x | _ -> nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+    |> List.map (fun (name, ns) -> [ name; Report.f2 ns ])
+  in
+  Report.print_table ~title:"Bechamel micro-benchmarks (single op)"
+    ~header:[ "benchmark"; "ns/op" ] rows
+
+(* --- E13: ablation — literal vs coalesced conversion flushes -------------------------------- *)
+
+let ablation cfg =
+  Report.section
+    "Ablation (§8): flush-after-every-store vs hand-coalesced flushes";
+  let measure name build =
+    List.iter
+      (fun naive ->
+        reset_env ();
+        Recipe.Persist.set_naive naive;
+        let p =
+          Ycsb.prepare ~workload:Ycsb.Load_a ~kind:Ycsb.Randint
+            ~nloaded:cfg.nloaded ~nops:0 ~threads:1 ~seed:cfg.seed ()
+        in
+        let d = build p in
+        let s0 = Pmem.Stats.snapshot () in
+        let r = Ycsb.load p d in
+        let s = Pmem.Stats.(diff (snapshot ()) s0) in
+        let per x = float_of_int x /. float_of_int cfg.nloaded in
+        Printf.printf
+          "  %-10s %-9s  %6.2f clwb/ins  %6.2f mfence/ins  %8.3f Mops/s\n" name
+          (if naive then "naive" else "coalesced")
+          (per s.Pmem.Stats.s_clwb)
+          (per s.Pmem.Stats.s_sfence)
+          r.Ycsb.mops)
+      [ false; true ];
+    Recipe.Persist.set_naive false
+  in
+  measure "P-CLHT" (fun p -> Harness.Drivers.clht p (Clht.create ()));
+  measure "P-ART" (fun p -> Harness.Drivers.art p (Art.create ()));
+  measure "P-Masstree" (fun p -> Harness.Drivers.masstree p (Masstree.create ()))
+
+(* --- E7: single-thread CLHT vs CCEH gap ------------------------------------------------------- *)
+
+let single_thread_hash cfg =
+  Report.section "§7.2: P-CLHT vs CCEH, single thread, insert-only (Load A)";
+  List.iter
+    (fun (name, build) ->
+      let r = run_cell { cfg with threads = 1 } Ycsb.Randint build Ycsb.Load_a in
+      Printf.printf "  %-8s %8.3f Mops/s\n" name r.Ycsb.mops)
+    [
+      ("P-CLHT", fun p -> Harness.Drivers.clht p (Clht.create ()));
+      ("CCEH", fun p -> Harness.Drivers.cceh p (Cceh.create ()));
+    ];
+  Report.note "paper: single-threaded P-CLHT is only ~12%% slower than CCEH"
+
+(* --- E14: extension — conversion overhead (DRAM vs PM builds) ------------------ *)
+
+(* The RECIPE thesis is that a converted index inherits its DRAM ancestor's
+   performance, paying only for flushes and fences.  Measure each converted
+   index with persistence on and off (clwb/sfence as no-ops). *)
+let conversion_overhead cfg =
+  Report.section
+    "Extension: conversion overhead — same index, persistence on vs off";
+  let indexes =
+    [
+      ("P-CLHT", fun p -> Harness.Drivers.clht p (Clht.create ()));
+      ("P-ART", fun p -> Harness.Drivers.art p (Art.create ()));
+      ("P-HOT", fun p -> Harness.Drivers.hot p (Hot.create ()));
+      ("P-Masstree", fun p -> Harness.Drivers.masstree p (Masstree.create ()));
+      ( "P-BwTree",
+        fun p ->
+          Harness.Drivers.bwtree p
+            (Bwtree.create ~space:(Recipe.Wordkey.int_space ()) ()) );
+    ]
+  in
+  List.iter
+    (fun (name, build) ->
+      let measure dram =
+        reset_env ();
+        Pmem.Mode.set_dram dram;
+        (* Charge realistic write-path costs per flush/fence (~Optane DC
+           write latency) so the conversion's cost is visible at all. *)
+        if not dram then Pmem.Latency.set ~flush:100 ~fence:30;
+        let p =
+          Ycsb.prepare ~workload:Ycsb.Load_a ~kind:Ycsb.Randint
+            ~nloaded:cfg.nloaded ~nops:0 ~threads:1 ~seed:cfg.seed ()
+        in
+        let r = Ycsb.load p (build p) in
+        Pmem.Mode.set_dram false;
+        Pmem.Latency.set ~flush:0 ~fence:0;
+        r.Ycsb.mops
+      in
+      let pm = measure false and dram = measure true in
+      Printf.printf
+        "  %-12s DRAM %8.3f Mops/s   PM %8.3f Mops/s   overhead %4.1f%%\n" name
+        dram pm
+        (100.0 *. (dram -. pm) /. Float.max dram 1e-9))
+    indexes;
+  Report.note
+    "paper thesis: converted indexes inherit DRAM performance, paying only";
+  Report.note
+    "for flushes and fences (charged here at 100ns/clwb + 30ns/fence)"
+
+(* --- E15: extension — instant recovery vs DRAM rebuild (§2.4) ------------------- *)
+
+let recovery_time cfg =
+  Report.section
+    "Extension (§2.4): PM index recovery vs rebuilding a DRAM index";
+  let n = cfg.nloaded in
+  let cases =
+    [
+      ( "P-CLHT",
+        fun () ->
+          let t = Clht.create () in
+          let insert k = ignore (Clht.insert t k k) in
+          let recover () = Clht.recover t in
+          (insert, recover) );
+      ( "P-ART",
+        fun () ->
+          let t = Art.create () in
+          let insert k = ignore (Art.insert t (Util.Keys.encode_int k) k) in
+          let recover () = Art.recover t in
+          (insert, recover) );
+      ( "P-Masstree",
+        fun () ->
+          let t = Masstree.create () in
+          let insert k = ignore (Masstree.insert t (Util.Keys.encode_int k) k) in
+          let recover () = Masstree.recover t in
+          (insert, recover) );
+    ]
+  in
+  List.iter
+    (fun (name, mk) ->
+      reset_env ();
+      let insert, recover = mk () in
+      (* Build once (this is the PM index's persistent state). *)
+      let t0 = Unix.gettimeofday () in
+      for k = 1 to n do
+        insert k
+      done;
+      let build_s = Unix.gettimeofday () -. t0 in
+      (* PM restart: recovery is lock re-initialization only. *)
+      let t0 = Unix.gettimeofday () in
+      recover ();
+      let recover_s = Unix.gettimeofday () -. t0 in
+      (* A DRAM index would re-insert everything after restart: the build
+         time IS its recovery time. *)
+      Printf.printf
+        "  %-12s %d keys: DRAM rebuild %8.3f ms   PM recovery %8.4f ms  (%.0fx)\n"
+        name n (build_s *. 1e3) (recover_s *. 1e3)
+        (build_s /. Float.max recover_s 1e-9))
+    cases;
+  Report.note "paper §2.4: a PM index is instantly available after restart"
+
+(* --- E16: extension — Zipfian skew on the hash indexes --------------------------- *)
+
+let zipfian cfg =
+  Report.section
+    "Extension: uniform vs scrambled-Zipfian(0.99) reads, hash indexes";
+  let workloads = [ (Ycsb.Uniform, "uniform"); (Ycsb.Zipfian 0.99, "zipf99") ] in
+  List.iter
+    (fun (name, build) ->
+      let cells =
+        List.map
+          (fun (dist, dname) ->
+            reset_env ();
+            let p =
+              Ycsb.prepare ~workload:Ycsb.C ~kind:Ycsb.Randint ~dist
+                ~nloaded:cfg.nloaded ~nops:cfg.nops ~threads:cfg.threads
+                ~seed:cfg.seed ()
+            in
+            let d = build p in
+            ignore (Ycsb.load p d);
+            (dname, (Ycsb.run p d).Ycsb.mops))
+          workloads
+      in
+      Printf.printf "  %-8s %s\n" name
+        (String.concat "   "
+           (List.map (fun (dn, m) -> Printf.sprintf "%s %8.3f Mops/s" dn m) cells)))
+    hash_indexes;
+  Report.note
+    "skew concentrates hits on a few cache lines: Zipfian reads run hotter"
+
+(* --- E17: extension — per-operation latency percentiles --------------------------- *)
+
+let latency cfg =
+  Report.section "Extension: per-operation latency percentiles (workload A)";
+  let indexes =
+    [
+      ("P-CLHT", fun p -> Harness.Drivers.clht p (Clht.create ()));
+      ("P-ART", fun p -> Harness.Drivers.art p (Art.create ()));
+      ( "FAST&FAIR",
+        fun p ->
+          Harness.Drivers.fastfair p
+            (Fastfair.create ~space:(Recipe.Wordkey.int_space ()) ()) );
+      ("P-Masstree", fun p -> Harness.Drivers.masstree p (Masstree.create ()));
+    ]
+  in
+  List.iter
+    (fun (name, build) ->
+      reset_env ();
+      let p =
+        Ycsb.prepare ~workload:Ycsb.A ~kind:Ycsb.Randint ~nloaded:cfg.nloaded
+          ~nops:cfg.nops ~threads:cfg.threads ~seed:cfg.seed ()
+      in
+      let d = build p in
+      ignore (Ycsb.load p d);
+      let r = Ycsb.run ~latency:true p d in
+      match r.Ycsb.latency with
+      | Some h ->
+          Printf.printf
+            "  %-12s p50 %7d ns   p99 %8d ns   p99.9 %8d ns   mean %7.0f ns\n"
+            name
+            (Util.Histogram.percentile h 0.50)
+            (Util.Histogram.percentile h 0.99)
+            (Util.Histogram.percentile h 0.999)
+            (Util.Histogram.mean h)
+      | None -> ())
+    indexes

@@ -1,0 +1,93 @@
+(* Benchmark harness regenerating every table and figure of the paper's
+   evaluation (§7).  Run with no arguments for a scaled-down pass over all
+   experiments, or name specific ones:
+
+     dune exec bench/main.exe -- fig4a fig5 --keys 1000000 --threads 8
+
+   Experiments: fig4a fig4b fig4c fig4d fig5 table4 woart crash durability
+   taxonomy micro ablation single  (see DESIGN.md, E1-E13). *)
+
+open Cmdliner
+
+let all_experiments =
+  [
+    "fig4a"; "fig4b"; "fig4c"; "fig4d"; "fig5"; "table4"; "woart"; "crash";
+    "durability"; "taxonomy"; "micro"; "ablation"; "single"; "overhead";
+    "recovery"; "zipf"; "latency";
+  ]
+
+let run_experiment cfg name =
+  match name with
+  | "fig4a" -> Experiments.fig4 cfg Ycsb.Randint
+  | "fig4b" -> Experiments.fig4 cfg Ycsb.Strkey
+  | "fig4c" -> Experiments.fig4c ()
+  | "fig4d" -> Experiments.fig4d ()
+  | "fig5" -> Experiments.fig5 cfg
+  | "table4" -> Experiments.table4 ()
+  | "woart" -> Experiments.woart_comparison cfg
+  | "crash" -> Experiments.crash_campaign cfg
+  | "durability" -> Experiments.durability ()
+  | "taxonomy" -> Experiments.taxonomy ()
+  | "micro" -> Experiments.micro ()
+  | "ablation" -> Experiments.ablation cfg
+  | "single" -> Experiments.single_thread_hash cfg
+  | "overhead" -> Experiments.conversion_overhead cfg
+  | "recovery" -> Experiments.recovery_time cfg
+  | "zipf" -> Experiments.zipfian cfg
+  | "latency" -> Experiments.latency cfg
+  | other ->
+      Printf.eprintf "unknown experiment %S (have: %s)\n" other
+        (String.concat " " all_experiments)
+
+let main experiments keys ops threads states seed =
+  let cfg = { Experiments.nloaded = keys; nops = ops; threads; states; seed } in
+  Printf.printf
+    "RECIPE reproduction benchmarks — keys=%d ops=%d threads=%d states=%d seed=%d\n"
+    keys ops threads states seed;
+  Printf.printf
+    "(paper setup: 64M keys, 16 threads on Optane DC PMM; scale with --keys/--ops/--threads)\n";
+  let todo = if experiments = [] then all_experiments else experiments in
+  List.iter (run_experiment cfg) todo
+
+let experiments_arg =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"EXPERIMENT"
+        ~doc:
+          "Experiments to run (default: all). One of: fig4a fig4b fig4c fig4d \
+           fig5 table4 woart crash durability taxonomy micro ablation single.")
+
+let keys_arg =
+  Arg.(
+    value & opt int 100_000
+    & info [ "keys" ] ~docv:"N"
+        ~doc:"Keys loaded before each measured run (paper: 64M).")
+
+let ops_arg =
+  Arg.(
+    value & opt int 100_000
+    & info [ "ops" ] ~docv:"N" ~doc:"Operations per measured run (paper: 64M).")
+
+let threads_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "threads" ] ~docv:"N" ~doc:"Worker domains (paper: 16 threads).")
+
+let states_arg =
+  Arg.(
+    value & opt int 50
+    & info [ "states" ] ~docv:"N"
+        ~doc:"Crash states per index in the crash campaign (paper: 10K).")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
+
+let cmd =
+  let doc = "Regenerate the tables and figures of the RECIPE paper (SOSP '19)" in
+  Cmd.v
+    (Cmd.info "recipe-bench" ~doc)
+    Term.(
+      const main $ experiments_arg $ keys_arg $ ops_arg $ threads_arg
+      $ states_arg $ seed_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,27 @@
+(* Plain-text table rendering for the benchmark reports (paper-style rows:
+   one index per row, one workload per column). *)
+
+let print_table ~title ~header rows =
+  Printf.printf "\n== %s ==\n" title;
+  let ncols = List.length header in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  measure header;
+  List.iter measure rows;
+  let line row =
+    String.concat "  "
+      (List.mapi (fun i cell -> Printf.sprintf "%-*s" widths.(i) cell) row)
+  in
+  print_endline (line header);
+  print_endline (String.make (String.length (line header)) '-');
+  List.iter (fun row -> print_endline (line row)) rows;
+  flush stdout
+
+let f2 x = Printf.sprintf "%.2f" x
+let f3 x = Printf.sprintf "%.3f" x
+
+let note fmt = Printf.printf ("   " ^^ fmt ^^ "\n")
+
+let section name = Printf.printf "\n###### %s ######\n" name

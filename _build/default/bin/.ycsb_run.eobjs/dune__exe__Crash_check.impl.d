@@ -1,0 +1,1 @@
+bin/crash_check.ml: Arg Cmd Cmdliner Crashtest Format Harness Printf String Term

@@ -1,0 +1,1 @@
+bin/crash_check.mli:

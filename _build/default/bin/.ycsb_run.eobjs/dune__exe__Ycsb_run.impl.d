@@ -1,0 +1,1 @@
+bin/ycsb_run.ml: Arg Art Bwtree Cceh Clht Cmd Cmdliner Fastfair Format Harness Hot Levelhash Masstree Printf Recipe String Term Woart Ycsb

@@ -1,0 +1,70 @@
+(* Run one YCSB workload against one index and print the measurement.
+
+     dune exec bin/ycsb_run.exe -- --index P-ART --workload a --keys 100000
+
+   Indexes: P-ART P-HOT P-Masstree P-BwTree P-CLHT FAST&FAIR WOART CCEH Level *)
+
+open Cmdliner
+
+let build_driver p name kind =
+  let space () =
+    match kind with
+    | Ycsb.Randint -> Recipe.Wordkey.int_space ()
+    | Ycsb.Strkey -> Recipe.Wordkey.string_space ()
+  in
+  match String.lowercase_ascii name with
+  | "p-art" | "art" -> Some (Harness.Drivers.art p (Art.create ()))
+  | "p-hot" | "hot" -> Some (Harness.Drivers.hot p (Hot.create ()))
+  | "p-masstree" | "masstree" ->
+      Some (Harness.Drivers.masstree p (Masstree.create ()))
+  | "p-bwtree" | "bwtree" ->
+      Some (Harness.Drivers.bwtree p (Bwtree.create ~space:(space ()) ()))
+  | "fast&fair" | "fastfair" | "ff" ->
+      Some (Harness.Drivers.fastfair p (Fastfair.create ~space:(space ()) ()))
+  | "woart" -> Some (Harness.Drivers.woart p (Woart.create ()))
+  | "p-clht" | "clht" -> Some (Harness.Drivers.clht p (Clht.create ()))
+  | "cceh" -> Some (Harness.Drivers.cceh p (Cceh.create ()))
+  | "level" | "levelhash" ->
+      Some (Harness.Drivers.levelhash p (Levelhash.create ()))
+  | _ -> None
+
+let main index workload keys ops threads strkeys seed =
+  match Ycsb.workload_of_string workload with
+  | None ->
+      Printf.eprintf "unknown workload %S (loada|a|b|c|e)\n" workload;
+      1
+  | Some w -> (
+      let kind = if strkeys then Ycsb.Strkey else Ycsb.Randint in
+      let p =
+        Ycsb.prepare ~workload:w ~kind ~nloaded:keys ~nops:ops ~threads ~seed ()
+      in
+      match build_driver p index kind with
+      | None ->
+          Printf.eprintf "unknown index %S\n" index;
+          1
+      | Some d ->
+          let loadres = Ycsb.load p d in
+          Format.printf "load: %a@." Ycsb.pp_result loadres;
+          if w <> Ycsb.Load_a then begin
+            let r = Ycsb.run p d in
+            Format.printf "run:  %a@." Ycsb.pp_result r
+          end;
+          0)
+
+let cmd =
+  let index =
+    Arg.(value & opt string "P-ART" & info [ "index"; "i" ] ~docv:"INDEX")
+  in
+  let workload =
+    Arg.(value & opt string "a" & info [ "workload"; "w" ] ~docv:"WORKLOAD")
+  in
+  let keys = Arg.(value & opt int 100_000 & info [ "keys" ] ~docv:"N") in
+  let ops = Arg.(value & opt int 100_000 & info [ "ops" ] ~docv:"N") in
+  let threads = Arg.(value & opt int 4 & info [ "threads" ] ~docv:"N") in
+  let strkeys = Arg.(value & flag & info [ "string-keys" ]) in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ]) in
+  Cmd.v
+    (Cmd.info "ycsb_run" ~doc:"Run one YCSB workload against one index")
+    Term.(const main $ index $ workload $ keys $ ops $ threads $ strkeys $ seed)
+
+let () = exit (Cmd.eval' cmd)

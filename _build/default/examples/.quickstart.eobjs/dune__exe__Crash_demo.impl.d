@@ -1,0 +1,1 @@
+examples/crash_demo.ml: Crashtest Format Harness Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Art Clht Option Pmem Printf Util

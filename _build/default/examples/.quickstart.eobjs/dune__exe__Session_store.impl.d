@@ -1,0 +1,1 @@
+examples/session_store.ml: Array Clht Domain List Pmem Printf Util

@@ -1,0 +1,1 @@
+examples/threaded_conversations.ml: Domain Hashtbl List Masstree Pmem Printf Util

@@ -1,0 +1,814 @@
+(* P-ART — persistent adaptive radix tree (see art.mli).
+
+   Node memory layout (simulated persistent words):
+   - header, one cache line of 8 words:
+       [0] count — slot-allocation counter (Node4/16/48)
+       [1] prefix_len — full compressed-prefix length (may exceed the 7
+           stored bytes; the remainder is "optimistic" and reconstructed
+           from a leaf when needed)
+       [2] level — key depth of this node's child bytes; IMMUTABLE
+       [3] stored prefix bytes (<= 7, packed 7 per word)
+       [4..6] child key bytes (Node4: 4, Node16: 16, packed 7 per word)
+   - Node48 additionally has a 256-byte child index (packed, own lines);
+   - a child-pointer array sized by node kind.
+
+   Commit points (all single 8-byte atomic stores):
+   - Node4/16 add: write child slot + key byte, persist, then the count
+     increment commits (count and key bytes share the header line);
+   - Node48 add: child slot, count bookkeeping, then the index-byte store
+     commits;
+   - Node256 add, node growth, leaf replacement, path-compression step 1:
+     one pointer store;
+   - path-compression step 2 (SMO): the old node's prefix rewrite — the
+     second ordered step whose loss readers tolerate via [level] and the
+     write path fixes with the helper. *)
+
+module W = Pmem.Words
+module R = Pmem.Refs
+module P = Recipe.Persist
+module Lock = Util.Lock
+
+let name = "P-ART"
+
+type kind = N4 | N16 | N48 | N256
+
+type leaf = { lkey : string; cells : W.t (* [0] = value; rest = key bytes *) }
+
+type child = CNull | CInner of node | CLeaf of leaf
+
+and node = {
+  kind : kind;
+  header : W.t;
+  index : W.t option; (* Node48 only *)
+  children : child R.t;
+  lock : Lock.t;
+}
+
+type t = { root : node; fixes : int Atomic.t; shrinks : int Atomic.t }
+
+let byte s i = Char.code (String.unsafe_get s i)
+
+(* --- packed byte fields (7 bytes per 63-bit word) -------------------------- *)
+
+let packed_get w slot i =
+  (W.get w (slot + (i / 7)) lsr (i mod 7 * 8)) land 0xFF
+
+let packed_set w slot i b =
+  let word = slot + (i / 7) and sh = i mod 7 * 8 in
+  let v = W.get w word in
+  W.set w word (v land lnot (0xFF lsl sh) lor (b lsl sh))
+
+let pack_string s off len =
+  let n = min len 7 in
+  let rec go i acc =
+    if i >= n then acc else go (i + 1) (acc lor (byte s (off + i) lsl (i * 8)))
+  in
+  go 0 0
+
+(* --- header accessors -------------------------------------------------------- *)
+
+let count n = W.get n.header 0
+let prefix_len n = W.get n.header 1
+let level n = W.get n.header 2
+let prefix_byte n i = packed_get n.header 3 i
+let key_byte n j = packed_get n.header 4 j
+let set_key_byte n j b = packed_set n.header 4 j b
+
+let capacity = function N4 -> 4 | N16 -> 16 | N48 -> 48 | N256 -> 256
+
+let index_byte n b =
+  match n.index with Some iw -> packed_get iw 0 b | None -> assert false
+
+let set_index_byte n b v =
+  match n.index with Some iw -> packed_set iw 0 b v | None -> assert false
+
+let make_node kind ~level ~prefix_len ~prefix_word =
+  let header = W.make ~name:"art.header" 8 0 in
+  W.set header 1 prefix_len;
+  W.set header 2 level;
+  W.set header 3 prefix_word;
+  {
+    kind;
+    header;
+    index = (match kind with N48 -> Some (W.make ~name:"art.index" 40 0) | _ -> None);
+    children = R.make ~name:"art.children" (capacity kind) CNull;
+    lock = Lock.create ();
+  }
+
+let persist_node n =
+  W.clwb_all n.header;
+  (match n.index with Some iw -> W.clwb_all iw | None -> ());
+  R.clwb_all n.children;
+  Pmem.sfence ()
+
+let make_leaf key value =
+  let cells = W.make ~name:"art.leaf" (1 + ((String.length key + 7) / 8)) 0 in
+  W.set cells 0 value;
+  (* key bytes stored for line accounting; [lkey] is the source of truth *)
+  String.iteri (fun i c -> if i mod 8 = 0 then W.set cells (1 + (i / 8)) (Char.code c)) key;
+  { lkey = key; cells }
+
+let persist_leaf l =
+  W.clwb_all l.cells;
+  Pmem.sfence ()
+
+let create () =
+  let root = make_node N256 ~level:0 ~prefix_len:0 ~prefix_word:0 in
+  persist_node root;
+  { root; fixes = Atomic.make 0; shrinks = Atomic.make 0 }
+
+let helper_fixes t = Atomic.get t.fixes
+let shrink_count t = Atomic.get t.shrinks
+
+(* --- child access -------------------------------------------------------------- *)
+
+let find_child n b =
+  match n.kind with
+  | N4 | N16 ->
+      let c = count n in
+      let rec go j =
+        if j >= c then CNull
+        else if key_byte n j = b then
+          match R.get n.children j with CNull -> go (j + 1) | ch -> ch
+        else go (j + 1)
+      in
+      go 0
+  | N48 ->
+      let idx = index_byte n b in
+      if idx = 0 then CNull else R.get n.children (idx - 1)
+  | N256 -> R.get n.children b
+
+(* Live (byte, child) pairs in ascending byte order. *)
+let children_in_order n =
+  match n.kind with
+  | N4 | N16 ->
+      let c = count n in
+      let rec go j acc =
+        if j >= c then acc
+        else
+          match R.get n.children j with
+          | CNull -> go (j + 1) acc
+          | ch -> go (j + 1) ((key_byte n j, ch) :: acc)
+      in
+      List.sort (fun (a, _) (b, _) -> compare a b) (go 0 [])
+  | N48 ->
+      let rec go b acc =
+        if b > 255 then List.rev acc
+        else
+          let idx = index_byte n b in
+          if idx = 0 then go (b + 1) acc
+          else
+            match R.get n.children (idx - 1) with
+            | CNull -> go (b + 1) acc
+            | ch -> go (b + 1) ((b, ch) :: acc)
+      in
+      go 0 []
+  | N256 ->
+      let rec go b acc =
+        if b > 255 then List.rev acc
+        else
+          match R.get n.children b with
+          | CNull -> go (b + 1) acc
+          | ch -> go (b + 1) ((b, ch) :: acc)
+      in
+      go 0 []
+
+
+(* Any leaf under [n] — used to reconstruct prefixes (optimistic path
+   compression) and by the crash-fix helper. *)
+let rec minimum_leaf n =
+  match children_in_order n with
+  | [] -> None
+  | (_, CLeaf l) :: _ -> Some l
+  | (_, CInner m) :: _ -> minimum_leaf m
+  | (_, CNull) :: _ -> assert false
+
+(* Authoritative prefix bytes of [n] sitting at [depth]: stored bytes when
+   consistent, leaf reconstruction beyond byte 7 (or entirely, when the
+   stored header is stale after a crash). *)
+let authoritative_prefix n depth =
+  let epl = level n - depth in
+  if epl = 0 then Some ""
+  else
+    let pl = prefix_len n in
+    let consistent = pl = epl in
+    if consistent && epl <= 7 then begin
+      let b = Bytes.create epl in
+      for i = 0 to epl - 1 do
+        Bytes.set b i (Char.chr (prefix_byte n i))
+      done;
+      Some (Bytes.unsafe_to_string b)
+    end
+    else
+      match minimum_leaf n with
+      | Some l when String.length l.lkey >= depth + epl ->
+          Some (String.sub l.lkey depth epl)
+      | Some _ | None -> None
+
+(* --- add / replace children (caller holds n.lock) ---------------------------- *)
+
+let is_full n = count n >= capacity n.kind
+
+(* Add (b, child); [child] must already be persistent. *)
+let add_child n b child =
+  match n.kind with
+  | N4 | N16 ->
+      let j = count n in
+      P.store_ref n.children j child;
+      R.clwb n.children j;
+      Pmem.sfence ();
+      Pmem.Crash.point ();
+      (* Key byte and count share the header line: the count increment is
+         the single atomic commit (§6.4 "atomically made visible by
+         increasing counter value"). *)
+      set_key_byte n j b;
+      P.commit n.header 0 (j + 1)
+  | N48 ->
+      let j = count n in
+      P.store_ref n.children j child;
+      R.clwb n.children j;
+      Pmem.sfence ();
+      Pmem.Crash.point ();
+      P.commit n.header 0 (j + 1);
+      Pmem.Crash.point ();
+      (* The index-byte store commits visibility. *)
+      set_index_byte n b (j + 1);
+      (match n.index with
+      | Some iw ->
+          W.clwb iw (b / 7);
+          Pmem.sfence ()
+      | None -> ())
+  | N256 -> ignore (P.commit_cas_ref n.children b ~expected:CNull ~desired:child)
+
+let replace_child n b child =
+  match n.kind with
+  | N4 | N16 ->
+      let c = count n in
+      let rec go j =
+        if j >= c then assert false
+        else if key_byte n j = b && R.get n.children j <> CNull then
+          P.commit_ref n.children j child
+        else go (j + 1)
+      in
+      go 0
+  | N48 ->
+      let idx = index_byte n b in
+      assert (idx > 0);
+      P.commit_ref n.children (idx - 1) child
+  | N256 -> P.commit_ref n.children b child
+
+(* Remove = invalidate with one atomic store (§6.4 deletion). *)
+let remove_child n b =
+  match n.kind with
+  | N4 | N16 ->
+      let c = count n in
+      let rec go j =
+        if j >= c then false
+        else if key_byte n j = b && R.get n.children j <> CNull then begin
+          P.commit_ref n.children j CNull;
+          true
+        end
+        else go (j + 1)
+      in
+      go 0
+  | N48 ->
+      let idx = index_byte n b in
+      if idx = 0 then false
+      else begin
+        P.commit_ref n.children (idx - 1) CNull;
+        true
+      end
+  | N256 ->
+      (match R.get n.children b with
+      | CNull -> false
+      | _ ->
+          P.commit_ref n.children b CNull;
+          true)
+
+(* Copy of [n] one size up with (b, child) added; fresh and unpublished. *)
+let grow_with n b child =
+  let bigger = match n.kind with N4 -> N16 | N16 -> N48 | N48 -> N256 | N256 -> assert false in
+  let g =
+    make_node bigger ~level:(level n) ~prefix_len:(prefix_len n)
+      ~prefix_word:(W.get n.header 3)
+  in
+  let add (b, ch) =
+    match g.kind with
+    | N4 | N16 ->
+        let j = W.get g.header 0 in
+        R.set g.children j ch;
+        packed_set g.header 4 j b;
+        W.set g.header 0 (j + 1)
+    | N48 ->
+        let j = W.get g.header 0 in
+        R.set g.children j ch;
+        packed_set (Option.get g.index) 0 b (j + 1);
+        W.set g.header 0 (j + 1)
+    | N256 -> R.set g.children b ch
+  in
+  List.iter add (children_in_order n);
+  add (b, child);
+  g
+
+(* Copy of [n] at the smallest kind that fits [entries]; fresh and
+   unpublished. *)
+let shrink_to entries n =
+  let kind =
+    let live = List.length entries in
+    if live <= 4 then N4 else if live <= 16 then N16 else N48
+  in
+  let g =
+    make_node kind ~level:(level n) ~prefix_len:(prefix_len n)
+      ~prefix_word:(W.get n.header 3)
+  in
+  List.iter
+    (fun (b, ch) ->
+      match g.kind with
+      | N4 | N16 ->
+          let j = W.get g.header 0 in
+          R.set g.children j ch;
+          packed_set g.header 4 j b;
+          W.set g.header 0 (j + 1)
+      | N48 ->
+          let j = W.get g.header 0 in
+          R.set g.children j ch;
+          packed_set (Option.get g.index) 0 b (j + 1);
+          W.set g.header 0 (j + 1)
+      | N256 -> R.set g.children b ch)
+    entries;
+  g
+
+(* Shrink threshold per kind: rebuild smaller only when clearly below the
+   next size down (hysteresis against flapping). *)
+let shrinkable kind live =
+  match kind with
+  | N4 -> false
+  | N16 -> live <= 3
+  | N48 -> live <= 12
+  | N256 -> live <= 40
+
+(* --- lookup (lock-free, tolerant) --------------------------------------------- *)
+
+let lookup t key =
+  let klen = String.length key in
+  let rec go n depth =
+    let epl = level n - depth in
+    if depth + epl >= klen then None
+    else begin
+      let consistent = prefix_len n = epl in
+      let stored_ok =
+        (* Compare the stored prefix bytes only when the header is
+           consistent; after a crash mid-SMO the reader simply skips the
+           prefix (the leaf check below rejects wrong descents). *)
+        (not consistent)
+        ||
+        let stored = min epl 7 in
+        let rec cmp i =
+          i >= stored || (prefix_byte n i = byte key (depth + i) && cmp (i + 1))
+        in
+        cmp 0
+      in
+      if not stored_ok then None
+      else
+        let d' = depth + epl in
+        match find_child n (byte key d') with
+        | CNull -> None
+        | CLeaf l ->
+            if String.equal l.lkey key then Some (W.get l.cells 0) else None
+        | CInner m -> go m (d' + 1)
+    end
+  in
+  go t.root 0
+
+(* In-place value update: one atomic store to the leaf's value word
+   (Condition #1), lock-free like lookup. *)
+let update t key value =
+  let klen = String.length key in
+  let rec go n depth =
+    let epl = level n - depth in
+    if depth + epl >= klen then false
+    else
+      let d' = depth + epl in
+      match find_child n (byte key d') with
+      | CNull -> false
+      | CLeaf l ->
+          if String.equal l.lkey key then begin
+            P.commit l.cells 0 value;
+            true
+          end
+          else false
+      | CInner m -> go m (d' + 1)
+  in
+  go t.root 0
+
+(* --- path revalidation (after taking locks) ------------------------------------ *)
+
+(* Re-descend by [level] fields and check we reach [node] (physically), with
+   [parent] as its immediate parent when given. *)
+let validate t key ?parent node =
+  let klen = String.length key in
+  let rec go prev n =
+    if n == node then
+      match parent with None -> true | Some p -> (match prev with Some q -> q == p | None -> false)
+    else
+      let d' = level n in
+      if d' >= klen then false
+      else
+        match find_child n (byte key d') with
+        | CInner m -> go (Some n) m
+        | CLeaf _ | CNull -> false
+  in
+  go None t.root
+
+(* --- the Condition #3 helper: fix a crash-stale prefix -------------------------- *)
+
+let fix_prefix t n depth =
+  let epl = level n - depth in
+  let word =
+    match minimum_leaf n with
+    | Some l when String.length l.lkey >= depth + min epl 7 ->
+        pack_string l.lkey depth epl
+    | Some _ | None -> 0
+  in
+  W.set n.header 3 word;
+  P.commit n.header 1 epl;
+  Atomic.incr t.fixes
+
+(* --- insert ------------------------------------------------------------------------ *)
+
+(* Longest common prefix of key[off..] and other[off..]. *)
+let common_from key other off =
+  let n = min (String.length key) (String.length other) - off in
+  let rec go i = if i < n && byte key (off + i) = byte other (off + i) then go (i + 1) else i in
+  go 0
+
+exception Retry
+
+let rec insert t key value =
+  match insert_attempt t key value with
+  | r -> r
+  | exception Retry ->
+      Domain.cpu_relax ();
+      insert t key value
+
+and insert_attempt t key value =
+  let klen = String.length key in
+  let rec step parent n depth =
+    let epl = level n - depth in
+    if depth + epl >= klen then
+      invalid_arg "Art.insert: key is a prefix of an existing key";
+    let pl = prefix_len n in
+    if pl <> epl then begin
+      (* Inconsistent header.  Try-lock distinguishes a transient state
+         (another writer mid-SMO: fail, retry) from a permanent crash
+         leftover, which this writer must fix (§6.4). *)
+      if Lock.try_lock n.lock then begin
+        if validate t key ?parent:(Option.map fst parent) n then fix_prefix t n depth;
+        Lock.unlock n.lock
+      end;
+      raise Retry
+    end
+    else begin
+      let prefix =
+        if epl = 0 then ""
+        else
+          match authoritative_prefix n depth with
+          | Some p -> p
+          | None -> raise Retry
+      in
+      let matched =
+        let rec go i =
+          if i < epl && byte key (depth + i) = Char.code prefix.[i] then go (i + 1)
+          else i
+        in
+        go 0
+      in
+      if matched < epl then split_prefix t parent n depth prefix matched key value
+      else begin
+        let d' = depth + epl in
+        let b = byte key d' in
+        match find_child n b with
+        | CNull -> add_leaf t parent n b key value
+        | CLeaf l2 ->
+            if String.equal l2.lkey key then false
+            else begin
+              (* Diverge below: build the chain node, then swap the slot —
+                 a single-pointer Condition #1 commit. *)
+              Lock.lock n.lock;
+              if not (validate t key ?parent:(Option.map fst parent) n) then begin
+                Lock.unlock n.lock;
+                raise Retry
+              end;
+              (match find_child n b with
+              | CLeaf l2' when l2' == l2 ->
+                  let off = d' + 1 in
+                  let cl = common_from key l2.lkey off in
+                  if off + cl >= klen || off + cl >= String.length l2.lkey then begin
+                    Lock.unlock n.lock;
+                    invalid_arg "Art.insert: keys must be prefix-free"
+                  end;
+                  let nn =
+                    make_node N4 ~level:(off + cl) ~prefix_len:cl
+                      ~prefix_word:(pack_string key off cl)
+                  in
+                  let lf = make_leaf key value in
+                  R.set nn.children 0 (CLeaf lf);
+                  packed_set nn.header 4 0 (byte key (off + cl));
+                  R.set nn.children 1 (CLeaf l2);
+                  packed_set nn.header 4 1 (byte l2.lkey (off + cl));
+                  W.set nn.header 0 2;
+                  persist_leaf lf;
+                  persist_node nn;
+                  Pmem.Crash.point ();
+                  replace_child n b (CInner nn);
+                  Lock.unlock n.lock;
+                  true
+              | _ ->
+                  Lock.unlock n.lock;
+                  raise Retry)
+            end
+        | CInner m -> step (Some (n, b)) m (d' + 1)
+      end
+    end
+  in
+  step None t.root 0
+
+(* Add a fresh leaf under [n] at byte [b]; grows [n] (parent-pointer swap)
+   when out of slots. *)
+and add_leaf t parent n b key value =
+  Lock.lock n.lock;
+  if not (validate t key ?parent:(Option.map fst parent) n) then begin
+    Lock.unlock n.lock;
+    raise Retry
+  end;
+  match find_child n b with
+  | CLeaf _ | CInner _ ->
+      Lock.unlock n.lock;
+      raise Retry
+  | CNull ->
+      if not (is_full n) then begin
+        let lf = make_leaf key value in
+        persist_leaf lf;
+        Pmem.Crash.point ();
+        add_child n b (CLeaf lf);
+        Lock.unlock n.lock;
+        true
+      end
+      else begin
+        Lock.unlock n.lock;
+        grow_and_add t parent n b key value
+      end
+
+(* Replace [n] with a one-size-up copy containing the new leaf (the copy
+   also drops delete tombstones); the parent slot swap is the single atomic
+   commit. *)
+and grow_and_add t parent n b key value =
+  match parent with
+  | None ->
+      (* The root is a Node256 and can never fill. *)
+      assert false
+  | Some (p, pb) ->
+      Lock.lock p.lock;
+      Lock.lock n.lock;
+      let parent_ok =
+        match find_child p pb with CInner m -> m == n | CLeaf _ | CNull -> false
+      in
+      if (not parent_ok) || not (validate t key ~parent:p n) then begin
+        Lock.unlock n.lock;
+        Lock.unlock p.lock;
+        raise Retry
+      end;
+      (match find_child n b with
+      | CLeaf _ | CInner _ ->
+          Lock.unlock n.lock;
+          Lock.unlock p.lock;
+          raise Retry
+      | CNull -> ());
+      let lf = make_leaf key value in
+      persist_leaf lf;
+      let g = grow_with n b (CLeaf lf) in
+      persist_node g;
+      Pmem.Crash.point ();
+      replace_child p pb (CInner g);
+      Lock.unlock n.lock;
+      Lock.unlock p.lock;
+      true
+
+(* Path-compression split, the Condition #3 SMO.  Step 1: persist and
+   install a new parent holding the new leaf and the old node (one pointer
+   swap).  Step 2: rewrite the old node's now-shorter prefix.  A crash
+   between the steps leaves the stale prefix that readers tolerate and the
+   next writer's helper fixes. *)
+and split_prefix t parent n depth prefix matched key value =
+  match parent with
+  | None -> assert false (* the root has no prefix *)
+  | Some (p, pb) ->
+      Lock.lock p.lock;
+      Lock.lock n.lock;
+      let parent_ok =
+        match find_child p pb with CInner m -> m == n | CLeaf _ | CNull -> false
+      in
+      let epl = level n - depth in
+      if
+        (not parent_ok)
+        || not (validate t key ~parent:p n)
+        || prefix_len n <> epl
+        || matched >= epl
+      then begin
+        Lock.unlock n.lock;
+        Lock.unlock p.lock;
+        raise Retry
+      end;
+      let d' = depth + matched in
+      let nn =
+        make_node N4 ~level:d' ~prefix_len:matched
+          ~prefix_word:(pack_string key depth matched)
+      in
+      let lf = make_leaf key value in
+      R.set nn.children 0 (CLeaf lf);
+      packed_set nn.header 4 0 (byte key d');
+      R.set nn.children 1 (CInner n);
+      packed_set nn.header 4 1 (Char.code prefix.[matched]);
+      W.set nn.header 0 2;
+      persist_leaf lf;
+      persist_node nn;
+      Pmem.Crash.point ();
+      (* Step 1: atomic install. *)
+      replace_child p pb (CInner nn);
+      Pmem.Crash.point ();
+      (* Step 2: shrink the old node's prefix (level is immutable). *)
+      let new_pl = epl - matched - 1 in
+      W.set n.header 3
+        (pack_string prefix (matched + 1) new_pl);
+      P.commit n.header 1 new_pl;
+      Lock.unlock n.lock;
+      Lock.unlock p.lock;
+      true
+
+(* --- delete -------------------------------------------------------------------- *)
+
+let rec delete t key =
+  match delete_attempt t key with
+  | r -> r
+  | exception Retry ->
+      Domain.cpu_relax ();
+      delete t key
+
+and delete_attempt t key =
+  let klen = String.length key in
+  let rec step parent n depth =
+    let epl = level n - depth in
+    if depth + epl >= klen then false
+    else
+      let d' = depth + epl in
+      let b = byte key d' in
+      match find_child n b with
+      | CNull -> false
+      | CLeaf l ->
+          if not (String.equal l.lkey key) then false
+          else begin
+            Lock.lock n.lock;
+            if not (validate t key ?parent:(Option.map fst parent) n) then begin
+              Lock.unlock n.lock;
+              raise Retry
+            end;
+            let r =
+              match find_child n b with
+              | CLeaf l' when l' == l -> remove_child n b
+              | CLeaf _ | CInner _ | CNull -> false
+            in
+            Lock.unlock n.lock;
+            if r then try_shrink t key parent n;
+            r
+          end
+      | CInner m -> step (Some (n, b)) m (d' + 1)
+  in
+  step None t.root 0
+
+(* Best-effort post-delete shrink (single pointer-swap commits, Condition
+   #1): empty nodes unlink, a lone leaf replaces its node, underfull nodes
+   rebuild one size down.  The root (a Node256) never shrinks. *)
+and try_shrink t key parent n =
+  match parent with
+  | None -> ()
+  | Some (p, pb) ->
+      let live = children_in_order n in
+      let nlive = List.length live in
+      let interesting =
+        nlive = 0
+        || (nlive = 1 && match live with [ (_, CLeaf _) ] -> true | _ -> false)
+        || shrinkable n.kind nlive
+      in
+      if interesting then begin
+        Lock.lock p.lock;
+        Lock.lock n.lock;
+        let still =
+          (match find_child p pb with CInner m -> m == n | CLeaf _ | CNull -> false)
+          && validate t key ~parent:p n
+        in
+        if still then begin
+          let live = children_in_order n in
+          (match (List.length live, live) with
+          | 0, _ ->
+              Pmem.Crash.point ();
+              ignore (remove_child p pb);
+              Atomic.incr t.shrinks
+          | 1, [ (_, (CLeaf _ as lf)) ] ->
+              (* A lone leaf needs no inner node: its full key re-verifies. *)
+              Pmem.Crash.point ();
+              replace_child p pb lf;
+              Atomic.incr t.shrinks
+          | nlive, _ when shrinkable n.kind nlive ->
+              let g = shrink_to live n in
+              persist_node g;
+              Pmem.Crash.point ();
+              replace_child p pb (CInner g);
+              Atomic.incr t.shrinks
+          | _ -> ())
+        end;
+        Lock.unlock n.lock;
+        Lock.unlock p.lock
+      end
+
+(* --- ordered scans ---------------------------------------------------------------- *)
+
+exception Scan_done
+
+(* Relation of [n]'s subtree to the scan start key:
+   [`All] — every key in the subtree is >= start;
+   [`Lt] — every key is < start (prune);
+   [`Eq] — the subtree path matches start so far (descend with pruning);
+   [`Unknown] — stale prefix after a crash: descend without pruning, filter
+   at the leaves. *)
+let subtree_relation n depth start =
+  let epl = level n - depth in
+  let pl = prefix_len n in
+  if pl <> epl then `Unknown
+  else if epl = 0 then `Eq
+  else
+    match authoritative_prefix n depth with
+    | None -> `Unknown
+    | Some p ->
+        let slen = String.length start in
+        let rec cmp i =
+          if i >= epl then `Eq
+          else if depth + i >= slen then `All
+          else
+            let pb = Char.code p.[i] and sb = byte start (depth + i) in
+            if pb < sb then `Lt else if pb > sb then `All else cmp (i + 1)
+        in
+        cmp 0
+
+let scan_fold t start nwant f =
+  let emitted = ref 0 in
+  let leaf_emit l =
+    if !emitted >= nwant then raise Scan_done;
+    f l.lkey (W.get l.cells 0);
+    incr emitted
+  in
+  let rec go node depth mode =
+    if !emitted >= nwant then raise Scan_done;
+    match node with
+    | CNull -> ()
+    | CLeaf l -> (
+        match mode with
+        | `All -> leaf_emit l
+        | `Filter -> if String.compare l.lkey start >= 0 then leaf_emit l)
+    | CInner n -> (
+        match (mode, subtree_relation n depth start) with
+        | `All, _ ->
+            List.iter (fun (_, c) -> go c (level n + 1) `All) (children_in_order n)
+        | `Filter, `Lt -> ()
+        | `Filter, `All ->
+            List.iter (fun (_, c) -> go c (level n + 1) `All) (children_in_order n)
+        | `Filter, `Eq ->
+            let d' = level n in
+            let sb = if d' < String.length start then byte start d' else -1 in
+            List.iter
+              (fun (b, c) ->
+                if b > sb then go c (d' + 1) `All
+                else if b = sb then go c (d' + 1) `Filter)
+              (children_in_order n)
+        | `Filter, `Unknown ->
+            (* Crash-stale prefix: no pruning, filter at the leaves. *)
+            List.iter (fun (_, c) -> go c (level n + 1) `Filter) (children_in_order n))
+  in
+  (try go (CInner t.root) 0 `Filter with Scan_done -> ());
+  !emitted
+
+let scan t start nwant f = if nwant <= 0 then 0 else scan_fold t start nwant f
+
+let range t lo hi =
+  let acc = ref [] in
+  let exception Past_hi in
+  (try
+     ignore
+       (scan_fold t lo max_int (fun k v ->
+            if String.compare k hi >= 0 then raise Past_hi;
+            acc := (k, v) :: !acc))
+   with Past_hi -> ());
+  List.rev !acc
+
+(* --- recovery ----------------------------------------------------------------------- *)
+
+let recover _t = Lock.new_epoch ()

@@ -1,0 +1,62 @@
+(** P-ART: persistent Adaptive Radix Tree (paper §6.4; Leis et al.,
+    ICDE '13).  RECIPE Conditions #1 (non-SMO) and #3 (SMO).
+
+    ART is a byte-wise radix tree with adaptive node sizes (Node4, Node16,
+    Node48, Node256) and path compression.  Each node header stores the
+    compressed prefix length and up to 8 prefix bytes, plus an immutable
+    [level] field — the total number of key bytes consumed up to this node's
+    children — written once at creation.
+
+    Non-SMOs commit with a single atomic store (append + counter increment
+    in Node4/16, index-byte store in Node48, slot store in Node256, pointer
+    swap for node growth) — Condition #1.  The SMO is the path-compression
+    split: install a new parent node, then rewrite the old node's prefix —
+    two ordered steps whose intermediate state readers *tolerate* (the
+    [level] field exposes the true prefix length; mismatching prefix bytes
+    are ignored and the final leaf key is verified) and which the write path
+    *fixes*: on detecting a permanent mismatch under a successfully acquired
+    try-lock, the writer recomputes the prefix from a leaf and persists it —
+    the helper mechanism RECIPE adds to make ART a Condition #2 index.
+
+    Keys are byte strings; all keys in one tree must have equal length (or
+    more generally be prefix-free), which both paper key types satisfy.
+    Values are 8-byte integers. *)
+
+type t
+
+val name : string
+
+val create : unit -> t
+
+(** [insert t key value] — [false] if [key] is already present (no change). *)
+val insert : t -> string -> int -> bool
+
+(** Lock-free lookup; tolerates in-flight and crash-interrupted SMOs. *)
+val lookup : t -> string -> int option
+
+(** [update t key value] replaces the value of an existing key with one
+    atomic store to the leaf's value word; [false] if absent. *)
+val update : t -> string -> int -> bool
+
+(** [delete t key] invalidates the leaf with a single atomic store, then
+    opportunistically shrinks the node (empty nodes unlink, a lone leaf
+    replaces its node, underfull nodes rebuild one size down — each a
+    single atomic pointer-swap commit). *)
+val delete : t -> string -> bool
+
+(** [scan t key n f] visits up to [n] bindings with keys >= [key] in key
+    order; returns the number visited. *)
+val scan : t -> string -> int -> (string -> int -> unit) -> int
+
+val range : t -> string -> string -> (string * int) list
+
+(** Post-crash recovery: re-initializes volatile locks; P-ART needs no other
+    recovery (inconsistencies are fixed lazily by the write-path helper). *)
+val recover : t -> unit
+
+(** Number of prefix-fix helper invocations (tests: proves the Condition #3
+    helper actually runs after crashes). *)
+val helper_fixes : t -> int
+
+(** Number of post-delete node shrinks performed (tests). *)
+val shrink_count : t -> int

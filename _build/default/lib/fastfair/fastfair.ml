@@ -1,0 +1,508 @@
+(* FAST & FAIR persistent B+ tree (see fastfair.mli for the design notes).
+
+   Node invariants at rest (no writer, no crash in flight):
+   - entries form a sorted prefix terminated by a Null pointer slot;
+   - an entry is *valid* iff its pointer differs physically from the next
+     slot's pointer (FAST's duplicate rule) and its key is below the node's
+     upper bound, which is the immutable minimum key of the linked sibling
+     (the high-key fix);
+   - invalid-by-bound entries can only be a suffix (keys are sorted); they
+     exist after a crash between a split's sibling-link and truncation
+     stores, and the next writer re-truncates them away;
+   - adjacent duplicates exist after a crash in the middle of a shift; the
+     next writer holding the node lock removes them ("writes detect
+     inconsistencies such as duplicated elements, and try to fix them", §3).
+
+   Crash-atomicity of shifts depends on flush order: a right-shift flushes
+   cache lines right-to-left as it crosses them (so a lost left line leaves
+   an adjacent duplicate, never a hole); a left-shift flushes left-to-right.
+   Within one entry, a right-shift copies key before pointer and the final
+   insert writes key then commits with the pointer store; a left shift
+   copies pointer before key.
+
+   Concurrency: per-node seqlock for readers (version-based retry — the
+   property that makes FAST & FAIR inconvertible by RECIPE, §4.2), per-node
+   spinlock for writers, Lehman–Yao move-right on both paths. *)
+
+module W = Pmem.Words
+module R = Pmem.Refs
+module P = Recipe.Persist
+module Lock = Util.Lock
+module K = Recipe.Wordkey
+
+let name = "FAST&FAIR"
+let cardinality = 32
+let slots_per_line = 8
+
+type ptr = Null | Value of int | Child of node
+
+and node = {
+  level : int; (* 0 = leaf; immutable *)
+  min_key : int; (* lower bound word; immutable; meaningful iff has_min *)
+  has_min : bool;
+  keys : W.t; (* cardinality words *)
+  ptrs : ptr R.t; (* cardinality slots, Null-terminated *)
+  leftmost : ptr R.t; (* 1 slot; internal nodes only *)
+  sibling : node option R.t; (* 1 slot *)
+  meta : W.t; (* persisted copy of the immutable header fields *)
+  lock : Lock.t;
+  seq : int Atomic.t; (* volatile version for reader retry *)
+}
+
+type t = {
+  ks : K.t;
+  root : node R.t;
+  bug_highkey : bool;
+  bug_split_order : bool;
+  bug_root_flush : bool;
+}
+
+let make_node ~level ~min_key ~has_min =
+  let meta = W.make ~name:"ff.meta" 8 0 in
+  W.set meta 0 level;
+  W.set meta 1 min_key;
+  W.set meta 2 (if has_min then 1 else 0);
+  {
+    level;
+    min_key;
+    has_min;
+    keys = W.make ~name:"ff.keys" cardinality 0;
+    ptrs = R.make ~name:"ff.ptrs" cardinality Null;
+    leftmost = R.make ~name:"ff.leftmost" 1 Null;
+    sibling = R.make ~name:"ff.sibling" 1 None;
+    meta;
+    lock = Lock.create ();
+    seq = Atomic.make 0;
+  }
+
+let persist_node n =
+  W.clwb_all n.keys;
+  R.clwb_all n.ptrs;
+  R.clwb_all n.leftmost;
+  R.clwb_all n.sibling;
+  W.clwb_all n.meta;
+  Pmem.sfence ()
+
+let create ?(bug_highkey = false) ?(bug_split_order = false)
+    ?(bug_root_flush = false) ~space () =
+  let root = make_node ~level:0 ~min_key:0 ~has_min:false in
+  if not bug_root_flush then persist_node root;
+  let root_ref = R.make ~name:"ff.root" 1 root in
+  if not bug_root_flush then begin
+    R.clwb_all root_ref;
+    Pmem.sfence ()
+  end;
+  { ks = space; root = root_ref; bug_highkey; bug_split_order; bug_root_flush }
+
+let height t = (R.get t.root 0).level
+
+(* --- seqlock ------------------------------------------------------------- *)
+
+let seq_begin n = Atomic.incr n.seq
+let seq_end n = Atomic.incr n.seq
+
+let rec read_stable n f =
+  let s = Atomic.get n.seq in
+  if s land 1 = 1 then begin
+    Domain.cpu_relax ();
+    read_stable n f
+  end
+  else
+    let r = f () in
+    if Atomic.get n.seq = s then r
+    else read_stable n f
+
+(* --- node scanning primitives (callers hold the seqlock or the lock) ------ *)
+
+(* Upper-bound word of [n]: the linked sibling's immutable minimum key. *)
+let bound n =
+  match R.get n.sibling 0 with
+  | Some s when s.has_min -> Some s.min_key
+  | Some _ | None -> None
+
+(* Physical entry count: slots up to the Null terminator. *)
+let physical_count n =
+  let rec go i =
+    if i >= cardinality then cardinality
+    else match R.get n.ptrs i with Null -> i | Value _ | Child _ -> go (i + 1)
+  in
+  go 0
+
+let is_dup n i =
+  i + 1 < cardinality && R.get n.ptrs i == R.get n.ptrs (i + 1)
+
+(* Valid (key-word, pointer) entries in slot order, skipping duplicates and
+   the invalid-by-bound suffix. *)
+let valid_entries t n =
+  let b = bound n in
+  let rec go i acc =
+    if i >= cardinality then List.rev acc
+    else
+      match R.get n.ptrs i with
+      | Null -> List.rev acc
+      | p ->
+          if is_dup n i then go (i + 1) acc
+          else
+            let kw = W.get n.keys i in
+            let in_range =
+              match b with Some m -> t.ks.compare_words kw m < 0 | None -> true
+            in
+            if in_range then go (i + 1) ((kw, p) :: acc) else List.rev acc
+  in
+  go 0 []
+
+(* --- lock-free read path -------------------------------------------------- *)
+
+(* Lehman–Yao move-right: keys >= the sibling's minimum live to the right. *)
+let rec move_right t n probe =
+  match R.get n.sibling 0 with
+  | Some s when s.has_min && t.ks.compare_probe probe s.min_key >= 0 ->
+      move_right t s probe
+  | Some _ | None -> n
+
+(* Child of internal node [n] covering [probe]: last valid entry with
+   key <= probe, else the leftmost child. *)
+let search_child t n probe =
+  read_stable n (fun () ->
+      let rec go i best =
+        if i >= cardinality then best
+        else
+          match R.get n.ptrs i with
+          | Null -> best
+          | p ->
+              if is_dup n i then go (i + 1) best
+              else if t.ks.compare_probe probe (W.get n.keys i) >= 0 then
+                go (i + 1) p
+              else best
+      in
+      match go 0 (R.get n.leftmost 0) with
+      | Child c -> c
+      | Null | Value _ -> (* internal nodes always route somewhere *) assert false)
+
+let rec find_node t n probe level =
+  let n = move_right t n probe in
+  if n.level = level then n
+  else find_node t (search_child t n probe) probe level
+
+let lookup t probe =
+  let rec search leaf =
+    let leaf = move_right t leaf probe in
+    let r =
+      read_stable leaf (fun () ->
+          let rec go i =
+            if i >= cardinality then None
+            else
+              match R.get leaf.ptrs i with
+              | Null -> None
+              | p ->
+                  if is_dup leaf i then go (i + 1)
+                  else
+                    let c = t.ks.compare_probe probe (W.get leaf.keys i) in
+                    if c = 0 then
+                      match p with
+                      | Value v -> Some v
+                      | Child _ | Null -> assert false
+                    else if c < 0 then None
+                    else go (i + 1)
+          in
+          go 0)
+    in
+    match r with
+    | Some _ as hit -> hit
+    | None -> (
+        (* A split may have moved [probe]'s range right between our descent
+           and the stable read: re-check the bound and follow the link. *)
+        match R.get leaf.sibling 0 with
+        | Some s when s.has_min && t.ks.compare_probe probe s.min_key >= 0 ->
+            search s
+        | Some _ | None -> None)
+  in
+  search (find_node t (R.get t.root 0) probe 0)
+
+(* --- write-path helpers (caller holds [n.lock]) ---------------------------- *)
+
+(* Flush the lines of both parallel arrays covering slot [i], then fence. *)
+let flush_slot_lines n i =
+  W.clwb n.keys i;
+  R.clwb n.ptrs i;
+  Pmem.sfence ()
+
+(* Remove slot [pos]: shift left, pointer before key, flushing left-to-right
+   at line crossings, then retract the Null terminator. *)
+let remove_slot n pos count =
+  seq_begin n;
+  for i = pos to count - 2 do
+    P.store_ref n.ptrs i (R.get n.ptrs (i + 1));
+    P.store n.keys i (W.get n.keys (i + 1));
+    if (i + 1) mod slots_per_line = 0 then begin
+      flush_slot_lines n i;
+      Pmem.Crash.point ()
+    end
+  done;
+  if count - 2 >= pos then flush_slot_lines n (count - 2);
+  Pmem.Crash.point ();
+  P.commit_ref n.ptrs (count - 1) Null;
+  seq_end n
+
+(* Writer-side fix of crash leftovers (§3: "writes detect inconsistencies
+   such as duplicated elements, and try to fix them"): remove adjacent
+   duplicates, and complete an interrupted split's truncation by retracting
+   the Null terminator over the invalid-by-bound suffix. *)
+let fix_node t n =
+  let rec drop_dups () =
+    let count = physical_count n in
+    let rec find i = if i >= count - 1 then None else if is_dup n i then Some i else find (i + 1) in
+    match find 0 with
+    | Some i ->
+        remove_slot n i count;
+        drop_dups ()
+    | None -> ()
+  in
+  drop_dups ();
+  match bound n with
+  | None -> ()
+  | Some m ->
+      let count = physical_count n in
+      let rec first_out i =
+        if i >= count then count
+        else if t.ks.compare_words (W.get n.keys i) m >= 0 then i
+        else first_out (i + 1)
+      in
+      let cut = first_out 0 in
+      if cut < count then begin
+        seq_begin n;
+        P.commit_ref n.ptrs cut Null;
+        seq_end n
+      end
+
+(* Insert (kw, p) at slot [pos] of a node with [count] < cardinality
+   entries: FAST right-shift (key before pointer, lines flushed
+   right-to-left), then key store, then the pointer commit. *)
+let insert_slot n pos count kw p =
+  seq_begin n;
+  for i = count - 1 downto pos do
+    P.store n.keys (i + 1) (W.get n.keys i);
+    P.store_ref n.ptrs (i + 1) (R.get n.ptrs i);
+    if (i + 1) mod slots_per_line = 0 then begin
+      flush_slot_lines n (i + 1);
+      Pmem.Crash.point ()
+    end
+  done;
+  if count > pos then flush_slot_lines n (pos + 1);
+  Pmem.Crash.point ();
+  P.store n.keys pos kw;
+  W.clwb n.keys pos;
+  Pmem.sfence ();
+  Pmem.Crash.point ();
+  P.commit_ref n.ptrs pos p;
+  seq_end n
+
+(* Lock [n], moving right as needed so [probe] is in range (unless the §3
+   high-key design bug is being reproduced). *)
+let rec lock_covering t n probe =
+  Lock.lock n.lock;
+  if t.bug_highkey then n
+  else
+    match R.get n.sibling 0 with
+    | Some s when s.has_min && t.ks.compare_probe probe s.min_key >= 0 ->
+        Lock.unlock n.lock;
+        lock_covering t s probe
+    | Some _ | None -> n
+
+(* --- insert (with FAIR splits) -------------------------------------------- *)
+
+let rec insert_entry t probe kw p level =
+  let n = find_node t (R.get t.root 0) probe level in
+  let n = lock_covering t n probe in
+  fix_node t n;
+  let count = physical_count n in
+  if count = cardinality then begin
+    split t n;
+    (* The split moved half the range; retraverse and retry. *)
+    insert_entry t probe kw p level
+  end
+  else begin
+    (* Position among the sorted entries; duplicate check on leaves. *)
+    let rec position i =
+      if i >= count then Ok count
+      else
+        let c = t.ks.compare_probe probe (W.get n.keys i) in
+        if c = 0 && level = 0 then Error i
+        else if c <= 0 then Ok i
+        else position (i + 1)
+    in
+    match position 0 with
+    | Error _ ->
+        Lock.unlock n.lock;
+        false
+    | Ok pos ->
+        insert_slot n pos count kw p;
+        Lock.unlock n.lock;
+        true
+  end
+
+(* FAIR split of full node [n] (lock held).  Builds and persists the
+   sibling, commits with the sibling-pointer store, truncates, then inserts
+   the separator into the parent while still holding [n.lock]. *)
+and split t n =
+  let entries = Array.of_list (valid_entries t n) in
+  let len = Array.length entries in
+  assert (len >= 2);
+  let mid = len / 2 in
+  let split_kw, split_ptr = entries.(mid) in
+  let sib = make_node ~level:n.level ~min_key:split_kw ~has_min:true in
+  (* Internal split pushes entry [mid] up: its pointer becomes the sibling's
+     leftmost child.  Leaf split copies entry [mid] itself. *)
+  let first_copied = if n.level > 0 then mid + 1 else mid in
+  Array.iteri
+    (fun j (kw, p) ->
+      W.set sib.keys j kw;
+      R.set sib.ptrs j p)
+    (Array.sub entries first_copied (len - first_copied));
+  if n.level > 0 then R.set sib.leftmost 0 split_ptr;
+  R.set sib.sibling 0 (R.get n.sibling 0);
+  persist_node sib;
+  Pmem.Crash.point ();
+  seq_begin n;
+  if t.bug_split_order then begin
+    (* §3 implementation-bug class: truncate before linking — a crash
+       between the two stores loses every key moved to the right node. *)
+    P.commit_ref n.ptrs mid Null;
+    Pmem.Crash.point ();
+    P.commit_ref n.sibling 0 (Some sib)
+  end
+  else begin
+    (* Correct order: the sibling link is the atomic split point; until the
+       truncation lands, the moved suffix is invalid-by-bound. *)
+    P.commit_ref n.sibling 0 (Some sib);
+    Pmem.Crash.point ();
+    P.commit_ref n.ptrs mid Null
+  end;
+  seq_end n;
+  Pmem.Crash.point ();
+  (* Parent update: new root, or separator insert one level up. *)
+  if R.get t.root 0 == n then begin
+    let new_root = make_node ~level:(n.level + 1) ~min_key:0 ~has_min:false in
+    R.set new_root.leftmost 0 (Child n);
+    W.set new_root.keys 0 split_kw;
+    R.set new_root.ptrs 0 (Child sib);
+    persist_node new_root;
+    Pmem.Crash.point ();
+    let swapped =
+      P.commit_cas_ref t.root 0 ~expected:n ~desired:new_root
+    in
+    assert swapped;
+    Lock.unlock n.lock
+  end
+  else begin
+    Lock.unlock n.lock;
+    ignore (insert_entry t (t.ks.to_key split_kw) split_kw (Child sib) (n.level + 1))
+  end
+
+let insert t probe value =
+  let kw = t.ks.intern probe in
+  insert_entry t probe kw (Value value) 0
+
+(* --- delete ---------------------------------------------------------------- *)
+
+let delete t probe =
+  let leaf = find_node t (R.get t.root 0) probe 0 in
+  let n = lock_covering t leaf probe in
+  fix_node t n;
+  let count = physical_count n in
+  let rec find i =
+    if i >= count then None
+    else
+      let c = t.ks.compare_probe probe (W.get n.keys i) in
+      if c = 0 then Some i else if c < 0 then None else find (i + 1)
+  in
+  match find 0 with
+  | None ->
+      Lock.unlock n.lock;
+      false
+  | Some pos ->
+      remove_slot n pos count;
+      Lock.unlock n.lock;
+      true
+
+(* --- range scans ------------------------------------------------------------ *)
+
+let scan t probe nwant f =
+  if nwant <= 0 then 0
+  else begin
+    let leaf = find_node t (R.get t.root 0) probe 0 in
+    let leaf = move_right t leaf probe in
+    let emitted = ref 0 in
+    let rec walk n first =
+      let entries =
+        read_stable n (fun () ->
+            let es = valid_entries t n in
+            if first then
+              List.filter (fun (kw, _) -> t.ks.compare_probe probe kw <= 0) es
+            else es)
+      in
+      let continue =
+        List.for_all
+          (fun (kw, p) ->
+            if !emitted >= nwant then false
+            else begin
+              (match p with
+              | Value v -> f (t.ks.to_key kw) v
+              | Child _ | Null -> assert false);
+              incr emitted;
+              true
+            end)
+          entries
+      in
+      if continue && !emitted < nwant then
+        match R.get n.sibling 0 with Some s -> walk s false | None -> ()
+    in
+    walk leaf true;
+    !emitted
+  end
+
+let range t lo hi =
+  let acc = ref [] in
+  let rec walk n first =
+    let entries =
+      read_stable n (fun () ->
+          let es = valid_entries t n in
+          if first then
+            List.filter (fun (kw, _) -> t.ks.compare_probe lo kw <= 0) es
+          else es)
+    in
+    let keep_going = ref true in
+    List.iter
+      (fun (kw, p) ->
+        if !keep_going then
+          if t.ks.compare_probe hi kw <= 0 then keep_going := false
+          else
+            match p with
+            | Value v -> acc := (t.ks.to_key kw, v) :: !acc
+            | Child _ | Null -> assert false)
+      entries;
+    if !keep_going then
+      match R.get n.sibling 0 with Some s -> walk s false | None -> ()
+  in
+  let leaf = find_node t (R.get t.root 0) lo 0 in
+  walk (move_right t leaf lo) true;
+  List.rev !acc
+
+(* --- recovery ---------------------------------------------------------------- *)
+
+let recover t =
+  Lock.new_epoch ();
+  (* Reset the volatile per-node versions level by level: walk each level's
+     sibling chain, descending via leftmost children. *)
+  let rec level_start n =
+    let rec chain m =
+      Atomic.set m.seq 0;
+      match R.get m.sibling 0 with Some s -> chain s | None -> ()
+    in
+    chain n;
+    if n.level > 0 then
+      match R.get n.leftmost 0 with
+      | Child c -> level_start c
+      | Null | Value _ -> assert false
+  in
+  level_start (R.get t.root 0)

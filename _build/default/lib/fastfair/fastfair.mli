@@ -1,0 +1,62 @@
+(** FAST & FAIR: the hand-crafted persistent B+ tree baseline (Hwang et al.,
+    FAST '18; paper §3 and §7).
+
+    FAST (failure-atomic shift) keeps node entries sorted by shifting them
+    with 8-byte atomic stores, flushing each cache line as the shift crosses
+    it; readers tolerate the transient adjacent duplicates this creates.
+    FAIR splits nodes B-link style: the new sibling is built and persisted,
+    then committed with a single atomic sibling-pointer store; parents are
+    updated afterwards and readers reach not-yet-indexed nodes through
+    sibling pointers.
+
+    Reads are lock-free with version-based retry per node (the reason RECIPE
+    cannot convert this design, §4.2); writers lock individual nodes.
+
+    By default this implementation includes the high-key fix the RECIPE
+    authors proposed (each node's upper bound is its sibling's immutable
+    minimum key).  The bugs the paper found in the original can be re-enabled
+    to demonstrate the crash-testing framework:
+
+    - [bug_highkey]: writers skip the post-lock bound check, so an insert
+      racing with a split of the same node lands in the wrong node and the
+      key becomes unreachable (the §3 design bug);
+    - [bug_split_order]: the split truncates the left node before linking
+      the sibling, so a crash between the two stores loses every key moved
+      to the right node (the §3/§7.5 implementation-bug class);
+    - [bug_root_flush]: the initial root allocation is not flushed (the
+      durability bug §7.5 reports for FAST & FAIR and CCEH). *)
+
+type t
+
+val name : string
+
+(** [create ~space ()] builds an empty tree over the given key
+    representation: [Recipe.Wordkey.int_space ()] for 8-byte integer keys or
+    [Recipe.Wordkey.string_space ()] for pointer-indirected string keys. *)
+val create :
+  ?bug_highkey:bool ->
+  ?bug_split_order:bool ->
+  ?bug_root_flush:bool ->
+  space:Recipe.Wordkey.t ->
+  unit ->
+  t
+
+(** [insert t key value] — [false] if [key] is already present (no change).
+    Integer keys must be passed through {!Util.Keys.encode_int}. *)
+val insert : t -> string -> int -> bool
+
+val lookup : t -> string -> int option
+val delete : t -> string -> bool
+
+(** [scan t key n f] visits up to [n] bindings with keys >= [key] in key
+    order; returns the number visited. *)
+val scan : t -> string -> int -> (string -> int -> unit) -> int
+
+val range : t -> string -> string -> (string * int) list
+
+(** Re-initialize volatile locks and per-node version counters after a
+    simulated crash. *)
+val recover : t -> unit
+
+(** Height of the tree (levels above the leaves), for structure tests. *)
+val height : t -> int

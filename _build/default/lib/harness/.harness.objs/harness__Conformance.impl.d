@@ -1,0 +1,1 @@
+lib/harness/conformance.ml: Art Cceh Clht Hot Levelhash Masstree Recipe Woart

@@ -1,0 +1,1 @@
+lib/harness/drivers.mli: Art Bwtree Cceh Clht Fastfair Hot Levelhash Masstree Woart Ycsb

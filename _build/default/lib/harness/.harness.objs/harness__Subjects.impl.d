@@ -1,0 +1,1 @@
+lib/harness/subjects.ml: Art Bwtree Cceh Clht Crashtest Fastfair Hot Levelhash List Masstree Recipe Util Woart

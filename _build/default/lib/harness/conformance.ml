@@ -1,0 +1,21 @@
+(* Compile-time conformance: the indexes satisfy the shared interfaces of
+   {!Recipe.Index_intf}.  (FAST & FAIR and P-BwTree take a key-space
+   argument at creation — the paper's two key modes — so they implement the
+   operations but not the [create] shape.) *)
+
+module _ : Recipe.Index_intf.UNORDERED = Clht
+module _ : Recipe.Index_intf.UNORDERED = Levelhash
+
+(* CCEH additionally exposes the §3 bug flag in [create], so only its
+   operations conform, not the constructor shape. *)
+module Cceh_ops_conform : sig
+  val insert : Cceh.t -> int -> int -> bool
+  val lookup : Cceh.t -> int -> int option
+  val delete : Cceh.t -> int -> bool
+  val recover : Cceh.t -> unit
+end [@warning "-32"] =
+  Cceh
+module _ : Recipe.Index_intf.ORDERED = Art
+module _ : Recipe.Index_intf.ORDERED = Hot
+module _ : Recipe.Index_intf.ORDERED = Masstree
+module _ : Recipe.Index_intf.ORDERED = Woart

@@ -1,0 +1,14 @@
+(** YCSB drivers: bind an index instance to a prepared workload's key
+    universe (paper §7).  Ordered indexes consume the encoded key strings;
+    hash indexes consume raw integer keys.  Values stored are the universe
+    indexes themselves, so reads can validate. *)
+
+val art : Ycsb.prepared -> Art.t -> Ycsb.driver
+val hot : Ycsb.prepared -> Hot.t -> Ycsb.driver
+val masstree : Ycsb.prepared -> Masstree.t -> Ycsb.driver
+val bwtree : Ycsb.prepared -> Bwtree.t -> Ycsb.driver
+val fastfair : Ycsb.prepared -> Fastfair.t -> Ycsb.driver
+val woart : Ycsb.prepared -> Woart.t -> Ycsb.driver
+val clht : Ycsb.prepared -> Clht.t -> Ycsb.driver
+val cceh : Ycsb.prepared -> Cceh.t -> Ycsb.driver
+val levelhash : Ycsb.prepared -> Levelhash.t -> Ycsb.driver

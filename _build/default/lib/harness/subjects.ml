@@ -1,0 +1,152 @@
+(* Crash-test subjects: one adapter per index, including the buggy baseline
+   variants that §7.5's testing catches.  Ordered indexes take integer keys
+   through the big-endian encoding. *)
+
+let k = Util.Keys.encode_int
+
+let clht () =
+  let t = Clht.create ~capacity:16 () in
+  {
+    Crashtest.sname = Clht.name;
+    insert = (fun key v -> Clht.insert t key v);
+    lookup = (fun key -> Clht.lookup t key);
+    recover = (fun () -> Clht.recover t);
+    scan_all = None;
+  }
+
+let cceh ?bug_doubling () =
+  let t = Cceh.create ?bug_doubling ~capacity:128 () in
+  {
+    Crashtest.sname = (if bug_doubling = Some true then "CCEH(buggy)" else Cceh.name);
+    insert = (fun key v -> Cceh.insert t key v);
+    lookup = (fun key -> Cceh.lookup t key);
+    recover = (fun () -> Cceh.recover t);
+    scan_all = None;
+  }
+
+let levelhash () =
+  let t = Levelhash.create ~capacity:12 () in
+  {
+    Crashtest.sname = Levelhash.name;
+    insert = (fun key v -> Levelhash.insert t key v);
+    lookup = (fun key -> Levelhash.lookup t key);
+    recover = (fun () -> Levelhash.recover t);
+    scan_all = None;
+  }
+
+let art () =
+  let t = Art.create () in
+  {
+    Crashtest.sname = Art.name;
+    insert = (fun key v -> Art.insert t (k key) v);
+    lookup = (fun key -> Art.lookup t (k key));
+    recover = (fun () -> Art.recover t);
+    scan_all =
+      Some
+        (fun () ->
+          let acc = ref [] in
+          ignore
+            (Art.scan t (k 0) max_int (fun key v ->
+                 acc := (Util.Keys.decode_int key, v) :: !acc));
+          List.rev !acc);
+  }
+
+let hot () =
+  let t = Hot.create () in
+  {
+    Crashtest.sname = Hot.name;
+    insert = (fun key v -> Hot.insert t (k key) v);
+    lookup = (fun key -> Hot.lookup t (k key));
+    recover = (fun () -> Hot.recover t);
+    scan_all =
+      Some
+        (fun () ->
+          let acc = ref [] in
+          ignore
+            (Hot.scan t (k 0) max_int (fun key v ->
+                 acc := (Util.Keys.decode_int key, v) :: !acc));
+          List.rev !acc);
+  }
+
+let masstree () =
+  let t = Masstree.create () in
+  {
+    Crashtest.sname = Masstree.name;
+    insert = (fun key v -> Masstree.insert t (k key) v);
+    lookup = (fun key -> Masstree.lookup t (k key));
+    recover = (fun () -> Masstree.recover t);
+    scan_all =
+      Some
+        (fun () ->
+          let acc = ref [] in
+          ignore
+            (Masstree.scan t (k 0) max_int (fun key v ->
+                 acc := (Util.Keys.decode_int key, v) :: !acc));
+          List.rev !acc);
+  }
+
+let bwtree () =
+  let t = Bwtree.create ~space:(Recipe.Wordkey.int_space ()) () in
+  {
+    Crashtest.sname = Bwtree.name;
+    insert = (fun key v -> Bwtree.insert t (k key) v);
+    lookup = (fun key -> Bwtree.lookup t (k key));
+    recover = (fun () -> Bwtree.recover t);
+    scan_all =
+      Some
+        (fun () ->
+          let acc = ref [] in
+          ignore
+            (Bwtree.scan t (k 0) max_int (fun key v ->
+                 acc := (Util.Keys.decode_int key, v) :: !acc));
+          List.rev !acc);
+  }
+
+let fastfair ?bug_highkey ?bug_split_order ?bug_root_flush () =
+  let t =
+    Fastfair.create ?bug_highkey ?bug_split_order ?bug_root_flush
+      ~space:(Recipe.Wordkey.int_space ()) ()
+  in
+  let buggy =
+    bug_highkey = Some true || bug_split_order = Some true
+    || bug_root_flush = Some true
+  in
+  {
+    Crashtest.sname = (if buggy then "FAST&FAIR(buggy)" else Fastfair.name);
+    insert = (fun key v -> Fastfair.insert t (k key) v);
+    lookup = (fun key -> Fastfair.lookup t (k key));
+    recover = (fun () -> Fastfair.recover t);
+    scan_all =
+      Some
+        (fun () ->
+          let acc = ref [] in
+          ignore
+            (Fastfair.scan t (k 0) max_int (fun key v ->
+                 acc := (Util.Keys.decode_int key, v) :: !acc));
+          List.rev !acc);
+  }
+
+let woart () =
+  let t = Woart.create () in
+  {
+    Crashtest.sname = Woart.name;
+    insert = (fun key v -> Woart.insert t (k key) v);
+    lookup = (fun key -> Woart.lookup t (k key));
+    recover = (fun () -> Woart.recover t);
+    scan_all =
+      Some
+        (fun () ->
+          let acc = ref [] in
+          ignore
+            (Woart.scan t (k 0) max_int (fun key v ->
+                 acc := (Util.Keys.decode_int key, v) :: !acc));
+          List.rev !acc);
+  }
+
+(** The five RECIPE-converted indexes (all must pass every campaign). *)
+let converted () =
+  [ clht; hot; bwtree; art; masstree ]
+  |> List.map (fun mk -> (fun () -> mk ()))
+
+(** Correct baselines. *)
+let baselines () = [ (fun () -> fastfair ()); (fun () -> cceh ()); levelhash; woart ]

@@ -1,0 +1,26 @@
+(** Crash-test subjects (paper §5/§7.5): one integer-keyed adapter per
+    index, each constructing a fresh instance.  The baseline constructors
+    accept the bug flags that reproduce the paper's §3 findings. *)
+
+val clht : unit -> Crashtest.subject
+val cceh : ?bug_doubling:bool -> unit -> Crashtest.subject
+val levelhash : unit -> Crashtest.subject
+val art : unit -> Crashtest.subject
+val hot : unit -> Crashtest.subject
+val masstree : unit -> Crashtest.subject
+val bwtree : unit -> Crashtest.subject
+
+val fastfair :
+  ?bug_highkey:bool ->
+  ?bug_split_order:bool ->
+  ?bug_root_flush:bool ->
+  unit ->
+  Crashtest.subject
+
+val woart : unit -> Crashtest.subject
+
+(** The five RECIPE-converted indexes. *)
+val converted : unit -> (unit -> Crashtest.subject) list
+
+(** The correct baseline variants. *)
+val baselines : unit -> (unit -> Crashtest.subject) list

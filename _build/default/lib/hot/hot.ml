@@ -1,0 +1,643 @@
+(* P-HOT — persistent height-optimized trie (see hot.mli).
+
+   Logical structure: a binary Patricia (crit-bit) trie over key bits,
+   MSB-first, so in-order traversal is lexicographic.  Patricia invariant:
+   every key in a subtree agrees on every bit position below the subtree's
+   root crit bit — scans rely on it for pruning.
+
+   Physical structure: each node packs a crit-bit subtree with up to 32
+   leaf slots (hence <= 31 discriminative bits) — fanout up to 32 like
+   HOT's, whatever the in-node bit depth.  A node that would exceed 32
+   slots splits at its root bit into two fresh child nodes.  The bit
+   positions live in persistent words, children in persistent pointer
+   slots; the in-node tree shape is an immutable OCaml mirror of that
+   data.
+
+   Persistence protocol (Condition #1): nodes are immutable after publish.
+   Every update unpacks the affected node, edits the abstract tree, repacks,
+   persists the new node(s), fences, and commits with ONE atomic store to
+   the parent child-slot (or the root pointer).  A crash before the swap
+   leaves the old tree; after, the new — no intermediate states exist.
+
+   Overflow (> 32 slots) pulls upward, HOT-style: the overflowing node is
+   split at its root crit bit into two packed children grafted as one extra
+   slot into the ancestor being rebuilt, escalating until a level fits (the
+   root, a B-tree-like special case, may split binary). *)
+
+module W = Pmem.Words
+module R = Pmem.Refs
+module P = Recipe.Persist
+module Lock = Util.Lock
+
+let name = "P-HOT"
+let max_slots = 32
+
+type leaf = { lkey : string; cells : W.t (* [0] = value *) }
+
+type child = HNull | HLeaf of leaf | HNode of node
+
+and shape = SChild of int | SBit of int * shape * shape (* widx, 0-side, 1-side *)
+
+and node = {
+  bits : W.t; (* crit-bit positions, one word per SBit *)
+  children : child R.t;
+  shape : shape;
+  lock : Lock.t;
+}
+
+type t = { root : child R.t; root_lock : Lock.t }
+
+(* Abstract (rebuild-time) tree: leaves are opaque children. *)
+type atree = ALeaf of child | ABit of int * atree * atree (* bit POSITION *)
+
+(* --- key bits ------------------------------------------------------------- *)
+
+(* Bit [p] of [key], MSB-first; 0 beyond the key's end. *)
+let key_bit key p =
+  let i = p lsr 3 in
+  if i >= String.length key then 0
+  else (Char.code (String.unsafe_get key i) lsr (7 - (p land 7))) land 1
+
+(* First bit position where two distinct keys differ. *)
+let first_diff_bit a b =
+  let la = String.length a and lb = String.length b in
+  let byte s i l = if i < l then Char.code (String.unsafe_get s i) else 0 in
+  let rec go i =
+    let ba = byte a i la and bb = byte b i lb in
+    if ba = bb then go (i + 1)
+    else
+      let x = ba lxor bb in
+      let rec top j = if x land (1 lsl j) <> 0 then 7 - j else top (j - 1) in
+      (i * 8) + top 7
+  in
+  go 0
+
+(* --- leaves ------------------------------------------------------------------ *)
+
+let make_leaf key value =
+  let cells = W.make ~name:"hot.leaf" (1 + ((String.length key + 7) / 8)) 0 in
+  W.set cells 0 value;
+  String.iteri
+    (fun i c -> if i mod 8 = 0 then W.set cells (1 + (i / 8)) (Char.code c))
+    key;
+  W.clwb_all cells;
+  { lkey = key; cells }
+
+(* --- pack / unpack ------------------------------------------------------------- *)
+
+let unpack n =
+  let rec go = function
+    | SChild i -> ALeaf (R.get n.children i)
+    | SBit (w, l, r) -> ABit (W.get n.bits w, go l, go r)
+  in
+  go n.shape
+
+(* Number of leaf slots an abstract tree needs. *)
+let rec acount = function ALeaf _ -> 1 | ABit (_, l, r) -> acount l + acount r
+
+(* Pack an abstract tree into physical nodes of <= [max_slots] leaf slots;
+   the result is fully persisted (caller fences before publishing).  An
+   oversized tree splits at its root crit bit into two fresh children. *)
+let rec pack at =
+  match at with
+  | ALeaf c -> c
+  | ABit _ -> HNode (make_node at)
+
+and make_node at =
+  let at =
+    if acount at <= max_slots then at
+    else
+      match at with
+      | ALeaf _ -> at
+      | ABit (b, l, r) -> ABit (b, ALeaf (pack l), ALeaf (pack r))
+  in
+  (* Size the node exactly (HOT nodes are compact): count first, then
+     allocate. *)
+  let rec count = function
+    | ALeaf _ -> (0, 1)
+    | ABit (_, l, r) ->
+        let bl, sl = count l and br, sr = count r in
+        (1 + bl + br, sl + sr)
+  in
+  let nbits, nslots = count at in
+  let bits = W.make ~name:"hot.bits" (max 1 nbits) 0 in
+  let children = R.make ~name:"hot.children" (max 1 nslots) HNull in
+  let nbit = ref 0 and nslot = ref 0 in
+  let rec build = function
+    | ALeaf c ->
+        let i = !nslot in
+        incr nslot;
+        R.set children i c;
+        SChild i
+    | ABit (b, l, r) ->
+        let w = !nbit in
+        incr nbit;
+        W.set bits w b;
+        let sl = build l in
+        let sr = build r in
+        SBit (w, sl, sr)
+  in
+  let shape = build at in
+  W.clwb_all bits;
+  R.clwb_all children;
+  { bits; children; shape; lock = Lock.create () }
+
+let create () =
+  let root = R.make ~name:"hot.root" 1 HNull in
+  R.clwb_all root;
+  Pmem.sfence ();
+  { root; root_lock = Lock.create () }
+
+(* --- lookup (non-blocking over immutable nodes) --------------------------------- *)
+
+let rec find c key =
+  match c with
+  | HNull -> None
+  | HLeaf l -> if String.equal l.lkey key then Some (W.get l.cells 0) else None
+  | HNode n ->
+      let rec walk = function
+        | SChild i -> find (R.get n.children i) key
+        | SBit (w, l, r) ->
+            walk (if key_bit key (W.get n.bits w) = 0 then l else r)
+      in
+      walk n.shape
+
+let lookup t key = find (R.get t.root 0) key
+
+(* In-place value update: one atomic store to the leaf's value word
+   (Condition #1), lock-free. *)
+let update t key value =
+  let rec go c =
+    match c with
+    | HNull -> false
+    | HLeaf l ->
+        if String.equal l.lkey key then begin
+          P.commit l.cells 0 value;
+          true
+        end
+        else false
+    | HNode n ->
+        let rec walk = function
+          | SChild i -> go (R.get n.children i)
+          | SBit (w, l, r) ->
+              walk (if key_bit key (W.get n.bits w) = 0 then l else r)
+        in
+        walk n.shape
+  in
+  go (R.get t.root 0)
+
+(* The bit-guided leaf for [key] (shares all discriminated bits with it). *)
+let rec guided_leaf c key =
+  match c with
+  | HNull -> None
+  | HLeaf l -> Some l
+  | HNode n ->
+      let rec walk = function
+        | SChild i -> guided_leaf (R.get n.children i) key
+        | SBit (w, l, r) ->
+            walk (if key_bit key (W.get n.bits w) = 0 then l else r)
+      in
+      walk n.shape
+
+(* --- rebuild targets -------------------------------------------------------------- *)
+
+type slotref = Root | Slot of node * int
+
+let slot_owner_lock t = function Root -> t.root_lock | Slot (p, _) -> p.lock
+
+let read_slot t = function
+  | Root -> R.get t.root 0
+  | Slot (p, i) -> R.get p.children i
+
+(* Path from the root to the deepest node whose rebuild will host the new
+   crit bit [d]: a list of (slot, child) steps, every child an HNode except
+   possibly the last.  The natural rebuild target is the last HNode; when
+   its copy-on-write would overflow 32 slots, the insert escalates to an
+   ancestor on this path, pulling the split pieces up — HOT's height
+   optimization. *)
+let locate_path t key d =
+  let rec go acc slotref c =
+    match c with
+    | HNull | HLeaf _ -> List.rev ((slotref, c) :: acc)
+    | HNode n -> (
+        let rec walk = function
+          | SBit (w, l, r) ->
+              let b = W.get n.bits w in
+              if b > d then `Here
+              else walk (if key_bit key b = 0 then l else r)
+          | SChild i -> `Down i
+        in
+        match walk n.shape with
+        | `Here -> List.rev ((slotref, c) :: acc)
+        | `Down i -> (
+            match R.get n.children i with
+            | HNode _ as cm -> go ((slotref, c) :: acc) (Slot (n, i)) cm
+            | HLeaf _ | HNull -> List.rev ((slotref, c) :: acc)))
+  in
+  go [] Root (R.get t.root 0)
+
+let same_slotref a b =
+  match (a, b) with
+  | Root, Root -> true
+  | Slot (p, i), Slot (p', i') -> p == p' && i = i'
+  | Root, Slot _ | Slot _, Root -> false
+
+let same_path pa pb =
+  List.length pa = List.length pb
+  && List.for_all2
+       (fun (sa, ca) (sb, cb) -> same_slotref sa sb && ca == cb)
+       pa pb
+
+(* Replace the (physical) leaf [from_] of [at] with [sub]; None if absent. *)
+let areplace at from_ sub =
+  let hit = ref false in
+  let rec go at =
+    match at with
+    | ALeaf c when c == from_ ->
+        hit := true;
+        sub
+    | ALeaf _ -> at
+    | ABit (b, l, r) -> ABit (b, go l, go r)
+  in
+  let at' = go at in
+  if !hit then Some at' else None
+
+(* Insert leaf with crit bit [d] into the abstract tree. *)
+let rec ainsert at d key lf =
+  match at with
+  | ABit (b, l, r) when b < d ->
+      if key_bit key b = 0 then ABit (b, ainsert l d key lf, r)
+      else ABit (b, l, ainsert r d key lf)
+  | ABit _ | ALeaf _ ->
+      if key_bit key d = 0 then ABit (d, ALeaf (HLeaf lf), at)
+      else ABit (d, at, ALeaf (HLeaf lf))
+
+(* Commit a rebuilt child into its slot (flush + fence done by commit). *)
+let publish t slotref c =
+  Pmem.sfence ();
+  Pmem.Crash.point ();
+  match slotref with
+  | Root -> P.commit_ref t.root 0 c
+  | Slot (p, i) -> P.commit_ref p.children i c
+
+(* --- insert -------------------------------------------------------------------------- *)
+
+let rec insert t key value = insert_from t key value 0
+
+and insert_from t key value escalate =
+  match insert_attempt t key value escalate with
+  | `Done r -> r
+  | `Retry ->
+      Domain.cpu_relax ();
+      insert_from t key value 0
+  | `Escalate -> insert_from t key value (escalate + 1)
+
+and insert_attempt t key value escalate =
+  match R.get t.root 0 with
+  | HNull ->
+      Lock.lock t.root_lock;
+      let r =
+        match R.get t.root 0 with
+        | HNull ->
+            let lf = make_leaf key value in
+            publish t Root (HLeaf lf);
+            `Done true
+        | HLeaf _ | HNode _ -> `Retry
+      in
+      Lock.unlock t.root_lock;
+      r
+  | c0 -> (
+      match guided_leaf c0 key with
+      | None ->
+          (* Dead-end at an empty slot: retry under the owner lock via the
+             hole path.  Rare — only after deletes. *)
+          insert_into_hole t key value
+      | Some l when String.equal l.lkey key -> `Done false
+      | Some l ->
+          let d = first_diff_bit key l.lkey in
+          let path = locate_path t key d in
+          let idx = max 0 (List.length path - 1 - escalate) in
+          let slotref, target = List.nth path idx in
+          (* Nodes below the chosen target along the key path get inlined
+             into its rebuild (that is the upward pull). *)
+          let chain = List.filteri (fun i _ -> i > idx) path |> List.map snd in
+          (* Lock order: slot owner, target, then chain nodes top-down. *)
+          Lock.lock (slot_owner_lock t slotref);
+          let held = ref [] in
+          (match target with
+          | HNode n ->
+              Lock.lock n.lock;
+              held := [ n.lock ]
+          | HLeaf _ | HNull -> ());
+          let unlock_all () =
+            List.iter Lock.unlock !held;
+            Lock.unlock (slot_owner_lock t slotref)
+          in
+          let result =
+            if R.get t.root 0 == HNull then `Retry
+            else
+              match guided_leaf (R.get t.root 0) key with
+              | None -> `Retry
+              | Some l' when String.equal l'.lkey key -> `Done false
+              | Some l' ->
+                  let d' = first_diff_bit key l'.lkey in
+                  if d' <> d || not (same_path path (locate_path t key d'))
+                  then `Retry
+                  else begin
+                    (* Lock the window's inner nodes below the target,
+                       top-down. *)
+                    List.iter
+                      (fun c ->
+                        match c with
+                        | HNode m ->
+                            Lock.lock m.lock;
+                            held := m.lock :: !held
+                        | HLeaf _ | HNull -> ())
+                      chain;
+                    let window =
+                      List.filteri (fun i _ -> i >= idx) path
+                    in
+                    let atree_of = function
+                      | HNode m -> unpack m
+                      | (HLeaf _ | HNull) as c -> ALeaf c
+                    in
+                    let lf = make_leaf key value in
+                    (* Climb from the bottom: rebuild the deepest node; on
+                       overflow, split it at its root bit into two packed
+                       halves grafted as one extra slot in the node above —
+                       HOT's upward pull keeping fanout high.  Publish at
+                       the lowest level that fits. *)
+                    let exception Publish of atree * slotref in
+                    let exception Chain_broken in
+                    let graft_of at =
+                      match at with
+                      | ABit (b, l, r) -> ABit (b, ALeaf (pack l), ALeaf (pack r))
+                      | ALeaf _ -> at
+                    in
+                    let rec climb = function
+                      | [] -> assert false
+                      | [ (sref, bottom) ] ->
+                          let at = ainsert (atree_of bottom) d key lf in
+                          if acount at <= max_slots then raise (Publish (at, sref));
+                          (at, bottom)
+                      | (sref, pc) :: rest -> (
+                          let at_below, child_phys = climb rest in
+                          match
+                            areplace (atree_of pc) child_phys (graft_of at_below)
+                          with
+                          | None -> raise Chain_broken
+                          | Some at ->
+                              if acount at <= max_slots then
+                                raise (Publish (at, sref));
+                              (at, pc))
+                    in
+                    match climb window with
+                    | at_top, _ ->
+                        if idx > 0 then `Escalate
+                        else begin
+                          (* Root overflow: pack splits it in two — the
+                             B-tree-style root split. *)
+                          let sref = fst (List.hd window) in
+                          publish t sref (pack at_top);
+                          `Done true
+                        end
+                    | exception Publish (at, sref) ->
+                        let fresh = pack at in
+                        publish t sref fresh;
+                        `Done true
+                    | exception Chain_broken -> `Retry
+                  end
+          in
+          unlock_all ();
+          result)
+
+(* Insert when the guided path dead-ends in an HNull slot left by deletes:
+   walk to the hole under locks and drop the leaf in. *)
+and insert_into_hole t key value =
+  let rec find_hole slotref c =
+    match c with
+    | HNull -> Some slotref
+    | HLeaf _ -> None (* structure changed; retry *)
+    | HNode n ->
+        let rec walk = function
+          | SChild i -> find_hole (Slot (n, i)) (R.get n.children i)
+          | SBit (w, l, r) ->
+              walk (if key_bit key (W.get n.bits w) = 0 then l else r)
+        in
+        walk n.shape
+  in
+  match find_hole Root (R.get t.root 0) with
+  | None -> `Retry
+  | Some slotref ->
+      Lock.lock (slot_owner_lock t slotref);
+      let r =
+        match read_slot t slotref with
+        | HNull ->
+            let lf = make_leaf key value in
+            publish t slotref (HLeaf lf);
+            `Done true
+        | HLeaf _ | HNode _ -> `Retry
+      in
+      Lock.unlock (slot_owner_lock t slotref);
+      r
+
+(* --- delete ---------------------------------------------------------------------------- *)
+
+(* Remove [key]'s leaf from the abstract tree, collapsing its crit bit. *)
+let rec aremove at key =
+  match at with
+  | ALeaf (HLeaf l) when String.equal l.lkey key -> None
+  | ALeaf _ -> Some at
+  | ABit (b, l, r) -> (
+      if key_bit key b = 0 then
+        match aremove l key with
+        | None -> Some r
+        | Some l' -> if l' == l then Some at else Some (ABit (b, l', r))
+      else
+        match aremove r key with
+        | None -> Some l
+        | Some r' -> if r' == r then Some at else Some (ABit (b, l, r')))
+
+let rec delete t key =
+  match delete_attempt t key with
+  | Some r -> r
+  | None ->
+      Domain.cpu_relax ();
+      delete t key
+
+and delete_attempt t key =
+  (* Find the physical node whose slot holds the matching leaf. *)
+  let rec locate_leaf slotref c =
+    match c with
+    | HNull -> `Absent
+    | HLeaf l -> if String.equal l.lkey key then `Found slotref else `Absent
+    | HNode n ->
+        let rec walk = function
+          | SChild i -> locate_leaf (Slot (n, i)) (R.get n.children i)
+          | SBit (w, l, r) ->
+              walk (if key_bit key (W.get n.bits w) = 0 then l else r)
+        in
+        walk n.shape
+  in
+  match locate_leaf Root (R.get t.root 0) with
+  | `Absent -> Some false
+  | `Found Root ->
+      (* Leaf directly under the root pointer. *)
+      Lock.lock t.root_lock;
+      let r =
+        match R.get t.root 0 with
+        | HLeaf l when String.equal l.lkey key ->
+            publish t Root HNull;
+            Some true
+        | HNull | HLeaf _ | HNode _ -> None
+      in
+      Lock.unlock t.root_lock;
+      r
+  | `Found (Slot (p, _)) ->
+      (* Rebuild the owning node [p] without the leaf and swap it into p's
+         own slot. *)
+      let rec owner_slot slotref c =
+        match c with
+        | HNode n when n == p -> Some slotref
+        | HNode n ->
+            let rec walk = function
+              | SChild i -> owner_slot (Slot (n, i)) (R.get n.children i)
+              | SBit (w, l, r) ->
+                  walk (if key_bit key (W.get n.bits w) = 0 then l else r)
+            in
+            walk n.shape
+        | HNull | HLeaf _ -> None
+      in
+      (match owner_slot Root (R.get t.root 0) with
+      | None -> None
+      | Some pslot ->
+          Lock.lock (slot_owner_lock t pslot);
+          Lock.lock p.lock;
+          let still_there =
+            match read_slot t pslot with HNode m -> m == p | HNull | HLeaf _ -> false
+          in
+          let r =
+            if not still_there then None
+            else begin
+              let at0 = unpack p in
+              match aremove at0 key with
+              | None ->
+                  publish t pslot HNull;
+                  Some true
+              | Some at' when at' == at0 -> Some false (* already gone *)
+              | Some at' ->
+                  let fresh = pack at' in
+                  publish t pslot fresh;
+                  Some true
+            end
+          in
+          Lock.unlock p.lock;
+          Lock.unlock (slot_owner_lock t pslot);
+          r)
+
+(* --- ordered scans ------------------------------------------------------------------------ *)
+
+(* Leftmost (minimum-key) leaf of a subtree. *)
+let rec min_leaf c =
+  match c with
+  | HNull -> None
+  | HLeaf l -> Some l
+  | HNode n ->
+      let rec walk = function
+        | SChild i -> min_leaf (R.get n.children i)
+        | SBit (_, l, r) -> (
+            match walk l with Some x -> Some x | None -> walk r)
+      in
+      walk n.shape
+
+exception Scan_done
+
+let scan_fold t start nwant f =
+  let emitted = ref 0 in
+  let emit l =
+    if !emitted >= nwant then raise Scan_done;
+    f l.lkey (W.get l.cells 0);
+    incr emitted
+  in
+  let rec all c =
+    match c with
+    | HNull -> ()
+    | HLeaf l -> emit l
+    | HNode n ->
+        let rec walk = function
+          | SChild i -> all (R.get n.children i)
+          | SBit (_, l, r) ->
+              walk l;
+              walk r
+        in
+        walk n.shape
+  and shape_all n = function
+    | SChild i -> all (R.get n.children i)
+    | SBit (_, l, r) ->
+        shape_all n l;
+        shape_all n r
+  and min_leaf_shape n = function
+    | SChild i -> min_leaf (R.get n.children i)
+    | SBit (_, l, r) -> (
+        match min_leaf_shape n l with
+        | Some x -> Some x
+        | None -> min_leaf_shape n r)
+  and filter c =
+    match c with
+    | HNull -> ()
+    | HLeaf l -> if String.compare l.lkey start >= 0 then emit l
+    | HNode n -> shape_filter n n.shape
+  and shape_filter n shape =
+    (* Patricia invariant: all keys of a subtree rooted at crit bit [b]
+       share every bit position below [b].  Compare that shared prefix with
+       [start] through the subtree's minimum leaf: if they diverge below
+       [b], the whole subtree sorts on one side of [start]. *)
+    match min_leaf_shape n shape with
+    | None -> ()
+    | Some m ->
+        if String.compare m.lkey start >= 0 then shape_all n shape
+        else (
+          match shape with
+          | SChild i -> filter (R.get n.children i)
+          | SBit (w, l, r) ->
+              let b = W.get n.bits w in
+              let q = first_diff_bit m.lkey start in
+              if q < b then () (* every key diverges below b like m: < start *)
+              else if key_bit start b = 0 then begin
+                shape_filter n l;
+                shape_all n r
+              end
+              else shape_filter n r)
+  in
+  (try filter (R.get t.root 0) with Scan_done -> ());
+  !emitted
+
+let scan t start nwant f = if nwant <= 0 then 0 else scan_fold t start nwant f
+
+let range t lo hi =
+  let acc = ref [] in
+  let exception Past_hi in
+  (try
+     ignore
+       (scan_fold t lo max_int (fun k v ->
+            if String.compare k hi >= 0 then raise Past_hi;
+            acc := (k, v) :: !acc))
+   with Past_hi -> ());
+  List.rev !acc
+
+(* --- misc ------------------------------------------------------------------------------------ *)
+
+let height t =
+  let rec go c =
+    match c with
+    | HNull | HLeaf _ -> 0
+    | HNode n ->
+        let rec walk = function
+          | SChild i -> go (R.get n.children i)
+          | SBit (_, l, r) -> max (walk l) (walk r)
+        in
+        1 + walk n.shape
+  in
+  go (R.get t.root 0)
+
+let recover _t = Lock.new_epoch ()

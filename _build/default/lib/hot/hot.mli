@@ -1,0 +1,49 @@
+(** P-HOT: persistent Height Optimized Trie (paper §6.1; Binna et al.,
+    SIGMOD '18).  RECIPE Condition #1.
+
+    HOT raises trie fanout by letting each physical node discriminate on a
+    *set* of key bits rather than a fixed-width chunk: a node packs a
+    subtree of the underlying binary Patricia trie with up to 32 entries,
+    keeping the tree height near log32 and lookups cache-efficient.  All
+    updates are copy-on-write: the affected node is rebuilt — overflow
+    splits it and pulls the halves up into the parent's rebuild — and
+    committed by atomically swapping the single parent pointer, which is
+    why the RECIPE conversion needs nothing beyond flushing the new node
+    and fencing before the swap.
+
+    Readers are non-blocking (they traverse immutable nodes); writers take
+    per-node locks for write exclusion, exactly the synchronization the
+    paper lists for HOT in Table 2.
+
+    Keys are byte strings (equal length or prefix-free); values are 8-byte
+    integers. *)
+
+type t
+
+val name : string
+
+val create : unit -> t
+
+(** [insert t key value] — [false] if [key] is already present. *)
+val insert : t -> string -> int -> bool
+
+val lookup : t -> string -> int option
+
+(** [update t key value] replaces an existing key's value with one atomic
+    store; [false] if absent. *)
+val update : t -> string -> int -> bool
+val delete : t -> string -> bool
+
+(** [scan t key n f] — up to [n] bindings with keys >= [key], ascending;
+    returns the count visited. *)
+val scan : t -> string -> int -> (string -> int -> unit) -> int
+
+val range : t -> string -> string -> (string * int) list
+
+(** Post-crash recovery: re-initialize volatile locks (Condition #1 — no
+    recovery logic needed). *)
+val recover : t -> unit
+
+(** Maximum physical-node chain length from root to a leaf (tests: height
+    optimization keeps this near log32). *)
+val height : t -> int

@@ -1,0 +1,332 @@
+(* Level Hashing (see levelhash.mli).
+
+   Locking: a fixed array of lock stripes.  A writer collects the stripes of
+   every bucket it may touch, deduplicates, sorts, and acquires them in
+   order — so ordinary writers are deadlock-free among themselves.  Movement
+   and resize additionally serialize on a single structure lock acquired
+   *before* any stripe, preserving the global acquisition order.  Readers
+   are lock-free with CLHT-style key re-check snapshots. *)
+
+module W = Pmem.Words
+module R = Pmem.Refs
+module P = Recipe.Persist
+module Lock = Util.Lock
+
+let name = "Level"
+let slots_per_bucket = 4
+let n_stripes = 256
+
+type table = {
+  top : W.t; (* top_n buckets * 8 words *)
+  top_n : int;
+  bottom : W.t; (* top_n/2 buckets * 8 words *)
+  bottom_n : int;
+  meta : W.t;
+}
+
+type t = {
+  table : table R.t;
+  stripes : Lock.t array;
+  structure_lock : Lock.t; (* serializes movement and resize *)
+  count : int Atomic.t;
+  resizes : int Atomic.t;
+  moves : int Atomic.t;
+}
+
+let hash1 k =
+  let z = (k lxor (k lsr 33)) * 0x2545F491 land max_int in
+  (z lxor (z lsr 29)) * 0x1CE4E5B9 land max_int
+
+let hash2 k =
+  let z = (k + 0x61C88647) * 0x3C6EF35F land max_int in
+  (z lxor (z lsr 31)) * 0x27D4EB2F land max_int
+
+let make_table top_n =
+  assert (top_n mod 2 = 0);
+  let bottom_n = top_n / 2 in
+  let meta = W.make ~name:"level.meta" 8 0 in
+  W.set meta 0 top_n;
+  {
+    top = W.make ~name:"level.top" (top_n * 8) 0;
+    top_n;
+    bottom = W.make ~name:"level.bottom" (bottom_n * 8) 0;
+    bottom_n;
+    meta;
+  }
+
+let persist_table tb =
+  W.clwb_all tb.top;
+  W.clwb_all tb.bottom;
+  W.clwb_all tb.meta;
+  Pmem.sfence ()
+
+let default_capacity = 48 * 1024 / 64
+
+let create ?(capacity = default_capacity) () =
+  (* capacity counts both levels: top_n + top_n/2 buckets. *)
+  let top_n = max 4 (Util.Bits.next_power_of_two (capacity * 2 / 3)) in
+  let tb = make_table top_n in
+  persist_table tb;
+  let table = R.make ~name:"level.table" 1 tb in
+  R.clwb_all table;
+  Pmem.sfence ();
+  {
+    table;
+    stripes = Array.init n_stripes (fun _ -> Lock.create ());
+    structure_lock = Lock.create ();
+    count = Atomic.make 0;
+    resizes = Atomic.make 0;
+    moves = Atomic.make 0;
+  }
+
+let length t = Atomic.get t.count
+let resize_count t = Atomic.get t.resizes
+let move_count t = Atomic.get t.moves
+
+(* The four candidate buckets of a key: (level array, bucket index). *)
+let candidates tb k =
+  let t1 = hash1 k mod tb.top_n and t2 = hash2 k mod tb.top_n in
+  [|
+    (tb.top, t1); (tb.top, t2); (tb.bottom, t1 / 2); (tb.bottom, t2 / 2);
+  |]
+
+(* Stripe ids covering the candidate buckets (bottom offset keeps top and
+   bottom buckets from aliasing systematically). *)
+let stripe_ids tb k =
+  let t1 = hash1 k mod tb.top_n and t2 = hash2 k mod tb.top_n in
+  let ids =
+    [ t1 mod n_stripes; t2 mod n_stripes;
+      ((t1 / 2) + 97) mod n_stripes; ((t2 / 2) + 97) mod n_stripes ]
+  in
+  List.sort_uniq compare ids
+
+let lock_stripes t ids = List.iter (fun i -> Lock.lock t.stripes.(i)) ids
+let unlock_stripes t ids = List.iter (fun i -> Lock.unlock t.stripes.(i)) ids
+
+(* --- slot primitives -------------------------------------------------------- *)
+
+let slot_key arr b j = W.get arr ((b * 8) + (2 * j))
+let slot_val arr b j = W.get arr ((b * 8) + (2 * j) + 1)
+
+(* Commit one slot: value first, then the atomic key store; both words share
+   the bucket's cache line so a single flush covers them. *)
+let write_slot arr b j k v =
+  P.store arr ((b * 8) + (2 * j) + 1) v;
+  Pmem.Crash.point ();
+  P.commit arr ((b * 8) + (2 * j)) k
+
+let clear_slot arr b j = P.commit arr ((b * 8) + (2 * j)) 0
+
+let find_in_bucket arr b k =
+  let rec go j =
+    if j >= slots_per_bucket then None
+    else if slot_key arr b j = k then Some j
+    else go (j + 1)
+  in
+  go 0
+
+let free_in_bucket arr b =
+  let rec go j =
+    if j >= slots_per_bucket then None
+    else if slot_key arr b j = 0 then Some j
+    else go (j + 1)
+  in
+  go 0
+
+(* --- lock-free read path ----------------------------------------------------- *)
+
+let lookup t k =
+  if k <= 0 then invalid_arg "Levelhash.lookup: key must be positive";
+  let one_pass () =
+    let tb = R.get t.table 0 in
+    let cands = candidates tb k in
+    let rec probe i =
+      if i >= Array.length cands then None
+      else
+        let arr, b = cands.(i) in
+        let rec slot j =
+          if j >= slots_per_bucket then probe (i + 1)
+          else if slot_key arr b j = k then begin
+            let v = slot_val arr b j in
+            if slot_key arr b j = k then Some v else slot j
+          end
+          else slot (j + 1)
+        in
+        slot 0
+    in
+    probe 0
+  in
+  match one_pass () with
+  | Some _ as hit -> hit
+  | None ->
+      (* A concurrent movement may have displaced the key against our probe
+         order (cleared at the source after we passed, copied to a bucket we
+         had already checked).  One more pass closes the window: by then the
+         copy is in place. *)
+      one_pass ()
+
+(* --- write path ---------------------------------------------------------------- *)
+
+(* Acquire this key's stripes against the current table, rechecking the
+   table pointer after acquisition. *)
+let rec lock_for t k =
+  let tb = R.get t.table 0 in
+  let ids = stripe_ids tb k in
+  lock_stripes t ids;
+  if R.get t.table 0 == tb then (tb, ids)
+  else begin
+    unlock_stripes t ids;
+    lock_for t k
+  end
+
+let exists tb k =
+  Array.exists (fun (arr, b) -> find_in_bucket arr b k <> None) (candidates tb k)
+
+(* Deletes must clear *every* replica: movement (and crashes inside it)
+   leave transient duplicates. *)
+let delete t k =
+  if k <= 0 then invalid_arg "Levelhash.delete: key must be positive";
+  let tb, ids = lock_for t k in
+  let deleted = ref false in
+  Array.iter
+    (fun (arr, b) ->
+      match find_in_bucket arr b k with
+      | Some j ->
+          clear_slot arr b j;
+          deleted := true
+      | None -> ())
+    (candidates tb k);
+  unlock_stripes t ids;
+  if !deleted then Atomic.decr t.count;
+  !deleted
+
+(* Try to place (k, v) in one of the four candidate buckets.  Caller holds
+   this key's stripes. *)
+let try_place tb k v =
+  let cands = candidates tb k in
+  let rec go i =
+    if i >= Array.length cands then false
+    else
+      let arr, b = cands.(i) in
+      match free_in_bucket arr b with
+      | Some j ->
+          write_slot arr b j k v;
+          true
+      | None -> go (i + 1)
+  in
+  go 0
+
+(* Movement: evict one occupant of a top candidate bucket to its alternate
+   top location.  Caller holds every stripe (the escalation path), so any
+   bucket may be touched freely. *)
+let try_movement t tb k =
+  let moved = ref false in
+  let t1 = hash1 k mod tb.top_n and t2 = hash2 k mod tb.top_n in
+  let try_bucket b =
+    if not !moved then
+      for j = 0 to slots_per_bucket - 1 do
+        if not !moved then begin
+          let vk = slot_key tb.top b j in
+          if vk <> 0 then begin
+            let alt =
+              let a1 = hash1 vk mod tb.top_n and a2 = hash2 vk mod tb.top_n in
+              if a1 = b then a2 else a1
+            in
+            if alt <> b then
+              match free_in_bucket tb.top alt with
+              | Some j' ->
+                  let vv = slot_val tb.top b j in
+                  (* Copy first, then clear the source: a crash in between
+                     leaves a benign duplicate that delete clears fully. *)
+                  write_slot tb.top alt j' vk vv;
+                  Pmem.Crash.point ();
+                  clear_slot tb.top b j;
+                  Atomic.incr t.moves;
+                  moved := true
+              | None -> ()
+          end
+        end
+      done
+  in
+  try_bucket t1;
+  try_bucket t2;
+  !moved
+
+(* Build a resized table containing everything in [tb] plus the pending
+   binding; writes touch only the private new top level, so a crash before
+   the commit leaves the live table untouched. *)
+let rec build_resized tb top_n pending =
+  let fresh = make_table top_n in
+  (* The new bottom is logically the old top; we copy it rather than alias so
+     the old table stays immutable for concurrent readers and crash states. *)
+  let ok = ref true in
+  let place k v = if !ok && not (try_place fresh k v) then ok := false in
+  for b = 0 to tb.top_n - 1 do
+    for j = 0 to slots_per_bucket - 1 do
+      let k = slot_key tb.top b j in
+      if k <> 0 then place k (slot_val tb.top b j)
+    done
+  done;
+  for b = 0 to tb.bottom_n - 1 do
+    for j = 0 to slots_per_bucket - 1 do
+      let k = slot_key tb.bottom b j in
+      if k <> 0 then place k (slot_val tb.bottom b j)
+    done
+  done;
+  (match pending with Some (k, v) -> place k v | None -> ());
+  if !ok then fresh else build_resized tb (top_n * 2) pending
+
+let resize t tb pending =
+  let fresh = build_resized tb (tb.top_n * 2) pending in
+  persist_table fresh;
+  Pmem.Crash.point ();
+  P.commit_ref t.table 0 fresh;
+  Atomic.incr t.resizes
+
+(* Escalation path: all four candidate buckets were full.  Take the
+   structure lock, then *every* stripe in order — movement and resize may
+   touch arbitrary buckets, and a resize must not race writers still
+   modifying the table it is copying. *)
+let insert_escalated t k v =
+  Lock.lock t.structure_lock;
+  for i = 0 to n_stripes - 1 do
+    Lock.lock t.stripes.(i)
+  done;
+  let tb = R.get t.table 0 in
+  let inserted =
+    if exists tb k then false
+    else if try_place tb k v then true
+    else if try_movement t tb k && try_place tb k v then true
+    else begin
+      (* Resize with the pending binding folded in; the single table-record
+         swap is the commit point. *)
+      resize t tb (Some (k, v));
+      true
+    end
+  in
+  for i = n_stripes - 1 downto 0 do
+    Lock.unlock t.stripes.(i)
+  done;
+  Lock.unlock t.structure_lock;
+  inserted
+
+let insert t k v =
+  if k <= 0 then invalid_arg "Levelhash.insert: key must be positive";
+  let tb, ids = lock_for t k in
+  if exists tb k then begin
+    unlock_stripes t ids;
+    false
+  end
+  else if try_place tb k v then begin
+    unlock_stripes t ids;
+    Atomic.incr t.count;
+    true
+  end
+  else begin
+    unlock_stripes t ids;
+    let inserted = insert_escalated t k v in
+    if inserted then Atomic.incr t.count;
+    inserted
+  end
+
+let recover _t = Lock.new_epoch ()

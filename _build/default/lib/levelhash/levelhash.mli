@@ -1,0 +1,46 @@
+(** Level Hashing: write-optimized two-level persistent hash table baseline
+    (Zuo et al., OSDI '18; paper §7.2).
+
+    Two bucket arrays: a top level of N cache-line buckets (4 slots each) and
+    a bottom level of N/2 buckets, where bottom bucket i backs top buckets 2i
+    and 2i+1.  Every key has two hash locations per level, so an operation
+    probes up to four non-contiguous cache lines — the access pattern behind
+    Level Hashing's higher LLC miss count in Table 4.  When all four
+    candidate buckets are full, one resident is moved to its alternate
+    location; if that also fails, the table resizes by building a fresh top
+    level twice the size, reusing the old top as the new bottom and
+    rehashing only the old bottom's entries.
+
+    Crash consistency: slot writes commit value-before-key like CLHT; a
+    resize writes only into the private new level and commits by swapping a
+    single table record; deletes clear every replica of a key, so the
+    transient duplicates created by movement can never resurrect.
+
+    Keys are positive integers (0 = empty sentinel); values are 8-byte
+    integers. *)
+
+type t
+
+val name : string
+
+(** [create ?capacity ()] — [capacity] is the initial size in cache-line
+    buckets across both levels (default = the paper's 48 KB). *)
+val create : ?capacity:int -> unit -> t
+
+(** [insert t key value] — [false] if [key] is already present. *)
+val insert : t -> int -> int -> bool
+
+val lookup : t -> int -> int option
+val delete : t -> int -> bool
+
+(** Number of live bindings (approximate while writers are active). *)
+val length : t -> int
+
+(** Number of full-table resizes performed (tests). *)
+val resize_count : t -> int
+
+(** Number of in-table movements performed (tests). *)
+val move_count : t -> int
+
+(** Post-crash recovery: re-initializes volatile locks. *)
+val recover : t -> unit

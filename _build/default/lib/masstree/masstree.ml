@@ -1,0 +1,636 @@
+(* P-Masstree (see masstree.mli).
+
+   Slice words: a layer indexes 7-byte key slices packed big-endian into the
+   top bits of an integer word with the slice length in the low 3 bits —
+   word order equals (bytes-zero-padded, length) lexicographic order, which
+   is exactly byte-string order for slices.
+
+   Node layout (border and internal nodes share it, per the paper's §6.5
+   conversion of internal nodes to border-node structure):
+   - header line: [0] permutation word (count + 14 x 4-bit slot indices),
+     [1] slot allocation counter, [2] leaf flag, [3] level, [4] has_min,
+     [5] min slice word;
+   - 14 key-slice words; 14 entry slots; leftmost-child slot (internal);
+     sibling pointer.  min/has_min/leaf/level are immutable and mirrored as
+     OCaml fields.
+
+   Slots are append-only while a node is live: a permutation snapshot is a
+   consistent immutable view, so reads never retry.  The permutation store
+   is the single atomic commit of every non-SMO (Condition #1).  Splits are
+   the two-step atomic SMO described in the paper; fix_node is the helper
+   that replays step 2 after a crash (Condition #3 -> #2). *)
+
+module W = Pmem.Words
+module R = Pmem.Refs
+module P = Recipe.Persist
+module Lock = Util.Lock
+
+let name = "P-Masstree"
+let fanout = 14
+let slice_bytes = 7
+
+(* --- slice words ----------------------------------------------------------- *)
+
+let slice_of key off =
+  let klen = String.length key in
+  let len = min slice_bytes (klen - off) in
+  let rec go i acc =
+    if i >= len then acc
+    else go (i + 1) (acc lor (Char.code key.[off + i] lsl ((6 - i) * 8)))
+  in
+  (go 0 0 lsl 3) lor len
+
+let slice_len w = w land 7
+
+let slice_string w =
+  let len = slice_len w in
+  let packed = w lsr 3 in
+  String.init len (fun i -> Char.chr ((packed lsr ((6 - i) * 8)) land 0xFF))
+
+(* Remainder of [key] after the slice at [off]. *)
+let suffix key off =
+  let klen = String.length key in
+  let consumed = min slice_bytes (klen - off) in
+  String.sub key (off + consumed) (klen - off - consumed)
+
+(* --- permutation words ------------------------------------------------------- *)
+
+let pcount p = p land 0xF
+let pslot p r = (p lsr (4 + (4 * r))) land 0xF
+
+let pinsert p rank slot =
+  let c = pcount p in
+  let res = ref (c + 1) in
+  for r = 0 to c do
+    let s =
+      if r < rank then pslot p r else if r = rank then slot else pslot p (r - 1)
+    in
+    res := !res lor (s lsl (4 + (4 * r)))
+  done;
+  !res
+
+let premove p rank =
+  let c = pcount p in
+  let res = ref (c - 1) in
+  for r = 0 to c - 2 do
+    let s = if r < rank then pslot p r else pslot p (r + 1) in
+    res := !res lor (s lsl (4 + (4 * r)))
+  done;
+  !res
+
+(* Permutation keeping only ranks [0, keep). *)
+let ptruncate p keep =
+  let res = ref keep in
+  for r = 0 to keep - 1 do
+    res := !res lor (pslot p r lsl (4 + (4 * r)))
+  done;
+  !res
+
+(* --- nodes -------------------------------------------------------------------- *)
+
+type entry =
+  | Empty
+  | Val of string * int (* key suffix after this layer's slice, value *)
+  | Link of tree (* next key layer *)
+  | Child of lnode (* internal-node child pointer *)
+
+and lnode = {
+  leaf : bool;
+  level : int;
+  has_min : bool;
+  min_key : int; (* lower-bound slice word; immutable *)
+  header : W.t;
+  keys : W.t; (* 14 slice words *)
+  entries : entry R.t;
+  leftmost : entry R.t; (* internal only *)
+  sibling : lnode option R.t;
+  lock : Lock.t;
+}
+
+and tree = { troot : lnode R.t }
+
+type t = { top : tree; fixes : int Atomic.t }
+
+let perm n = W.get n.header 0
+let nalloc n = W.get n.header 1
+
+let make_node ~leaf ~level ~has_min ~min_key =
+  let header = W.make ~name:"mt.header" 8 0 in
+  W.set header 2 (if leaf then 1 else 0);
+  W.set header 3 level;
+  W.set header 4 (if has_min then 1 else 0);
+  W.set header 5 min_key;
+  {
+    leaf;
+    level;
+    has_min;
+    min_key;
+    header;
+    keys = W.make ~name:"mt.keys" fanout 0;
+    entries = R.make ~name:"mt.entries" fanout Empty;
+    leftmost = R.make ~name:"mt.leftmost" 1 Empty;
+    sibling = R.make ~name:"mt.sibling" 1 None;
+    lock = Lock.create ();
+  }
+
+let persist_node n =
+  W.clwb_all n.header;
+  W.clwb_all n.keys;
+  R.clwb_all n.entries;
+  R.clwb_all n.leftmost;
+  R.clwb_all n.sibling;
+  Pmem.sfence ()
+
+let new_tree () =
+  let root = make_node ~leaf:true ~level:0 ~has_min:false ~min_key:0 in
+  persist_node root;
+  let troot = R.make ~name:"mt.troot" 1 root in
+  R.clwb_all troot;
+  Pmem.sfence ();
+  { troot }
+
+let create () = { top = new_tree (); fixes = Atomic.make 0 }
+let helper_fixes t = Atomic.get t.fixes
+
+(* Upper bound of [n]: the linked sibling's immutable minimum (-1 = minus
+   infinity, making every entry out of bounds — the migration-split case). *)
+let bound n =
+  match R.get n.sibling 0 with
+  | None -> None
+  | Some s -> Some (if s.has_min then s.min_key else -1)
+
+let rec move_right n s =
+  match R.get n.sibling 0 with
+  | Some sib when (not sib.has_min) || s >= sib.min_key -> move_right sib s
+  | Some _ | None -> n
+
+(* --- read path -------------------------------------------------------------------- *)
+
+(* Rank of slice [s] in [n] under permutation [p], bounded. *)
+let find_rank n p s =
+  let c = pcount p in
+  let b = match bound n with None -> max_int | Some b -> b in
+  let rec go r =
+    if r >= c then None
+    else
+      let k = W.get n.keys (pslot p r) in
+      if k >= b then None
+      else if k = s then Some (pslot p r)
+      else if k > s then None
+      else go (r + 1)
+  in
+  go 0
+
+(* Child of internal [n] covering [s]. *)
+let search_child n s =
+  let p = perm n in
+  let c = pcount p in
+  let rec go r best =
+    if r >= c then best
+    else
+      let slot = pslot p r in
+      if W.get n.keys slot <= s then go (r + 1) (R.get n.entries slot) else best
+  in
+  match go 0 (R.get n.leftmost 0) with
+  | Child m -> m
+  | Empty | Val _ | Link _ -> assert false
+
+let rec descend_to tr s level =
+  let rec go n =
+    let n = move_right n s in
+    if n.level = level then n else go (search_child n s)
+  in
+  go (R.get tr.troot 0)
+
+and leaf_search tr s =
+  let rec search n =
+    let n = move_right n s in
+    match find_rank n (perm n) s with
+    | Some slot -> Some (R.get n.entries slot)
+    | None -> (
+        (* A concurrent split may have moved [s] right after our descent. *)
+        match R.get n.sibling 0 with
+        | Some sib when (not sib.has_min) || s >= sib.min_key -> search sib
+        | Some _ | None -> None)
+  in
+  search (descend_to tr s 0)
+
+let rec tree_lookup tr key off =
+  let s = slice_of key off in
+  match leaf_search tr s with
+  | None -> None
+  | Some (Val (sfx, v)) ->
+      if String.equal sfx (suffix key off) then Some v else None
+  | Some (Link sub) -> tree_lookup sub key (off + slice_bytes)
+  | Some (Child _ | Empty) -> assert false
+
+let lookup t key = tree_lookup t.top key 0
+
+(* --- write-path helpers (caller holds n.lock) ---------------------------------------- *)
+
+(* Condition #3 helper: replay step 2 of an interrupted split by dropping
+   out-of-bound ranks from the permutation (one atomic commit). *)
+let fix_node t n =
+  match bound n with
+  | None -> ()
+  | Some b ->
+      let p = perm n in
+      let c = pcount p in
+      let rec first_out r =
+        if r >= c then c
+        else if W.get n.keys (pslot p r) >= b then r
+        else first_out (r + 1)
+      in
+      let cut = first_out 0 in
+      if cut < c then begin
+        P.commit n.header 0 (ptruncate p cut);
+        Atomic.incr t.fixes
+      end
+
+let rec lock_covering n s =
+  Lock.lock n.lock;
+  match R.get n.sibling 0 with
+  | Some sib when (not sib.has_min) || s >= sib.min_key ->
+      Lock.unlock n.lock;
+      lock_covering sib s
+  | Some _ | None -> n
+
+(* Append (s, e) into a fresh slot and commit via the permutation word.
+   Caller holds the lock; node must have a free slot and no duplicate. *)
+let append_entry n s e =
+  let slot = nalloc n in
+  assert (slot < fanout);
+  P.store n.keys slot s;
+  P.store_ref n.entries slot e;
+  W.clwb n.keys slot;
+  R.clwb n.entries slot;
+  Pmem.sfence ();
+  Pmem.Crash.point ();
+  (* Slot-allocation bump shares the header line with the permutation: one
+     flush covers both; a crash between leaks the slot harmlessly. *)
+  let p = perm n in
+  let c = pcount p in
+  let rec rank r =
+    if r >= c then r
+    else if W.get n.keys (pslot p r) > s then r
+    else rank (r + 1)
+  in
+  P.store n.header 1 (slot + 1);
+  P.commit n.header 0 (pinsert p (rank 0) slot)
+
+(* --- splits (the two-step atomic SMO) -------------------------------------------------- *)
+
+(* Split [n] (lock held, all 14 slots allocated).  Returns the separator
+   and sibling for the parent update, or None for a migration split. *)
+let split_node t n =
+  fix_node t n;
+  let p = perm n in
+  let live = pcount p in
+  if live >= 2 then begin
+    let mid = live / 2 in
+    let sep = W.get n.keys (pslot p mid) in
+    let sib =
+      make_node ~leaf:n.leaf ~level:n.level ~has_min:true ~min_key:sep
+    in
+    let first_copied = if n.leaf then mid else mid + 1 in
+    if not n.leaf then R.set sib.leftmost 0 (R.get n.entries (pslot p mid));
+    let j = ref 0 in
+    for r = first_copied to live - 1 do
+      let slot = pslot p r in
+      W.set sib.keys !j (W.get n.keys slot);
+      R.set sib.entries !j (R.get n.entries slot);
+      incr j
+    done;
+    let sp = ref !j in
+    for r = 0 to !j - 1 do
+      sp := !sp lor (r lsl (4 + (4 * r)))
+    done;
+    W.set sib.header 0 !sp;
+    W.set sib.header 1 !j;
+    R.set sib.sibling 0 (R.get n.sibling 0);
+    persist_node sib;
+    Pmem.Crash.point ();
+    (* Step 1: atomically link the sibling. *)
+    P.commit_ref n.sibling 0 (Some sib);
+    Pmem.Crash.point ();
+    (* Step 2: atomically shrink the permutation. *)
+    P.commit n.header 0 (ptruncate p mid);
+    Some (sep, sib)
+  end
+  else begin
+    (* Migration split: slots exhausted by dead entries — move everything
+       live into a fresh sibling covering the same range; the old node
+       becomes a pure hop (all searches move right past it). *)
+    let sib =
+      make_node ~leaf:n.leaf ~level:n.level ~has_min:n.has_min
+        ~min_key:n.min_key
+    in
+    if not n.leaf then R.set sib.leftmost 0 (R.get n.leftmost 0);
+    let j = ref 0 in
+    for r = 0 to live - 1 do
+      let slot = pslot p r in
+      W.set sib.keys !j (W.get n.keys slot);
+      R.set sib.entries !j (R.get n.entries slot);
+      incr j
+    done;
+    let sp = ref !j in
+    for r = 0 to !j - 1 do
+      sp := !sp lor (r lsl (4 + (4 * r)))
+    done;
+    W.set sib.header 0 !sp;
+    W.set sib.header 1 !j;
+    R.set sib.sibling 0 (R.get n.sibling 0);
+    persist_node sib;
+    Pmem.Crash.point ();
+    P.commit_ref n.sibling 0 (Some sib);
+    Pmem.Crash.point ();
+    P.commit n.header 0 0;
+    None
+  end
+
+(* --- inserts --------------------------------------------------------------------------- *)
+
+(* Build a fresh layer holding two distinct (suffix, value) bindings. *)
+let rec build_layer a va b vb =
+  let tr = new_tree () in
+  let root = R.get tr.troot 0 in
+  let sa = slice_of a 0 and sb = slice_of b 0 in
+  if sa <> sb then begin
+    let lo_s, lo, hi_s, hi =
+      if sa < sb then (sa, Val (suffix a 0, va), sb, Val (suffix b 0, vb))
+      else (sb, Val (suffix b 0, vb), sa, Val (suffix a 0, va))
+    in
+    W.set root.keys 0 lo_s;
+    R.set root.entries 0 lo;
+    W.set root.keys 1 hi_s;
+    R.set root.entries 1 hi;
+    W.set root.header 1 2;
+    W.set root.header 0 (2 lor (0 lsl 4) lor (1 lsl 8))
+  end
+  else begin
+    (* Both continue with the same full slice: nest one level deeper. *)
+    let sub = build_layer (suffix a 0) va (suffix b 0) vb in
+    W.set root.keys 0 sa;
+    R.set root.entries 0 (Link sub);
+    W.set root.header 1 1;
+    W.set root.header 0 1
+  end;
+  persist_node root;
+  tr
+
+(* Insert a separator into the internal nodes of layer [tr] after a split. *)
+let rec parent_insert t tr n sep sib =
+  if R.get tr.troot 0 == n then begin
+    (* Root split: grow the layer tree. *)
+    let nr =
+      make_node ~leaf:false ~level:(n.level + 1) ~has_min:false ~min_key:0
+    in
+    R.set nr.leftmost 0 (Child n);
+    W.set nr.keys 0 sep;
+    R.set nr.entries 0 (Child sib);
+    W.set nr.header 1 1;
+    W.set nr.header 0 1;
+    persist_node nr;
+    Pmem.Crash.point ();
+    ignore (P.commit_cas_ref tr.troot 0 ~expected:n ~desired:nr);
+    Lock.unlock n.lock
+  end
+  else begin
+    let r = R.get tr.troot 0 in
+    if r.level <= n.level then begin
+      (* Degraded top (a root split's new root was lost to a crash): grow a
+         fresh root over the current root chain. *)
+      let nr =
+        make_node ~leaf:false ~level:(n.level + 1) ~has_min:false ~min_key:0
+      in
+      R.set nr.leftmost 0 (Child r);
+      W.set nr.keys 0 sep;
+      R.set nr.entries 0 (Child sib);
+      W.set nr.header 1 1;
+      W.set nr.header 0 1;
+      persist_node nr;
+      Pmem.Crash.point ();
+      let swapped = P.commit_cas_ref tr.troot 0 ~expected:r ~desired:nr in
+      Lock.unlock n.lock;
+      if not swapped then internal_insert t tr sep (Child sib) (n.level + 1)
+    end
+    else begin
+      Lock.unlock n.lock;
+      internal_insert t tr sep (Child sib) (n.level + 1)
+    end
+  end
+
+(* Insert (s, e) into the internal node covering [s] at [level]. *)
+and internal_insert t tr s e level =
+  let n = descend_to tr s level in
+  let n = lock_covering n s in
+  fix_node t n;
+  if nalloc n = fanout then begin
+    (match split_node t n with
+    | Some (sep, sib) -> parent_insert t tr n sep sib
+    | None -> Lock.unlock n.lock);
+    internal_insert t tr s e level
+  end
+  else begin
+    append_entry n s e;
+    Lock.unlock n.lock
+  end
+
+(* Insert into layer [tr] (the border-node Condition #1 commit, layer
+   creation, or recursion into a deeper layer). *)
+let rec tree_insert t tr key value off =
+  let s = slice_of key off in
+  let rest = suffix key off in
+  let n = descend_to tr s 0 in
+  let n = lock_covering n s in
+  fix_node t n;
+  match find_rank n (perm n) s with
+  | Some slot -> (
+      match R.get n.entries slot with
+      | Val (sfx2, v2) ->
+          if String.equal sfx2 rest then begin
+            Lock.unlock n.lock;
+            false
+          end
+          else begin
+            (* Two keys share a full slice: materialize the next layer and
+               commit it with one atomic entry swap. *)
+            let sub = build_layer sfx2 v2 rest value in
+            Pmem.Crash.point ();
+            P.commit_ref n.entries slot (Link sub);
+            Lock.unlock n.lock;
+            true
+          end
+      | Link sub ->
+          Lock.unlock n.lock;
+          tree_insert t sub key value (off + slice_bytes)
+      | Empty | Child _ -> assert false)
+  | None ->
+      if nalloc n < fanout then begin
+        append_entry n s (Val (rest, value));
+        Lock.unlock n.lock;
+        true
+      end
+      else begin
+        (match split_node t n with
+        | Some (sep, sib) -> parent_insert t tr n sep sib
+        | None -> Lock.unlock n.lock);
+        tree_insert t tr key value off
+      end
+
+let insert t key value = tree_insert t t.top key value 0
+
+(* In-place update: swap the slot's entry for a fresh [Val] — one atomic
+   pointer store (Condition #1).  Under the node lock, because the same
+   slot's Val -> Link layer-creation transition is also a plain store. *)
+let rec tree_update t tr key value off =
+  let s = slice_of key off in
+  let n = descend_to tr s 0 in
+  let n = lock_covering n s in
+  fix_node t n;
+  match find_rank n (perm n) s with
+  | None ->
+      Lock.unlock n.lock;
+      false
+  | Some slot -> (
+      match R.get n.entries slot with
+      | Val (sfx, _) ->
+          let r =
+            if String.equal sfx (suffix key off) then begin
+              P.commit_ref n.entries slot (Val (sfx, value));
+              true
+            end
+            else false
+          in
+          Lock.unlock n.lock;
+          r
+      | Link sub ->
+          Lock.unlock n.lock;
+          tree_update t sub key value (off + slice_bytes)
+      | Empty | Child _ -> assert false)
+
+let update t key value = tree_update t t.top key value 0
+
+(* --- delete ------------------------------------------------------------------------------ *)
+
+let rec tree_delete t tr key off =
+  let s = slice_of key off in
+  let n = descend_to tr s 0 in
+  let n = lock_covering n s in
+  fix_node t n;
+  let p = perm n in
+  let c = pcount p in
+  let rec rank_of r =
+    if r >= c then None
+    else if W.get n.keys (pslot p r) = s then Some r
+    else if W.get n.keys (pslot p r) > s then None
+    else rank_of (r + 1)
+  in
+  match rank_of 0 with
+  | None ->
+      Lock.unlock n.lock;
+      false
+  | Some r -> (
+      match R.get n.entries (pslot p r) with
+      | Val (sfx, _) ->
+          if String.equal sfx (suffix key off) then begin
+            (* Deletion = one atomic permutation update (§6.5). *)
+            P.commit n.header 0 (premove p r);
+            Lock.unlock n.lock;
+            true
+          end
+          else begin
+            Lock.unlock n.lock;
+            false
+          end
+      | Link sub ->
+          Lock.unlock n.lock;
+          tree_delete t sub key (off + slice_bytes)
+      | Empty | Child _ -> assert false)
+
+let delete t key = tree_delete t t.top key 0
+
+(* --- ordered scans ------------------------------------------------------------------------ *)
+
+exception Scan_done
+
+let scan_fold t start nwant f =
+  let emitted = ref 0 in
+  let emit key v =
+    if !emitted >= nwant then raise Scan_done;
+    f key v;
+    incr emitted
+  in
+  (* [st]: the portion of the start key relevant inside this layer, or None
+     when the layer's accumulated prefix already exceeds the start key. *)
+  let rec layer tr acc st =
+    let s0 = match st with None -> -1 | Some st -> slice_of st 0 in
+    let leaf =
+      match st with
+      | None -> leftmost_leaf (R.get tr.troot 0)
+      | Some _ -> move_right (descend_to tr s0 0) s0
+    in
+    walk_leaf tr acc st s0 leaf
+  and leftmost_leaf n =
+    if n.leaf then n
+    else
+      leftmost_leaf
+        (match R.get n.leftmost 0 with
+        | Child m -> m
+        | Empty | Val _ | Link _ -> assert false)
+  and walk_leaf tr acc st s0 n =
+    let p = perm n in
+    let c = pcount p in
+    let b = match bound n with None -> max_int | Some b -> b in
+    for r = 0 to c - 1 do
+      let slot = pslot p r in
+      let k = W.get n.keys slot in
+      if k < b && k >= s0 then begin
+        let ks = slice_string k in
+        match R.get n.entries slot with
+        | Val (sfx, v) ->
+            let local = ks ^ sfx in
+            let keep =
+              match st with
+              | None -> true
+              | Some st -> k > s0 || String.compare local st >= 0
+            in
+            if keep then emit (acc ^ local) v
+        | Link sub ->
+            let st' =
+              match st with
+              | Some st when k = s0 && String.length st > slice_bytes ->
+                  Some (suffix st 0)
+              | Some st when k = s0 && String.length st <= slice_bytes ->
+                  (* start ends within this slice: whole sublayer >= start
+                     iff slice >= start prefix, which k >= s0 ensured *)
+                  None
+              | _ -> None
+            in
+            layer sub (acc ^ ks) st'
+        | Empty | Child _ -> assert false
+      end
+    done;
+    match R.get n.sibling 0 with
+    | Some sib -> walk_leaf tr acc st s0 sib
+    | None -> ()
+  in
+  (try layer t.top "" (Some start) with Scan_done -> ());
+  !emitted
+
+let scan t start nwant f = if nwant <= 0 then 0 else scan_fold t start nwant f
+
+let range t lo hi =
+  let acc = ref [] in
+  let exception Past_hi in
+  (try
+     ignore
+       (scan_fold t lo max_int (fun k v ->
+            if String.compare k hi >= 0 then raise Past_hi;
+            acc := (k, v) :: !acc))
+   with Past_hi -> ());
+  List.rev !acc
+
+(* --- recovery ------------------------------------------------------------------------------- *)
+
+let recover _t = Lock.new_epoch ()

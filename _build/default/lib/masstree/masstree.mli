@@ -1,0 +1,55 @@
+(** P-Masstree: persistent Masstree (paper §6.5; Mao et al., EuroSys '12).
+    RECIPE Conditions #1 (non-SMO) and #3 (SMO).
+
+    Masstree is a trie-like concatenation of B+ trees: each layer indexes
+    one fixed-size slice of the key (7 bytes here — the largest slice that
+    fits an OCaml integer word; the paper uses 8), and keys sharing a full
+    slice continue in a nested next-layer tree.  Short remainders are kept
+    inline as suffixes, so a layer is only materialized when two keys share
+    a full slice.
+
+    Node protocol: 14 unsorted key/entry slots plus one 8-byte
+    *permutation word* encoding the live count and sorted order.  Inserts
+    append to a fresh slot and commit by atomically rewriting the
+    permutation word (Condition #1); slots are never reused while a node is
+    live, so readers take one atomic permutation snapshot and never retry.
+
+    The SMO follows the paper's conversion: internal nodes are restructured
+    like border nodes (permutation + B-link sibling + immutable minimum
+    key), enabling a two-step atomic split — (1) persist and atomically
+    link the new sibling, (2) atomically shrink the old node's permutation.
+    Readers tolerate the intermediate state via the sibling bound; writers
+    detect it under a try-locked node and fix it by replaying step (2) —
+    the Condition #3 helper.
+
+    Keys are arbitrary byte strings; values are 8-byte integers. *)
+
+type t
+
+val name : string
+
+val create : unit -> t
+
+(** [insert t key value] — [false] if [key] is already present. *)
+val insert : t -> string -> int -> bool
+
+(** Retry-free, lock-free lookup. *)
+val lookup : t -> string -> int option
+
+(** [update t key value] replaces an existing key's value by atomically
+    swapping its entry slot; [false] if absent. *)
+val update : t -> string -> int -> bool
+
+val delete : t -> string -> bool
+
+(** [scan t key n f] — up to [n] bindings with keys >= [key], ascending. *)
+val scan : t -> string -> int -> (string -> int -> unit) -> int
+
+val range : t -> string -> string -> (string * int) list
+
+(** Post-crash recovery: re-initializes volatile locks only. *)
+val recover : t -> unit
+
+(** Number of split-replay helper invocations (tests: proves the
+    Condition #3 helper runs). *)
+val helper_fixes : t -> int

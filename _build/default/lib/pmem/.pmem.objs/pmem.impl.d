@@ -1,0 +1,1 @@
+lib/pmem/pmem.ml: Crash Latency Line_id Llc Mode Refs Stats Tracking Words

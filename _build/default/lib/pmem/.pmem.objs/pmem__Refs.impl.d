@@ -1,0 +1,1 @@
+lib/pmem/refs.ml: Array Atomic Latency Line_id Llc Mode Stats Tracking

@@ -1,0 +1,1 @@
+lib/pmem/tracking.ml: List Mutex

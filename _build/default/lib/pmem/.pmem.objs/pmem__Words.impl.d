@@ -1,0 +1,1 @@
+lib/pmem/words.ml: Array Atomic Latency Line_id Llc Mode Stats Tracking

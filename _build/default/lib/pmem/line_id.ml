@@ -1,0 +1,9 @@
+(* Allocator of simulated cache-line ids.  Every persistent object occupies a
+   contiguous run of line ids; the ids feed the LLC simulator as addresses. *)
+
+let counter = Atomic.make 0
+
+(** Reserve [n] consecutive line ids and return the first. *)
+let fresh n = Atomic.fetch_and_add counter n
+
+let allocated () = Atomic.get counter

@@ -1,0 +1,89 @@
+(* Last-level-cache simulator.
+
+   The paper explains throughput ordering between indexes with LLC misses per
+   operation measured by perf on a 32 MB LLC (Fig 4c/4d, Table 4).  We have no
+   hardware counters, so this module simulates a set-associative LLC over
+   simulated cache-line ids.  It is deliberately simple: one access stream,
+   true-LRU replacement, no prefetcher.  The counter experiments run
+   single-threaded, matching the paper's per-operation counter methodology,
+   so the simulator carries no synchronization of its own. *)
+
+type t = {
+  ways : int;
+  sets : int;
+  tags : int array; (* [sets * ways], -1 = invalid *)
+  stamps : int array; (* LRU stamps, parallel to [tags] *)
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let cache : t option ref = ref None
+let enabled = ref false
+
+(* Fibonacci hashing spreads the sequential line ids across sets. *)
+let mix id = (id * 0x1E3779B97F4A7C15) lsr 17
+
+let configure ?(capacity_bytes = 32 * 1024 * 1024) ?(ways = 16) () =
+  let lines = capacity_bytes / 64 in
+  let sets = max 1 (lines / ways) in
+  (* Round sets down to a power of two so set selection is a mask. *)
+  let rec pow2 n = if 2 * n > sets then n else pow2 (2 * n) in
+  let sets = pow2 1 in
+  cache :=
+    Some
+      {
+        ways;
+        sets;
+        tags = Array.make (sets * ways) (-1);
+        stamps = Array.make (sets * ways) 0;
+        clock = 0;
+        accesses = 0;
+        misses = 0;
+      }
+
+let set_enabled b =
+  if b && !cache = None then configure ();
+  enabled := b
+
+let is_enabled () = !enabled
+
+let access line_id =
+  match !cache with
+  | None -> ()
+  | Some c ->
+      let h = mix line_id in
+      let set = h land (c.sets - 1) in
+      let base = set * c.ways in
+      c.accesses <- c.accesses + 1;
+      c.clock <- c.clock + 1;
+      let rec find w =
+        if w >= c.ways then -1
+        else if c.tags.(base + w) = line_id then w
+        else find (w + 1)
+      in
+      let hit = find 0 in
+      if hit >= 0 then c.stamps.(base + hit) <- c.clock
+      else begin
+        c.misses <- c.misses + 1;
+        (* Evict the least recently used way. *)
+        let victim = ref 0 in
+        for w = 1 to c.ways - 1 do
+          if c.stamps.(base + w) < c.stamps.(base + !victim) then victim := w
+        done;
+        c.tags.(base + !victim) <- line_id;
+        c.stamps.(base + !victim) <- c.clock
+      end
+
+let misses () = match !cache with None -> 0 | Some c -> c.misses
+let accesses () = match !cache with None -> 0 | Some c -> c.accesses
+
+let reset () =
+  match !cache with
+  | None -> ()
+  | Some c ->
+      Array.fill c.tags 0 (Array.length c.tags) (-1);
+      Array.fill c.stamps 0 (Array.length c.stamps) 0;
+      c.clock <- 0;
+      c.accesses <- 0;
+      c.misses <- 0

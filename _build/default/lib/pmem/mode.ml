@@ -1,0 +1,21 @@
+(* Global mode switches for the simulated persistent memory.
+
+   [shadow] — when on, every persistent object maintains a second image
+   holding its last-flushed ("persisted") contents, and a simulated power
+   failure reverts all unflushed lines to that image.  Used by the crash and
+   durability tests; off for throughput benchmarks.
+
+   These are plain refs: modes are flipped only between experiment phases,
+   never concurrently with index operations. *)
+
+let shadow = ref false
+let shadow_enabled () = !shadow
+let set_shadow b = shadow := b
+
+(* [dram] — when on, clwb and sfence become free no-ops: the index runs as
+   its volatile DRAM ancestor.  Used by the conversion-overhead ablation
+   (the RECIPE thesis is that converted indexes inherit the DRAM index's
+   performance; this measures exactly what the conversion added). *)
+let dram = ref false
+let dram_enabled () = !dram
+let set_dram b = dram := b

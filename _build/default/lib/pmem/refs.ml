@@ -1,0 +1,144 @@
+(* A persistent array of pointer-sized slots.
+
+   On real persistent memory these would be 8-byte pointers living next to
+   the word fields of a node; here each slot holds an arbitrary OCaml value
+   but participates in exactly the same cache-line / dirty / flush / shadow
+   machinery as {!Words}.  Child-pointer arrays, sibling pointers, mapping
+   tables and directory entries are all built from this.
+
+   Storage is chunked like {!Words} (see the note there). *)
+
+let slots_per_line = 8
+let chunk_bits = 7
+let chunk_size = 1 lsl chunk_bits
+
+type 'a shadow_state = {
+  image : 'a array;
+  dirty : bool Atomic.t array;
+  registered : bool Atomic.t;
+}
+
+type 'a t = {
+  name : string;
+  base_line : int;
+  len : int;
+  data : 'a Atomic.t array array;
+  shadow : 'a shadow_state option;
+}
+
+let line_of_index i = i lsr 3
+let n_lines len = (len + slots_per_line - 1) / slots_per_line
+let length t = t.len
+
+let cell t i =
+  Array.unsafe_get (Array.unsafe_get t.data (i lsr chunk_bits)) (i land (chunk_size - 1))
+
+let rec register t sh =
+  if Atomic.compare_and_set sh.registered false true then
+    Tracking.register
+      {
+        Tracking.name = t.name;
+        is_dirty = (fun () -> Array.exists Atomic.get sh.dirty);
+        revert = (fun () -> revert t sh);
+        persist = (fun () -> persist t sh);
+        unregister = (fun () -> Atomic.set sh.registered false);
+      }
+
+and revert t sh =
+  Array.iteri
+    (fun l d ->
+      if Atomic.get d then begin
+        let lo = l * slots_per_line in
+        let hi = min t.len (lo + slots_per_line) in
+        for i = lo to hi - 1 do
+          Atomic.set (cell t i) sh.image.(i)
+        done;
+        Atomic.set d false
+      end)
+    sh.dirty
+
+and persist t sh =
+  Array.iteri
+    (fun l d ->
+      if Atomic.get d then begin
+        let lo = l * slots_per_line in
+        let hi = min t.len (lo + slots_per_line) in
+        for i = lo to hi - 1 do
+          sh.image.(i) <- Atomic.get (cell t i)
+        done;
+        Atomic.set d false
+      end)
+    sh.dirty
+
+let mark_dirty t line =
+  match t.shadow with
+  | None -> ()
+  | Some sh ->
+      if not (Atomic.get sh.dirty.(line)) then Atomic.set sh.dirty.(line) true;
+      if not (Atomic.get sh.registered) then register t sh
+
+let make ?(name = "refs") len init =
+  if len <= 0 then invalid_arg "Refs.make: length must be positive";
+  let n_chunks = (len + chunk_size - 1) / chunk_size in
+  let data =
+    Array.init n_chunks (fun c ->
+        let sz = min chunk_size (len - (c * chunk_size)) in
+        Array.init sz (fun _ -> Atomic.make init))
+  in
+  let lines = n_lines len in
+  let shadow =
+    if Mode.shadow_enabled () then
+      Some
+        {
+          image = Array.make len init;
+          dirty = Array.init lines (fun _ -> Atomic.make true);
+          registered = Atomic.make false;
+        }
+    else None
+  in
+  let t = { name; base_line = Line_id.fresh lines; len; data; shadow } in
+  Stats.add_allocation ~lines ~words:len;
+  (match t.shadow with Some sh -> register t sh | None -> ());
+  t
+
+let touch_llc t i = if !Llc.enabled then Llc.access (t.base_line + line_of_index i)
+
+let get t i =
+  touch_llc t i;
+  Atomic.get (cell t i)
+
+let set t i v =
+  touch_llc t i;
+  Atomic.set (cell t i) v;
+  if t.shadow <> None then mark_dirty t (line_of_index i)
+
+(* Physical-equality CAS: slots hold pointers, and pointer identity is what a
+   hardware CAS on an 8-byte pointer compares. *)
+let cas t i ~expected ~desired =
+  touch_llc t i;
+  let ok = Atomic.compare_and_set (cell t i) expected desired in
+  if ok then (match t.shadow with Some _ -> mark_dirty t (line_of_index i) | None -> ());
+  ok
+
+(** Flush the cache line containing slot [i]. *)
+let clwb t i =
+  if !Mode.dram then ()
+  else begin
+  Stats.incr_clwb ();
+  Latency.on_flush ();
+  match t.shadow with
+  | None -> ()
+  | Some sh ->
+      let l = line_of_index i in
+      let lo = l * slots_per_line in
+      let hi = min t.len (lo + slots_per_line) in
+      for j = lo to hi - 1 do
+        sh.image.(j) <- Atomic.get (cell t j)
+      done;
+      Atomic.set sh.dirty.(l) false
+  end
+
+let clwb_all t =
+  for l = 0 to n_lines t.len - 1 do
+    clwb t (l * slots_per_line)
+  done

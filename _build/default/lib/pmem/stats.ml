@@ -1,0 +1,78 @@
+(* Global instruction and allocation counters for the simulated persistent
+   memory.  The paper (Fig 4c/4d, Table 4) reports clwb and mfence counts per
+   operation; these counters are the source of those numbers.  Counters are
+   plain atomics: the counter experiments run single-threaded (as the paper's
+   per-operation methodology does), and in multi-threaded throughput runs the
+   counts are not reported, so contention is irrelevant. *)
+
+type t = {
+  clwb : int Atomic.t;
+  sfence : int Atomic.t;
+  lines_allocated : int Atomic.t;
+  words_allocated : int Atomic.t;
+  crash_points : int Atomic.t;
+  crashes : int Atomic.t;
+}
+
+let global =
+  {
+    clwb = Atomic.make 0;
+    sfence = Atomic.make 0;
+    lines_allocated = Atomic.make 0;
+    words_allocated = Atomic.make 0;
+    crash_points = Atomic.make 0;
+    crashes = Atomic.make 0;
+  }
+
+let incr_clwb () = Atomic.incr global.clwb
+let incr_sfence () = Atomic.incr global.sfence
+let incr_crash_points () = Atomic.incr global.crash_points
+let incr_crashes () = Atomic.incr global.crashes
+
+let add_allocation ~lines ~words =
+  ignore (Atomic.fetch_and_add global.lines_allocated lines);
+  ignore (Atomic.fetch_and_add global.words_allocated words)
+
+(** Immutable view of the counters at one instant. *)
+type snapshot = {
+  s_clwb : int;
+  s_sfence : int;
+  s_lines_allocated : int;
+  s_words_allocated : int;
+  s_crash_points : int;
+  s_crashes : int;
+}
+
+let snapshot () =
+  {
+    s_clwb = Atomic.get global.clwb;
+    s_sfence = Atomic.get global.sfence;
+    s_lines_allocated = Atomic.get global.lines_allocated;
+    s_words_allocated = Atomic.get global.words_allocated;
+    s_crash_points = Atomic.get global.crash_points;
+    s_crashes = Atomic.get global.crashes;
+  }
+
+(** [diff later earlier] gives counts accumulated between two snapshots. *)
+let diff a b =
+  {
+    s_clwb = a.s_clwb - b.s_clwb;
+    s_sfence = a.s_sfence - b.s_sfence;
+    s_lines_allocated = a.s_lines_allocated - b.s_lines_allocated;
+    s_words_allocated = a.s_words_allocated - b.s_words_allocated;
+    s_crash_points = a.s_crash_points - b.s_crash_points;
+    s_crashes = a.s_crashes - b.s_crashes;
+  }
+
+let reset () =
+  Atomic.set global.clwb 0;
+  Atomic.set global.sfence 0;
+  Atomic.set global.lines_allocated 0;
+  Atomic.set global.words_allocated 0;
+  Atomic.set global.crash_points 0;
+  Atomic.set global.crashes 0
+
+let pp ppf s =
+  Fmt.pf ppf "clwb=%d sfence=%d lines=%d words=%d crash_points=%d crashes=%d"
+    s.s_clwb s.s_sfence s.s_lines_allocated s.s_words_allocated s.s_crash_points
+    s.s_crashes

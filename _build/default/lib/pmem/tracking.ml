@@ -1,0 +1,70 @@
+(* Registry of persistent objects that have unflushed (dirty) lines.
+
+   In shadow mode, the first store that dirties an object registers it here.
+   The registry supports the two checks of paper §5:
+
+   - durability: after an operation completes (including its trailing flushes
+     and fences), no line may remain dirty — [dirty_objects] must be empty;
+   - crash simulation: a power failure reverts every dirty line of every
+     registered object to its persisted image ([revert_all]).
+
+   Registration is protected by a mutex; it happens at most once per object
+   per epoch (guarded by the object's own [registered] flag), so the mutex is
+   uncontended in steady state. *)
+
+type entry = {
+  name : string;
+  is_dirty : unit -> bool;
+  revert : unit -> unit; (* restore persisted image on dirty lines *)
+  persist : unit -> unit; (* flush all dirty lines *)
+  unregister : unit -> unit; (* clear the object's [registered] flag *)
+}
+
+let mutex = Mutex.create ()
+let entries : entry list ref = ref []
+
+let register e =
+  Mutex.lock mutex;
+  entries := e :: !entries;
+  Mutex.unlock mutex
+
+let take_all () =
+  Mutex.lock mutex;
+  let es = !entries in
+  entries := [];
+  Mutex.unlock mutex;
+  es
+
+let snapshot_entries () =
+  Mutex.lock mutex;
+  let es = !entries in
+  Mutex.unlock mutex;
+  es
+
+(** Names of objects that still have at least one dirty line. *)
+let dirty_objects () =
+  List.filter_map
+    (fun e -> if e.is_dirty () then Some e.name else None)
+    (snapshot_entries ())
+
+let dirty_count () = List.length (dirty_objects ())
+
+(** Simulated power failure: every unflushed line loses its cached contents
+    and reverts to the last-flushed image. *)
+let revert_all () =
+  let es = take_all () in
+  List.iter
+    (fun e ->
+      e.revert ();
+      e.unregister ())
+    es
+
+(** Flush everything that is dirty (e.g. a clean checkpoint between test
+    iterations). *)
+let persist_all () =
+  let es = take_all () in
+  List.iter
+    (fun e ->
+      e.persist ();
+      e.unregister ())
+    es

@@ -1,0 +1,166 @@
+(* A persistent array of 8-byte words.
+
+   This is the building block for everything an index stores in simulated
+   persistent memory: keys, values, lock words, permutation words, headers.
+   Words are grouped 8 to a simulated 64-byte cache line, so [clwb] flushes
+   (and the flush counters count) at the same granularity as the machine the
+   paper ran on.
+
+   Semantics per mode:
+   - fast mode: [set]/[cas] are plain atomics, [clwb] only counts;
+   - shadow mode: the object additionally keeps the last-flushed image of
+     every line.  A store marks its line dirty; [clwb] copies the cached
+     contents into the image; a simulated power failure reverts every dirty
+     line to the image.  A freshly allocated object starts with all lines
+     dirty — allocation stores are not persistent until flushed, which is
+     how the paper's durability test caught the unflushed root allocations
+     in FAST & FAIR and CCEH (§7.5).
+
+   The shadow image and dirty flags exist only for objects created while
+   shadow mode is enabled (enable it before constructing the index under
+   test); throughput runs pay nothing for them.
+
+   Implementation note: the atomic cells are stored in chunks of 128 so no
+   allocation exceeds the OCaml minor-heap large-object threshold — filling
+   a major-heap array with young boxes serializes multi-domain runs on the
+   remembered set, a two-orders-of-magnitude pathology on this runtime. *)
+
+let words_per_line = 8
+let chunk_bits = 7
+let chunk_size = 1 lsl chunk_bits (* 128 *)
+
+type shadow_state = {
+  image : int array; (* last-flushed contents *)
+  dirty : bool Atomic.t array; (* one flag per line *)
+  registered : bool Atomic.t;
+}
+
+type t = {
+  name : string;
+  base_line : int;
+  len : int;
+  data : int Atomic.t array array; (* chunks of <= 128 cells *)
+  shadow : shadow_state option;
+}
+
+let line_of_index i = i lsr 3
+let n_lines len = (len + words_per_line - 1) / words_per_line
+let length t = t.len
+
+let cell t i = Array.unsafe_get (Array.unsafe_get t.data (i lsr chunk_bits)) (i land (chunk_size - 1))
+
+let rec register t sh =
+  if Atomic.compare_and_set sh.registered false true then
+    Tracking.register
+      {
+        Tracking.name = t.name;
+        is_dirty = (fun () -> Array.exists Atomic.get sh.dirty);
+        revert = (fun () -> revert t sh);
+        persist = (fun () -> persist t sh);
+        unregister = (fun () -> Atomic.set sh.registered false);
+      }
+
+and revert t sh =
+  Array.iteri
+    (fun l d ->
+      if Atomic.get d then begin
+        let lo = l * words_per_line in
+        let hi = min t.len (lo + words_per_line) in
+        for i = lo to hi - 1 do
+          Atomic.set (cell t i) sh.image.(i)
+        done;
+        Atomic.set d false
+      end)
+    sh.dirty
+
+and persist t sh =
+  Array.iteri
+    (fun l d ->
+      if Atomic.get d then begin
+        let lo = l * words_per_line in
+        let hi = min t.len (lo + words_per_line) in
+        for i = lo to hi - 1 do
+          sh.image.(i) <- Atomic.get (cell t i)
+        done;
+        Atomic.set d false
+      end)
+    sh.dirty
+
+let mark_dirty t line =
+  match t.shadow with
+  | None -> ()
+  | Some sh ->
+      if not (Atomic.get sh.dirty.(line)) then Atomic.set sh.dirty.(line) true;
+      if not (Atomic.get sh.registered) then register t sh
+
+let make ?(name = "words") len init =
+  if len <= 0 then invalid_arg "Words.make: length must be positive";
+  let n_chunks = (len + chunk_size - 1) / chunk_size in
+  let data =
+    Array.init n_chunks (fun c ->
+        let sz = min chunk_size (len - (c * chunk_size)) in
+        Array.init sz (fun _ -> Atomic.make init))
+  in
+  let lines = n_lines len in
+  let shadow =
+    if Mode.shadow_enabled () then
+      Some
+        {
+          image = Array.make len init;
+          dirty = Array.init lines (fun _ -> Atomic.make true);
+          registered = Atomic.make false;
+        }
+    else None
+  in
+  let t = { name; base_line = Line_id.fresh lines; len; data; shadow } in
+  Stats.add_allocation ~lines ~words:len;
+  (* Allocation stores are in-cache only until explicitly flushed. *)
+  (match t.shadow with Some sh -> register t sh | None -> ());
+  t
+
+let touch_llc t i = if !Llc.enabled then Llc.access (t.base_line + line_of_index i)
+
+let get t i =
+  touch_llc t i;
+  Atomic.get (cell t i)
+
+let set t i v =
+  touch_llc t i;
+  Atomic.set (cell t i) v;
+  if t.shadow <> None then mark_dirty t (line_of_index i)
+
+let cas t i ~expected ~desired =
+  touch_llc t i;
+  let ok = Atomic.compare_and_set (cell t i) expected desired in
+  if ok then (match t.shadow with Some _ -> mark_dirty t (line_of_index i) | None -> ());
+  ok
+
+let fetch_add t i delta =
+  touch_llc t i;
+  let v = Atomic.fetch_and_add (cell t i) delta in
+  (match t.shadow with Some _ -> mark_dirty t (line_of_index i) | None -> ());
+  v
+
+(** Flush the cache line containing word [i]. *)
+let clwb t i =
+  if !Mode.dram then ()
+  else begin
+  Stats.incr_clwb ();
+  Latency.on_flush ();
+  match t.shadow with
+  | None -> ()
+  | Some sh ->
+      let l = line_of_index i in
+      let lo = l * words_per_line in
+      let hi = min t.len (lo + words_per_line) in
+      for j = lo to hi - 1 do
+        sh.image.(j) <- Atomic.get (cell t j)
+      done;
+      Atomic.set sh.dirty.(l) false
+  end
+
+(** Flush every line of the object (e.g. right after allocation). *)
+let clwb_all t =
+  for l = 0 to n_lines t.len - 1 do
+    clwb t (l * words_per_line)
+  done

@@ -1,0 +1,1 @@
+lib/recipe/condition.ml: Fmt List String

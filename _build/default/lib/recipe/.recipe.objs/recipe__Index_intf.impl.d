@@ -1,0 +1,1 @@
+lib/recipe/index_intf.ml:

@@ -1,0 +1,1 @@
+lib/recipe/persist.ml: Pmem

@@ -1,0 +1,1 @@
+lib/recipe/wordkey.ml: Array Atomic Mutex Pmem String Util

@@ -1,0 +1,116 @@
+(* The RECIPE taxonomy (paper §4).
+
+   Each convertible DRAM index satisfies one of three conditions, and each
+   condition comes with a conversion action.  This module captures the
+   taxonomy as data: the per-index rows of Table 1 (conversion effort) and
+   Table 2 (synchronization properties and per-operation-class condition),
+   used by the [taxonomy] experiment and cross-checked by tests against the
+   actual implementations. *)
+
+type t =
+  | C1  (** Updates visible via a single hardware-atomic store.  Action:
+            flush + fence after each store (loads too for non-blocking
+            writers). *)
+  | C2  (** Non-blocking reads and writes; writers fix inconsistencies via a
+            helping mechanism.  Action: flush + fence after each store and
+            after loads participating in helping. *)
+  | C3  (** Blocking writers that detect but do not fix inconsistencies.
+            Action: add permanent-inconsistency detection (try-lock) and a
+            helper built from the write path, then flush + fence stores. *)
+
+let to_string = function C1 -> "#1" | C2 -> "#2" | C3 -> "#3"
+
+type sync = Blocking | Non_blocking
+
+let sync_to_string = function
+  | Blocking -> "blocking"
+  | Non_blocking -> "non-blocking"
+
+(** One row of Tables 1 and 2. *)
+type entry = {
+  name : string;  (** DRAM index name *)
+  pm_name : string;  (** converted index name *)
+  structure : string;
+  reader : sync;
+  writer : sync;
+  non_smo : t;  (** condition satisfied by inserts/deletes *)
+  smo : t;  (** condition satisfied by structural modifications *)
+  paper_orig_loc : int;  (** Table 1 "Orig" (whole codebase) *)
+  paper_core_loc : int;  (** Table 1 "Core" *)
+  paper_modified_loc : int;  (** Table 1 "Modified" *)
+}
+
+(** Table 1 + Table 2 of the paper, verbatim. *)
+let converted : entry list =
+  [
+    {
+      name = "CLHT";
+      pm_name = "P-CLHT";
+      structure = "Hash Table";
+      reader = Non_blocking;
+      writer = Blocking;
+      non_smo = C1;
+      smo = C1;
+      paper_orig_loc = 12_600;
+      paper_core_loc = 2_800;
+      paper_modified_loc = 30;
+    };
+    {
+      name = "HOT";
+      pm_name = "P-HOT";
+      structure = "Trie";
+      reader = Non_blocking;
+      writer = Blocking;
+      non_smo = C1;
+      smo = C1;
+      paper_orig_loc = 36_000;
+      paper_core_loc = 2_000;
+      paper_modified_loc = 38;
+    };
+    {
+      name = "BwTree";
+      pm_name = "P-BwTree";
+      structure = "B+ Tree";
+      reader = Non_blocking;
+      writer = Non_blocking;
+      non_smo = C1;
+      smo = C2;
+      paper_orig_loc = 13_000;
+      paper_core_loc = 5_200;
+      paper_modified_loc = 85;
+    };
+    {
+      name = "ART";
+      pm_name = "P-ART";
+      structure = "Radix Tree";
+      reader = Non_blocking;
+      writer = Blocking;
+      non_smo = C1;
+      smo = C3;
+      paper_orig_loc = 4_500;
+      paper_core_loc = 1_500;
+      paper_modified_loc = 52;
+    };
+    {
+      name = "Masstree";
+      pm_name = "P-Masstree";
+      structure = "B+ Tree & Trie";
+      reader = Non_blocking;
+      writer = Blocking;
+      non_smo = C1;
+      smo = C3;
+      paper_orig_loc = 25_000;
+      paper_core_loc = 2_200;
+      paper_modified_loc = 200;
+    };
+  ]
+
+let find name =
+  List.find_opt
+    (fun e -> String.equal e.name name || String.equal e.pm_name name)
+    converted
+
+let pp_entry ppf e =
+  Fmt.pf ppf "%-9s %-15s reader=%-12s writer=%-12s non-SMO=%s SMO=%s %d LOC"
+    e.name e.structure (sync_to_string e.reader) (sync_to_string e.writer)
+    (to_string e.non_smo) (to_string e.smo) e.paper_modified_loc

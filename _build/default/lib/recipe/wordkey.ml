@@ -1,0 +1,92 @@
+(* Keys represented as single 8-byte words inside B+-tree nodes.
+
+   FAST & FAIR (and BwTree) store keys as one word per slot.  The paper runs
+   them in two modes (§7):
+
+   - randint: the word *is* the 8-byte integer key;
+   - string: "we implement string type support for FAST & FAIR by replacing
+     integer key entries with pointers to the address of the actual string
+     key" — the word is a handle into a persistent string pool, and every
+     comparison dereferences it (the pointer chase that costs B+ trees 8x
+     more LLC misses in Fig 4d).
+
+   Probes arrive as byte strings (the common ordered-index key type); integer
+   mode expects the 8-byte big-endian encoding of {!Util.Keys.encode_int}. *)
+
+type t = {
+  kind : string;
+  intern : string -> int;
+      (** Turn a key into its in-node word; string mode appends to the
+          persistent pool (with flush). *)
+  compare_probe : string -> int -> int;
+      (** Compare a probe key against an in-node word. *)
+  compare_words : int -> int -> int;
+      (** Compare two in-node words (dereferencing in string mode). *)
+  to_key : int -> string;  (** Recover the key bytes from an in-node word. *)
+}
+
+(** Integer keys: word = key, comparisons are plain integer compares. *)
+let int_space () =
+  {
+    kind = "int";
+    intern = Util.Keys.decode_int;
+    compare_probe = (fun probe w -> compare (Util.Keys.decode_int probe) w);
+    compare_words = compare;
+    to_key = Util.Keys.encode_int;
+  }
+
+(* Persistent string pool: fixed segment directory, lock-free append via a
+   fetch-and-add cursor.  Each dereference goes through the segment's cache
+   lines, charging the LLC simulator for the pointer chase. *)
+let pool_segment_size = 4096
+let pool_max_segments = 16384
+
+type pool = {
+  segments : string Pmem.Refs.t option Atomic.t array;
+  cursor : int Atomic.t;
+  grow : Mutex.t;
+}
+
+let make_pool () =
+  {
+    segments = Array.init pool_max_segments (fun _ -> Atomic.make None);
+    cursor = Atomic.make 0;
+    grow = Mutex.create ();
+  }
+
+let rec pool_segment p s =
+  match Atomic.get p.segments.(s) with
+  | Some seg -> seg
+  | None ->
+      Mutex.lock p.grow;
+      if Atomic.get p.segments.(s) = None then
+        Atomic.set p.segments.(s)
+          (Some (Pmem.Refs.make ~name:"wordkey.pool" pool_segment_size ""));
+      Mutex.unlock p.grow;
+      pool_segment p s
+
+let pool_add p key =
+  let idx = Atomic.fetch_and_add p.cursor 1 in
+  let seg = pool_segment p (idx / pool_segment_size) in
+  let off = idx mod pool_segment_size in
+  Pmem.Refs.set seg off key;
+  Pmem.Refs.clwb seg off;
+  Pmem.sfence ();
+  idx
+
+let pool_get p idx =
+  let seg = pool_segment p (idx / pool_segment_size) in
+  Pmem.Refs.get seg (idx mod pool_segment_size)
+
+(** String keys behind pointers: word = pool handle; every comparison
+    dereferences the pool (an extra simulated-cache-line access) and then
+    compares byte strings. *)
+let string_space () =
+  let p = make_pool () in
+  {
+    kind = "string";
+    intern = (fun key -> pool_add p key);
+    compare_probe = (fun probe w -> String.compare probe (pool_get p w));
+    compare_words = (fun a b -> String.compare (pool_get p a) (pool_get p b));
+    to_key = (fun w -> pool_get p w);
+  }

@@ -1,0 +1,1 @@
+lib/util/keys.ml: Bytes Char Int64 Printf String

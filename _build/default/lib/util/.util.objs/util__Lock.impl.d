@@ -1,0 +1,1 @@
+lib/util/lock.ml: Atomic Domain Float Unix

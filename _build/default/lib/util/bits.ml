@@ -1,0 +1,30 @@
+(* Small bit-twiddling helpers used across the index implementations. *)
+
+(** Number of leading zero bits of a positive 63-bit int (result counts from
+    bit 62 downwards; [count_leading_zeros 1 = 62]). *)
+let count_leading_zeros n =
+  if n <= 0 then invalid_arg "Bits.count_leading_zeros: need positive";
+  let rec go n acc =
+    if n land 0x4000000000000000 <> 0 then acc else go (n lsl 1) (acc + 1)
+  in
+  go n 0
+
+(** Index (from the most significant end, 0-based) of the highest bit where
+    [a] and [b] differ, for 8-byte big-endian semantics over 64-bit values
+    packed in an int.  Raises if equal. *)
+let highest_differing_bit a b =
+  let x = a lxor b in
+  if x = 0 then invalid_arg "Bits.highest_differing_bit: equal";
+  count_leading_zeros x
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+(** Smallest power of two >= n. *)
+let next_power_of_two n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+(** Population count. *)
+let popcount n =
+  let rec go n acc = if n = 0 then acc else go (n lsr 1) (acc + (n land 1)) in
+  go n 0

@@ -1,0 +1,50 @@
+(* Log-scale latency histogram (nanosecond samples, ~4% resolution).  Used by
+   the benchmark harness for per-operation latency percentiles alongside the
+   throughput numbers the paper reports. *)
+
+type t = { buckets : int array; mutable count : int; mutable sum : float }
+
+(* 16 sub-buckets per power of two up to 2^48 ns. *)
+let sub = 16
+let n_buckets = 48 * sub
+
+let create () = { buckets = Array.make n_buckets 0; count = 0; sum = 0.0 }
+
+let bucket_of_ns ns =
+  if ns < 1 then 0
+  else
+    let e = 62 - Bits.count_leading_zeros ns in
+    let frac = (ns lsr (max 0 (e - 4))) land (sub - 1) in
+    min (n_buckets - 1) ((e * sub) + frac)
+
+let ns_of_bucket b =
+  let e = b / sub and frac = b mod sub in
+  (1 lsl e) + (frac lsl (max 0 (e - 4)))
+
+let add t ns =
+  let b = bucket_of_ns ns in
+  t.buckets.(b) <- t.buckets.(b) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. float_of_int ns
+
+let count t = t.count
+let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+
+(** Latency below which fraction [q] of samples fall, in nanoseconds. *)
+let percentile t q =
+  if t.count = 0 then 0
+  else begin
+    let target = int_of_float (q *. float_of_int t.count) in
+    let rec scan b acc =
+      if b >= n_buckets then ns_of_bucket (n_buckets - 1)
+      else
+        let acc = acc + t.buckets.(b) in
+        if acc >= target then ns_of_bucket b else scan (b + 1) acc
+    in
+    scan 0 0
+  end
+
+let merge into src =
+  Array.iteri (fun i v -> into.buckets.(i) <- into.buckets.(i) + v) src.buckets;
+  into.count <- into.count + src.count;
+  into.sum <- into.sum +. src.sum

@@ -1,0 +1,46 @@
+(* Key encodings shared by the ordered indexes.
+
+   Ordered indexes in this repository are keyed by byte strings compared
+   lexicographically.  The paper's two YCSB key types map onto that as:
+
+   - randint: 8-byte random integers.  We encode them big-endian so that
+     integer order equals byte order, the standard trick radix trees rely on
+     (ART §IV.B of Leis et al.);
+   - string: 24-byte YCSB keys ("user" + zero-padded decimal id), uniformly
+     distributed via a random id. *)
+
+let int_key_length = 8
+
+(** Big-endian 8-byte encoding of a non-negative integer. *)
+let encode_int k =
+  if k < 0 then invalid_arg "Keys.encode_int: negative key";
+  let b = Bytes.create 8 in
+  Bytes.set_int64_be b 0 (Int64.of_int k);
+  Bytes.unsafe_to_string b
+
+let decode_int s =
+  if String.length s <> 8 then invalid_arg "Keys.decode_int: want 8 bytes";
+  Int64.to_int (String.get_int64_be s 0)
+
+let string_key_length = 24
+
+(** 24-byte YCSB-style string key for integer id [n]. *)
+let string_key n =
+  if n < 0 then invalid_arg "Keys.string_key: negative id";
+  Printf.sprintf "user%020d" n
+
+(** First key strictly greater than every key of length [len] that starts
+    with [prefix] — used to turn prefix scans into range queries. *)
+let successor s =
+  let b = Bytes.of_string s in
+  let rec bump i =
+    if i < 0 then None
+    else
+      let c = Char.code (Bytes.get b i) in
+      if c < 255 then begin
+        Bytes.set b i (Char.chr (c + 1));
+        Some (Bytes.sub_string b 0 (i + 1))
+      end
+      else bump (i - 1)
+  in
+  bump (Bytes.length b - 1)

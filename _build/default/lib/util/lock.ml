@@ -1,0 +1,53 @@
+(* Volatile spinlocks with crash re-initialization semantics.
+
+   RECIPE assumes "the locks used in the index are non-persistent, and that
+   the locks are re-initialized after a crash (to prevent deadlock)" (§4.2);
+   §6 realizes this with a lock table rebuilt at restart.  We get the same
+   effect without walking the structure: a global lock epoch.  A lock is held
+   iff its word equals the *current* epoch; recovery bumps the epoch, which
+   atomically frees every lock in the index — including locks held by the
+   thread that "died" at the simulated crash point. *)
+
+type t = int Atomic.t
+
+let epoch = Atomic.make 1
+
+(** Recovery: instantly re-initialize (free) every lock ever created. *)
+let new_epoch () = Atomic.incr epoch
+
+let create () = Atomic.make 0
+
+let is_locked t = Atomic.get t = Atomic.get epoch
+
+let try_lock t =
+  let cur = Atomic.get epoch in
+  let v = Atomic.get t in
+  if v = cur then false else Atomic.compare_and_set t v cur
+
+(* Bounded spinning, then yield the OS thread: on machines with fewer cores
+   than domains (this container has one), a preempted lock holder would
+   otherwise stall every spinner for a whole scheduling quantum. *)
+let lock t =
+  let rec go spins pause =
+    if not (try_lock t) then
+      if spins > 0 then begin
+        Domain.cpu_relax ();
+        go (spins - 1) pause
+      end
+      else begin
+        Unix.sleepf pause;
+        go 0 (Float.min (pause *. 2.0) 0.0001)
+      end
+  in
+  go 200 0.000001
+
+let unlock t = Atomic.set t 0
+
+(** [with_lock t f] runs [f] holding [t].  No cleanup on exception: a
+    simulated crash must leave the lock held, exactly like a real power
+    failure; recovery frees it via {!new_epoch}. *)
+let with_lock t f =
+  lock t;
+  let r = f () in
+  unlock t;
+  r

@@ -1,0 +1,25 @@
+(* WOART — the ART structure under one global lock (see woart.mli). *)
+
+module Lock = Util.Lock
+
+let name = "WOART"
+
+type t = { tree : Art.t; global : Lock.t }
+
+let create () = { tree = Art.create (); global = Lock.create () }
+
+let with_global t f =
+  Lock.lock t.global;
+  let r = f () in
+  Lock.unlock t.global;
+  r
+
+let insert t key value = with_global t (fun () -> Art.insert t.tree key value)
+let lookup t key = with_global t (fun () -> Art.lookup t.tree key)
+let update t key value = with_global t (fun () -> Art.update t.tree key value)
+let delete t key = with_global t (fun () -> Art.delete t.tree key)
+let scan t key n f = with_global t (fun () -> Art.scan t.tree key n f)
+let range t lo hi = with_global t (fun () -> Art.range t.tree lo hi)
+(* No lock here: after a crash the global lock may still be held by the
+   crashed operation; recovery's epoch bump is what frees it. *)
+let recover t = Art.recover t.tree

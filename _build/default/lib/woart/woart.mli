@@ -1,0 +1,36 @@
+(** WOART: Write-Optimal Adaptive Radix Tree baseline (Lee et al., FAST '17;
+    paper §7.3).
+
+    WOART is a hand-crafted single-threaded persistent ART variant whose
+    inserts commit with a single failure-atomic 8-byte store.  The RECIPE
+    paper compares against the multi-threaded form its authors suggest: the
+    same structure serialized by one global lock — which is exactly what
+    costs it 2–20x against P-ART on multi-threaded YCSB.
+
+    This implementation reuses the adaptive-radix-tree machinery of
+    {!Art} (same node formats, same single-store commit points, equivalent
+    flush counts in the simulator) and serializes *every* operation,
+    including lookups, through one global lock, since the underlying design
+    is not safe for concurrent readers.  See DESIGN.md for the substitution
+    note. *)
+
+type t
+
+val name : string
+
+val create : unit -> t
+
+(** [insert t key value] — [false] if already present. *)
+val insert : t -> string -> int -> bool
+
+val lookup : t -> string -> int option
+
+(** [update t key value] — [false] if absent. *)
+val update : t -> string -> int -> bool
+val delete : t -> string -> bool
+
+(** [scan t key n f] — up to [n] bindings with keys >= [key], in order. *)
+val scan : t -> string -> int -> (string -> int -> unit) -> int
+
+val range : t -> string -> string -> (string * int) list
+val recover : t -> unit

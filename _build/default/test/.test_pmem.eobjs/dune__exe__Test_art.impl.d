@@ -1,0 +1,1 @@
+test/test_art.ml: Alcotest Array Art Atomic Domain Hashtbl List Pmem Printf QCheck QCheck_alcotest String Util

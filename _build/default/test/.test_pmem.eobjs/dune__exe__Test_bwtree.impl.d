@@ -1,0 +1,1 @@
+test/test_bwtree.ml: Alcotest Array Atomic Bwtree Domain Hashtbl List Pmem Printf QCheck QCheck_alcotest Recipe String Util

@@ -1,0 +1,1 @@
+test/test_cceh.ml: Alcotest Array Atomic Cceh Crashtest Domain Hashtbl List Pmem Printf QCheck QCheck_alcotest String Util

@@ -1,0 +1,1 @@
+test/test_clht.ml: Alcotest Array Atomic Clht Domain Hashtbl List Pmem Printf QCheck QCheck_alcotest String Util

@@ -1,0 +1,1 @@
+test/test_crashtest.ml: Alcotest Crashtest Format Harness List

@@ -1,0 +1,1 @@
+test/test_fastfair.ml: Alcotest Array Atomic Domain Fastfair List Pmem Printf QCheck QCheck_alcotest Recipe String Util

@@ -1,0 +1,1 @@
+test/test_hot.ml: Alcotest Array Atomic Domain Hashtbl Hot List Pmem Printf QCheck QCheck_alcotest String Util

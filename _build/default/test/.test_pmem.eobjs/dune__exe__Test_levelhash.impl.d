@@ -1,0 +1,1 @@
+test/test_levelhash.ml: Alcotest Array Domain Hashtbl Levelhash List Pmem Printf QCheck QCheck_alcotest String Util

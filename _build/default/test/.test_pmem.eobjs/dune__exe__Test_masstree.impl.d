@@ -1,0 +1,1 @@
+test/test_masstree.ml: Alcotest Array Atomic Domain Hashtbl List Masstree Pmem Printf QCheck QCheck_alcotest String Util

@@ -1,0 +1,1 @@
+test/test_ordered_diff.ml: Alcotest Art Bwtree Fastfair Hashtbl Hot List Map Masstree Pmem Printf QCheck QCheck_alcotest Recipe String Util Woart

@@ -1,0 +1,1 @@
+test/test_pmem.ml: Alcotest Array Domain List Pmem

@@ -1,0 +1,1 @@
+test/test_recipe.ml: Alcotest List Pmem QCheck QCheck_alcotest Recipe String Util

@@ -1,0 +1,1 @@
+test/test_woart.ml: Alcotest Array Domain List Pmem Util Woart

@@ -1,0 +1,1 @@
+test/test_ycsb.ml: Alcotest Art Atomic Clht Harness Hashtbl List Pmem Printf String Util Ycsb

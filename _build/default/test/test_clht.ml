@@ -1,0 +1,291 @@
+(* Tests for P-CLHT: sequential semantics vs a model, resize behaviour,
+   concurrency, crash consistency (paper §5 methodology) and durability. *)
+
+let reset () =
+  Pmem.Mode.set_shadow false;
+  Pmem.Llc.set_enabled false;
+  Pmem.Crash.disarm ();
+  ignore (Pmem.persist_everything ());
+  Pmem.Stats.reset ();
+  Util.Lock.new_epoch ()
+
+(* --- Sequential semantics ------------------------------------------------ *)
+
+let test_insert_lookup () =
+  reset ();
+  let t = Clht.create ~capacity:16 () in
+  Alcotest.(check bool) "insert fresh" true (Clht.insert t 1 100);
+  Alcotest.(check bool) "insert dup fails" false (Clht.insert t 1 200);
+  Alcotest.(check (option int)) "lookup" (Some 100) (Clht.lookup t 1);
+  Alcotest.(check (option int)) "missing" None (Clht.lookup t 2);
+  Alcotest.(check int) "length" 1 (Clht.length t)
+
+let test_delete () =
+  reset ();
+  let t = Clht.create ~capacity:16 () in
+  ignore (Clht.insert t 5 50);
+  Alcotest.(check bool) "delete present" true (Clht.delete t 5);
+  Alcotest.(check (option int)) "gone" None (Clht.lookup t 5);
+  Alcotest.(check bool) "delete absent" false (Clht.delete t 5);
+  Alcotest.(check bool) "reinsert after delete" true (Clht.insert t 5 51);
+  Alcotest.(check (option int)) "new value" (Some 51) (Clht.lookup t 5)
+
+let test_chain_overflow () =
+  reset ();
+  (* Tiny table: every bucket chains. *)
+  let t = Clht.create ~capacity:4 () in
+  let n = 40 in
+  for k = 1 to n do
+    Alcotest.(check bool) "insert" true (Clht.insert t k (k * 10))
+  done;
+  for k = 1 to n do
+    Alcotest.(check (option int)) "find all" (Some (k * 10)) (Clht.lookup t k)
+  done
+
+let test_resize_preserves_contents () =
+  reset ();
+  let t = Clht.create ~capacity:4 () in
+  let n = 5_000 in
+  for k = 1 to n do
+    ignore (Clht.insert t k k)
+  done;
+  Alcotest.(check bool) "table grew" true (Clht.bucket_count t > 4);
+  for k = 1 to n do
+    if Clht.lookup t k <> Some k then Alcotest.failf "lost key %d after resize" k
+  done;
+  Alcotest.(check int) "length" n (Clht.length t)
+
+let test_invalid_key () =
+  reset ();
+  let t = Clht.create ~capacity:4 () in
+  Alcotest.check_raises "zero key" (Invalid_argument "Clht.insert: key must be positive")
+    (fun () -> ignore (Clht.insert t 0 1))
+
+(* --- Model-based property test ------------------------------------------- *)
+
+type op = Insert of int * int | Delete of int | Lookup of int
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map2 (fun k v -> Insert (k, v)) (int_range 1 200) (int_range 0 1000));
+        (2, map (fun k -> Delete k) (int_range 1 200));
+        (2, map (fun k -> Lookup k) (int_range 1 200));
+      ])
+
+let show_op = function
+  | Insert (k, v) -> Printf.sprintf "Insert(%d,%d)" k v
+  | Delete k -> Printf.sprintf "Delete %d" k
+  | Lookup k -> Printf.sprintf "Lookup %d" k
+
+let prop_matches_model =
+  QCheck.Test.make ~name:"clht matches Hashtbl model" ~count:200
+    QCheck.(make ~print:(fun l -> String.concat ";" (List.map show_op l))
+              (QCheck.Gen.list_size (QCheck.Gen.int_range 0 400) op_gen))
+    (fun ops ->
+      reset ();
+      let t = Clht.create ~capacity:4 () in
+      let model = Hashtbl.create 16 in
+      List.for_all
+        (fun op ->
+          match op with
+          | Insert (k, v) ->
+              let fresh = not (Hashtbl.mem model k) in
+              if fresh then Hashtbl.replace model k v;
+              Clht.insert t k v = fresh
+          | Delete k ->
+              let present = Hashtbl.mem model k in
+              Hashtbl.remove model k;
+              Clht.delete t k = present
+          | Lookup k -> Clht.lookup t k = Hashtbl.find_opt model k)
+        ops
+      && Hashtbl.fold (fun k v ok -> ok && Clht.lookup t k = Some v) model true)
+
+(* --- Concurrency ---------------------------------------------------------- *)
+
+let test_concurrent_disjoint_inserts () =
+  reset ();
+  let t = Clht.create ~capacity:16 () in
+  let n_domains = 4 and per = 10_000 in
+  let body d () =
+    for i = 0 to per - 1 do
+      let k = (i * n_domains) + d + 1 in
+      if not (Clht.insert t k (k * 2)) then failwith "duplicate?"
+    done
+  in
+  let ds = List.init n_domains (fun d -> Domain.spawn (body d)) in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "all inserted" (n_domains * per) (Clht.length t);
+  for k = 1 to n_domains * per do
+    if Clht.lookup t k <> Some (k * 2) then Alcotest.failf "lost key %d" k
+  done
+
+let test_concurrent_same_keys () =
+  reset ();
+  let t = Clht.create ~capacity:16 () in
+  let n_domains = 4 and keys = 2_000 in
+  let wins = Array.init n_domains (fun _ -> Atomic.make 0) in
+  let body d () =
+    for k = 1 to keys do
+      if Clht.insert t k ((d * 1_000_000) + k) then Atomic.incr wins.(d)
+    done
+  in
+  let ds = List.init n_domains (fun d -> Domain.spawn (body d)) in
+  List.iter Domain.join ds;
+  let total = Array.fold_left (fun acc w -> acc + Atomic.get w) 0 wins in
+  Alcotest.(check int) "exactly one winner per key" keys total;
+  for k = 1 to keys do
+    match Clht.lookup t k with
+    | Some v -> Alcotest.(check int) "value is a winner's" k (v mod 1_000_000)
+    | None -> Alcotest.failf "lost key %d" k
+  done
+
+let test_concurrent_reads_during_writes () =
+  reset ();
+  let t = Clht.create ~capacity:16 () in
+  for k = 1 to 1_000 do
+    ignore (Clht.insert t k k)
+  done;
+  let stop = Atomic.make false in
+  let reader () =
+    let r = Util.Rng.create 99 in
+    let bad = ref 0 in
+    while not (Atomic.get stop) do
+      let k = 1 + Util.Rng.below r 1_000 in
+      match Clht.lookup t k with
+      | Some v when v = k -> ()
+      | Some _ -> incr bad
+      | None -> incr bad
+    done;
+    !bad
+  in
+  let writer () =
+    for k = 1_001 to 20_000 do
+      ignore (Clht.insert t k k)
+    done;
+    0
+  in
+  let rd = Domain.spawn reader and wd = Domain.spawn writer in
+  ignore (Domain.join wd);
+  Atomic.set stop true;
+  let bad = Domain.join rd in
+  Alcotest.(check int) "loaded keys always readable" 0 bad
+
+(* --- Crash consistency (paper §5) ----------------------------------------- *)
+
+(* Enumerate every crash position of an insert; after each crash + recovery
+   the index must be consistent: previously inserted keys still readable, and
+   the interrupted insert either fully visible or fully absent; re-inserting
+   must succeed. *)
+let test_crash_every_point_insert () =
+  reset ();
+  Pmem.Mode.set_shadow true;
+  let max_points = 8 in
+  for point = 1 to max_points do
+    reset ();
+    Pmem.Mode.set_shadow true;
+    let t = Clht.create ~capacity:4 () in
+    for k = 1 to 50 do
+      ignore (Clht.insert t k k)
+    done;
+    Pmem.persist_everything ();
+    Pmem.Crash.arm_at point;
+    (try ignore (Clht.insert t 999 999) with Pmem.Crash.Simulated_crash -> ());
+    Pmem.Crash.disarm ();
+    Pmem.simulate_power_failure ();
+    Clht.recover t;
+    (* All previously persisted keys survive. *)
+    for k = 1 to 50 do
+      if Clht.lookup t k <> Some k then
+        Alcotest.failf "crash point %d lost key %d" point k
+    done;
+    (* The interrupted key is atomic: absent or fully present. *)
+    (match Clht.lookup t 999 with
+    | None -> ignore (Clht.insert t 999 999)
+    | Some v -> Alcotest.(check int) "committed value" 999 v);
+    Alcotest.(check (option int)) "post-recovery insert works" (Some 999)
+      (Clht.lookup t 999)
+  done;
+  Pmem.Mode.set_shadow false
+
+(* Crash in the middle of a resize: the table pointer swap is the commit
+   point, so either the old or the new table is current and no key is lost. *)
+let test_crash_during_resize () =
+  for point = 1 to 3 do
+    reset ();
+    Pmem.Mode.set_shadow true;
+    let t = Clht.create ~capacity:4 () in
+    (* Fill up to just below the resize trigger (4 buckets * 3 slots * 3/4 = 9). *)
+    for k = 1 to 9 do
+      ignore (Clht.insert t k k)
+    done;
+    Pmem.persist_everything ();
+    Pmem.Crash.arm_at point;
+    (* This insert trips the resize. *)
+    (try ignore (Clht.insert t 1000 1000) with Pmem.Crash.Simulated_crash -> ());
+    Pmem.Crash.disarm ();
+    Pmem.simulate_power_failure ();
+    Clht.recover t;
+    for k = 1 to 9 do
+      if Clht.lookup t k <> Some k then
+        Alcotest.failf "resize crash point %d lost key %d" point k
+    done;
+    (* Writes after recovery must work, including completing another resize. *)
+    for k = 2000 to 2100 do
+      ignore (Clht.insert t k k)
+    done;
+    for k = 2000 to 2100 do
+      if Clht.lookup t k <> Some k then
+        Alcotest.failf "post-recovery insert lost %d" k
+    done
+  done;
+  Pmem.Mode.set_shadow false
+
+(* --- Durability (paper §5): no dirty lines at operation boundaries -------- *)
+
+let test_durability_no_dirty_lines () =
+  reset ();
+  Pmem.Mode.set_shadow true;
+  let t = Clht.create ~capacity:4 () in
+  Alcotest.(check int) "clean after create" 0 (Pmem.dirty_count ());
+  for k = 1 to 200 do
+    ignore (Clht.insert t k k);
+    let d = Pmem.dirty_count () in
+    if d <> 0 then
+      Alcotest.failf "dirty lines after insert %d: %s" k
+        (String.concat "," (Pmem.dirty_objects ()))
+  done;
+  for k = 1 to 200 do
+    ignore (Clht.delete t k);
+    if Pmem.dirty_count () <> 0 then Alcotest.failf "dirty after delete %d" k
+  done;
+  Pmem.Mode.set_shadow false
+
+let () =
+  Alcotest.run "clht"
+    [
+      ( "sequential",
+        [
+          Alcotest.test_case "insert/lookup" `Quick test_insert_lookup;
+          Alcotest.test_case "delete" `Quick test_delete;
+          Alcotest.test_case "chain overflow" `Quick test_chain_overflow;
+          Alcotest.test_case "resize preserves" `Quick test_resize_preserves_contents;
+          Alcotest.test_case "invalid key" `Quick test_invalid_key;
+        ] );
+      ("model", [ QCheck_alcotest.to_alcotest prop_matches_model ]);
+      ( "concurrent",
+        [
+          Alcotest.test_case "disjoint inserts" `Quick test_concurrent_disjoint_inserts;
+          Alcotest.test_case "same keys" `Quick test_concurrent_same_keys;
+          Alcotest.test_case "reads during writes" `Quick
+            test_concurrent_reads_during_writes;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "every insert point" `Quick test_crash_every_point_insert;
+          Alcotest.test_case "during resize" `Quick test_crash_during_resize;
+        ] );
+      ( "durability",
+        [ Alcotest.test_case "no dirty lines" `Quick test_durability_no_dirty_lines ] );
+    ]

@@ -1,0 +1,118 @@
+(* The §7.5 experiment as a test: every RECIPE-converted index passes the
+   consistency and durability campaigns; the buggy baseline variants are
+   caught. *)
+
+let campaign mk ~states =
+  Crashtest.consistency_campaign ~make:mk ~states ~load:400 ~ops:400 ~threads:4
+    ~seed:11 ()
+
+let check_passes name mk =
+  let r = campaign mk ~states:25 in
+  if r.Crashtest.lost_keys <> 0 || r.Crashtest.wrong_values <> 0
+     || r.Crashtest.stalled <> 0
+  then
+    Alcotest.failf "%s failed crash campaign: %s" name
+      (Format.asprintf "%a" Crashtest.pp_report r);
+  Alcotest.(check bool) (name ^ ": some crashes fired") true
+    (r.Crashtest.crashes_fired > 0)
+
+let test_converted_pass () =
+  check_passes "P-CLHT" Harness.Subjects.clht;
+  check_passes "P-HOT" Harness.Subjects.hot;
+  check_passes "P-ART" Harness.Subjects.art;
+  check_passes "P-Masstree" Harness.Subjects.masstree;
+  check_passes "P-BwTree" Harness.Subjects.bwtree
+
+let test_correct_baselines_pass () =
+  check_passes "FAST&FAIR(fixed)" (fun () -> Harness.Subjects.fastfair ());
+  check_passes "CCEH(fixed)" (fun () -> Harness.Subjects.cceh ());
+  check_passes "Level" Harness.Subjects.levelhash;
+  check_passes "WOART" Harness.Subjects.woart
+
+(* The buggy FAST & FAIR split order loses committed keys in some state. *)
+let test_fastfair_bug_caught () =
+  let r =
+    campaign (fun () -> Harness.Subjects.fastfair ~bug_split_order:true ())
+      ~states:60
+  in
+  Alcotest.(check bool) "data loss detected" true (r.Crashtest.lost_keys > 0)
+
+(* The buggy CCEH directory doubling stalls after some crash state. *)
+let test_cceh_bug_caught () =
+  let r =
+    campaign (fun () -> Harness.Subjects.cceh ~bug_doubling:true ()) ~states:60
+  in
+  Alcotest.(check bool) "stall detected" true (r.Crashtest.stalled > 0)
+
+(* Double crashes: the second crash interrupts writers that may be fixing
+   leftovers of the first (the consecutive-crash scenario behind the FAST &
+   FAIR merge bug §7.5 describes).  All converted indexes must pass, with
+   ordered-scan verification included. *)
+let test_double_crash_converted () =
+  List.iter
+    (fun (name, mk) ->
+      let r =
+        Crashtest.double_crash_campaign ~make:mk ~states:25 ~load:400 ~seed:5 ()
+      in
+      if
+        r.Crashtest.lost_keys <> 0 || r.Crashtest.wrong_values <> 0
+        || r.Crashtest.stalled <> 0
+      then
+        Alcotest.failf "%s failed double-crash: %s" name
+          (Format.asprintf "%a" Crashtest.pp_report r))
+    [
+      ("P-CLHT", Harness.Subjects.clht);
+      ("P-HOT", Harness.Subjects.hot);
+      ("P-ART", Harness.Subjects.art);
+      ("P-Masstree", Harness.Subjects.masstree);
+      ("P-BwTree", Harness.Subjects.bwtree);
+      ("FAST&FAIR", fun () -> Harness.Subjects.fastfair ());
+    ]
+
+let test_durability_all_pass () =
+  List.iter
+    (fun (name, mk) ->
+      let v = Crashtest.durability_test ~make:mk ~inserts:1_500 ~seed:3 () in
+      Alcotest.(check int) (name ^ ": durability violations") 0 v)
+    [
+      ("P-CLHT", Harness.Subjects.clht);
+      ("P-HOT", Harness.Subjects.hot);
+      ("P-ART", Harness.Subjects.art);
+      ("P-Masstree", Harness.Subjects.masstree);
+      ("P-BwTree", Harness.Subjects.bwtree);
+      ("FAST&FAIR", fun () -> Harness.Subjects.fastfair ());
+      ("CCEH", fun () -> Harness.Subjects.cceh ());
+      ("Level", Harness.Subjects.levelhash);
+    ]
+
+(* The durability test catches the unflushed initial allocation (§7.5's
+   "initial node allocation containing the root pointer is not persisted"). *)
+let test_durability_root_bug_caught () =
+  let v =
+    Crashtest.durability_test
+      ~make:(fun () -> Harness.Subjects.fastfair ~bug_root_flush:true ())
+      ~inserts:50 ~seed:3 ()
+  in
+  Alcotest.(check bool) "unflushed root detected" true (v > 0)
+
+let () =
+  Alcotest.run "crashtest"
+    [
+      ( "consistency",
+        [
+          Alcotest.test_case "converted indexes pass" `Quick test_converted_pass;
+          Alcotest.test_case "correct baselines pass" `Quick
+            test_correct_baselines_pass;
+          Alcotest.test_case "FAST&FAIR bug caught" `Quick test_fastfair_bug_caught;
+          Alcotest.test_case "CCEH bug caught" `Quick test_cceh_bug_caught;
+          Alcotest.test_case "double-crash converted pass" `Quick
+            test_double_crash_converted;
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "all indexes flush everything" `Quick
+            test_durability_all_pass;
+          Alcotest.test_case "root-flush bug caught" `Quick
+            test_durability_root_bug_caught;
+        ] );
+    ]

@@ -1,0 +1,307 @@
+(* Tests for the FAST & FAIR baseline: sequential semantics vs a model,
+   splits, string-key mode, concurrency, crash consistency, and reproduction
+   of the paper's §3 bugs under the bug flags. *)
+
+let reset () =
+  Pmem.Mode.set_shadow false;
+  Pmem.Llc.set_enabled false;
+  Pmem.Crash.disarm ();
+  ignore (Pmem.persist_everything ());
+  Pmem.Stats.reset ();
+  Util.Lock.new_epoch ()
+
+let ff ?bug_highkey ?bug_split_order ?bug_root_flush () =
+  Fastfair.create ?bug_highkey ?bug_split_order ?bug_root_flush
+    ~space:(Recipe.Wordkey.int_space ()) ()
+
+let k = Util.Keys.encode_int
+
+(* --- Sequential ---------------------------------------------------------- *)
+
+let test_insert_lookup () =
+  reset ();
+  let t = ff () in
+  Alcotest.(check bool) "insert" true (Fastfair.insert t (k 10) 100);
+  Alcotest.(check bool) "dup insert" false (Fastfair.insert t (k 10) 200);
+  Alcotest.(check (option int)) "lookup" (Some 100) (Fastfair.lookup t (k 10));
+  Alcotest.(check (option int)) "missing" None (Fastfair.lookup t (k 11))
+
+let test_many_inserts_with_splits () =
+  reset ();
+  let t = ff () in
+  let n = 10_000 in
+  let r = Util.Rng.create 17 in
+  let keys = Array.init n (fun i -> i + 1) in
+  Util.Rng.shuffle r keys;
+  Array.iter (fun key -> ignore (Fastfair.insert t (k key) (key * 3))) keys;
+  Alcotest.(check bool) "tree grew" true (Fastfair.height t > 0);
+  Array.iter
+    (fun key ->
+      if Fastfair.lookup t (k key) <> Some (key * 3) then
+        Alcotest.failf "lost key %d" key)
+    keys
+
+let test_delete () =
+  reset ();
+  let t = ff () in
+  for i = 1 to 200 do
+    ignore (Fastfair.insert t (k i) i)
+  done;
+  for i = 1 to 200 do
+    if i mod 2 = 0 then
+      Alcotest.(check bool) "delete" true (Fastfair.delete t (k i))
+  done;
+  for i = 1 to 200 do
+    let expect = if i mod 2 = 0 then None else Some i in
+    Alcotest.(check (option int)) "after delete" expect (Fastfair.lookup t (k i))
+  done;
+  Alcotest.(check bool) "delete absent" false (Fastfair.delete t (k 2))
+
+let test_scan_sorted () =
+  reset ();
+  let t = ff () in
+  let r = Util.Rng.create 3 in
+  let keys = Array.init 2_000 (fun i -> (i * 2) + 1) in
+  Util.Rng.shuffle r keys;
+  Array.iter (fun key -> ignore (Fastfair.insert t (k key) key)) keys;
+  (* scan from key 100: expect 101,103,105,... *)
+  let seen = ref [] in
+  let n = Fastfair.scan t (k 100) 50 (fun key v -> seen := (key, v) :: !seen) in
+  Alcotest.(check int) "scan count" 50 n;
+  let seen = List.rev !seen in
+  List.iteri
+    (fun i (key, v) ->
+      let expect = 101 + (2 * i) in
+      Alcotest.(check int) "scan value" expect v;
+      Alcotest.(check string) "scan key" (k expect) key)
+    seen
+
+let test_range () =
+  reset ();
+  let t = ff () in
+  for i = 1 to 100 do
+    ignore (Fastfair.insert t (k i) i)
+  done;
+  let rs = Fastfair.range t (k 10) (k 20) in
+  Alcotest.(check int) "range size" 10 (List.length rs);
+  Alcotest.(check int) "first" 10 (snd (List.hd rs))
+
+let test_string_keys () =
+  reset ();
+  let t =
+    Fastfair.create ~space:(Recipe.Wordkey.string_space ()) ()
+  in
+  let n = 3_000 in
+  for i = 1 to n do
+    ignore (Fastfair.insert t (Util.Keys.string_key i) i)
+  done;
+  for i = 1 to n do
+    if Fastfair.lookup t (Util.Keys.string_key i) <> Some i then
+      Alcotest.failf "lost string key %d" i
+  done;
+  let cnt = Fastfair.scan t (Util.Keys.string_key 0) 100 (fun _ _ -> ()) in
+  Alcotest.(check int) "string scan" 100 cnt
+
+(* --- Model-based --------------------------------------------------------- *)
+
+let prop_matches_model =
+  QCheck.Test.make ~name:"fastfair matches Map model" ~count:60
+    QCheck.(
+      make
+        ~print:(fun l ->
+          String.concat ";"
+            (List.map (fun (op, key) -> Printf.sprintf "%d:%d" op key) l))
+        (QCheck.Gen.list_size (QCheck.Gen.int_range 0 300)
+           (QCheck.Gen.pair (QCheck.Gen.int_range 0 2) (QCheck.Gen.int_range 1 100))))
+    (fun ops ->
+      reset ();
+      let t = ff () in
+      let model = ref [] in
+      List.for_all
+        (fun (op, key) ->
+          match op with
+          | 0 ->
+              let fresh = not (List.mem_assoc key !model) in
+              if fresh then model := (key, key * 7) :: !model;
+              Fastfair.insert t (k key) (key * 7) = fresh
+          | 1 ->
+              let present = List.mem_assoc key !model in
+              model := List.remove_assoc key !model;
+              Fastfair.delete t (k key) = present
+          | _ -> Fastfair.lookup t (k key) = List.assoc_opt key !model)
+        ops)
+
+(* --- Concurrency ---------------------------------------------------------- *)
+
+let test_concurrent_inserts () =
+  reset ();
+  let t = ff () in
+  let n_domains = 4 and per = 5_000 in
+  let body d () =
+    for i = 0 to per - 1 do
+      let key = (i * n_domains) + d + 1 in
+      ignore (Fastfair.insert t (k key) key)
+    done
+  in
+  let ds = List.init n_domains (fun d -> Domain.spawn (body d)) in
+  List.iter Domain.join ds;
+  for key = 1 to n_domains * per do
+    if Fastfair.lookup t (k key) <> Some key then Alcotest.failf "lost %d" key
+  done
+
+let test_concurrent_readers_writers () =
+  reset ();
+  let t = ff () in
+  for i = 1 to 2_000 do
+    ignore (Fastfair.insert t (k i) i)
+  done;
+  let stop = Atomic.make false in
+  let reader () =
+    let r = Util.Rng.create 5 in
+    let bad = ref 0 in
+    while not (Atomic.get stop) do
+      let key = 1 + Util.Rng.below r 2_000 in
+      if Fastfair.lookup t (k key) <> Some key then incr bad
+    done;
+    !bad
+  in
+  let writer () =
+    for i = 2_001 to 12_000 do
+      ignore (Fastfair.insert t (k i) i)
+    done;
+    0
+  in
+  let rd = Domain.spawn reader and wd = Domain.spawn writer in
+  ignore (Domain.join wd);
+  Atomic.set stop true;
+  Alcotest.(check int) "stable keys always found" 0 (Domain.join rd)
+
+(* The §3 design bug: without the high-key check, an insert racing with a
+   split can land in the wrong node and become unreachable.  With the fix
+   (default) this must never happen. *)
+let test_no_lost_keys_under_contention () =
+  reset ();
+  let t = ff () in
+  (* Hammer a narrow hot range from several domains to force insert/split
+     races on the same nodes. *)
+  let n_domains = 4 and per = 4_000 in
+  let body d () =
+    for i = 0 to per - 1 do
+      let key = (i * n_domains) + d + 1 in
+      ignore (Fastfair.insert t (k key) key)
+    done
+  in
+  let ds = List.init n_domains (fun d -> Domain.spawn (body d)) in
+  List.iter Domain.join ds;
+  let lost = ref 0 in
+  for key = 1 to n_domains * per do
+    if Fastfair.lookup t (k key) = None then incr lost
+  done;
+  Alcotest.(check int) "no unreachable keys with high-key fix" 0 !lost
+
+(* --- Crash consistency ----------------------------------------------------- *)
+
+let crash_campaign ?bug_split_order ~points () =
+  (* For each crash position: load, crash during an insert burst, recover,
+     verify all previously-persisted keys, count losses. *)
+  let lost = ref 0 in
+  for point = 1 to points do
+    reset ();
+    Pmem.Mode.set_shadow true;
+    let t = ff ?bug_split_order () in
+    for i = 1 to 300 do
+      ignore (Fastfair.insert t (k i) i)
+    done;
+    Pmem.persist_everything ();
+    Pmem.Crash.arm_at point;
+    (try
+       for i = 301 to 400 do
+         ignore (Fastfair.insert t (k i) i)
+       done;
+       Pmem.Crash.disarm ()
+     with Pmem.Crash.Simulated_crash -> ());
+    Pmem.simulate_power_failure ();
+    Fastfair.recover t;
+    for i = 1 to 300 do
+      if Fastfair.lookup t (k i) <> Some i then incr lost
+    done;
+    (* Post-recovery writes and reads must work. *)
+    ignore (Fastfair.insert t (k 10_000) 1);
+    if Fastfair.lookup t (k 10_000) <> Some 1 then incr lost
+  done;
+  Pmem.Mode.set_shadow false;
+  !lost
+
+let test_crash_consistent_fixed () =
+  Alcotest.(check int) "no data loss across crash points" 0
+    (crash_campaign ~points:60 ())
+
+let test_crash_bug_split_order_loses_data () =
+  (* With the wrong store order in the split, some crash position must lose
+     persisted keys — the class of bug §7.5's testing found in FAST & FAIR. *)
+  let lost = crash_campaign ~bug_split_order:true ~points:60 () in
+  Alcotest.(check bool) "buggy split order loses keys" true (lost > 0)
+
+let test_durability_flags_unflushed_root () =
+  reset ();
+  Pmem.Mode.set_shadow true;
+  let _t = ff ~bug_root_flush:true () in
+  (* The durability check of §5: the freshly allocated root was never
+     flushed, exactly the FAST & FAIR / CCEH bug the paper reports. *)
+  Alcotest.(check bool) "unflushed root detected" true (Pmem.dirty_count () > 0);
+  reset ();
+  Pmem.Mode.set_shadow true;
+  let _t = ff () in
+  Alcotest.(check int) "correct version flushes allocation" 0 (Pmem.dirty_count ());
+  Pmem.Mode.set_shadow false
+
+let test_durability_inserts () =
+  reset ();
+  Pmem.Mode.set_shadow true;
+  let t = ff () in
+  for i = 1 to 500 do
+    ignore (Fastfair.insert t (k i) i);
+    if Pmem.dirty_count () <> 0 then
+      Alcotest.failf "dirty lines after insert %d: %s" i
+        (String.concat "," (Pmem.dirty_objects ()))
+  done;
+  for i = 1 to 500 do
+    ignore (Fastfair.delete t (k i));
+    if Pmem.dirty_count () <> 0 then Alcotest.failf "dirty after delete %d" i
+  done;
+  Pmem.Mode.set_shadow false
+
+let () =
+  Alcotest.run "fastfair"
+    [
+      ( "sequential",
+        [
+          Alcotest.test_case "insert/lookup" `Quick test_insert_lookup;
+          Alcotest.test_case "splits" `Quick test_many_inserts_with_splits;
+          Alcotest.test_case "delete" `Quick test_delete;
+          Alcotest.test_case "scan sorted" `Quick test_scan_sorted;
+          Alcotest.test_case "range" `Quick test_range;
+          Alcotest.test_case "string keys" `Quick test_string_keys;
+        ] );
+      ("model", [ QCheck_alcotest.to_alcotest prop_matches_model ]);
+      ( "concurrent",
+        [
+          Alcotest.test_case "inserts" `Quick test_concurrent_inserts;
+          Alcotest.test_case "readers+writers" `Quick test_concurrent_readers_writers;
+          Alcotest.test_case "no lost keys (high-key fix)" `Quick
+            test_no_lost_keys_under_contention;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "fixed version consistent" `Quick
+            test_crash_consistent_fixed;
+          Alcotest.test_case "split-order bug loses data" `Quick
+            test_crash_bug_split_order_loses_data;
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "unflushed root bug" `Quick
+            test_durability_flags_unflushed_root;
+          Alcotest.test_case "inserts fully flushed" `Quick test_durability_inserts;
+        ] );
+    ]

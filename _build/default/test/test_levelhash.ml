@@ -1,0 +1,137 @@
+(* Tests for the Level Hashing baseline: semantics, movement, resize,
+   concurrency, crash consistency, durability. *)
+
+let reset () =
+  Pmem.Mode.set_shadow false;
+  Pmem.Llc.set_enabled false;
+  Pmem.Crash.disarm ();
+  ignore (Pmem.persist_everything ());
+  Pmem.Stats.reset ();
+  Util.Lock.new_epoch ()
+
+let test_insert_lookup_delete () =
+  reset ();
+  let t = Levelhash.create ~capacity:12 () in
+  Alcotest.(check bool) "insert" true (Levelhash.insert t 11 110);
+  Alcotest.(check bool) "dup" false (Levelhash.insert t 11 0);
+  Alcotest.(check (option int)) "lookup" (Some 110) (Levelhash.lookup t 11);
+  Alcotest.(check bool) "delete" true (Levelhash.delete t 11);
+  Alcotest.(check (option int)) "gone" None (Levelhash.lookup t 11);
+  Alcotest.(check bool) "delete absent" false (Levelhash.delete t 11)
+
+let test_fill_forces_movement_and_resize () =
+  reset ();
+  let t = Levelhash.create ~capacity:12 () in
+  let n = 20_000 in
+  let r = Util.Rng.create 5 in
+  let keys = Array.init n (fun _ -> Util.Rng.key r) in
+  Array.iter (fun k -> ignore (Levelhash.insert t k (k lxor 1))) keys;
+  Alcotest.(check bool) "resizes happened" true (Levelhash.resize_count t > 0);
+  Array.iter
+    (fun k ->
+      if Levelhash.lookup t k <> Some (k lxor 1) then Alcotest.failf "lost %d" k)
+    keys
+
+let prop_matches_model =
+  QCheck.Test.make ~name:"levelhash matches Hashtbl model" ~count:100
+    QCheck.(
+      make
+        ~print:(fun l ->
+          String.concat ";"
+            (List.map (fun (op, key) -> Printf.sprintf "%d:%d" op key) l))
+        (QCheck.Gen.list_size (QCheck.Gen.int_range 0 300)
+           (QCheck.Gen.pair (QCheck.Gen.int_range 0 2) (QCheck.Gen.int_range 1 150))))
+    (fun ops ->
+      reset ();
+      let t = Levelhash.create ~capacity:6 () in
+      let model = Hashtbl.create 16 in
+      List.for_all
+        (fun (op, key) ->
+          match op with
+          | 0 ->
+              let fresh = not (Hashtbl.mem model key) in
+              if fresh then Hashtbl.replace model key (key * 3);
+              Levelhash.insert t key (key * 3) = fresh
+          | 1 ->
+              let present = Hashtbl.mem model key in
+              Hashtbl.remove model key;
+              Levelhash.delete t key = present
+          | _ -> Levelhash.lookup t key = Hashtbl.find_opt model key)
+        ops)
+
+let test_concurrent_inserts () =
+  reset ();
+  let t = Levelhash.create ~capacity:12 () in
+  let n_domains = 4 and per = 5_000 in
+  let body d () =
+    for i = 0 to per - 1 do
+      let k = (i * n_domains) + d + 1 in
+      ignore (Levelhash.insert t k k)
+    done
+  in
+  let ds = List.init n_domains (fun d -> Domain.spawn (body d)) in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "count" (n_domains * per) (Levelhash.length t);
+  for k = 1 to n_domains * per do
+    if Levelhash.lookup t k <> Some k then Alcotest.failf "lost %d" k
+  done
+
+let test_crash_consistency () =
+  for point = 1 to 60 do
+    reset ();
+    Pmem.Mode.set_shadow true;
+    let t = Levelhash.create ~capacity:12 () in
+    for k = 1 to 200 do
+      ignore (Levelhash.insert t k k)
+    done;
+    Pmem.persist_everything ();
+    Pmem.Crash.arm_at point;
+    (try
+       for k = 201 to 2_000 do
+         ignore (Levelhash.insert t k k)
+       done;
+       Pmem.Crash.disarm ()
+     with Pmem.Crash.Simulated_crash -> ());
+    Pmem.simulate_power_failure ();
+    Levelhash.recover t;
+    for k = 1 to 200 do
+      if Levelhash.lookup t k <> Some k then
+        Alcotest.failf "crash point %d lost key %d" point k
+    done;
+    ignore (Levelhash.insert t 777_777 7);
+    if Levelhash.lookup t 777_777 <> Some 7 then
+      Alcotest.failf "post-recovery insert failed at point %d" point
+  done;
+  Pmem.Mode.set_shadow false
+
+let test_durability () =
+  reset ();
+  Pmem.Mode.set_shadow true;
+  let t = Levelhash.create ~capacity:12 () in
+  Alcotest.(check int) "clean after create" 0 (Pmem.dirty_count ());
+  for k = 1 to 2_000 do
+    ignore (Levelhash.insert t k k);
+    if Pmem.dirty_count () <> 0 then
+      Alcotest.failf "dirty lines after insert %d: %s" k
+        (String.concat "," (Pmem.dirty_objects ()))
+  done;
+  for k = 1 to 2_000 do
+    ignore (Levelhash.delete t k);
+    if Pmem.dirty_count () <> 0 then Alcotest.failf "dirty after delete %d" k
+  done;
+  Pmem.Mode.set_shadow false
+
+let () =
+  Alcotest.run "levelhash"
+    [
+      ( "sequential",
+        [
+          Alcotest.test_case "insert/lookup/delete" `Quick test_insert_lookup_delete;
+          Alcotest.test_case "movement+resize" `Quick
+            test_fill_forces_movement_and_resize;
+        ] );
+      ("model", [ QCheck_alcotest.to_alcotest prop_matches_model ]);
+      ("concurrent", [ Alcotest.test_case "inserts" `Quick test_concurrent_inserts ]);
+      ("crash", [ Alcotest.test_case "consistency" `Quick test_crash_consistency ]);
+      ("durability", [ Alcotest.test_case "no dirty lines" `Quick test_durability ]);
+    ]

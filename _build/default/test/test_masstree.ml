@@ -1,0 +1,375 @@
+(* Tests for P-Masstree: layer semantics, permutation-word protocol, splits,
+   scans across layers, concurrency, crash consistency with the split-replay
+   helper, durability. *)
+
+let reset () =
+  Pmem.Mode.set_shadow false;
+  Pmem.Llc.set_enabled false;
+  Pmem.Crash.disarm ();
+  ignore (Pmem.persist_everything ());
+  Pmem.Stats.reset ();
+  Util.Lock.new_epoch ()
+
+let k = Util.Keys.encode_int
+
+let test_insert_lookup () =
+  reset ();
+  let t = Masstree.create () in
+  Alcotest.(check bool) "insert" true (Masstree.insert t (k 1) 10);
+  Alcotest.(check bool) "dup" false (Masstree.insert t (k 1) 20);
+  Alcotest.(check (option int)) "lookup" (Some 10) (Masstree.lookup t (k 1));
+  Alcotest.(check (option int)) "missing" None (Masstree.lookup t (k 2))
+
+(* 8-byte integer keys use two layers (7-byte slices). *)
+let test_multilayer_int_keys () =
+  reset ();
+  let t = Masstree.create () in
+  let r = Util.Rng.create 5 in
+  let keys = Array.init 10_000 (fun _ -> Util.Rng.key r) in
+  Array.iter (fun key -> ignore (Masstree.insert t (k key) (key land 0xFFFF))) keys;
+  Array.iter
+    (fun key ->
+      if Masstree.lookup t (k key) <> Some (key land 0xFFFF) then
+        Alcotest.failf "lost %d" key)
+    keys
+
+(* 24-byte string keys exercise deep layer chains and suffix storage. *)
+let test_string_keys () =
+  reset ();
+  let t = Masstree.create () in
+  for i = 1 to 5_000 do
+    ignore (Masstree.insert t (Util.Keys.string_key i) i)
+  done;
+  for i = 1 to 5_000 do
+    if Masstree.lookup t (Util.Keys.string_key i) <> Some i then
+      Alcotest.failf "lost string key %d" i
+  done
+
+(* Variable-length keys including prefixes of each other. *)
+let test_variable_length_keys () =
+  reset ();
+  let t = Masstree.create () in
+  let keys = [ "a"; "ab"; "abc"; "abcdefg"; "abcdefgh"; "abcdefghijklmnop"; "b"; "" ] in
+  List.iteri (fun i key -> ignore (Masstree.insert t key (i + 1))) keys;
+  List.iteri
+    (fun i key ->
+      Alcotest.(check (option int)) key (Some (i + 1)) (Masstree.lookup t key))
+    keys;
+  Alcotest.(check (option int)) "absent" None (Masstree.lookup t "abcd")
+
+let test_update () =
+  reset ();
+  let t = Masstree.create () in
+  (* Updates through nested layers (24-byte keys reach layer 4). *)
+  for i = 1 to 500 do
+    ignore (Masstree.insert t (Util.Keys.string_key i) i)
+  done;
+  Alcotest.(check bool) "update existing" true
+    (Masstree.update t (Util.Keys.string_key 123) 999);
+  Alcotest.(check (option int)) "new value" (Some 999)
+    (Masstree.lookup t (Util.Keys.string_key 123));
+  Alcotest.(check bool) "update absent" false
+    (Masstree.update t (Util.Keys.string_key 9_999) 1);
+  for i = 1 to 500 do
+    if i <> 123 && Masstree.lookup t (Util.Keys.string_key i) <> Some i then
+      Alcotest.failf "update disturbed %d" i
+  done
+
+let test_delete () =
+  reset ();
+  let t = Masstree.create () in
+  for i = 1 to 500 do
+    ignore (Masstree.insert t (k i) i)
+  done;
+  for i = 1 to 500 do
+    if i mod 2 = 0 then
+      Alcotest.(check bool) "delete" true (Masstree.delete t (k i))
+  done;
+  for i = 1 to 500 do
+    let expect = if i mod 2 = 0 then None else Some i in
+    Alcotest.(check (option int)) "after delete" expect (Masstree.lookup t (k i))
+  done;
+  Alcotest.(check bool) "delete absent" false (Masstree.delete t (k 2));
+  (* Reinsertion cycles force migration splits eventually. *)
+  for round = 1 to 5 do
+    for i = 1 to 500 do
+      if i mod 2 = 0 then begin
+        ignore (Masstree.insert t (k i) (i * round));
+        ignore (Masstree.delete t (k i))
+      end
+    done
+  done;
+  for i = 1 to 500 do
+    let expect = if i mod 2 = 0 then None else Some i in
+    Alcotest.(check (option int)) "after churn" expect (Masstree.lookup t (k i))
+  done
+
+let test_scan_sorted () =
+  reset ();
+  let t = Masstree.create () in
+  let r = Util.Rng.create 3 in
+  let keys = Array.init 2_000 (fun i -> (i * 7) + 3) in
+  Util.Rng.shuffle r keys;
+  Array.iter (fun key -> ignore (Masstree.insert t (k key) key)) keys;
+  let seen = ref [] in
+  let n = Masstree.scan t (k 1_000) 25 (fun key v -> seen := (key, v) :: !seen) in
+  Alcotest.(check int) "scan count" 25 n;
+  let seen = List.rev !seen in
+  (* First key >= 1000 in the 7i+3 sequence is 1004 (= 7*143 + 3). *)
+  List.iteri
+    (fun i (key, v) ->
+      let expect = 1004 + (7 * i) in
+      Alcotest.(check int) "scan value" expect v;
+      Alcotest.(check string) "scan key" (k expect) key)
+    seen
+
+let test_scan_string_keys () =
+  reset ();
+  let t = Masstree.create () in
+  for i = 1 to 1_000 do
+    ignore (Masstree.insert t (Util.Keys.string_key i) i)
+  done;
+  let seen = ref [] in
+  let n =
+    Masstree.scan t (Util.Keys.string_key 500) 10 (fun _ v -> seen := v :: !seen)
+  in
+  Alcotest.(check int) "count" 10 n;
+  Alcotest.(check (list int)) "in order"
+    [ 500; 501; 502; 503; 504; 505; 506; 507; 508; 509 ]
+    (List.rev !seen)
+
+let test_range () =
+  reset ();
+  let t = Masstree.create () in
+  for i = 1 to 300 do
+    ignore (Masstree.insert t (k i) i)
+  done;
+  let rs = Masstree.range t (k 50) (k 70) in
+  Alcotest.(check int) "range size" 20 (List.length rs);
+  Alcotest.(check int) "first" 50 (snd (List.hd rs))
+
+let prop_matches_model =
+  QCheck.Test.make ~name:"masstree matches Hashtbl model" ~count:60
+    QCheck.(
+      make
+        ~print:(fun l ->
+          String.concat ";"
+            (List.map (fun (op, key) -> Printf.sprintf "%d:%d" op key) l))
+        (QCheck.Gen.list_size (QCheck.Gen.int_range 0 400)
+           (QCheck.Gen.pair (QCheck.Gen.int_range 0 2) (QCheck.Gen.int_range 1 200))))
+    (fun ops ->
+      reset ();
+      let t = Masstree.create () in
+      let model = Hashtbl.create 16 in
+      List.for_all
+        (fun (op, key) ->
+          match op with
+          | 0 ->
+              let fresh = not (Hashtbl.mem model key) in
+              if fresh then Hashtbl.replace model key (key * 3);
+              Masstree.insert t (k key) (key * 3) = fresh
+          | 1 ->
+              let present = Hashtbl.mem model key in
+              Hashtbl.remove model key;
+              Masstree.delete t (k key) = present
+          | _ -> Masstree.lookup t (k key) = Hashtbl.find_opt model key)
+        ops)
+
+let prop_scan_matches_model =
+  QCheck.Test.make ~name:"masstree scan = sorted model tail" ~count:40
+    QCheck.(
+      make
+        ~print:(fun (keys, s) ->
+          Printf.sprintf "start=%d keys=%s" s
+            (String.concat "," (List.map string_of_int keys)))
+        (QCheck.Gen.pair
+           (QCheck.Gen.list_size (QCheck.Gen.int_range 0 200)
+              (QCheck.Gen.int_range 1 500))
+           (QCheck.Gen.int_range 1 500)))
+    (fun (keys, s) ->
+      reset ();
+      let t = Masstree.create () in
+      List.iter (fun key -> ignore (Masstree.insert t (k key) key)) keys;
+      let expected = List.sort_uniq compare (List.filter (fun x -> x >= s) keys) in
+      let got = ref [] in
+      ignore (Masstree.scan t (k s) max_int (fun _ v -> got := v :: !got));
+      List.rev !got = expected)
+
+(* --- Concurrency ---------------------------------------------------------------- *)
+
+let test_concurrent_inserts () =
+  reset ();
+  let t = Masstree.create () in
+  let n_domains = 4 and per = 5_000 in
+  let body d () =
+    for i = 0 to per - 1 do
+      let key = (i * n_domains) + d + 1 in
+      ignore (Masstree.insert t (k key) key)
+    done
+  in
+  let ds = List.init n_domains (fun d -> Domain.spawn (body d)) in
+  List.iter Domain.join ds;
+  for key = 1 to n_domains * per do
+    if Masstree.lookup t (k key) <> Some key then Alcotest.failf "lost %d" key
+  done
+
+let test_concurrent_readers_writers () =
+  reset ();
+  let t = Masstree.create () in
+  for i = 1 to 2_000 do
+    ignore (Masstree.insert t (k i) i)
+  done;
+  let stop = Atomic.make false in
+  let reader () =
+    let r = Util.Rng.create 14 in
+    let bad = ref 0 in
+    while not (Atomic.get stop) do
+      let key = 1 + Util.Rng.below r 2_000 in
+      if Masstree.lookup t (k key) <> Some key then incr bad
+    done;
+    !bad
+  in
+  let writer () =
+    let r = Util.Rng.create 15 in
+    for _ = 1 to 20_000 do
+      ignore (Masstree.insert t (k (Util.Rng.key r)) 1)
+    done;
+    0
+  in
+  let rd = Domain.spawn reader and wd = Domain.spawn writer in
+  ignore (Domain.join wd);
+  Atomic.set stop true;
+  Alcotest.(check int) "stable keys always readable" 0 (Domain.join rd)
+
+(* --- Crash consistency ------------------------------------------------------------ *)
+
+let test_crash_campaign () =
+  for point = 1 to 80 do
+    reset ();
+    Pmem.Mode.set_shadow true;
+    let t = Masstree.create () in
+    let r = Util.Rng.create 42 in
+    let loaded = Array.init 300 (fun _ -> Util.Rng.key r) in
+    Array.iter (fun key -> ignore (Masstree.insert t (k key) key)) loaded;
+    Pmem.persist_everything ();
+    Pmem.Crash.arm_at point;
+    (try
+       for _ = 1 to 300 do
+         ignore (Masstree.insert t (k (Util.Rng.key r)) 7)
+       done;
+       Pmem.Crash.disarm ()
+     with Pmem.Crash.Simulated_crash -> ());
+    Pmem.simulate_power_failure ();
+    Masstree.recover t;
+    Array.iter
+      (fun key ->
+        if Masstree.lookup t (k key) <> Some key then
+          Alcotest.failf "crash point %d lost key %d" point key)
+      loaded;
+    let r2 = Util.Rng.create (point * 17) in
+    for _ = 1 to 200 do
+      let key = Util.Rng.key r2 in
+      ignore (Masstree.insert t (k key) 9);
+      if Masstree.lookup t (k key) <> Some 9 then
+        Alcotest.failf "post-crash insert broken at point %d" point
+    done
+  done;
+  Pmem.Mode.set_shadow false
+
+(* Deterministic split-crash: enumerate every crash point of an insert that
+   triggers a leaf split, then verify the helper replays step 2. *)
+let test_helper_replays_split () =
+  let fired = ref false in
+  (* Fill one leaf to exactly 14 live entries, then insert one more. *)
+  let setup () =
+    reset ();
+    Pmem.Mode.set_shadow true;
+    let t = Masstree.create () in
+    for i = 1 to 14 do
+      ignore (Masstree.insert t (k (i * 10)) i)
+    done;
+    Pmem.persist_everything ();
+    t
+  in
+  let points =
+    let t = setup () in
+    Pmem.Crash.count_points (fun () -> ignore (Masstree.insert t (k 75) 99))
+  in
+  Alcotest.(check bool) "split has several ordered steps" true (points >= 2);
+  for point = 1 to points do
+    let t = setup () in
+    Pmem.Crash.arm_at point;
+    (try ignore (Masstree.insert t (k 75) 99) with Pmem.Crash.Simulated_crash -> ());
+    Pmem.Crash.disarm ();
+    Pmem.simulate_power_failure ();
+    Masstree.recover t;
+    for i = 1 to 14 do
+      if Masstree.lookup t (k (i * 10)) <> Some i then
+        Alcotest.failf "crash point %d lost key %d" point (i * 10)
+    done;
+    (* Writes into the crashed node's range trigger the fix. *)
+    for i = 1 to 14 do
+      ignore (Masstree.insert t (k ((i * 10) + 1)) i)
+    done;
+    for i = 1 to 14 do
+      if Masstree.lookup t (k ((i * 10) + 1)) <> Some i then
+        Alcotest.failf "post-crash insert lost at point %d" point;
+      if Masstree.lookup t (k (i * 10)) <> Some i then
+        Alcotest.failf "old key lost after fixes at point %d" point
+    done;
+    if Masstree.helper_fixes t > 0 then fired := true
+  done;
+  Pmem.Mode.set_shadow false;
+  Alcotest.(check bool) "split-replay helper fired" true !fired
+
+let test_durability () =
+  reset ();
+  Pmem.Mode.set_shadow true;
+  let t = Masstree.create () in
+  Alcotest.(check int) "clean after create" 0 (Pmem.dirty_count ());
+  let r = Util.Rng.create 11 in
+  for i = 1 to 2_000 do
+    ignore (Masstree.insert t (k (Util.Rng.key r)) i);
+    if Pmem.dirty_count () <> 0 then
+      Alcotest.failf "dirty lines after insert %d: %s" i
+        (String.concat "," (Pmem.dirty_objects ()))
+  done;
+  for i = 1 to 300 do
+    ignore (Masstree.insert t (k i) i);
+    ignore (Masstree.delete t (k i));
+    if Pmem.dirty_count () <> 0 then Alcotest.failf "dirty after delete %d" i
+  done;
+  Pmem.Mode.set_shadow false
+
+let () =
+  Alcotest.run "masstree"
+    [
+      ( "sequential",
+        [
+          Alcotest.test_case "insert/lookup" `Quick test_insert_lookup;
+          Alcotest.test_case "multilayer int keys" `Quick test_multilayer_int_keys;
+          Alcotest.test_case "string keys" `Quick test_string_keys;
+          Alcotest.test_case "variable-length keys" `Quick test_variable_length_keys;
+          Alcotest.test_case "update" `Quick test_update;
+          Alcotest.test_case "delete+churn" `Quick test_delete;
+          Alcotest.test_case "scan sorted" `Quick test_scan_sorted;
+          Alcotest.test_case "scan string keys" `Quick test_scan_string_keys;
+          Alcotest.test_case "range" `Quick test_range;
+        ] );
+      ( "model",
+        [
+          QCheck_alcotest.to_alcotest prop_matches_model;
+          QCheck_alcotest.to_alcotest prop_scan_matches_model;
+        ] );
+      ( "concurrent",
+        [
+          Alcotest.test_case "inserts" `Quick test_concurrent_inserts;
+          Alcotest.test_case "readers+writers" `Quick test_concurrent_readers_writers;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "campaign" `Quick test_crash_campaign;
+          Alcotest.test_case "helper replays split" `Quick test_helper_replays_split;
+        ] );
+      ("durability", [ Alcotest.test_case "no dirty lines" `Quick test_durability ]);
+    ]

@@ -1,0 +1,219 @@
+(* Tests for the simulated persistent-memory substrate. *)
+
+let reset () =
+  Pmem.Mode.set_shadow false;
+  Pmem.Llc.set_enabled false;
+  Pmem.Crash.disarm ();
+  ignore (Pmem.persist_everything ());
+  Pmem.Stats.reset ()
+
+(* --- Words --------------------------------------------------------------- *)
+
+let test_words_basic () =
+  reset ();
+  let w = Pmem.Words.make 20 0 in
+  Alcotest.(check int) "length" 20 (Pmem.Words.length w);
+  Pmem.Words.set w 3 42;
+  Alcotest.(check int) "set/get" 42 (Pmem.Words.get w 3);
+  Alcotest.(check int) "untouched" 0 (Pmem.Words.get w 19);
+  Alcotest.(check bool) "cas ok" true
+    (Pmem.Words.cas w 3 ~expected:42 ~desired:43);
+  Alcotest.(check bool) "cas fail" false
+    (Pmem.Words.cas w 3 ~expected:42 ~desired:44);
+  Alcotest.(check int) "after cas" 43 (Pmem.Words.get w 3);
+  Alcotest.(check int) "fetch_add old" 43 (Pmem.Words.fetch_add w 3 7);
+  Alcotest.(check int) "fetch_add new" 50 (Pmem.Words.get w 3)
+
+let test_words_counters () =
+  reset ();
+  let before = Pmem.Stats.snapshot () in
+  let w = Pmem.Words.make 16 0 in
+  Pmem.Words.set w 0 1;
+  Pmem.Words.clwb w 0;
+  Pmem.sfence ();
+  Pmem.Words.clwb_all w;
+  let d = Pmem.Stats.(diff (snapshot ()) before) in
+  (* 16 words = 2 lines; clwb_all = 2 + explicit 1 = 3. *)
+  Alcotest.(check int) "clwb count" 3 d.Pmem.Stats.s_clwb;
+  Alcotest.(check int) "sfence count" 1 d.Pmem.Stats.s_sfence;
+  Alcotest.(check int) "lines allocated" 2 d.Pmem.Stats.s_lines_allocated;
+  Alcotest.(check int) "words allocated" 16 d.Pmem.Stats.s_words_allocated
+
+(* --- Shadow mode: crash discards unflushed lines ------------------------- *)
+
+let test_shadow_revert () =
+  reset ();
+  Pmem.Mode.set_shadow true;
+  let w = Pmem.Words.make 8 0 in
+  Pmem.Words.clwb_all w;
+  (* persist initial zeros *)
+  Pmem.Words.set w 0 7;
+  Pmem.Words.clwb w 0;
+  Pmem.Words.set w 1 9;
+  (* w.(1) never flushed *)
+  Alcotest.(check bool) "dirty before crash" true (Pmem.dirty_count () > 0);
+  Pmem.simulate_power_failure ();
+  Alcotest.(check int) "flushed store survives" 7 (Pmem.Words.get w 0);
+  Alcotest.(check int) "unflushed store lost" 0 (Pmem.Words.get w 1);
+  Alcotest.(check int) "nothing dirty after crash" 0 (Pmem.dirty_count ());
+  Pmem.Mode.set_shadow false
+
+let test_shadow_same_line () =
+  reset ();
+  Pmem.Mode.set_shadow true;
+  let w = Pmem.Words.make 8 0 in
+  Pmem.Words.clwb_all w;
+  (* Two stores to the same line, one flush: both survive (line granularity). *)
+  Pmem.Words.set w 2 5;
+  Pmem.Words.set w 3 6;
+  Pmem.Words.clwb w 2;
+  Pmem.simulate_power_failure ();
+  Alcotest.(check int) "word 2" 5 (Pmem.Words.get w 2);
+  Alcotest.(check int) "word 3" 6 (Pmem.Words.get w 3);
+  Pmem.Mode.set_shadow false
+
+let test_allocation_starts_dirty () =
+  reset ();
+  Pmem.Mode.set_shadow true;
+  let w = Pmem.Words.make 8 123 in
+  Alcotest.(check bool) "fresh object is dirty" true (Pmem.dirty_count () > 0);
+  Pmem.Words.clwb_all w;
+  Alcotest.(check int) "flushed" 0 (Pmem.dirty_count ());
+  Pmem.Mode.set_shadow false
+
+let test_refs_shadow () =
+  reset ();
+  Pmem.Mode.set_shadow true;
+  let r = Pmem.Refs.make 4 "init" in
+  Pmem.Refs.clwb_all r;
+  Pmem.Refs.set r 0 "flushed";
+  Pmem.Refs.clwb r 0;
+  Pmem.Refs.set r 1 "lost";
+  Pmem.simulate_power_failure ();
+  Alcotest.(check string) "flushed ref survives" "flushed" (Pmem.Refs.get r 0);
+  Alcotest.(check string) "unflushed ref lost" "init" (Pmem.Refs.get r 1);
+  Pmem.Mode.set_shadow false
+
+let test_refs_cas_is_physical () =
+  reset ();
+  let a = "a" and b = "b" in
+  let r = Pmem.Refs.make 1 a in
+  Alcotest.(check bool) "cas on same pointer" true
+    (Pmem.Refs.cas r 0 ~expected:a ~desired:b);
+  Alcotest.(check bool) "cas with stale pointer" false
+    (Pmem.Refs.cas r 0 ~expected:a ~desired:b)
+
+(* --- Crash points -------------------------------------------------------- *)
+
+let test_crash_countdown () =
+  reset ();
+  Pmem.Crash.arm_at 3;
+  Pmem.Crash.point ();
+  Pmem.Crash.point ();
+  (match Pmem.Crash.point () with
+  | () -> Alcotest.fail "expected crash at point 3"
+  | exception Pmem.Crash.Simulated_crash -> ());
+  (* Disarmed after firing. *)
+  Pmem.Crash.point ()
+
+let test_crash_probability () =
+  reset ();
+  Pmem.Crash.arm ~probability:1.0 ~seed:42;
+  (match Pmem.Crash.point () with
+  | () -> Alcotest.fail "p=1.0 must fire immediately"
+  | exception Pmem.Crash.Simulated_crash -> ());
+  Pmem.Crash.arm ~probability:0.0 ~seed:42;
+  for _ = 1 to 1000 do
+    Pmem.Crash.point ()
+  done;
+  Pmem.Crash.disarm ()
+
+let test_count_points () =
+  reset ();
+  let n =
+    Pmem.Crash.count_points (fun () ->
+        Pmem.Crash.point ();
+        Pmem.Crash.point ())
+  in
+  Alcotest.(check int) "two points" 2 n
+
+(* --- LLC simulator ------------------------------------------------------- *)
+
+let test_llc_miss_counting () =
+  reset ();
+  Pmem.Llc.configure ~capacity_bytes:(64 * 64) ~ways:4 ();
+  Pmem.Llc.set_enabled true;
+  Pmem.Llc.reset ();
+  let w = Pmem.Words.make 8 0 in
+  ignore (Pmem.Words.get w 0);
+  (* compulsory miss *)
+  ignore (Pmem.Words.get w 1);
+  (* same line: hit *)
+  Alcotest.(check int) "accesses" 2 (Pmem.Llc.accesses ());
+  Alcotest.(check int) "misses" 1 (Pmem.Llc.misses ());
+  Pmem.Llc.set_enabled false
+
+let test_llc_capacity_eviction () =
+  reset ();
+  (* 16 lines capacity, 4-way: touching 64 distinct lines then re-touching
+     the first must miss again. *)
+  Pmem.Llc.configure ~capacity_bytes:(16 * 64) ~ways:4 ();
+  Pmem.Llc.set_enabled true;
+  Pmem.Llc.reset ();
+  let ws = Array.init 64 (fun _ -> Pmem.Words.make 8 0) in
+  Array.iter (fun w -> ignore (Pmem.Words.get w 0)) ws;
+  let m = Pmem.Llc.misses () in
+  Alcotest.(check int) "all compulsory misses" 64 m;
+  ignore (Pmem.Words.get ws.(0) 0);
+  Alcotest.(check int) "evicted line misses again" (m + 1) (Pmem.Llc.misses ());
+  Pmem.Llc.set_enabled false
+
+(* --- Concurrency smoke --------------------------------------------------- *)
+
+let test_parallel_cas_counter () =
+  reset ();
+  let w = Pmem.Words.make 1 0 in
+  let n_domains = 4 and per = 5_000 in
+  let body () =
+    for _ = 1 to per do
+      let rec bump () =
+        let v = Pmem.Words.get w 0 in
+        if not (Pmem.Words.cas w 0 ~expected:v ~desired:(v + 1)) then bump ()
+      in
+      bump ()
+    done
+  in
+  let ds = List.init n_domains (fun _ -> Domain.spawn body) in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "no lost increments" (n_domains * per) (Pmem.Words.get w 0)
+
+let () =
+  Alcotest.run "pmem"
+    [
+      ( "words",
+        [
+          Alcotest.test_case "basic" `Quick test_words_basic;
+          Alcotest.test_case "counters" `Quick test_words_counters;
+        ] );
+      ( "shadow",
+        [
+          Alcotest.test_case "revert" `Quick test_shadow_revert;
+          Alcotest.test_case "same line" `Quick test_shadow_same_line;
+          Alcotest.test_case "allocation dirty" `Quick test_allocation_starts_dirty;
+          Alcotest.test_case "refs" `Quick test_refs_shadow;
+          Alcotest.test_case "refs cas physical" `Quick test_refs_cas_is_physical;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "countdown" `Quick test_crash_countdown;
+          Alcotest.test_case "probability" `Quick test_crash_probability;
+          Alcotest.test_case "count points" `Quick test_count_points;
+        ] );
+      ( "llc",
+        [
+          Alcotest.test_case "miss counting" `Quick test_llc_miss_counting;
+          Alcotest.test_case "capacity eviction" `Quick test_llc_capacity_eviction;
+        ] );
+      ( "concurrency",
+        [ Alcotest.test_case "parallel cas" `Quick test_parallel_cas_counter ] );
+    ]

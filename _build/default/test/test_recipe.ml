@@ -1,0 +1,134 @@
+(* Tests for the recipe core library: Persist combinators (flush counting in
+   naive vs coalesced mode), Wordkey spaces, and the Condition taxonomy. *)
+
+let reset () =
+  Pmem.Mode.set_shadow false;
+  Pmem.Crash.disarm ();
+  ignore (Pmem.persist_everything ());
+  Recipe.Persist.set_naive false;
+  Pmem.Stats.reset ()
+
+(* --- Persist combinators -------------------------------------------------- *)
+
+let clwb_count () = (Pmem.Stats.snapshot ()).Pmem.Stats.s_clwb
+let sfence_count () = (Pmem.Stats.snapshot ()).Pmem.Stats.s_sfence
+
+let test_coalesced_store_does_not_flush () =
+  reset ();
+  let w = Pmem.Words.make 8 0 in
+  Pmem.Stats.reset ();
+  Recipe.Persist.store w 0 1;
+  Recipe.Persist.store w 1 2;
+  Alcotest.(check int) "no flush for plain stores" 0 (clwb_count ());
+  Recipe.Persist.commit w 2 3;
+  Alcotest.(check int) "commit flushes once" 1 (clwb_count ());
+  Alcotest.(check int) "commit fences once" 1 (sfence_count ())
+
+let test_naive_store_flushes () =
+  reset ();
+  let w = Pmem.Words.make 8 0 in
+  Recipe.Persist.set_naive true;
+  Pmem.Stats.reset ();
+  Recipe.Persist.store w 0 1;
+  Recipe.Persist.store w 1 2;
+  Alcotest.(check int) "naive mode flushes every store" 2 (clwb_count ());
+  Alcotest.(check int) "and fences every store" 2 (sfence_count ());
+  Recipe.Persist.set_naive false
+
+let test_commit_cas_flushes_only_on_success () =
+  reset ();
+  let r = Pmem.Refs.make 1 "a" in
+  Pmem.Stats.reset ();
+  let ok = Recipe.Persist.commit_cas_ref r 0 ~expected:"a" ~desired:"b" in
+  Alcotest.(check bool) "cas won" true ok;
+  Alcotest.(check int) "winning cas flushes" 1 (clwb_count ());
+  let ok2 = Recipe.Persist.commit_cas_ref r 0 ~expected:"a" ~desired:"c" in
+  Alcotest.(check bool) "cas lost" false ok2;
+  Alcotest.(check int) "losing cas does not flush (§6.3)" 1 (clwb_count ())
+
+(* --- Wordkey spaces --------------------------------------------------------- *)
+
+let test_int_space () =
+  reset ();
+  let ks = Recipe.Wordkey.int_space () in
+  let w = ks.Recipe.Wordkey.intern (Util.Keys.encode_int 12345) in
+  Alcotest.(check int) "intern decodes" 12345 w;
+  Alcotest.(check string) "to_key" (Util.Keys.encode_int 12345)
+    (ks.Recipe.Wordkey.to_key w);
+  Alcotest.(check int) "probe compare eq" 0
+    (ks.Recipe.Wordkey.compare_probe (Util.Keys.encode_int 12345) w);
+  Alcotest.(check bool) "probe compare lt" true
+    (ks.Recipe.Wordkey.compare_probe (Util.Keys.encode_int 3) w < 0);
+  Alcotest.(check bool) "word compare" true
+    (ks.Recipe.Wordkey.compare_words 3 12345 < 0)
+
+let test_string_space () =
+  reset ();
+  let ks = Recipe.Wordkey.string_space () in
+  let wa = ks.Recipe.Wordkey.intern "alpha" in
+  let wb = ks.Recipe.Wordkey.intern "beta" in
+  Alcotest.(check string) "to_key a" "alpha" (ks.Recipe.Wordkey.to_key wa);
+  Alcotest.(check string) "to_key b" "beta" (ks.Recipe.Wordkey.to_key wb);
+  Alcotest.(check bool) "words ordered by string" true
+    (ks.Recipe.Wordkey.compare_words wa wb < 0);
+  Alcotest.(check int) "probe eq" 0 (ks.Recipe.Wordkey.compare_probe "beta" wb);
+  (* Interning goes through the persistent pool: it must flush. *)
+  Pmem.Stats.reset ();
+  ignore (ks.Recipe.Wordkey.intern "gamma");
+  Alcotest.(check bool) "pool append flushes" true (clwb_count () >= 1)
+
+let prop_string_space_order =
+  QCheck.Test.make ~name:"string space preserves order" ~count:300
+    QCheck.(pair (string_of_size (QCheck.Gen.int_range 0 30))
+              (string_of_size (QCheck.Gen.int_range 0 30)))
+    (fun (a, b) ->
+      let ks = Recipe.Wordkey.string_space () in
+      let wa = ks.Recipe.Wordkey.intern a and wb = ks.Recipe.Wordkey.intern b in
+      let sign x = compare x 0 in
+      sign (ks.Recipe.Wordkey.compare_words wa wb) = sign (String.compare a b))
+
+(* --- Condition taxonomy ------------------------------------------------------- *)
+
+let test_taxonomy_table () =
+  Alcotest.(check int) "five converted indexes" 5
+    (List.length Recipe.Condition.converted);
+  (* Table 2 invariants from the paper. *)
+  List.iter
+    (fun e ->
+      let open Recipe.Condition in
+      Alcotest.(check bool) (e.name ^ ": readers non-blocking") true
+        (e.reader = Non_blocking);
+      Alcotest.(check bool) (e.name ^ ": non-SMO is #1") true (e.non_smo = C1))
+    Recipe.Condition.converted;
+  (match Recipe.Condition.find "BwTree" with
+  | Some e ->
+      Alcotest.(check bool) "BwTree writer non-blocking" true
+        (e.Recipe.Condition.writer = Recipe.Condition.Non_blocking);
+      Alcotest.(check bool) "BwTree SMO #2" true
+        (e.Recipe.Condition.smo = Recipe.Condition.C2)
+  | None -> Alcotest.fail "BwTree missing");
+  (match Recipe.Condition.find "P-ART" with
+  | Some e ->
+      Alcotest.(check bool) "ART SMO #3" true
+        (e.Recipe.Condition.smo = Recipe.Condition.C3)
+  | None -> Alcotest.fail "P-ART missing")
+
+let () =
+  Alcotest.run "recipe"
+    [
+      ( "persist",
+        [
+          Alcotest.test_case "coalesced stores" `Quick
+            test_coalesced_store_does_not_flush;
+          Alcotest.test_case "naive mode" `Quick test_naive_store_flushes;
+          Alcotest.test_case "cas flush on success only" `Quick
+            test_commit_cas_flushes_only_on_success;
+        ] );
+      ( "wordkey",
+        [
+          Alcotest.test_case "int space" `Quick test_int_space;
+          Alcotest.test_case "string space" `Quick test_string_space;
+          QCheck_alcotest.to_alcotest prop_string_space_order;
+        ] );
+      ("taxonomy", [ Alcotest.test_case "tables 1&2" `Quick test_taxonomy_table ]);
+    ]

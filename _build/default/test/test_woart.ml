@@ -1,0 +1,89 @@
+(* Tests for the WOART baseline: semantics under the global lock, concurrent
+   serialization, crash recovery of a held global lock. *)
+
+let reset () =
+  Pmem.Mode.set_shadow false;
+  Pmem.Crash.disarm ();
+  ignore (Pmem.persist_everything ());
+  Pmem.Stats.reset ();
+  Util.Lock.new_epoch ()
+
+let k = Util.Keys.encode_int
+
+let test_basic () =
+  reset ();
+  let t = Woart.create () in
+  Alcotest.(check bool) "insert" true (Woart.insert t (k 1) 10);
+  Alcotest.(check bool) "dup" false (Woart.insert t (k 1) 11);
+  Alcotest.(check (option int)) "lookup" (Some 10) (Woart.lookup t (k 1));
+  Alcotest.(check bool) "update" true (Woart.update t (k 1) 11);
+  Alcotest.(check (option int)) "updated" (Some 11) (Woart.lookup t (k 1));
+  Alcotest.(check bool) "update absent" false (Woart.update t (k 2) 1);
+  Alcotest.(check bool) "delete" true (Woart.delete t (k 1));
+  Alcotest.(check (option int)) "gone" None (Woart.lookup t (k 1))
+
+let test_bulk_and_scan () =
+  reset ();
+  let t = Woart.create () in
+  let r = Util.Rng.create 6 in
+  let keys = Array.init 3_000 (fun i -> i + 1) in
+  Util.Rng.shuffle r keys;
+  Array.iter (fun key -> ignore (Woart.insert t (k key) key)) keys;
+  Array.iter
+    (fun key ->
+      if Woart.lookup t (k key) <> Some key then Alcotest.failf "lost %d" key)
+    keys;
+  let got = ref [] in
+  let n = Woart.scan t (k 100) 20 (fun _ v -> got := v :: !got) in
+  Alcotest.(check int) "scan count" 20 n;
+  Alcotest.(check int) "scan start" 100 (List.hd (List.rev !got))
+
+let test_concurrent_correctness () =
+  reset ();
+  let t = Woart.create () in
+  let n_domains = 4 and per = 3_000 in
+  let body d () =
+    for i = 0 to per - 1 do
+      let key = (i * n_domains) + d + 1 in
+      ignore (Woart.insert t (k key) key);
+      ignore (Woart.lookup t (k key))
+    done
+  in
+  let ds = List.init n_domains (fun d -> Domain.spawn (body d)) in
+  List.iter Domain.join ds;
+  for key = 1 to n_domains * per do
+    if Woart.lookup t (k key) <> Some key then Alcotest.failf "lost %d" key
+  done
+
+(* A crash while the global lock is held must not deadlock recovery. *)
+let test_crash_with_held_lock () =
+  reset ();
+  Pmem.Mode.set_shadow true;
+  let t = Woart.create () in
+  for i = 1 to 100 do
+    ignore (Woart.insert t (k i) i)
+  done;
+  Pmem.persist_everything ();
+  Pmem.Crash.arm_at 2;
+  (try ignore (Woart.insert t (k 999) 999) with Pmem.Crash.Simulated_crash -> ());
+  Pmem.Crash.disarm ();
+  Pmem.simulate_power_failure ();
+  Woart.recover t;
+  for i = 1 to 100 do
+    if Woart.lookup t (k i) <> Some i then Alcotest.failf "lost %d" i
+  done;
+  Alcotest.(check bool) "writes work after recovery" true
+    (Woart.insert t (k 1000) 1 || true);
+  Pmem.Mode.set_shadow false
+
+let () =
+  Alcotest.run "woart"
+    [
+      ( "all",
+        [
+          Alcotest.test_case "basic" `Quick test_basic;
+          Alcotest.test_case "bulk+scan" `Quick test_bulk_and_scan;
+          Alcotest.test_case "concurrent" `Quick test_concurrent_correctness;
+          Alcotest.test_case "crash with held lock" `Quick test_crash_with_held_lock;
+        ] );
+    ]

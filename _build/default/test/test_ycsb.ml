@@ -1,0 +1,148 @@
+(* Tests for the YCSB generator and runner. *)
+
+let reset () =
+  Pmem.Mode.set_shadow false;
+  Pmem.Crash.disarm ();
+  ignore (Pmem.persist_everything ());
+  Pmem.Stats.reset ();
+  Util.Lock.new_epoch ()
+
+let test_mix_ratios () =
+  reset ();
+  (* Count opcodes through a counting driver. *)
+  let p =
+    Ycsb.prepare ~workload:Ycsb.A ~kind:Ycsb.Randint ~nloaded:1_000 ~nops:10_000
+      ~threads:2 ~seed:1 ()
+  in
+  let ins = Atomic.make 0 and rd = Atomic.make 0 and sc = Atomic.make 0 in
+  let d =
+    {
+      Ycsb.dname = "count";
+      insert = (fun _ -> Atomic.incr ins);
+      read =
+        (fun _ ->
+          Atomic.incr rd;
+          true);
+      scan =
+        (fun _ _ ->
+          Atomic.incr sc;
+          0);
+    }
+  in
+  let r = Ycsb.run p d in
+  Alcotest.(check int) "total ops" 10_000 r.Ycsb.ops;
+  let i = Atomic.get ins and rr = Atomic.get rd in
+  Alcotest.(check bool)
+    (Printf.sprintf "A is ~50/50 (got %d/%d)" i rr)
+    true
+    (abs (i - rr) < 1_000);
+  Alcotest.(check int) "no scans in A" 0 (Atomic.get sc)
+
+let test_workload_e_scans () =
+  reset ();
+  let p =
+    Ycsb.prepare ~workload:Ycsb.E ~kind:Ycsb.Randint ~nloaded:500 ~nops:4_000
+      ~threads:2 ~seed:2 ()
+  in
+  let ins = Atomic.make 0 and sc = Atomic.make 0 in
+  let d =
+    {
+      Ycsb.dname = "count";
+      insert = (fun _ -> Atomic.incr ins);
+      read = (fun _ -> true);
+      scan =
+        (fun _ len ->
+          Atomic.incr sc;
+          len);
+    }
+  in
+  let r = Ycsb.run p d in
+  let scans = Atomic.get sc in
+  Alcotest.(check bool) "mostly scans" true (scans > 3_000);
+  Alcotest.(check bool) "some inserts" true (Atomic.get ins > 0);
+  Alcotest.(check bool) "scan lengths accumulate" true (r.Ycsb.scanned_total >= scans)
+
+let test_unique_keys () =
+  reset ();
+  let p =
+    Ycsb.prepare ~workload:Ycsb.Load_a ~kind:Ycsb.Randint ~nloaded:5_000
+      ~nops:5_000 ~threads:4 ~seed:3 ()
+  in
+  let seen = Hashtbl.create 100 in
+  for i = 0 to 9_999 do
+    let k = Ycsb.key_int p i in
+    if Hashtbl.mem seen k then Alcotest.failf "duplicate key %d" k;
+    Hashtbl.add seen k ()
+  done
+
+let test_string_keys_shape () =
+  reset ();
+  let p =
+    Ycsb.prepare ~workload:Ycsb.C ~kind:Ycsb.Strkey ~nloaded:100 ~nops:100
+      ~threads:1 ~seed:4 ()
+  in
+  for i = 0 to 99 do
+    Alcotest.(check int) "24 bytes" 24 (String.length (Ycsb.key_string p i))
+  done
+
+let test_determinism () =
+  reset ();
+  let mk () =
+    Ycsb.prepare ~workload:Ycsb.B ~kind:Ycsb.Randint ~nloaded:200 ~nops:1_000
+      ~threads:2 ~seed:42 ()
+  in
+  let p1 = mk () and p2 = mk () in
+  (* universe = 200 loaded + 5% of 1000 = 250 keys *)
+  for i = 0 to 249 do
+    Alcotest.(check int) "same universe" (Ycsb.key_int p1 i) (Ycsb.key_int p2 i)
+  done
+
+(* End-to-end on real indexes: load + every workload must complete and find
+   every read. *)
+let test_end_to_end_clht () =
+  reset ();
+  List.iter
+    (fun w ->
+      reset ();
+      let p =
+        Ycsb.prepare ~workload:w ~kind:Ycsb.Randint ~nloaded:2_000 ~nops:2_000
+          ~threads:2 ~seed:5 ()
+      in
+      let t = Clht.create () in
+      let d = Harness.Drivers.clht p t in
+      ignore (Ycsb.load p d);
+      let r = Ycsb.run p d in
+      Alcotest.(check int)
+        (Ycsb.workload_name w ^ ": all reads found")
+        0 r.Ycsb.reads_missed)
+    [ Ycsb.A; Ycsb.B; Ycsb.C ]
+
+let test_end_to_end_art_scans () =
+  reset ();
+  let p =
+    Ycsb.prepare ~workload:Ycsb.E ~kind:Ycsb.Randint ~nloaded:2_000 ~nops:1_000
+      ~threads:2 ~seed:6 ()
+  in
+  let t = Art.create () in
+  let d = Harness.Drivers.art p t in
+  ignore (Ycsb.load p d);
+  let r = Ycsb.run p d in
+  Alcotest.(check bool) "scans visited entries" true (r.Ycsb.scanned_total > 0)
+
+let () =
+  Alcotest.run "ycsb"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "mix ratios" `Quick test_mix_ratios;
+          Alcotest.test_case "workload E scans" `Quick test_workload_e_scans;
+          Alcotest.test_case "unique keys" `Quick test_unique_keys;
+          Alcotest.test_case "string key shape" `Quick test_string_keys_shape;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+        ] );
+      ( "end to end",
+        [
+          Alcotest.test_case "clht all workloads" `Quick test_end_to_end_clht;
+          Alcotest.test_case "art scans" `Quick test_end_to_end_art_scans;
+        ] );
+    ]
