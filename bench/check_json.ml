@@ -1,0 +1,129 @@
+(* Validator for bench/main.exe --json reports, run under [dune runtest]
+   against a freshly generated smoke report.  Checks that the file parses,
+   that every index of the reproduction is present with workload cells and
+   latency percentiles, and that the per-site flush attribution sums to the
+   legacy Stats totals (the exporter's core invariant). *)
+
+module J = Obs.Json
+
+let required_indexes =
+  [
+    "P-ART"; "P-HOT"; "P-Masstree"; "P-BwTree"; "FAST&FAIR"; "WOART";
+    "P-CLHT"; "CCEH"; "Level";
+  ]
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+let get o k =
+  match J.member k o with Some v -> v | None -> fail "missing field %S" k
+
+let num ctx v =
+  match J.to_num v with Some f -> f | None -> fail "%s: expected a number" ctx
+
+let check_latency name w =
+  let lat = get w "latency" in
+  let overall = get lat "overall" in
+  match overall with
+  | J.Null -> () (* cell measured zero samples; legal for tiny smoke runs *)
+  | o ->
+      let p50 = num (name ^ ".p50") (get o "p50_ns")
+      and p99 = num (name ^ ".p99") (get o "p99_ns")
+      and p999 = num (name ^ ".p999") (get o "p999_ns") in
+      if p50 > p99 then fail "%s: p50 (%g) > p99 (%g)" name p50 p99;
+      if p99 > p999 then fail "%s: p99 (%g) > p99.9 (%g)" name p99 p999;
+      (* Every op class present in the cell must also carry percentiles. *)
+      List.iter
+        (fun cls ->
+          match J.member cls lat with
+          | Some (J.Obj _) | Some J.Null -> ()
+          | _ -> fail "%s: latency.%s malformed" name cls)
+        [ "insert"; "read"; "scan" ]
+
+let check_workload name w =
+  let wname =
+    match J.to_str (get w "workload") with
+    | Some s -> s
+    | None -> fail "%s: workload name missing" name
+  in
+  let ctx = name ^ "/" ^ wname in
+  let mops = num (ctx ^ ".mops") (get w "mops") in
+  if not (mops >= 0.0) then fail "%s: negative throughput" ctx;
+  let llc = num (ctx ^ ".llc") (get w "llc_misses_per_op") in
+  if not (llc >= 0.0) then fail "%s: negative LLC misses" ctx;
+  check_latency ctx w;
+  wname
+
+let check_sites name ix =
+  let s = get ix "sites" in
+  let n k = num (name ^ "." ^ k) (get s k) in
+  let sc = n "site_clwb_total" and tc = n "stats_clwb_total" in
+  if sc <> tc then
+    fail "%s: site clwb sum %g <> Stats total %g — attribution leak" name sc tc;
+  let ss = n "site_sfence_total" and ts = n "stats_sfence_total" in
+  if ss <> ts then
+    fail "%s: site sfence sum %g <> Stats total %g — attribution leak" name ss
+      ts;
+  match J.to_list (get s "attribution") with
+  | None -> fail "%s: attribution not a list" name
+  | Some rows ->
+      List.iter
+        (fun r ->
+          match J.to_str (get r "site") with
+          | Some _ -> ()
+          | None -> fail "%s: attribution row without a site name" name)
+        rows
+
+let check_index ix =
+  let name =
+    match J.to_str (get ix "name") with
+    | Some s -> s
+    | None -> fail "index without a name"
+  in
+  let wls =
+    match J.to_list (get ix "workloads") with
+    | Some [] -> fail "%s: no workload cells" name
+    | Some l -> l
+    | None -> fail "%s: workloads not a list" name
+  in
+  let wnames = List.map (check_workload name) wls in
+  (match J.member "scan_supported" ix with
+  | Some (J.Bool true) ->
+      if not (List.mem "E" wnames) then
+        fail "%s: scan-capable but workload E missing" name
+  | Some (J.Bool false) ->
+      if List.mem "E" wnames then
+        fail "%s: unordered index must not report workload E" name
+  | _ -> fail "%s: scan_supported missing" name);
+  check_sites name ix;
+  ignore (get ix "counters");
+  name
+
+let run file =
+  let s = In_channel.with_open_text file In_channel.input_all in
+  let doc =
+    match J.parse s with
+    | Ok v -> v
+    | Error e -> fail "%s does not parse: %s" file e
+  in
+  ignore (get doc "meta");
+  let idxs =
+    match J.to_list (get doc "indexes") with
+    | Some l -> l
+    | None -> fail "indexes not a list"
+  in
+  let names = List.map check_index idxs in
+  List.iter
+    (fun r ->
+      if not (List.mem r names) then fail "required index %S missing" r)
+    required_indexes;
+  Printf.printf "check_json: %s OK (%d indexes)\n" file (List.length names)
+
+let () =
+  if Array.length Sys.argv < 2 then begin
+    prerr_endline "usage: check_json FILE.json";
+    exit 2
+  end;
+  try run Sys.argv.(1)
+  with Failure m ->
+    prerr_endline ("check_json: " ^ m);
+    exit 1

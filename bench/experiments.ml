@@ -10,6 +10,9 @@ let reset_env () =
   Pmem.Crash.disarm ();
   ignore (Pmem.persist_everything ());
   Pmem.Stats.reset ();
+  (* Zero the whole metrics registry (site counters, histograms, trace ring)
+     so per-cell measurements never leak across experiments. *)
+  Obs.reset_all ();
   Util.Lock.new_epoch ();
   Recipe.Persist.set_naive false
 
@@ -95,11 +98,11 @@ let fig5 cfg =
 
 (* clwb and mfence per insert: measured single-threaded over the second half
    of a load (the table warm, rehashes amortized in). *)
-let flush_counters build =
+let flush_counters ?(nloaded = 40_000) build =
   reset_env ();
   let p =
-    Ycsb.prepare ~workload:Ycsb.Load_a ~kind:Ycsb.Randint ~nloaded:40_000
-      ~nops:0 ~threads:1 ~seed:7 ()
+    Ycsb.prepare ~workload:Ycsb.Load_a ~kind:Ycsb.Randint ~nloaded ~nops:0
+      ~threads:1 ~seed:7 ()
   in
   let d = build p in
   let half = Ycsb.nloaded p / 2 in

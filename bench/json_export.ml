@@ -1,0 +1,187 @@
+(* Machine-readable bench export (bench/main.exe --json FILE).
+
+   One self-contained measurement pass per index: YCSB throughput and
+   per-op-type latency percentiles for every applicable workload, flush and
+   fence counts per insert, simulated LLC misses per operation, and the
+   per-site flush attribution from the observability registry.  Each index
+   section carries both the site-summed totals and the legacy [Pmem.Stats]
+   totals so consumers (and bench/check_json.ml under [dune runtest]) can
+   check the attribution invariant: every flush lands on exactly one site,
+   so the sums must be equal. *)
+
+module J = Obs.Json
+module H = Util.Histogram
+
+(* Every index of the reproduction.  [ordered] doubles as scan support:
+   workload E runs only on the ordered (tree) indexes. *)
+let indexes =
+  let space () = Recipe.Wordkey.int_space () in
+  [
+    ("P-ART", true, fun p -> Harness.Drivers.art p (Art.create ()));
+    ("P-HOT", true, fun p -> Harness.Drivers.hot p (Hot.create ()));
+    ("P-Masstree", true, fun p -> Harness.Drivers.masstree p (Masstree.create ()));
+    ( "P-BwTree",
+      true,
+      fun p -> Harness.Drivers.bwtree p (Bwtree.create ~space:(space ()) ()) );
+    ( "FAST&FAIR",
+      true,
+      fun p -> Harness.Drivers.fastfair p (Fastfair.create ~space:(space ()) ()) );
+    ("WOART", true, fun p -> Harness.Drivers.woart p (Woart.create ()));
+    ("P-CLHT", false, fun p -> Harness.Drivers.clht p (Clht.create ()));
+    ("CCEH", false, fun p -> Harness.Drivers.cceh p (Cceh.create ()));
+    ("Level", false, fun p -> Harness.Drivers.levelhash p (Levelhash.create ()));
+  ]
+
+let hist_json = function
+  | Some h when H.count h > 0 ->
+      J.Obj
+        [
+          ("count", J.int (H.count h));
+          ("mean_ns", J.Num (H.mean h));
+          ("p50_ns", J.int (H.percentile h 0.50));
+          ("p99_ns", J.int (H.percentile h 0.99));
+          ("p999_ns", J.int (H.percentile h 0.999));
+        ]
+  | _ -> J.Null
+
+(* One (index, workload) cell: throughput + latency under the configured
+   thread count, then LLC misses per op from a separate single-threaded run
+   with the cache simulator on. *)
+let workload_json cfg build w =
+  let { Experiments.nloaded; nops; threads; seed; _ } = cfg in
+  Experiments.reset_env ();
+  let p =
+    Ycsb.prepare ~workload:w ~kind:Ycsb.Randint ~nloaded ~nops ~threads ~seed ()
+  in
+  let d = build p in
+  let r =
+    if w = Ycsb.Load_a then Ycsb.load ~latency:true p d
+    else begin
+      ignore (Ycsb.load p d);
+      Ycsb.run ~latency:true p d
+    end
+  in
+  let llc = Experiments.llc_misses_per_op Ycsb.Randint build w nloaded nops in
+  J.Obj
+    [
+      ("workload", J.Str (Ycsb.workload_name w));
+      ("ops", J.int r.Ycsb.ops);
+      ("seconds", J.Num r.Ycsb.seconds);
+      ("mops", J.Num r.Ycsb.mops);
+      ("reads_found", J.int r.Ycsb.reads_found);
+      ("reads_missed", J.int r.Ycsb.reads_missed);
+      ("scanned_total", J.int r.Ycsb.scanned_total);
+      ("llc_misses_per_op", J.Num llc);
+      ( "latency",
+        J.Obj
+          [
+            ("overall", hist_json r.Ycsb.latency);
+            ("insert", hist_json r.Ycsb.lat_insert);
+            ("read", hist_json r.Ycsb.lat_read);
+            ("scan", hist_json r.Ycsb.lat_scan);
+          ] );
+    ]
+
+(* Per-site flush/fence attribution over one load + workload-A run, against
+   a registry zeroed by [reset_env].  Only sites that fired are listed
+   (sorted by clwb count, descending, capped at [top_k] with the remainder
+   noted); the totals are over *all* sites so the invariant check is exact
+   regardless of the cap. *)
+let site_attribution cfg build =
+  let { Experiments.nloaded; nops; threads; seed; _ } = cfg in
+  Experiments.reset_env ();
+  let p =
+    Ycsb.prepare ~workload:Ycsb.A ~kind:Ycsb.Randint ~nloaded ~nops ~threads
+      ~seed ()
+  in
+  let d = build p in
+  ignore (Ycsb.load p d);
+  ignore (Ycsb.run p d);
+  let stats = Pmem.Stats.snapshot () in
+  let fired =
+    List.filter
+      (fun s -> Obs.Site.clwb_count s > 0 || Obs.Site.sfence_count s > 0)
+      (Obs.Site.all ())
+  in
+  let clwb_total =
+    List.fold_left (fun a s -> a + Obs.Site.clwb_count s) 0 fired
+  and sfence_total =
+    List.fold_left (fun a s -> a + Obs.Site.sfence_count s) 0 fired
+  in
+  let ranked =
+    List.sort
+      (fun a b -> compare (Obs.Site.clwb_count b) (Obs.Site.clwb_count a))
+      fired
+  in
+  let top_k = 16 in
+  let shown = List.filteri (fun i _ -> i < top_k) ranked in
+  J.Obj
+    [
+      ("site_clwb_total", J.int clwb_total);
+      ("site_sfence_total", J.int sfence_total);
+      ("stats_clwb_total", J.int stats.Pmem.Stats.s_clwb);
+      ("stats_sfence_total", J.int stats.Pmem.Stats.s_sfence);
+      ("sites_fired", J.int (List.length fired));
+      ("sites_listed", J.int (List.length shown));
+      ( "attribution",
+        J.List
+          (List.map
+             (fun s ->
+               J.Obj
+                 [
+                   ("site", J.Str (Obs.Site.name s));
+                   ("clwb", J.int (Obs.Site.clwb_count s));
+                   ("sfence", J.int (Obs.Site.sfence_count s));
+                 ])
+             shown) );
+    ]
+
+let index_json cfg (name, ordered, build) =
+  Printf.printf "json: measuring %s...\n%!" name;
+  let workloads =
+    if ordered then Ycsb.all_workloads
+    else [ Ycsb.Load_a; Ycsb.A; Ycsb.B; Ycsb.C ]
+  in
+  let cells = List.map (workload_json cfg build) workloads in
+  let clwb_ins, sfence_ins =
+    Experiments.flush_counters ~nloaded:cfg.Experiments.nloaded build
+  in
+  let sites = site_attribution cfg build in
+  J.Obj
+    [
+      ("name", J.Str name);
+      ("ordered", J.Bool ordered);
+      ("scan_supported", J.Bool ordered);
+      ("workloads", J.List cells);
+      ( "counters",
+        J.Obj
+          [
+            ("clwb_per_insert", J.Num clwb_ins);
+            ("sfence_per_insert", J.Num sfence_ins);
+          ] );
+      ("sites", sites);
+    ]
+
+let write cfg ~smoke file =
+  let { Experiments.nloaded; nops; threads; seed; _ } = cfg in
+  let doc =
+    J.Obj
+      [
+        ("schema", J.Str "recipe-bench/1");
+        ( "meta",
+          J.Obj
+            [
+              ("nloaded", J.int nloaded);
+              ("nops", J.int nops);
+              ("threads", J.int threads);
+              ("seed", J.int seed);
+              ("smoke", J.Bool smoke);
+              ("key_kind", J.Str "randint");
+            ] );
+        ("indexes", J.List (List.map (index_json cfg) indexes));
+      ]
+  in
+  let oc = open_out file in
+  J.to_channel oc doc;
+  close_out oc;
+  Printf.printf "json: wrote %s\n%!" file

@@ -39,14 +39,29 @@ let run_experiment cfg name =
       Printf.eprintf "unknown experiment %S (have: %s)\n" other
         (String.concat " " all_experiments)
 
-let main experiments keys ops threads states seed =
-  let cfg = { Experiments.nloaded = keys; nops = ops; threads; states; seed } in
+let main experiments keys ops threads states seed json smoke =
+  let cfg =
+    if smoke then
+      { Experiments.nloaded = 2_000; nops = 2_000; threads = 2; states = 10; seed }
+    else { Experiments.nloaded = keys; nops = ops; threads; states; seed }
+  in
   Printf.printf
-    "RECIPE reproduction benchmarks — keys=%d ops=%d threads=%d states=%d seed=%d\n"
-    keys ops threads states seed;
+    "RECIPE reproduction benchmarks — keys=%d ops=%d threads=%d states=%d seed=%d%s\n"
+    cfg.Experiments.nloaded cfg.Experiments.nops cfg.Experiments.threads
+    cfg.Experiments.states cfg.Experiments.seed
+    (if smoke then " (smoke)" else "");
   Printf.printf
     "(paper setup: 64M keys, 16 threads on Optane DC PMM; scale with --keys/--ops/--threads)\n";
-  let todo = if experiments = [] then all_experiments else experiments in
+  (match json with
+  | Some file -> Json_export.write cfg ~smoke file
+  | None -> ());
+  (* --json with no named experiments is a pure export run; otherwise fall
+     back to the usual default of every experiment. *)
+  let todo =
+    if experiments <> [] then experiments
+    else if json = None then all_experiments
+    else []
+  in
   List.iter (run_experiment cfg) todo
 
 let experiments_arg =
@@ -82,12 +97,31 @@ let states_arg =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
 
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Write a machine-readable JSON report to $(docv): per-index \
+           throughput, latency percentiles per op type, clwb/sfence/LLC \
+           counts per operation, and per-site flush attribution.  Without \
+           named experiments, only the export runs.")
+
+let smoke_arg =
+  Arg.(
+    value & flag
+    & info [ "smoke" ]
+        ~doc:
+          "Tiny fixed sizes (2K keys, 2K ops, 2 threads) for CI smoke runs; \
+           overrides --keys/--ops/--threads.")
+
 let cmd =
   let doc = "Regenerate the tables and figures of the RECIPE paper (SOSP '19)" in
   Cmd.v
     (Cmd.info "recipe-bench" ~doc)
     Term.(
       const main $ experiments_arg $ keys_arg $ ops_arg $ threads_arg
-      $ states_arg $ seed_arg)
+      $ states_arg $ seed_arg $ json_arg $ smoke_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -28,25 +28,67 @@ let subject name bug =
   | "cceh", _ -> Some (fun () -> Harness.Subjects.cceh ())
   | _ -> None
 
-let main index bug states sweep load seed =
+(* Crash-point coverage over the campaign just run: for every index whose
+   declared crash sites were reached while armed, how many of them actually
+   had a crash injected (and which never fired).  Sites register at module
+   init for all linked indexes; only the subject under test gets visits, so
+   the report stays focused on it (WOART's points surface as P-ART's — it
+   delegates every persist). *)
+let print_coverage () =
+  print_endline "crash-point coverage:";
+  let any = ref false in
+  List.iter
+    (fun idx ->
+      let c = Obs.Site.coverage idx in
+      if c.Obs.Site.registered > 0 && c.Obs.Site.visited > 0 then begin
+        any := true;
+        Printf.printf
+          "  %-12s %d/%d declared points exercised (%d visited while armed)\n"
+          c.Obs.Site.cov_index c.Obs.Site.exercised c.Obs.Site.registered
+          c.Obs.Site.visited;
+        if c.Obs.Site.unexercised <> [] then
+          Printf.printf "    never fired: %s\n"
+            (String.concat ", " c.Obs.Site.unexercised)
+      end)
+    (Obs.Site.indexes ());
+  if not !any then
+    print_endline "  (no declared crash point was reached while armed)"
+
+let failed r =
+  Crashtest.(r.lost_keys > 0 || r.wrong_values > 0 || r.stalled > 0)
+
+let dump_trace () =
+  let recent = Obs.Trace.recent 64 in
+  Printf.printf "trace: last %d events (%d dropped by the ring):\n"
+    (List.length recent) (Obs.Trace.dropped ());
+  List.iter (fun e -> Format.printf "  %a@." Obs.Trace.pp_event e) recent
+
+let main index bug states sweep load seed trace =
   match subject index bug with
   | None ->
       Printf.eprintf "unknown index %S (or bad --bug for it)\n" index;
       1
   | Some make ->
-      if sweep then begin
-        let r =
-          Crashtest.sweep ~make ~points:(states * 100) ~stride:1 ~load ()
-        in
-        Format.printf "sweep: %a@." Crashtest.pp_report r
-      end
-      else begin
-        let r =
-          Crashtest.consistency_campaign ~make ~states ~load ~ops:load
-            ~threads:4 ~seed ()
-        in
-        Format.printf "campaign: %a@." Crashtest.pp_report r
-      end;
+      if trace then Obs.Trace.set_enabled true;
+      let bad =
+        if sweep then begin
+          let r =
+            Crashtest.sweep ~make ~points:(states * 100) ~stride:1 ~load ()
+          in
+          Format.printf "sweep: %a@." Crashtest.pp_report r;
+          failed r
+        end
+        else begin
+          let r =
+            Crashtest.consistency_campaign ~make ~states ~load ~ops:load
+              ~threads:4 ~seed ()
+          in
+          Format.printf "campaign: %a@." Crashtest.pp_report r;
+          failed r
+        end
+      in
+      print_coverage ();
+      if trace && bad then dump_trace ();
       let v = Crashtest.durability_test ~make ~inserts:1_000 ~seed () in
       Printf.printf "durability violations: %d -> %s\n" v
         (if v = 0 then "PASS" else "FAIL");
@@ -71,8 +113,16 @@ let cmd =
   in
   let load = Arg.(value & opt int 400 & info [ "load" ] ~docv:"N") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ]) in
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Record the event trace ring during the campaign and dump the \
+             most recent events if it fails.")
+  in
   Cmd.v
     (Cmd.info "crash_check" ~doc:"Crash-recovery testing for one index (§5)")
-    Term.(const main $ index $ bug $ states $ sweep $ load $ seed)
+    Term.(const main $ index $ bug $ states $ sweep $ load $ seed $ trace)
 
 let () = exit (Cmd.eval' cmd)

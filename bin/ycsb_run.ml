@@ -46,8 +46,13 @@ let main index workload keys ops threads strkeys seed =
           let loadres = Ycsb.load p d in
           Format.printf "load: %a@." Ycsb.pp_result loadres;
           if w <> Ycsb.Load_a then begin
-            let r = Ycsb.run p d in
-            Format.printf "run:  %a@." Ycsb.pp_result r
+            match Ycsb.run p d with
+            | r -> Format.printf "run:  %a@." Ycsb.pp_result r
+            | exception Ycsb.Scan_unsupported dname ->
+                Printf.printf
+                  "run:  skipped — %s is unordered and does not support \
+                   range scans (workload E)\n"
+                  dname
           end;
           0)
 

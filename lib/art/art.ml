@@ -30,6 +30,21 @@ module Lock = Util.Lock
 
 let name = "P-ART"
 
+(* Attribution sites: every flush/fence and crash point below carries its
+   structural location, feeding the per-site breakdown of the bench JSON
+   export and the §5 crash-point coverage report. *)
+let site = Obs.Site.v ~index:name
+let s_alloc_node = site "alloc-node"
+let s_alloc_leaf = site "alloc-leaf"
+let s_add_child = site ~crash:true "add-child"
+let s_child_commit = site "child-commit"
+let s_update = site "update"
+let s_fix_prefix = site "fix-prefix"
+let s_chain = site ~crash:true "chain-install"
+let s_grow = site ~crash:true "grow"
+let s_split = site ~crash:true "split-prefix"
+let s_shrink = site ~crash:true "shrink"
+
 type kind = N4 | N16 | N48 | N256
 
 type leaf = { lkey : string; cells : W.t (* [0] = value; rest = key bytes *) }
@@ -95,11 +110,11 @@ let make_node kind ~level ~prefix_len ~prefix_word =
     lock = Lock.create ();
   }
 
-let persist_node n =
-  W.clwb_all n.header;
-  (match n.index with Some iw -> W.clwb_all iw | None -> ());
-  R.clwb_all n.children;
-  Pmem.sfence ()
+let persist_node ?(site = s_alloc_node) n =
+  W.clwb_all ~site n.header;
+  (match n.index with Some iw -> W.clwb_all ~site iw | None -> ());
+  R.clwb_all ~site n.children;
+  Pmem.sfence ~site ()
 
 let make_leaf key value =
   let cells = W.make ~name:"art.leaf" (1 + ((String.length key + 7) / 8)) 0 in
@@ -108,9 +123,9 @@ let make_leaf key value =
   String.iteri (fun i c -> if i mod 8 = 0 then W.set cells (1 + (i / 8)) (Char.code c)) key;
   { lkey = key; cells }
 
-let persist_leaf l =
-  W.clwb_all l.cells;
-  Pmem.sfence ()
+let persist_leaf ?(site = s_alloc_leaf) l =
+  W.clwb_all ~site l.cells;
+  Pmem.sfence ~site ()
 
 let create () =
   let root = make_node N256 ~level:0 ~prefix_len:0 ~prefix_word:0 in
@@ -214,31 +229,34 @@ let add_child n b child =
   match n.kind with
   | N4 | N16 ->
       let j = count n in
-      P.store_ref n.children j child;
-      R.clwb n.children j;
-      Pmem.sfence ();
-      Pmem.Crash.point ();
+      P.store_ref ~site:s_add_child n.children j child;
+      R.clwb ~site:s_add_child n.children j;
+      Pmem.sfence ~site:s_add_child ();
+      Pmem.Crash.point ~site:s_add_child ();
       (* Key byte and count share the header line: the count increment is
          the single atomic commit (§6.4 "atomically made visible by
          increasing counter value"). *)
       set_key_byte n j b;
-      P.commit n.header 0 (j + 1)
+      P.commit ~site:s_add_child n.header 0 (j + 1)
   | N48 ->
       let j = count n in
-      P.store_ref n.children j child;
-      R.clwb n.children j;
-      Pmem.sfence ();
-      Pmem.Crash.point ();
-      P.commit n.header 0 (j + 1);
-      Pmem.Crash.point ();
+      P.store_ref ~site:s_add_child n.children j child;
+      R.clwb ~site:s_add_child n.children j;
+      Pmem.sfence ~site:s_add_child ();
+      Pmem.Crash.point ~site:s_add_child ();
+      P.commit ~site:s_add_child n.header 0 (j + 1);
+      Pmem.Crash.point ~site:s_add_child ();
       (* The index-byte store commits visibility. *)
       set_index_byte n b (j + 1);
       (match n.index with
       | Some iw ->
-          W.clwb iw (b / 7);
-          Pmem.sfence ()
+          W.clwb ~site:s_add_child iw (b / 7);
+          Pmem.sfence ~site:s_add_child ()
       | None -> ())
-  | N256 -> ignore (P.commit_cas_ref n.children b ~expected:CNull ~desired:child)
+  | N256 ->
+      ignore
+        (P.commit_cas_ref ~site:s_add_child n.children b ~expected:CNull
+           ~desired:child)
 
 let replace_child n b child =
   match n.kind with
@@ -247,15 +265,15 @@ let replace_child n b child =
       let rec go j =
         if j >= c then assert false
         else if key_byte n j = b && R.get n.children j <> CNull then
-          P.commit_ref n.children j child
+          P.commit_ref ~site:s_child_commit n.children j child
         else go (j + 1)
       in
       go 0
   | N48 ->
       let idx = index_byte n b in
       assert (idx > 0);
-      P.commit_ref n.children (idx - 1) child
-  | N256 -> P.commit_ref n.children b child
+      P.commit_ref ~site:s_child_commit n.children (idx - 1) child
+  | N256 -> P.commit_ref ~site:s_child_commit n.children b child
 
 (* Remove = invalidate with one atomic store (§6.4 deletion). *)
 let remove_child n b =
@@ -265,7 +283,7 @@ let remove_child n b =
       let rec go j =
         if j >= c then false
         else if key_byte n j = b && R.get n.children j <> CNull then begin
-          P.commit_ref n.children j CNull;
+          P.commit_ref ~site:s_child_commit n.children j CNull;
           true
         end
         else go (j + 1)
@@ -275,14 +293,14 @@ let remove_child n b =
       let idx = index_byte n b in
       if idx = 0 then false
       else begin
-        P.commit_ref n.children (idx - 1) CNull;
+        P.commit_ref ~site:s_child_commit n.children (idx - 1) CNull;
         true
       end
   | N256 ->
       (match R.get n.children b with
       | CNull -> false
       | _ ->
-          P.commit_ref n.children b CNull;
+          P.commit_ref ~site:s_child_commit n.children b CNull;
           true)
 
 (* Copy of [n] one size up with (b, child) added; fresh and unpublished. *)
@@ -393,7 +411,7 @@ let update t key value =
       | CNull -> false
       | CLeaf l ->
           if String.equal l.lkey key then begin
-            P.commit l.cells 0 value;
+            P.commit ~site:s_update l.cells 0 value;
             true
           end
           else false
@@ -431,7 +449,7 @@ let fix_prefix t n depth =
     | Some _ | None -> 0
   in
   W.set n.header 3 word;
-  P.commit n.header 1 epl;
+  P.commit ~site:s_fix_prefix n.header 1 epl;
   Atomic.incr t.fixes
 
 (* --- insert ------------------------------------------------------------------------ *)
@@ -517,9 +535,9 @@ and insert_attempt t key value =
                   R.set nn.children 1 (CLeaf l2);
                   packed_set nn.header 4 1 (byte l2.lkey (off + cl));
                   W.set nn.header 0 2;
-                  persist_leaf lf;
-                  persist_node nn;
-                  Pmem.Crash.point ();
+                  persist_leaf ~site:s_chain lf;
+                  persist_node ~site:s_chain nn;
+                  Pmem.Crash.point ~site:s_chain ();
                   replace_child n b (CInner nn);
                   Lock.unlock n.lock;
                   true
@@ -549,7 +567,7 @@ and add_leaf t parent n b key value =
       if not (is_full n) then begin
         let lf = make_leaf key value in
         persist_leaf lf;
-        Pmem.Crash.point ();
+        Pmem.Crash.point ~site:s_add_child ();
         add_child n b (CLeaf lf);
         Lock.unlock n.lock;
         true
@@ -585,10 +603,10 @@ and grow_and_add t parent n b key value =
           raise Retry
       | CNull -> ());
       let lf = make_leaf key value in
-      persist_leaf lf;
+      persist_leaf ~site:s_grow lf;
       let g = grow_with n b (CLeaf lf) in
-      persist_node g;
-      Pmem.Crash.point ();
+      persist_node ~site:s_grow g;
+      Pmem.Crash.point ~site:s_grow ();
       replace_child p pb (CInner g);
       Lock.unlock n.lock;
       Lock.unlock p.lock;
@@ -630,17 +648,17 @@ and split_prefix t parent n depth prefix matched key value =
       R.set nn.children 1 (CInner n);
       packed_set nn.header 4 1 (Char.code prefix.[matched]);
       W.set nn.header 0 2;
-      persist_leaf lf;
-      persist_node nn;
-      Pmem.Crash.point ();
+      persist_leaf ~site:s_split lf;
+      persist_node ~site:s_split nn;
+      Pmem.Crash.point ~site:s_split ();
       (* Step 1: atomic install. *)
       replace_child p pb (CInner nn);
-      Pmem.Crash.point ();
+      Pmem.Crash.point ~site:s_split ();
       (* Step 2: shrink the old node's prefix (level is immutable). *)
       let new_pl = epl - matched - 1 in
       W.set n.header 3
         (pack_string prefix (matched + 1) new_pl);
-      P.commit n.header 1 new_pl;
+      P.commit ~site:s_split n.header 1 new_pl;
       Lock.unlock n.lock;
       Lock.unlock p.lock;
       true
@@ -710,18 +728,18 @@ and try_shrink t key parent n =
           let live = children_in_order n in
           (match (List.length live, live) with
           | 0, _ ->
-              Pmem.Crash.point ();
+              Pmem.Crash.point ~site:s_shrink ();
               ignore (remove_child p pb);
               Atomic.incr t.shrinks
           | 1, [ (_, (CLeaf _ as lf)) ] ->
               (* A lone leaf needs no inner node: its full key re-verifies. *)
-              Pmem.Crash.point ();
+              Pmem.Crash.point ~site:s_shrink ();
               replace_child p pb lf;
               Atomic.incr t.shrinks
           | nlive, _ when shrinkable n.kind nlive ->
               let g = shrink_to live n in
-              persist_node g;
-              Pmem.Crash.point ();
+              persist_node ~site:s_shrink g;
+              Pmem.Crash.point ~site:s_shrink ();
               replace_child p pb (CInner g);
               Atomic.incr t.shrinks
           | _ -> ())

@@ -23,6 +23,15 @@ module P = Recipe.Persist
 module K = Recipe.Wordkey
 
 let name = "P-BwTree"
+
+(* Flush/fence attribution sites (index × structural location). *)
+let site = Obs.Site.v ~index:name
+let s_alloc = site "alloc-base"
+let s_delta = site ~crash:true "delta-install"
+let s_index = site ~crash:true "index-install"
+let s_consol = site ~crash:true "consolidate"
+let s_split = site ~crash:true "split"
+let s_root = site ~crash:true "new-root"
 let max_entries = 32
 let max_chain = 8
 let mapping_segment = 4096
@@ -73,9 +82,9 @@ let dummy_base () =
       bmeta = W.make ~name:"bw.dummy" 1 0;
     }
   in
-  W.clwb_all b.keys;
-  W.clwb_all b.vals;
-  W.clwb_all b.bmeta;
+  W.clwb_all ~site:s_alloc b.keys;
+  W.clwb_all ~site:s_alloc b.vals;
+  W.clwb_all ~site:s_alloc b.bmeta;
   b
 
 let rec segment t s =
@@ -87,8 +96,8 @@ let rec segment t s =
         let seg =
           R.make ~name:"bw.mapping" mapping_segment (NBase (dummy_base ()))
         in
-        R.clwb_all seg;
-        Pmem.sfence ();
+        R.clwb_all ~site:s_alloc seg;
+        Pmem.sfence ~site:s_alloc ();
         Atomic.set t.segments.(s) (Some seg)
       end;
       Mutex.unlock t.grow_lock;
@@ -98,23 +107,23 @@ let mapping_get t pid =
   R.get (segment t (pid / mapping_segment)) (pid mod mapping_segment)
 
 (* Install with CAS; flush only on success (§6.3). *)
-let mapping_cas t pid ~expected ~desired =
-  P.commit_cas_ref
+let mapping_cas ?site t pid ~expected ~desired =
+  P.commit_cas_ref ?site
     (segment t (pid / mapping_segment))
     (pid mod mapping_segment) ~expected ~desired
 
 (* Unconditional install of a fresh, not-yet-published page id. *)
-let mapping_set t pid node =
+let mapping_set ?(site = s_split) t pid node =
   let seg = segment t (pid / mapping_segment) in
   R.set seg (pid mod mapping_segment) node;
-  R.clwb seg (pid mod mapping_segment);
-  Pmem.sfence ()
+  R.clwb ~site seg (pid mod mapping_segment);
+  Pmem.sfence ~site ()
 
 let alloc_pid t = Atomic.fetch_and_add t.next_pid 1
 
 (* --- constructing records -------------------------------------------------------- *)
 
-let make_base ~leaf ~count ~has_high ~high ~next_pid fill_keys fill_vals =
+let make_base ?(site = s_alloc) ~leaf ~count ~has_high ~high ~next_pid fill_keys fill_vals =
   let keys = W.make ~name:"bw.keys" (max 1 count) 0 in
   let vals =
     W.make ~name:"bw.vals" (max 1 (if leaf then count else count + 1)) 0
@@ -128,14 +137,14 @@ let make_base ~leaf ~count ~has_high ~high ~next_pid fill_keys fill_vals =
   W.set bmeta 3 high;
   W.set bmeta 4 next_pid;
   let b = { leaf; count; keys; vals; has_high; high; next_pid; bmeta } in
-  W.clwb_all keys;
-  W.clwb_all vals;
-  W.clwb_all bmeta;
-  Pmem.sfence ();
+  W.clwb_all ~site keys;
+  W.clwb_all ~site vals;
+  W.clwb_all ~site bmeta;
+  Pmem.sfence ~site ();
   b
 
 (* Persist a delta record's metadata line before it is installed. *)
-let make_delta ~leaf dop next =
+let make_delta ?(site = s_delta) ~leaf dop next =
   let dmeta = W.make ~name:"bw.delta" 8 0 in
   (match dop with
   | DInsert (k, v) ->
@@ -149,8 +158,8 @@ let make_delta ~leaf dop next =
       W.set dmeta 0 3;
       W.set dmeta 1 s;
       W.set dmeta 2 c);
-  W.clwb_all dmeta;
-  Pmem.sfence ();
+  W.clwb_all ~site dmeta;
+  Pmem.sfence ~site ();
   { dleaf = leaf; dop; dnext = next; dmeta }
 
 let create ~space () =
@@ -332,9 +341,9 @@ let rec add_index t parent_pid sep child_pid =
     | NBase b when b.has_high && t.ks.compare_words sep b.high >= 0 ->
         add_index t b.next_pid sep child_pid
     | _ ->
-        let d = make_delta ~leaf:false (DIndex (sep, child_pid)) node in
-        Pmem.Crash.point ();
-        if mapping_cas t parent_pid ~expected:node ~desired:(NDelta d) then begin
+        let d = make_delta ~site:s_index ~leaf:false (DIndex (sep, child_pid)) node in
+        Pmem.Crash.point ~site:s_index ();
+        if mapping_cas ~site:s_index t parent_pid ~expected:node ~desired:(NDelta d) then begin
           Atomic.incr t.helps;
           maybe_consolidate t parent_pid None
         end
@@ -354,12 +363,12 @@ and consolidate t pid parent node =
     let n = Array.length entries in
     if n <= max_entries then begin
       let nb =
-        make_base ~leaf:true ~count:n ~has_high ~high ~next_pid
+        make_base ~site:s_consol ~leaf:true ~count:n ~has_high ~high ~next_pid
           (fun keys -> Array.iteri (fun i (k, _) -> W.set keys i k) entries)
           (fun vals -> Array.iteri (fun i (_, v) -> W.set vals i v) entries)
       in
-      Pmem.Crash.point ();
-      if mapping_cas t pid ~expected:node ~desired:(NBase nb) then
+      Pmem.Crash.point ~site:s_consol ();
+      if mapping_cas ~site:s_consol t pid ~expected:node ~desired:(NBase nb) then
         Atomic.incr t.consolidations
     end
     else split_leaf t pid parent node entries ~has_high ~high ~next_pid
@@ -370,14 +379,14 @@ and consolidate t pid parent node =
     let n = Array.length seps in
     if n <= max_entries then begin
       let nb =
-        make_base ~leaf:false ~count:n ~has_high ~high ~next_pid
+        make_base ~site:s_consol ~leaf:false ~count:n ~has_high ~high ~next_pid
           (fun keys -> Array.iteri (fun i (s, _) -> W.set keys i s) seps)
           (fun vals ->
             W.set vals 0 leftmost;
             Array.iteri (fun i (_, c) -> W.set vals (i + 1) c) seps)
       in
-      Pmem.Crash.point ();
-      if mapping_cas t pid ~expected:node ~desired:(NBase nb) then
+      Pmem.Crash.point ~site:s_consol ();
+      if mapping_cas ~site:s_consol t pid ~expected:node ~desired:(NBase nb) then
         Atomic.incr t.consolidations
     end
     else split_internal t pid parent node leftmost seps ~has_high ~high ~next_pid
@@ -390,7 +399,7 @@ and split_leaf t pid parent node entries ~has_high ~high ~next_pid =
   (* Sibling with the upper half at a fresh, unpublished page id. *)
   let sib_pid = alloc_pid t in
   let sib =
-    make_base ~leaf:true ~count:(n - mid) ~has_high ~high ~next_pid
+    make_base ~site:s_split ~leaf:true ~count:(n - mid) ~has_high ~high ~next_pid
       (fun keys ->
         for i = mid to n - 1 do
           W.set keys (i - mid) (fst entries.(i))
@@ -401,10 +410,10 @@ and split_leaf t pid parent node entries ~has_high ~high ~next_pid =
         done)
   in
   mapping_set t sib_pid (NBase sib);
-  Pmem.Crash.point ();
+  Pmem.Crash.point ~site:s_split ();
   (* Lower half carries the new high key: the single-CAS logical split. *)
   let lower =
-    make_base ~leaf:true ~count:mid ~has_high:true ~high:sep ~next_pid:sib_pid
+    make_base ~site:s_split ~leaf:true ~count:mid ~has_high:true ~high:sep ~next_pid:sib_pid
       (fun keys ->
         for i = 0 to mid - 1 do
           W.set keys i (fst entries.(i))
@@ -414,9 +423,9 @@ and split_leaf t pid parent node entries ~has_high ~high ~next_pid =
           W.set vals i (snd entries.(i))
         done)
   in
-  if mapping_cas t pid ~expected:node ~desired:(NBase lower) then begin
+  if mapping_cas ~site:s_split t pid ~expected:node ~desired:(NBase lower) then begin
     Atomic.incr t.consolidations;
-    Pmem.Crash.point ();
+    Pmem.Crash.point ~site:s_split ();
     finish_split t pid parent sep sib_pid
   end
 
@@ -426,7 +435,7 @@ and split_internal t pid parent node leftmost seps ~has_high ~high ~next_pid =
   let sep, sep_child = seps.(mid) in
   let sib_pid = alloc_pid t in
   let sib =
-    make_base ~leaf:false ~count:(n - mid - 1) ~has_high ~high ~next_pid
+    make_base ~site:s_split ~leaf:false ~count:(n - mid - 1) ~has_high ~high ~next_pid
       (fun keys ->
         for i = mid + 1 to n - 1 do
           W.set keys (i - mid - 1) (fst seps.(i))
@@ -438,9 +447,9 @@ and split_internal t pid parent node leftmost seps ~has_high ~high ~next_pid =
         done)
   in
   mapping_set t sib_pid (NBase sib);
-  Pmem.Crash.point ();
+  Pmem.Crash.point ~site:s_split ();
   let lower =
-    make_base ~leaf:false ~count:mid ~has_high:true ~high:sep ~next_pid:sib_pid
+    make_base ~site:s_split ~leaf:false ~count:mid ~has_high:true ~high:sep ~next_pid:sib_pid
       (fun keys ->
         for i = 0 to mid - 1 do
           W.set keys i (fst seps.(i))
@@ -451,9 +460,9 @@ and split_internal t pid parent node leftmost seps ~has_high ~high ~next_pid =
           W.set vals (i + 1) (snd seps.(i))
         done)
   in
-  if mapping_cas t pid ~expected:node ~desired:(NBase lower) then begin
+  if mapping_cas ~site:s_split t pid ~expected:node ~desired:(NBase lower) then begin
     Atomic.incr t.consolidations;
-    Pmem.Crash.point ();
+    Pmem.Crash.point ~site:s_split ();
     finish_split t pid parent sep sib_pid
   end
 
@@ -470,16 +479,16 @@ and finish_split t pid parent sep sib_pid =
            later split of page 0 retries the growth. *)
         let lower_pid = alloc_pid t in
         let old = mapping_get t pid in
-        mapping_set t lower_pid old;
+        mapping_set ~site:s_root t lower_pid old;
         let new_root =
-          make_base ~leaf:false ~count:1 ~has_high:false ~high:0 ~next_pid:0
+          make_base ~site:s_root ~leaf:false ~count:1 ~has_high:false ~high:0 ~next_pid:0
             (fun keys -> W.set keys 0 sep)
             (fun vals ->
               W.set vals 0 lower_pid;
               W.set vals 1 sib_pid)
         in
-        Pmem.Crash.point ();
-        ignore (mapping_cas t pid ~expected:old ~desired:(NBase new_root))
+        Pmem.Crash.point ~site:s_root ();
+        ignore (mapping_cas ~site:s_root t pid ~expected:old ~desired:(NBase new_root))
       end
       (* else: a sibling of the (still-leaf) root split; its separator is
          installed by helping once the root has grown to an internal node. *)
@@ -540,8 +549,8 @@ let rec write_op t probe make_op present_result absent_result =
             | `Absent -> absent_result)
         | Some dop ->
             let d = make_delta ~leaf:true dop node in
-            Pmem.Crash.point ();
-            if mapping_cas t pid ~expected:node ~desired:(NDelta d) then begin
+            Pmem.Crash.point ~site:s_delta ();
+            if mapping_cas ~site:s_delta t pid ~expected:node ~desired:(NDelta d) then begin
               maybe_consolidate t pid parent;
               match decided with
               | `Present v -> present_result v

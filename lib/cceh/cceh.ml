@@ -29,6 +29,15 @@ module Lock = Util.Lock
 
 let name = "CCEH"
 
+(* Flush/fence attribution sites (index × structural location). *)
+let site = Obs.Site.v ~index:name
+let s_alloc = site "alloc-segment"
+let s_insert = site ~crash:true "insert-commit"
+let s_split = site ~crash:true "segment-split"
+let s_double = site ~crash:true "dir-double"
+let s_delete = site "delete-commit"
+let s_recover = site "recover-normalize"
+
 exception Stalled
 
 let lines_per_segment = 64
@@ -79,18 +88,18 @@ let make_segment ~local_depth =
     lock = Lock.create ();
   }
 
-let persist_segment s =
-  W.clwb_all s.slots;
-  W.clwb_all s.meta
+let persist_segment ?(site = s_alloc) s =
+  W.clwb_all ~site s.slots;
+  W.clwb_all ~site s.meta
 
 let make_dir ~depth ~init =
   let meta = W.make ~name:"cceh.dirmeta" 8 0 in
   W.set meta 0 depth;
   { segs = R.make ~name:"cceh.dir" (1 lsl depth) init; depth; meta }
 
-let persist_dir d =
-  R.clwb_all d.segs;
-  W.clwb_all d.meta
+let persist_dir ?(site = s_alloc) d =
+  R.clwb_all ~site d.segs;
+  W.clwb_all ~site d.meta
 
 let default_capacity = 48 * 1024 / 64
 
@@ -112,12 +121,12 @@ let create ?(bug_doubling = false) ?(capacity = default_capacity) () =
     persist_segment (R.get d.segs i)
   done;
   persist_dir d;
-  Pmem.sfence ();
+  Pmem.sfence ~site:s_alloc ();
   let dir = R.make ~name:"cceh.dirptr" 1 d in
-  R.clwb_all dir;
+  R.clwb_all ~site:s_alloc dir;
   let depth_word = W.make ~name:"cceh.depth" 1 depth in
-  W.clwb_all depth_word;
-  Pmem.sfence ();
+  W.clwb_all ~site:s_alloc depth_word;
+  Pmem.sfence ~site:s_alloc ();
   {
     dir;
     depth_word;
@@ -231,10 +240,10 @@ let split t d idx seg =
       copy_place child k v
     end
   done;
-  persist_segment s0;
-  persist_segment s1;
-  Pmem.sfence ();
-  Pmem.Crash.point ();
+  persist_segment ~site:s_split s0;
+  persist_segment ~site:s_split s1;
+  Pmem.sfence ~site:s_split ();
+  Pmem.Crash.point ~site:s_split ();
   (* Directory region covered by [seg]. *)
   let rs = 1 lsl (d.depth - l) in
   let start = idx - (idx mod rs) in
@@ -242,11 +251,11 @@ let split t d idx seg =
   (* 1-half ascending first, then 0-half ascending: the order recovery's
      region normalization relies on. *)
   for j = start + half to start + rs - 1 do
-    P.commit_ref d.segs j s1
+    P.commit_ref ~site:s_split d.segs j s1
   done;
-  Pmem.Crash.point ();
+  Pmem.Crash.point ~site:s_split ();
   for j = start to start + half - 1 do
-    P.commit_ref d.segs j s0
+    P.commit_ref ~site:s_split d.segs j s0
   done;
   Atomic.incr t.splits
 
@@ -262,23 +271,23 @@ let double t seen_depth =
       R.set nd.segs (2 * i) s;
       R.set nd.segs ((2 * i) + 1) s
     done;
-    persist_dir nd;
-    Pmem.sfence ();
-    Pmem.Crash.point ();
+    persist_dir ~site:s_double nd;
+    Pmem.sfence ~site:s_double ();
+    Pmem.Crash.point ~site:s_double ();
     if t.bug_doubling then begin
-      P.commit_ref t.dir 0 nd;
-      Pmem.Crash.point ();
+      P.commit_ref ~site:s_double t.dir 0 nd;
+      Pmem.Crash.point ~site:s_double ();
       (* §3: the global depth is a separate persistent store — the crash
          window between the two commits is the CCEH bug. *)
-      P.commit t.depth_word 0 nd.depth
+      P.commit ~site:s_double t.depth_word 0 nd.depth
     end
     else begin
       (* Fixed: the record swap carries the depth; the shadow word is kept
          in sync but nothing depends on it. *)
-      P.commit_ref t.dir 0 nd;
+      P.commit_ref ~site:s_double t.dir 0 nd;
       W.set t.depth_word 0 nd.depth;
-      W.clwb t.depth_word 0;
-      Pmem.sfence ()
+      W.clwb ~site:s_double t.depth_word 0;
+      Pmem.sfence ~site:s_double ()
     end
   end;
   Lock.unlock t.dir_lock
@@ -311,9 +320,9 @@ let rec insert t k v =
       let i = !slot in
       (* Value first, then the atomic key store commits; both words share a
          cache line, so one flush suffices. *)
-      P.store seg.slots (i + 1) v;
-      Pmem.Crash.point ();
-      P.commit seg.slots i k;
+      P.store ~site:s_insert seg.slots (i + 1) v;
+      Pmem.Crash.point ~site:s_insert ();
+      P.commit ~site:s_insert seg.slots i k;
       Lock.unlock seg.lock;
       true
     end
@@ -336,7 +345,7 @@ let delete t k =
   let deleted = ref false in
   probe_slots h (fun i ->
       if W.get seg.slots i = k then begin
-        P.commit seg.slots i 0;
+        P.commit ~site:s_delete seg.slots i 0;
         deleted := true;
         true
       end
@@ -357,7 +366,7 @@ let recover t =
     let s = R.get d.segs !i in
     let rs = 1 lsl (d.depth - s.local_depth) in
     for j = !i to !i + rs - 1 do
-      if R.get d.segs j != s then P.commit_ref d.segs j s
+      if R.get d.segs j != s then P.commit_ref ~site:s_recover d.segs j s
     done;
     i := !i + rs
   done

@@ -26,6 +26,14 @@ module Lock = Util.Lock
 
 let name = "P-CLHT"
 
+(* Flush/fence attribution sites (index × structural location). *)
+let site = Obs.Site.v ~index:name
+let s_alloc = site "alloc-bucket"
+let s_insert = site ~crash:true "insert-commit"
+let s_chain = site ~crash:true "chain-link"
+let s_delete = site "delete-commit"
+let s_rehash = site ~crash:true "rehash"
+
 let entries_per_bucket = 3
 
 type bucket = {
@@ -55,17 +63,17 @@ let new_bucket () =
    that line only when it carries a real pointer — except under shadow mode,
    where the crash/durability machinery needs every allocated line written
    back explicitly. *)
-let persist_bucket b =
-  W.clwb_all b.words;
+let persist_bucket ?(site = s_alloc) b =
+  W.clwb_all ~site b.words;
   if Pmem.Mode.shadow_enabled () || R.get b.next 0 <> None then
-    R.clwb_all b.next
+    R.clwb_all ~site b.next
 
 let new_table n_buckets =
   { buckets = Array.init n_buckets (fun _ -> new_bucket ()); mask = n_buckets - 1 }
 
 let persist_table tbl =
-  Array.iter persist_bucket tbl.buckets;
-  Pmem.sfence ()
+  Array.iter (persist_bucket ~site:s_alloc) tbl.buckets;
+  Pmem.sfence ~site:s_alloc ()
 
 (* 48 KB of 64-byte buckets. *)
 let default_buckets = 48 * 1024 / 64
@@ -75,8 +83,8 @@ let create ?(capacity = default_buckets) () =
   let tbl = new_table n in
   persist_table tbl;
   let table = R.make ~name:"clht.table" 1 tbl in
-  R.clwb_all table;
-  Pmem.sfence ();
+  R.clwb_all ~site:s_alloc table;
+  Pmem.sfence ~site:s_alloc ();
   { table; resize_lock = Lock.create (); count = Atomic.make 0 }
 
 let hash_key k = (k * 0x1CE4E5B9) lxor (k lsr 29)
@@ -179,7 +187,7 @@ and resize t =
     (* Take every head lock; they are never released — the old table is dead
        after the swap and stalled writers re-read the table pointer. *)
     Array.iter (fun b -> Lock.lock b.lock) old.buckets;
-    Pmem.Crash.point ();
+    Pmem.Crash.point ~site:s_rehash ();
     (* Grow 4x: ample headroom so steady-state mixed workloads run without
        further rehashing (§7.2: "when the hash table is sufficiently large,
        P-CLHT performs no rehashing in workload A and B"). *)
@@ -197,13 +205,13 @@ and resize t =
       old.buckets;
     (* Persist the whole new table, then commit with one atomic swap. *)
     let rec persist_chain b =
-      persist_bucket b;
+      persist_bucket ~site:s_rehash b;
       match R.get b.next 0 with None -> () | Some nb -> persist_chain nb
     in
     Array.iter persist_chain fresh.buckets;
-    Pmem.sfence ();
-    Pmem.Crash.point ();
-    P.commit_ref t.table 0 fresh;
+    Pmem.sfence ~site:s_rehash ();
+    Pmem.Crash.point ~site:s_rehash ();
+    P.commit_ref ~site:s_rehash t.table 0 fresh;
     Lock.unlock t.resize_lock
   end
 
@@ -238,19 +246,19 @@ let insert t k v =
       | Some (b, i) ->
           (* Value first, then the atomic key store commits: one line, one
              flush (§6.2 "only one cache line flush per update"). *)
-          P.store b.words (i + entries_per_bucket) v;
-          Pmem.Crash.point ();
-          P.commit b.words i k
+          P.store ~site:s_insert b.words (i + entries_per_bucket) v;
+          Pmem.Crash.point ~site:s_insert ();
+          P.commit ~site:s_insert b.words i k
       | None ->
           (* Chain overflow: build the new bucket, persist it, then commit
              by atomically linking it. *)
           let nb = new_bucket () in
           W.set nb.words entries_per_bucket v;
           W.set nb.words 0 k;
-          persist_bucket nb;
-          Pmem.sfence ();
-          Pmem.Crash.point ();
-          P.commit_ref !last.next 0 (Some nb));
+          persist_bucket ~site:s_chain nb;
+          Pmem.sfence ~site:s_chain ();
+          Pmem.Crash.point ~site:s_chain ();
+          P.commit_ref ~site:s_chain !last.next 0 (Some nb));
       true
     with Present -> false
   in
@@ -271,7 +279,7 @@ let delete t k =
           match R.get b.next 0 with None -> false | Some nb -> walk nb
         else if W.get b.words i = k then begin
           (* Deletion commits by zeroing the key word (§6.2). *)
-          P.commit b.words i 0;
+          P.commit ~site:s_delete b.words i 0;
           true
         end
         else slot (i + 1)

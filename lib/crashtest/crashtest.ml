@@ -29,6 +29,12 @@ let fresh_env () =
   ignore (Pmem.persist_everything ());
   Util.Lock.new_epoch ()
 
+(* Recovery, bracketed in the trace ring when tracing is on — a failing
+   campaign's dump then shows which recovery preceded the bad lookup. *)
+let recover_traced s =
+  if Obs.Trace.enabled () then Obs.Trace.record Obs.Trace.Recovery s.sname;
+  s.recover ()
+
 (* Keys used by one campaign state: load keys, then per-thread disjoint
    fresh keys for the post-recovery phase. *)
 let load_key i = i + 1
@@ -91,7 +97,7 @@ let consistency_campaign ~make ~states ~load ~ops ~threads ~seed () =
      with Pmem.Crash.Simulated_crash -> incr crashes);
     (* Power failure: all unflushed lines are lost; then recovery. *)
     Pmem.simulate_power_failure ();
-    (try s.recover () with _ -> incr stalled);
+    (try recover_traced s with _ -> incr stalled);
     (* Multi-threaded mixed phase: half inserts of fresh keys, half reads of
        loaded keys, statically split. *)
     let per = ops / threads in
@@ -180,7 +186,7 @@ let sweep ~make ~points ~stride ~load ?(stop_on_failure = true) () =
       continue := false;
     Pmem.simulate_power_failure ();
     (try
-       s.recover ();
+       recover_traced s;
        for i = 0 to load - 1 do
          if completed.(i) then
            match s.lookup (load_key i) with
@@ -232,7 +238,7 @@ let double_crash_campaign ~make ~states ~load ~seed () =
        Pmem.Crash.disarm ()
      with Pmem.Crash.Simulated_crash -> incr crashes);
     Pmem.simulate_power_failure ();
-    (try s.recover () with _ -> incr stalled);
+    (try recover_traced s with _ -> incr stalled);
     (* Second crash: during the writes that may be fixing first-crash
        leftovers. *)
     let completed2 = Array.make load false in
@@ -245,7 +251,7 @@ let double_crash_campaign ~make ~states ~load ~seed () =
        Pmem.Crash.disarm ()
      with Pmem.Crash.Simulated_crash -> incr crashes);
     Pmem.simulate_power_failure ();
-    (try s.recover () with _ -> incr stalled);
+    (try recover_traced s with _ -> incr stalled);
     (* Verify everything that completed in either phase. *)
     (try
        let expected = ref [] in

@@ -31,6 +31,16 @@ module Lock = Util.Lock
 module K = Recipe.Wordkey
 
 let name = "FAST&FAIR"
+
+(* Flush/fence attribution sites (index × structural location). *)
+let site = Obs.Site.v ~index:name
+let s_alloc = site "alloc-node"
+let s_insert = site ~crash:true "insert-shift"
+let s_remove = site ~crash:true "remove-shift"
+let s_fix = site "fix-node"
+let s_split = site ~crash:true "split"
+let s_root = site ~crash:true "new-root"
+
 let cardinality = 32
 let slots_per_line = 8
 
@@ -75,13 +85,13 @@ let make_node ~level ~min_key ~has_min =
     seq = Atomic.make 0;
   }
 
-let persist_node n =
-  W.clwb_all n.keys;
-  R.clwb_all n.ptrs;
-  R.clwb_all n.leftmost;
-  R.clwb_all n.sibling;
-  W.clwb_all n.meta;
-  Pmem.sfence ()
+let persist_node ?(site = s_alloc) n =
+  W.clwb_all ~site n.keys;
+  R.clwb_all ~site n.ptrs;
+  R.clwb_all ~site n.leftmost;
+  R.clwb_all ~site n.sibling;
+  W.clwb_all ~site n.meta;
+  Pmem.sfence ~site ()
 
 let create ?(bug_highkey = false) ?(bug_split_order = false)
     ?(bug_root_flush = false) ~space () =
@@ -89,8 +99,8 @@ let create ?(bug_highkey = false) ?(bug_split_order = false)
   if not bug_root_flush then persist_node root;
   let root_ref = R.make ~name:"ff.root" 1 root in
   if not bug_root_flush then begin
-    R.clwb_all root_ref;
-    Pmem.sfence ()
+    R.clwb_all ~site:s_alloc root_ref;
+    Pmem.sfence ~site:s_alloc ()
   end;
   { ks = space; root = root_ref; bug_highkey; bug_split_order; bug_root_flush }
 
@@ -222,26 +232,26 @@ let lookup t probe =
 (* --- write-path helpers (caller holds [n.lock]) ---------------------------- *)
 
 (* Flush the lines of both parallel arrays covering slot [i], then fence. *)
-let flush_slot_lines n i =
-  W.clwb n.keys i;
-  R.clwb n.ptrs i;
-  Pmem.sfence ()
+let flush_slot_lines ?site n i =
+  W.clwb ?site n.keys i;
+  R.clwb ?site n.ptrs i;
+  Pmem.sfence ?site ()
 
 (* Remove slot [pos]: shift left, pointer before key, flushing left-to-right
    at line crossings, then retract the Null terminator. *)
 let remove_slot n pos count =
   seq_begin n;
   for i = pos to count - 2 do
-    P.store_ref n.ptrs i (R.get n.ptrs (i + 1));
-    P.store n.keys i (W.get n.keys (i + 1));
+    P.store_ref ~site:s_remove n.ptrs i (R.get n.ptrs (i + 1));
+    P.store ~site:s_remove n.keys i (W.get n.keys (i + 1));
     if (i + 1) mod slots_per_line = 0 then begin
-      flush_slot_lines n i;
-      Pmem.Crash.point ()
+      flush_slot_lines ~site:s_remove n i;
+      Pmem.Crash.point ~site:s_remove ()
     end
   done;
-  if count - 2 >= pos then flush_slot_lines n (count - 2);
-  Pmem.Crash.point ();
-  P.commit_ref n.ptrs (count - 1) Null;
+  if count - 2 >= pos then flush_slot_lines ~site:s_remove n (count - 2);
+  Pmem.Crash.point ~site:s_remove ();
+  P.commit_ref ~site:s_remove n.ptrs (count - 1) Null;
   seq_end n
 
 (* Writer-side fix of crash leftovers (§3: "writes detect inconsistencies
@@ -271,7 +281,7 @@ let fix_node t n =
       let cut = first_out 0 in
       if cut < count then begin
         seq_begin n;
-        P.commit_ref n.ptrs cut Null;
+        P.commit_ref ~site:s_fix n.ptrs cut Null;
         seq_end n
       end
 
@@ -281,20 +291,20 @@ let fix_node t n =
 let insert_slot n pos count kw p =
   seq_begin n;
   for i = count - 1 downto pos do
-    P.store n.keys (i + 1) (W.get n.keys i);
-    P.store_ref n.ptrs (i + 1) (R.get n.ptrs i);
+    P.store ~site:s_insert n.keys (i + 1) (W.get n.keys i);
+    P.store_ref ~site:s_insert n.ptrs (i + 1) (R.get n.ptrs i);
     if (i + 1) mod slots_per_line = 0 then begin
-      flush_slot_lines n (i + 1);
-      Pmem.Crash.point ()
+      flush_slot_lines ~site:s_insert n (i + 1);
+      Pmem.Crash.point ~site:s_insert ()
     end
   done;
-  if count > pos then flush_slot_lines n (pos + 1);
-  Pmem.Crash.point ();
-  P.store n.keys pos kw;
-  W.clwb n.keys pos;
-  Pmem.sfence ();
-  Pmem.Crash.point ();
-  P.commit_ref n.ptrs pos p;
+  if count > pos then flush_slot_lines ~site:s_insert n (pos + 1);
+  Pmem.Crash.point ~site:s_insert ();
+  P.store ~site:s_insert n.keys pos kw;
+  W.clwb ~site:s_insert n.keys pos;
+  Pmem.sfence ~site:s_insert ();
+  Pmem.Crash.point ~site:s_insert ();
+  P.commit_ref ~site:s_insert n.ptrs pos p;
   seq_end n
 
 (* Lock [n], moving right as needed so [probe] is in range (unless the §3
@@ -361,35 +371,35 @@ and split t n =
     (Array.sub entries first_copied (len - first_copied));
   if n.level > 0 then R.set sib.leftmost 0 split_ptr;
   R.set sib.sibling 0 (R.get n.sibling 0);
-  persist_node sib;
-  Pmem.Crash.point ();
+  persist_node ~site:s_split sib;
+  Pmem.Crash.point ~site:s_split ();
   seq_begin n;
   if t.bug_split_order then begin
     (* §3 implementation-bug class: truncate before linking — a crash
        between the two stores loses every key moved to the right node. *)
-    P.commit_ref n.ptrs mid Null;
-    Pmem.Crash.point ();
-    P.commit_ref n.sibling 0 (Some sib)
+    P.commit_ref ~site:s_split n.ptrs mid Null;
+    Pmem.Crash.point ~site:s_split ();
+    P.commit_ref ~site:s_split n.sibling 0 (Some sib)
   end
   else begin
     (* Correct order: the sibling link is the atomic split point; until the
        truncation lands, the moved suffix is invalid-by-bound. *)
-    P.commit_ref n.sibling 0 (Some sib);
-    Pmem.Crash.point ();
-    P.commit_ref n.ptrs mid Null
+    P.commit_ref ~site:s_split n.sibling 0 (Some sib);
+    Pmem.Crash.point ~site:s_split ();
+    P.commit_ref ~site:s_split n.ptrs mid Null
   end;
   seq_end n;
-  Pmem.Crash.point ();
+  Pmem.Crash.point ~site:s_split ();
   (* Parent update: new root, or separator insert one level up. *)
   if R.get t.root 0 == n then begin
     let new_root = make_node ~level:(n.level + 1) ~min_key:0 ~has_min:false in
     R.set new_root.leftmost 0 (Child n);
     W.set new_root.keys 0 split_kw;
     R.set new_root.ptrs 0 (Child sib);
-    persist_node new_root;
-    Pmem.Crash.point ();
+    persist_node ~site:s_root new_root;
+    Pmem.Crash.point ~site:s_root ();
     let swapped =
-      P.commit_cas_ref t.root 0 ~expected:n ~desired:new_root
+      P.commit_cas_ref ~site:s_root t.root 0 ~expected:n ~desired:new_root
     in
     assert swapped;
     Lock.unlock n.lock

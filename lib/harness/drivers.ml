@@ -1,7 +1,9 @@
 (* YCSB drivers binding every index in the repository to a prepared
    workload.  Ordered indexes consume encoded key strings; unordered (hash)
    indexes consume the raw integer keys, as in the paper (§7: "for
-   unordered indexes, we only use integer key types"). *)
+   unordered indexes, we only use integer key types").  Hash indexes have
+   [scan = None]: workload E raises [Ycsb.Scan_unsupported] for them rather
+   than silently measuring no-op scans. *)
 
 let sink_scan (_ : string) (_ : int) = ()
 
@@ -10,7 +12,7 @@ let art p t =
     Ycsb.dname = Art.name;
     insert = (fun i -> ignore (Art.insert t (Ycsb.key_string p i) i));
     read = (fun i -> Art.lookup t (Ycsb.key_string p i) <> None);
-    scan = (fun i len -> Art.scan t (Ycsb.key_string p i) len sink_scan);
+    scan = Some (fun i len -> Art.scan t (Ycsb.key_string p i) len sink_scan);
   }
 
 let hot p t =
@@ -18,7 +20,7 @@ let hot p t =
     Ycsb.dname = Hot.name;
     insert = (fun i -> ignore (Hot.insert t (Ycsb.key_string p i) i));
     read = (fun i -> Hot.lookup t (Ycsb.key_string p i) <> None);
-    scan = (fun i len -> Hot.scan t (Ycsb.key_string p i) len sink_scan);
+    scan = Some (fun i len -> Hot.scan t (Ycsb.key_string p i) len sink_scan);
   }
 
 let masstree p t =
@@ -26,7 +28,7 @@ let masstree p t =
     Ycsb.dname = Masstree.name;
     insert = (fun i -> ignore (Masstree.insert t (Ycsb.key_string p i) i));
     read = (fun i -> Masstree.lookup t (Ycsb.key_string p i) <> None);
-    scan = (fun i len -> Masstree.scan t (Ycsb.key_string p i) len sink_scan);
+    scan = Some (fun i len -> Masstree.scan t (Ycsb.key_string p i) len sink_scan);
   }
 
 let bwtree p t =
@@ -34,7 +36,7 @@ let bwtree p t =
     Ycsb.dname = Bwtree.name;
     insert = (fun i -> ignore (Bwtree.insert t (Ycsb.key_string p i) i));
     read = (fun i -> Bwtree.lookup t (Ycsb.key_string p i) <> None);
-    scan = (fun i len -> Bwtree.scan t (Ycsb.key_string p i) len sink_scan);
+    scan = Some (fun i len -> Bwtree.scan t (Ycsb.key_string p i) len sink_scan);
   }
 
 let fastfair p t =
@@ -42,7 +44,7 @@ let fastfair p t =
     Ycsb.dname = Fastfair.name;
     insert = (fun i -> ignore (Fastfair.insert t (Ycsb.key_string p i) i));
     read = (fun i -> Fastfair.lookup t (Ycsb.key_string p i) <> None);
-    scan = (fun i len -> Fastfair.scan t (Ycsb.key_string p i) len sink_scan);
+    scan = Some (fun i len -> Fastfair.scan t (Ycsb.key_string p i) len sink_scan);
   }
 
 let woart p t =
@@ -50,7 +52,7 @@ let woart p t =
     Ycsb.dname = Woart.name;
     insert = (fun i -> ignore (Woart.insert t (Ycsb.key_string p i) i));
     read = (fun i -> Woart.lookup t (Ycsb.key_string p i) <> None);
-    scan = (fun i len -> Woart.scan t (Ycsb.key_string p i) len sink_scan);
+    scan = Some (fun i len -> Woart.scan t (Ycsb.key_string p i) len sink_scan);
   }
 
 let clht p t =
@@ -58,7 +60,7 @@ let clht p t =
     Ycsb.dname = Clht.name;
     insert = (fun i -> ignore (Clht.insert t (Ycsb.key_int p i) i));
     read = (fun i -> Clht.lookup t (Ycsb.key_int p i) <> None);
-    scan = (fun _ _ -> 0);
+    scan = None;
   }
 
 let cceh p t =
@@ -66,7 +68,7 @@ let cceh p t =
     Ycsb.dname = Cceh.name;
     insert = (fun i -> ignore (Cceh.insert t (Ycsb.key_int p i) i));
     read = (fun i -> Cceh.lookup t (Ycsb.key_int p i) <> None);
-    scan = (fun _ _ -> 0);
+    scan = None;
   }
 
 let levelhash p t =
@@ -74,5 +76,5 @@ let levelhash p t =
     Ycsb.dname = Levelhash.name;
     insert = (fun i -> ignore (Levelhash.insert t (Ycsb.key_int p i) i));
     read = (fun i -> Levelhash.lookup t (Ycsb.key_int p i) <> None);
-    scan = (fun _ _ -> 0);
+    scan = None;
   }

@@ -30,6 +30,13 @@ module P = Recipe.Persist
 module Lock = Util.Lock
 
 let name = "P-HOT"
+
+(* Flush/fence attribution sites (index × structural location). *)
+let site = Obs.Site.v ~index:name
+let s_alloc_leaf = site "alloc-leaf"
+let s_pack = site "pack-node"
+let s_update = site "update"
+let s_publish = site ~crash:true "publish"
 let max_slots = 32
 
 type leaf = { lkey : string; cells : W.t (* [0] = value *) }
@@ -80,7 +87,7 @@ let make_leaf key value =
   String.iteri
     (fun i c -> if i mod 8 = 0 then W.set cells (1 + (i / 8)) (Char.code c))
     key;
-  W.clwb_all cells;
+  W.clwb_all ~site:s_alloc_leaf cells;
   { lkey = key; cells }
 
 (* --- pack / unpack ------------------------------------------------------------- *)
@@ -138,14 +145,14 @@ and make_node at =
         SBit (w, sl, sr)
   in
   let shape = build at in
-  W.clwb_all bits;
-  R.clwb_all children;
+  W.clwb_all ~site:s_pack bits;
+  R.clwb_all ~site:s_pack children;
   { bits; children; shape; lock = Lock.create () }
 
 let create () =
   let root = R.make ~name:"hot.root" 1 HNull in
-  R.clwb_all root;
-  Pmem.sfence ();
+  R.clwb_all ~site:s_publish root;
+  Pmem.sfence ~site:s_publish ();
   { root; root_lock = Lock.create () }
 
 (* --- lookup (non-blocking over immutable nodes) --------------------------------- *)
@@ -172,7 +179,7 @@ let update t key value =
     | HNull -> false
     | HLeaf l ->
         if String.equal l.lkey key then begin
-          P.commit l.cells 0 value;
+          P.commit ~site:s_update l.cells 0 value;
           true
         end
         else false
@@ -274,11 +281,11 @@ let rec ainsert at d key lf =
 
 (* Commit a rebuilt child into its slot (flush + fence done by commit). *)
 let publish t slotref c =
-  Pmem.sfence ();
-  Pmem.Crash.point ();
+  Pmem.sfence ~site:s_publish ();
+  Pmem.Crash.point ~site:s_publish ();
   match slotref with
-  | Root -> P.commit_ref t.root 0 c
-  | Slot (p, i) -> P.commit_ref p.children i c
+  | Root -> P.commit_ref ~site:s_publish t.root 0 c
+  | Slot (p, i) -> P.commit_ref ~site:s_publish p.children i c
 
 (* --- insert -------------------------------------------------------------------------- *)
 

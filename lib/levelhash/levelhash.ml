@@ -13,6 +13,15 @@ module P = Recipe.Persist
 module Lock = Util.Lock
 
 let name = "Level"
+
+(* Flush/fence attribution sites (index × structural location). *)
+let site = Obs.Site.v ~index:name
+let s_alloc = site "alloc-table"
+let s_insert = site ~crash:true "slot-commit"
+let s_move = site ~crash:true "movement"
+let s_resize = site ~crash:true "resize"
+let s_delete = site "delete-commit"
+
 let slots_per_bucket = 4
 let n_stripes = 256
 
@@ -54,11 +63,11 @@ let make_table top_n =
     meta;
   }
 
-let persist_table tb =
-  W.clwb_all tb.top;
-  W.clwb_all tb.bottom;
-  W.clwb_all tb.meta;
-  Pmem.sfence ()
+let persist_table ?(site = s_alloc) tb =
+  W.clwb_all ~site tb.top;
+  W.clwb_all ~site tb.bottom;
+  W.clwb_all ~site tb.meta;
+  Pmem.sfence ~site ()
 
 let default_capacity = 48 * 1024 / 64
 
@@ -68,8 +77,8 @@ let create ?(capacity = default_capacity) () =
   let tb = make_table top_n in
   persist_table tb;
   let table = R.make ~name:"level.table" 1 tb in
-  R.clwb_all table;
-  Pmem.sfence ();
+  R.clwb_all ~site:s_alloc table;
+  Pmem.sfence ~site:s_alloc ();
   {
     table;
     stripes = Array.init n_stripes (fun _ -> Lock.create ());
@@ -110,12 +119,12 @@ let slot_val arr b j = W.get arr ((b * 8) + (2 * j) + 1)
 
 (* Commit one slot: value first, then the atomic key store; both words share
    the bucket's cache line so a single flush covers them. *)
-let write_slot arr b j k v =
-  P.store arr ((b * 8) + (2 * j) + 1) v;
-  Pmem.Crash.point ();
-  P.commit arr ((b * 8) + (2 * j)) k
+let write_slot ?(site = s_insert) arr b j k v =
+  P.store ~site arr ((b * 8) + (2 * j) + 1) v;
+  Pmem.Crash.point ~site ();
+  P.commit ~site arr ((b * 8) + (2 * j)) k
 
-let clear_slot arr b j = P.commit arr ((b * 8) + (2 * j)) 0
+let clear_slot ?(site = s_delete) arr b j = P.commit ~site arr ((b * 8) + (2 * j)) 0
 
 let find_in_bucket arr b k =
   let rec go j =
@@ -238,9 +247,9 @@ let try_movement t tb k =
                   let vv = slot_val tb.top b j in
                   (* Copy first, then clear the source: a crash in between
                      leaves a benign duplicate that delete clears fully. *)
-                  write_slot tb.top alt j' vk vv;
-                  Pmem.Crash.point ();
-                  clear_slot tb.top b j;
+                  write_slot ~site:s_move tb.top alt j' vk vv;
+                  Pmem.Crash.point ~site:s_move ();
+                  clear_slot ~site:s_move tb.top b j;
                   Atomic.incr t.moves;
                   moved := true
               | None -> ()
@@ -278,9 +287,9 @@ let rec build_resized tb top_n pending =
 
 let resize t tb pending =
   let fresh = build_resized tb (tb.top_n * 2) pending in
-  persist_table fresh;
-  Pmem.Crash.point ();
-  P.commit_ref t.table 0 fresh;
+  persist_table ~site:s_resize fresh;
+  Pmem.Crash.point ~site:s_resize ();
+  P.commit_ref ~site:s_resize t.table 0 fresh;
   Atomic.incr t.resizes
 
 (* Escalation path: all four candidate buckets were full.  Take the

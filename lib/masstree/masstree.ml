@@ -26,6 +26,17 @@ module P = Recipe.Persist
 module Lock = Util.Lock
 
 let name = "P-Masstree"
+
+(* Flush/fence attribution sites (index × structural location). *)
+let site = Obs.Site.v ~index:name
+let s_alloc = site "alloc-node"
+let s_append = site ~crash:true "append-entry"
+let s_fix = site "fix-node"
+let s_split = site ~crash:true "split"
+let s_root = site ~crash:true "new-root"
+let s_layer = site ~crash:true "layer-install"
+let s_update = site "update"
+let s_delete = site "delete-commit"
 let fanout = 14
 let slice_bytes = 7
 
@@ -133,20 +144,20 @@ let make_node ~leaf ~level ~has_min ~min_key =
     lock = Lock.create ();
   }
 
-let persist_node n =
-  W.clwb_all n.header;
-  W.clwb_all n.keys;
-  R.clwb_all n.entries;
-  R.clwb_all n.leftmost;
-  R.clwb_all n.sibling;
-  Pmem.sfence ()
+let persist_node ?(site = s_alloc) n =
+  W.clwb_all ~site n.header;
+  W.clwb_all ~site n.keys;
+  R.clwb_all ~site n.entries;
+  R.clwb_all ~site n.leftmost;
+  R.clwb_all ~site n.sibling;
+  Pmem.sfence ~site ()
 
 let new_tree () =
   let root = make_node ~leaf:true ~level:0 ~has_min:false ~min_key:0 in
   persist_node root;
   let troot = R.make ~name:"mt.troot" 1 root in
-  R.clwb_all troot;
-  Pmem.sfence ();
+  R.clwb_all ~site:s_alloc troot;
+  Pmem.sfence ~site:s_alloc ();
   { troot }
 
 let create () = { top = new_tree (); fixes = Atomic.make 0 }
@@ -243,7 +254,7 @@ let fix_node t n =
       in
       let cut = first_out 0 in
       if cut < c then begin
-        P.commit n.header 0 (ptruncate p cut);
+        P.commit ~site:s_fix n.header 0 (ptruncate p cut);
         Atomic.incr t.fixes
       end
 
@@ -260,12 +271,12 @@ let rec lock_covering n s =
 let append_entry n s e =
   let slot = nalloc n in
   assert (slot < fanout);
-  P.store n.keys slot s;
-  P.store_ref n.entries slot e;
-  W.clwb n.keys slot;
-  R.clwb n.entries slot;
-  Pmem.sfence ();
-  Pmem.Crash.point ();
+  P.store ~site:s_append n.keys slot s;
+  P.store_ref ~site:s_append n.entries slot e;
+  W.clwb ~site:s_append n.keys slot;
+  R.clwb ~site:s_append n.entries slot;
+  Pmem.sfence ~site:s_append ();
+  Pmem.Crash.point ~site:s_append ();
   (* Slot-allocation bump shares the header line with the permutation: one
      flush covers both; a crash between leaks the slot harmlessly. *)
   let p = perm n in
@@ -275,8 +286,8 @@ let append_entry n s e =
     else if W.get n.keys (pslot p r) > s then r
     else rank (r + 1)
   in
-  P.store n.header 1 (slot + 1);
-  P.commit n.header 0 (pinsert p (rank 0) slot)
+  P.store ~site:s_append n.header 1 (slot + 1);
+  P.commit ~site:s_append n.header 0 (pinsert p (rank 0) slot)
 
 (* --- splits (the two-step atomic SMO) -------------------------------------------------- *)
 
@@ -308,13 +319,13 @@ let split_node t n =
     W.set sib.header 0 !sp;
     W.set sib.header 1 !j;
     R.set sib.sibling 0 (R.get n.sibling 0);
-    persist_node sib;
-    Pmem.Crash.point ();
+    persist_node ~site:s_split sib;
+    Pmem.Crash.point ~site:s_split ();
     (* Step 1: atomically link the sibling. *)
-    P.commit_ref n.sibling 0 (Some sib);
-    Pmem.Crash.point ();
+    P.commit_ref ~site:s_split n.sibling 0 (Some sib);
+    Pmem.Crash.point ~site:s_split ();
     (* Step 2: atomically shrink the permutation. *)
-    P.commit n.header 0 (ptruncate p mid);
+    P.commit ~site:s_split n.header 0 (ptruncate p mid);
     Some (sep, sib)
   end
   else begin
@@ -340,11 +351,11 @@ let split_node t n =
     W.set sib.header 0 !sp;
     W.set sib.header 1 !j;
     R.set sib.sibling 0 (R.get n.sibling 0);
-    persist_node sib;
-    Pmem.Crash.point ();
-    P.commit_ref n.sibling 0 (Some sib);
-    Pmem.Crash.point ();
-    P.commit n.header 0 0;
+    persist_node ~site:s_split sib;
+    Pmem.Crash.point ~site:s_split ();
+    P.commit_ref ~site:s_split n.sibling 0 (Some sib);
+    Pmem.Crash.point ~site:s_split ();
+    P.commit ~site:s_split n.header 0 0;
     None
   end
 
@@ -390,9 +401,9 @@ let rec parent_insert t tr n sep sib =
     R.set nr.entries 0 (Child sib);
     W.set nr.header 1 1;
     W.set nr.header 0 1;
-    persist_node nr;
-    Pmem.Crash.point ();
-    ignore (P.commit_cas_ref tr.troot 0 ~expected:n ~desired:nr);
+    persist_node ~site:s_root nr;
+    Pmem.Crash.point ~site:s_root ();
+    ignore (P.commit_cas_ref ~site:s_root tr.troot 0 ~expected:n ~desired:nr);
     Lock.unlock n.lock
   end
   else begin
@@ -408,9 +419,9 @@ let rec parent_insert t tr n sep sib =
       R.set nr.entries 0 (Child sib);
       W.set nr.header 1 1;
       W.set nr.header 0 1;
-      persist_node nr;
-      Pmem.Crash.point ();
-      let swapped = P.commit_cas_ref tr.troot 0 ~expected:r ~desired:nr in
+      persist_node ~site:s_root nr;
+      Pmem.Crash.point ~site:s_root ();
+      let swapped = P.commit_cas_ref ~site:s_root tr.troot 0 ~expected:r ~desired:nr in
       Lock.unlock n.lock;
       if not swapped then internal_insert t tr sep (Child sib) (n.level + 1)
     end
@@ -456,8 +467,8 @@ let rec tree_insert t tr key value off =
             (* Two keys share a full slice: materialize the next layer and
                commit it with one atomic entry swap. *)
             let sub = build_layer sfx2 v2 rest value in
-            Pmem.Crash.point ();
-            P.commit_ref n.entries slot (Link sub);
+            Pmem.Crash.point ~site:s_layer ();
+            P.commit_ref ~site:s_layer n.entries slot (Link sub);
             Lock.unlock n.lock;
             true
           end
@@ -497,7 +508,7 @@ let rec tree_update t tr key value off =
       | Val (sfx, _) ->
           let r =
             if String.equal sfx (suffix key off) then begin
-              P.commit_ref n.entries slot (Val (sfx, value));
+              P.commit_ref ~site:s_update n.entries slot (Val (sfx, value));
               true
             end
             else false
@@ -535,7 +546,7 @@ let rec tree_delete t tr key off =
       | Val (sfx, _) ->
           if String.equal sfx (suffix key off) then begin
             (* Deletion = one atomic permutation update (§6.5). *)
-            P.commit n.header 0 (premove p r);
+            P.commit ~site:s_delete n.header 0 (premove p r);
             Lock.unlock n.lock;
             true
           end

@@ -1,0 +1,30 @@
+(* Named gauges: a sampled value rather than an accumulated one.  A gauge is
+   a callback so modules can expose internal state (LLC miss totals, dirty
+   line counts) without the registry holding stale copies. *)
+
+type t = { name : string; read : unit -> int }
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+let registry_mu = Mutex.create ()
+
+let v name read =
+  Mutex.lock registry_mu;
+  let t =
+    match Hashtbl.find_opt registry name with
+    | Some t -> t
+    | None ->
+        let t = { name; read } in
+        Hashtbl.add registry name t;
+        t
+  in
+  Mutex.unlock registry_mu;
+  t
+
+let name t = t.name
+let value t = t.read ()
+
+let all () =
+  Mutex.lock registry_mu;
+  let l = Hashtbl.fold (fun _ t acc -> t :: acc) registry [] in
+  Mutex.unlock registry_mu;
+  List.sort (fun a b -> compare a.name b.name) l

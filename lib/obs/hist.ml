@@ -1,0 +1,48 @@
+(* Named, per-domain sharded log-scale histograms.
+
+   One {!Util.Histogram} per domain slot; [observe] mutates only the calling
+   domain's histogram (slot ownership as in {!Shard}), [merged] folds the
+   slots into a fresh histogram for percentile queries. *)
+
+type t = { name : string; slots : Util.Histogram.t array }
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+let registry_mu = Mutex.create ()
+
+let v name =
+  Mutex.lock registry_mu;
+  let t =
+    match Hashtbl.find_opt registry name with
+    | Some t -> t
+    | None ->
+        let t =
+          { name; slots = Array.init Shard.shards (fun _ -> Util.Histogram.create ()) }
+        in
+        Hashtbl.add registry name t;
+        t
+  in
+  Mutex.unlock registry_mu;
+  t
+
+let name t = t.name
+
+let observe t ns =
+  Util.Histogram.add t.slots.((Domain.self () :> int) land (Shard.shards - 1)) ns
+
+let merged t =
+  let h = Util.Histogram.create () in
+  Array.iter (fun s -> Util.Histogram.merge h s) t.slots;
+  h
+
+let count t = Array.fold_left (fun a s -> a + Util.Histogram.count s) 0 t.slots
+
+let reset t =
+  Array.iteri (fun i _ -> t.slots.(i) <- Util.Histogram.create ()) t.slots
+
+let all () =
+  Mutex.lock registry_mu;
+  let l = Hashtbl.fold (fun _ t acc -> t :: acc) registry [] in
+  Mutex.unlock registry_mu;
+  List.sort (fun a b -> compare a.name b.name) l
+
+let reset_all () = List.iter reset (all ())

@@ -1,0 +1,21 @@
+(* Per-domain shard slots.
+
+   Every sharded metric keeps one slot per OCaml domain so the hot path is a
+   write to domain-private memory: no CAS, no shared cache line.  Slots are
+   picked by domain id modulo [shards]; ids are assigned sequentially by the
+   runtime, so two live domains only collide when more than [shards] domains
+   run at once — far above the recommended domain count.  Counter slots are
+   plain [int array] cells spaced [stride] words (64 bytes) apart, which is
+   what actually pads them: OCaml atomics are boxed, so an "atomic array"
+   would put neighbouring counters on one line anyway.
+
+   Merging a metric reads every slot without synchronization.  Benchmarks
+   snapshot after [Domain.join], which orders all worker writes before the
+   read; a snapshot taken while workers still run may lag by a few
+   increments, which is fine for metrics. *)
+
+let shards = 128
+let stride = 8 (* 8 words = 64 bytes: one slot per cache line *)
+
+(* Slot word-index of the current domain within a [shards * stride] array. *)
+let slot () = ((Domain.self () :> int) land (shards - 1)) * stride

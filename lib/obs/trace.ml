@@ -1,0 +1,86 @@
+(* Lightweight span/event trace: a fixed-capacity ring buffer per domain.
+
+   Recording is off by default and costs one ref read when disabled.  When
+   enabled, an event is a small record stamped with a global sequence number
+   (atomic fetch-add — tracing trades some contention for a total order)
+   written into the recording domain's ring; the oldest events of a full
+   ring are silently dropped, which bounds both memory and overhead.  [dump]
+   merges all rings in sequence order, typically printed when a crash
+   campaign fails. *)
+
+type kind =
+  | Op_begin (* label = op name, arg = key/universe index *)
+  | Op_end
+  | Crash_point (* armed pass through a crash point; label = site *)
+  | Crash_fired (* crash injected; label = site *)
+  | Recovery (* label = index *)
+  | Llc_evict (* arg = evicted line id *)
+  | Note
+
+let kind_name = function
+  | Op_begin -> "op_begin"
+  | Op_end -> "op_end"
+  | Crash_point -> "crash_point"
+  | Crash_fired -> "crash_fired"
+  | Recovery -> "recovery"
+  | Llc_evict -> "llc_evict"
+  | Note -> "note"
+
+type event = { seq : int; domain : int; kind : kind; label : string; arg : int }
+
+let capacity = 1024 (* events per domain ring *)
+
+type ring = { events : event option array; mutable next : int; mutable total : int }
+
+let rings =
+  Array.init Shard.shards (fun _ ->
+      { events = Array.make capacity None; next = 0; total = 0 })
+
+let enabled_flag = ref false
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+let seq = Atomic.make 0
+
+let record kind ?(arg = 0) label =
+  if !enabled_flag then begin
+    let did = (Domain.self () :> int) in
+    let r = rings.(did land (Shard.shards - 1)) in
+    let s = Atomic.fetch_and_add seq 1 in
+    r.events.(r.next) <- Some { seq = s; domain = did; kind; label; arg };
+    r.next <- (r.next + 1) mod capacity;
+    r.total <- r.total + 1
+  end
+
+(* Events dropped so far (ring overwrites): total recorded - retained. *)
+let dropped () =
+  Array.fold_left
+    (fun acc r -> acc + max 0 (r.total - capacity))
+    0 rings
+
+let clear () =
+  Array.iter
+    (fun r ->
+      Array.fill r.events 0 capacity None;
+      r.next <- 0;
+      r.total <- 0)
+    rings;
+  Atomic.set seq 0
+
+(** All retained events, oldest first. *)
+let dump () =
+  let acc = ref [] in
+  Array.iter
+    (Array.iter (function Some e -> acc := e :: !acc | None -> ()))
+    (Array.map (fun r -> r.events) rings);
+  List.sort (fun a b -> compare a.seq b.seq) !acc
+
+(** The [n] most recent events, oldest first. *)
+let recent n =
+  let all = dump () in
+  let len = List.length all in
+  if len <= n then all else List.filteri (fun i _ -> i >= len - n) all
+
+let pp_event ppf e =
+  Fmt.pf ppf "#%-6d d%-2d %-12s %s%s" e.seq e.domain (kind_name e.kind) e.label
+    (if e.arg = 0 then "" else Printf.sprintf " (%d)" e.arg)

@@ -50,22 +50,42 @@ let arm_at n =
   if n <= 0 then invalid_arg "Crash.arm_at: n must be positive";
   arming := Countdown (Atomic.make n)
 
-let fire () =
+let fire site =
   arming := Disarmed;
   Stats.incr_crashes ();
+  (match site with
+  | Some s ->
+      Obs.Site.crash_fire s;
+      Obs.Trace.record Obs.Trace.Crash_fired (Obs.Site.name s)
+  | None -> Obs.Trace.record Obs.Trace.Crash_fired "untagged");
   raise Simulated_crash
 
-let point () =
+(* A crash-point boundary.  [site] names the structural location (an
+   {!Obs.Site.t} declared with [~crash:true]); visits and injected crashes
+   are counted per site, which is what the coverage report of
+   [crash_check] compares against the declared set.  Disarmed points cost a
+   single ref read, as before — throughput runs are unaffected. *)
+let point ?site () =
   match !arming with
   | Disarmed -> ()
   | Probability p ->
       Stats.incr_crash_points ();
+      (match site with
+      | Some s ->
+          Obs.Site.crash_visit s;
+          Obs.Trace.record Obs.Trace.Crash_point (Obs.Site.name s)
+      | None -> ());
       let r = next_random p.state in
       p.state <- r;
-      if p.threshold = max_int || r < p.threshold then fire ()
+      if p.threshold = max_int || r < p.threshold then fire site
   | Countdown c ->
       Stats.incr_crash_points ();
-      if Atomic.fetch_and_add c (-1) = 1 then fire ()
+      (match site with
+      | Some s ->
+          Obs.Site.crash_visit s;
+          Obs.Trace.record Obs.Trace.Crash_point (Obs.Site.name s)
+      | None -> ());
+      if Atomic.fetch_and_add c (-1) = 1 then fire site
 
 (* Number of crash points an operation passes through: run [f] with a
    countdown that never fires and report how many points were visited.  Used

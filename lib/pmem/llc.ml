@@ -71,12 +71,20 @@ let access line_id =
         for w = 1 to c.ways - 1 do
           if c.stamps.(base + w) < c.stamps.(base + !victim) then victim := w
         done;
+        (if Obs.Trace.enabled () then
+           let old = c.tags.(base + !victim) in
+           if old >= 0 then Obs.Trace.record Obs.Trace.Llc_evict ~arg:old "llc");
         c.tags.(base + !victim) <- line_id;
         c.stamps.(base + !victim) <- c.clock
       end
 
 let misses () = match !cache with None -> 0 | Some c -> c.misses
 let accesses () = match !cache with None -> 0 | Some c -> c.accesses
+
+(* Expose the simulator's totals in the metrics registry so exporters can
+   enumerate them alongside the sharded counters. *)
+let _gauge_accesses = Obs.Gauge.v "llc.accesses" accesses
+let _gauge_misses = Obs.Gauge.v "llc.misses" misses
 
 let reset () =
   match !cache with

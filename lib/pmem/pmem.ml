@@ -27,21 +27,22 @@ module Latency = Latency
 
 (** Store fence: orders preceding flushes before subsequent stores.  In this
     simulator flushes apply synchronously, so the fence only counts — the
-    counts are the [mfence] column of Fig 4c/4d and Table 4. *)
-let sfence () =
+    counts are the [mfence] column of Fig 4c/4d and Table 4.  [site]
+    attributes the fence to an index × structural location. *)
+let sfence ?site () =
   if not !Mode.dram then begin
-    Stats.incr_sfence ();
+    Stats.record_sfence ?site ();
     Latency.on_fence ()
   end
 
 (** Flush a word and fence — the conversion action of RECIPE Condition #1. *)
-let flush_word w i =
-  Words.clwb w i;
-  sfence ()
+let flush_word ?site w i =
+  Words.clwb ?site w i;
+  sfence ?site ()
 
-let flush_ref r i =
-  Refs.clwb r i;
-  sfence ()
+let flush_ref ?site r i =
+  Refs.clwb ?site r i;
+  sfence ?site ()
 
 (** Simulate a power failure: every cache line not yet written back loses its
     contents and reverts to its last-flushed image.  Only meaningful in
@@ -56,3 +57,6 @@ let persist_everything () = Tracking.persist_all ()
 let dirty_objects () = Tracking.dirty_objects ()
 
 let dirty_count () = Tracking.dirty_count ()
+
+(* Registry gauge: unflushed objects, a durability-test health signal. *)
+let _gauge_dirty = Obs.Gauge.v "pmem.dirty_objects" Tracking.dirty_count

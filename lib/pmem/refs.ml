@@ -120,11 +120,12 @@ let cas t i ~expected ~desired =
   if ok then (match t.shadow with Some _ -> mark_dirty t (line_of_index i) | None -> ());
   ok
 
-(** Flush the cache line containing slot [i]. *)
-let clwb t i =
+(** Flush the cache line containing slot [i].  [site] attributes the flush
+    to an index × structural location in the {!Obs} registry. *)
+let clwb ?site t i =
   if !Mode.dram then ()
   else begin
-  Stats.incr_clwb ();
+  Stats.record_clwb ?site ();
   Latency.on_flush ();
   match t.shadow with
   | None -> ()
@@ -138,7 +139,7 @@ let clwb t i =
       Atomic.set sh.dirty.(l) false
   end
 
-let clwb_all t =
+let clwb_all ?site t =
   for l = 0 to n_lines t.len - 1 do
-    clwb t (l * slots_per_line)
+    clwb ?site t (l * slots_per_line)
   done

@@ -1,37 +1,44 @@
-(* Global instruction and allocation counters for the simulated persistent
-   memory.  The paper (Fig 4c/4d, Table 4) reports clwb and mfence counts per
-   operation; these counters are the source of those numbers.  Counters are
-   plain atomics: the counter experiments run single-threaded (as the paper's
-   per-operation methodology does), and in multi-threaded throughput runs the
-   counts are not reported, so contention is irrelevant. *)
+(* Instruction and allocation counters for the simulated persistent memory.
 
-type t = {
-  clwb : int Atomic.t;
-  sfence : int Atomic.t;
-  lines_allocated : int Atomic.t;
-  words_allocated : int Atomic.t;
-  crash_points : int Atomic.t;
-  crashes : int Atomic.t;
-}
+   The paper (Fig 4c/4d, Table 4) reports clwb and mfence counts per
+   operation; these counters are the source of those numbers.
 
-let global =
-  {
-    clwb = Atomic.make 0;
-    sfence = Atomic.make 0;
-    lines_allocated = Atomic.make 0;
-    words_allocated = Atomic.make 0;
-    crash_points = Atomic.make 0;
-    crashes = Atomic.make 0;
-  }
+   This module is now a thin compatibility façade over the {!Obs} metrics
+   registry: each counter is a per-domain *sharded* counter, so
+   multi-threaded YCSB runs keep counting without the cross-domain
+   contention the old single block of atomics had (which restricted counter
+   experiments to single-threaded probes).  [record_clwb]/[record_sfence]
+   additionally attribute the event to an {!Obs.Site.t} — index ×
+   structural location — feeding the per-site breakdown of the bench JSON
+   export.  Every event lands in exactly one site ({!Obs.Site.untagged}
+   when the caller passes none), so the sum over sites always equals the
+   global totals here. *)
 
-let incr_clwb () = Atomic.incr global.clwb
-let incr_sfence () = Atomic.incr global.sfence
-let incr_crash_points () = Atomic.incr global.crash_points
-let incr_crashes () = Atomic.incr global.crashes
+let clwb = Obs.counter "pmem.clwb"
+let sfence = Obs.counter "pmem.sfence"
+let lines_allocated = Obs.counter "pmem.lines_allocated"
+let words_allocated = Obs.counter "pmem.words_allocated"
+let crash_points = Obs.counter "pmem.crash_points"
+let crashes = Obs.counter "pmem.crashes"
+
+let incr_clwb () = Obs.Counter.incr clwb
+let incr_sfence () = Obs.Counter.incr sfence
+let incr_crash_points () = Obs.Counter.incr crash_points
+let incr_crashes () = Obs.Counter.incr crashes
+
+(** Count a flush / fence and attribute it to [site] (default: the
+    untagged catch-all). *)
+let record_clwb ?site () =
+  Obs.Counter.incr clwb;
+  Obs.Site.hit_clwb (match site with Some s -> s | None -> Obs.Site.untagged)
+
+let record_sfence ?site () =
+  Obs.Counter.incr sfence;
+  Obs.Site.hit_sfence (match site with Some s -> s | None -> Obs.Site.untagged)
 
 let add_allocation ~lines ~words =
-  ignore (Atomic.fetch_and_add global.lines_allocated lines);
-  ignore (Atomic.fetch_and_add global.words_allocated words)
+  Obs.Counter.add lines_allocated lines;
+  Obs.Counter.add words_allocated words
 
 (** Immutable view of the counters at one instant. *)
 type snapshot = {
@@ -45,12 +52,12 @@ type snapshot = {
 
 let snapshot () =
   {
-    s_clwb = Atomic.get global.clwb;
-    s_sfence = Atomic.get global.sfence;
-    s_lines_allocated = Atomic.get global.lines_allocated;
-    s_words_allocated = Atomic.get global.words_allocated;
-    s_crash_points = Atomic.get global.crash_points;
-    s_crashes = Atomic.get global.crashes;
+    s_clwb = Obs.Counter.value clwb;
+    s_sfence = Obs.Counter.value sfence;
+    s_lines_allocated = Obs.Counter.value lines_allocated;
+    s_words_allocated = Obs.Counter.value words_allocated;
+    s_crash_points = Obs.Counter.value crash_points;
+    s_crashes = Obs.Counter.value crashes;
   }
 
 (** [diff later earlier] gives counts accumulated between two snapshots. *)
@@ -65,12 +72,12 @@ let diff a b =
   }
 
 let reset () =
-  Atomic.set global.clwb 0;
-  Atomic.set global.sfence 0;
-  Atomic.set global.lines_allocated 0;
-  Atomic.set global.words_allocated 0;
-  Atomic.set global.crash_points 0;
-  Atomic.set global.crashes 0
+  Obs.Counter.reset clwb;
+  Obs.Counter.reset sfence;
+  Obs.Counter.reset lines_allocated;
+  Obs.Counter.reset words_allocated;
+  Obs.Counter.reset crash_points;
+  Obs.Counter.reset crashes
 
 let pp ppf s =
   Fmt.pf ppf "clwb=%d sfence=%d lines=%d words=%d crash_points=%d crashes=%d"

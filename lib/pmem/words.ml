@@ -141,11 +141,12 @@ let fetch_add t i delta =
   (match t.shadow with Some _ -> mark_dirty t (line_of_index i) | None -> ());
   v
 
-(** Flush the cache line containing word [i]. *)
-let clwb t i =
+(** Flush the cache line containing word [i].  [site] attributes the flush
+    to an index × structural location in the {!Obs} registry. *)
+let clwb ?site t i =
   if !Mode.dram then ()
   else begin
-  Stats.incr_clwb ();
+  Stats.record_clwb ?site ();
   Latency.on_flush ();
   match t.shadow with
   | None -> ()
@@ -160,7 +161,7 @@ let clwb t i =
   end
 
 (** Flush every line of the object (e.g. right after allocation). *)
-let clwb_all t =
+let clwb_all ?site t =
   for l = 0 to n_lines t.len - 1 do
-    clwb t (l * words_per_line)
+    clwb ?site t (l * words_per_line)
   done

@@ -25,69 +25,73 @@ let naive = ref false
     bench); [false] restores coalesced flushing. *)
 let set_naive b = naive := b
 
-let store w i v =
+(* Every combinator takes an optional [?site] (an {!Obs.Site.t}: index ×
+   structural location) forwarded to the flush/fence primitives, feeding the
+   per-site attribution of the bench JSON export. *)
+
+let store ?site w i v =
   Pmem.Words.set w i v;
   if !naive then begin
-    Pmem.Words.clwb w i;
-    Pmem.sfence ()
+    Pmem.Words.clwb ?site w i;
+    Pmem.sfence ?site ()
   end
 
-let store_ref r i v =
+let store_ref ?site r i v =
   Pmem.Refs.set r i v;
   if !naive then begin
-    Pmem.Refs.clwb r i;
-    Pmem.sfence ()
+    Pmem.Refs.clwb ?site r i;
+    Pmem.sfence ?site ()
   end
 
 (** Commit store: make the operation visible and durable.  Flush + fence
     always. *)
-let commit w i v =
+let commit ?site w i v =
   Pmem.Words.set w i v;
-  Pmem.Words.clwb w i;
-  Pmem.sfence ()
+  Pmem.Words.clwb ?site w i;
+  Pmem.sfence ?site ()
 
-let commit_ref r i v =
+let commit_ref ?site r i v =
   Pmem.Refs.set r i v;
-  Pmem.Refs.clwb r i;
-  Pmem.sfence ()
+  Pmem.Refs.clwb ?site r i;
+  Pmem.sfence ?site ()
 
 (** Commit CAS: the single-CAS visibility points of Condition #1/#2 indexes
     (BwTree mapping-table install, pointer swaps).  Flushes only when the CAS
     succeeds — P-BwTree's optimization from §6.3: the first flush of an
     indirect pointer persists the most recent successful CAS. *)
-let commit_cas_ref r i ~expected ~desired =
+let commit_cas_ref ?site r i ~expected ~desired =
   let ok = Pmem.Refs.cas r i ~expected ~desired in
   if ok then begin
-    Pmem.Refs.clwb r i;
-    Pmem.sfence ()
+    Pmem.Refs.clwb ?site r i;
+    Pmem.sfence ?site ()
   end;
   ok
 
-let commit_cas w i ~expected ~desired =
+let commit_cas ?site w i ~expected ~desired =
   let ok = Pmem.Words.cas w i ~expected ~desired in
   if ok then begin
-    Pmem.Words.clwb w i;
-    Pmem.sfence ()
+    Pmem.Words.clwb ?site w i;
+    Pmem.sfence ?site ()
   end;
   ok
 
 (** Flush + fence a line that was written with [store] in coalesced mode —
     used before a dependent store must be ordered after it (the "previous
     state is persisted first" rule of Condition #2). *)
-let flush w i =
-  Pmem.Words.clwb w i;
-  Pmem.sfence ()
+let flush ?site w i =
+  Pmem.Words.clwb ?site w i;
+  Pmem.sfence ?site ()
 
-let flush_ref r i =
-  Pmem.Refs.clwb r i;
-  Pmem.sfence ()
+let flush_ref ?site r i =
+  Pmem.Refs.clwb ?site r i;
+  Pmem.sfence ?site ()
 
 (** Persist a freshly initialized object before it is linked into the
     structure (every line flushed, one fence). *)
-let persist_new_words w =
-  Pmem.Words.clwb_all w;
-  Pmem.sfence ()
+let persist_new_words ?site w =
+  Pmem.Words.clwb_all ?site w;
+  Pmem.sfence ?site ()
 
-let persist_new_refs r =
-  Pmem.Refs.clwb_all r;
-  Pmem.sfence ()
+let persist_new_refs ?site r =
+  Pmem.Refs.clwb_all ?site r;
+  Pmem.sfence ?site ()

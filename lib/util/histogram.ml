@@ -34,7 +34,10 @@ let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
 let percentile t q =
   if t.count = 0 then 0
   else begin
-    let target = int_of_float (q *. float_of_int t.count) in
+    (* Rank of the sample we want, clamped to >= 1: with small counts
+       [q *. count] truncates to 0 and the scan would stop on the first
+       (possibly empty) bucket. *)
+    let target = max 1 (int_of_float (ceil (q *. float_of_int t.count))) in
     let rec scan b acc =
       if b >= n_buckets then ns_of_bucket (n_buckets - 1)
       else

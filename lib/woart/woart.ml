@@ -1,4 +1,10 @@
-(* WOART — the ART structure under one global lock (see woart.mli). *)
+(* WOART — the ART structure under one global lock (see woart.mli).
+
+   Flush/fence site attribution: WOART performs no flushes of its own — every
+   persist happens inside the delegated [Art] calls, so its flushes show up
+   under the P-ART site labels in the observability registry.  Per-index sums
+   still come out right because the bench exporter isolates each index run
+   and attributes all site deltas of that run to the index under test. *)
 
 module Lock = Util.Lock
 

@@ -82,8 +82,10 @@ type driver = {
   dname : string;
   insert : int -> unit;
   read : int -> bool;
-  scan : int -> int -> int;
+  scan : (int -> int -> int) option;
 }
+
+exception Scan_unsupported of string
 
 type result = {
   workload : workload;
@@ -95,6 +97,9 @@ type result = {
   reads_missed : int;
   scanned_total : int;
   latency : Util.Histogram.t option;
+  lat_insert : Util.Histogram.t option;
+  lat_read : Util.Histogram.t option;
+  lat_scan : Util.Histogram.t option;
 }
 
 let nloaded p = p.n_loaded
@@ -188,18 +193,42 @@ let timed_domains threads body =
   let dt = Unix.gettimeofday () -. t0 in
   (dt, results)
 
-let load (p : prepared) driver =
+(* Merge the thread-local histograms at position [c]; [None] if no thread
+   recorded anything there. *)
+let merge_class per_thread c =
+  let h = Util.Histogram.create () in
+  List.iter
+    (fun hists ->
+      match hists with Some hs -> Util.Histogram.merge h hs.(c) | None -> ())
+    per_thread;
+  if Util.Histogram.count h = 0 then None else Some h
+
+let load ?(latency = false) (p : prepared) driver =
   let threads = p.threads in
   let per = p.n_loaded / threads in
   let body tid =
     let lo = tid * per in
     let hi = if tid = threads - 1 then p.n_loaded else lo + per in
-    for i = lo to hi - 1 do
-      driver.insert i
-    done;
-    (0, 0, 0)
+    let hists =
+      if latency then Some (Array.init 1 (fun _ -> Util.Histogram.create ()))
+      else None
+    in
+    (match hists with
+    | None ->
+        for i = lo to hi - 1 do
+          driver.insert i
+        done
+    | Some hs ->
+        for i = lo to hi - 1 do
+          let t0 = Unix.gettimeofday () in
+          driver.insert i;
+          Util.Histogram.add hs.(0)
+            (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
+        done);
+    hists
   in
-  let dt, _ = timed_domains threads body in
+  let dt, per_thread = timed_domains threads body in
+  let merged = merge_class per_thread 0 in
   {
     workload = Load_a;
     threads;
@@ -209,51 +238,86 @@ let load (p : prepared) driver =
     reads_found = 0;
     reads_missed = 0;
     scanned_total = 0;
-    latency = None;
+    latency = merged;
+    lat_insert = merged;
+    lat_read = None;
+    lat_scan = None;
   }
 
+(* Operation class of an opcode: 0 = insert, 1 = read, 2 = scan. *)
+let op_class = function '\000' -> 0 | '\001' -> 1 | _ -> 2
+let op_label = [| "insert"; "read"; "scan" |]
+
 let run ?(latency = false) (p : prepared) driver =
+  (* Fail fast: an unordered index cannot execute workload E at all. *)
+  (match (p.workload, driver.scan) with
+  | E, None -> raise (Scan_unsupported driver.dname)
+  | _ -> ());
+  let scan_fn =
+    match driver.scan with
+    | Some f -> f
+    | None -> fun _ _ -> raise (Scan_unsupported driver.dname)
+  in
   let threads = p.threads in
   let body tid =
     let s = p.streams.(tid) in
     let n = Array.length s.args in
     let found = ref 0 and missed = ref 0 and scanned = ref 0 in
-    let hist = if latency then Some (Util.Histogram.create ()) else None in
+    let hists =
+      if latency then Some (Array.init 3 (fun _ -> Util.Histogram.create ()))
+      else None
+    in
     let exec j =
       match Bytes.unsafe_get s.opcodes j with
       | '\000' -> driver.insert s.args.(j)
       | '\001' -> if driver.read s.args.(j) then incr found else incr missed
       | _ ->
           scanned :=
-            !scanned + driver.scan s.args.(j) (Char.code (Bytes.get s.lens j))
+            !scanned + scan_fn s.args.(j) (Char.code (Bytes.get s.lens j))
     in
-    (match hist with
+    let exec j =
+      if Obs.Trace.enabled () then begin
+        let lbl = op_label.(op_class (Bytes.unsafe_get s.opcodes j)) in
+        Obs.Trace.record Obs.Trace.Op_begin ~arg:s.args.(j) lbl;
+        exec j;
+        Obs.Trace.record Obs.Trace.Op_end ~arg:s.args.(j) lbl
+      end
+      else exec j
+    in
+    (match hists with
     | None ->
         for j = 0 to n - 1 do
           exec j
         done
-    | Some h ->
+    | Some hs ->
         for j = 0 to n - 1 do
+          let c = op_class (Bytes.unsafe_get s.opcodes j) in
           let t0 = Unix.gettimeofday () in
           exec j;
-          Util.Histogram.add h
+          Util.Histogram.add hs.(c)
             (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
         done);
-    (!found, !missed, !scanned, hist)
+    (!found, !missed, !scanned, hists)
   in
   let dt, per_thread = timed_domains threads body in
   let ops = Array.length p.streams.(0).args * threads in
   let reads_found = List.fold_left (fun a (f, _, _, _) -> a + f) 0 per_thread in
   let reads_missed = List.fold_left (fun a (_, m, _, _) -> a + m) 0 per_thread in
   let scanned_total = List.fold_left (fun a (_, _, s, _) -> a + s) 0 per_thread in
+  let hist_lists = List.map (fun (_, _, _, ho) -> ho) per_thread in
+  let lat_insert = merge_class hist_lists 0 in
+  let lat_read = merge_class hist_lists 1 in
+  let lat_scan = merge_class hist_lists 2 in
   let merged =
     if not latency then None
     else begin
       let h = Util.Histogram.create () in
       List.iter
-        (fun (_, _, _, ho) ->
-          match ho with Some x -> Util.Histogram.merge h x | None -> ())
-        per_thread;
+        (fun ho ->
+          match ho with
+          | Some x -> Array.iter (Util.Histogram.merge h) x
+          | None -> ())
+        hist_lists;
       Some h
     end
   in
@@ -267,6 +331,9 @@ let run ?(latency = false) (p : prepared) driver =
     reads_missed;
     scanned_total;
     latency = merged;
+    lat_insert;
+    lat_read;
+    lat_scan;
   }
 
 let pp_result ppf r =

@@ -56,13 +56,21 @@ val key_string : prepared -> int -> string
 (** Raw integer key for universe index [i] (randint runs only). *)
 val key_int : prepared -> int -> int
 
-(** Index driver: closures binding one index instance to the universe. *)
+(** Index driver: closures binding one index instance to the universe.
+    [scan] is [None] for unordered (hash) indexes, which cannot execute
+    range scans — running workload E on such a driver raises
+    {!Scan_unsupported} instead of silently measuring no-ops. *)
 type driver = {
   dname : string;
   insert : int -> unit;  (** insert universe key [i] *)
   read : int -> bool;  (** point-lookup universe key [i]; found? *)
-  scan : int -> int -> int;  (** scan from key [i], up to [len]; visited *)
+  scan : (int -> int -> int) option;
+      (** scan from key [i], up to [len]; visited *)
 }
+
+(** Raised (with the driver name) when a workload containing scans is run
+    against a driver without scan support. *)
+exception Scan_unsupported of string
 
 (** Result of one measured phase. *)
 type result = {
@@ -75,17 +83,26 @@ type result = {
   reads_missed : int;
   scanned_total : int;
   latency : Util.Histogram.t option;  (** per-op latency when requested *)
+  lat_insert : Util.Histogram.t option;  (** latency of insert ops only *)
+  lat_read : Util.Histogram.t option;  (** latency of read ops only *)
+  lat_scan : Util.Histogram.t option;  (** latency of scan ops only *)
 }
 
-(** [load p driver ~threads] runs the load phase (all [nloaded] keys
-    inserted, statically split across [threads] domains) and returns its
-    measurement as a Load_a result. *)
-val load : prepared -> driver -> result
+(** [load p driver] runs the load phase (all [nloaded] keys inserted,
+    statically split across the prepared thread count) and returns its
+    measurement as a Load_a result.  [latency:true] samples per-insert
+    latency. *)
+val load : ?latency:bool -> prepared -> driver -> result
 
 (** [run ?latency p driver] executes the prepared operation streams on
     their domains and measures wall-clock throughput.  The load phase must
     have been run first.  [latency:true] additionally samples per-operation
-    latency into a histogram (small per-op overhead). *)
+    latency, overall ([latency]) and split by operation type
+    ([lat_insert]/[lat_read]/[lat_scan]).  When the {!Obs.Trace} ring is
+    enabled, every operation is bracketed with [Op_begin]/[Op_end] events.
+
+    @raise Scan_unsupported when the workload is [E] and [driver.scan] is
+    [None]. *)
 val run : ?latency:bool -> prepared -> driver -> result
 
 val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,213 @@
+(* Tests for the observability subsystem: sharded counters and histograms
+   under multi-domain load, the site-attribution invariant against the
+   legacy Stats façade, trace ring wraparound, and the JSON round trip. *)
+
+let reset () =
+  Pmem.Mode.set_shadow false;
+  Pmem.Crash.disarm ();
+  ignore (Pmem.persist_everything ());
+  Pmem.Stats.reset ();
+  Obs.reset_all ();
+  Obs.Trace.set_enabled false;
+  Util.Lock.new_epoch ()
+
+(* --- sharded counters --------------------------------------------------- *)
+
+let test_counter_cross_domain () =
+  reset ();
+  let c = Obs.counter "test.cross_domain" in
+  let per = 10_000 and domains = 4 in
+  let spawned =
+    List.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per do
+              Obs.Counter.incr c
+            done))
+  in
+  (* The spawning domain counts too: its slot must merge with the others. *)
+  for _ = 1 to per do
+    Obs.Counter.incr c
+  done;
+  List.iter Domain.join spawned;
+  Alcotest.(check int)
+    "all domains' slots merge" ((domains + 1) * per) (Obs.Counter.value c);
+  Obs.Counter.reset c;
+  Alcotest.(check int) "reset" 0 (Obs.Counter.value c)
+
+let test_counter_find_or_create () =
+  reset ();
+  let a = Obs.counter "test.same_name" and b = Obs.counter "test.same_name" in
+  Obs.Counter.incr a;
+  Alcotest.(check int) "same name, same counter" 1 (Obs.Counter.value b)
+
+let test_hist_cross_domain () =
+  reset ();
+  let h = Obs.hist "test.hist" in
+  let spawned =
+    List.init 3 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to 1_000 do
+              Obs.Hist.observe h (((d + 1) * 10_000) + i)
+            done))
+  in
+  List.iter Domain.join spawned;
+  Alcotest.(check int) "all samples counted" 3_000 (Obs.Hist.count h);
+  let m = Obs.Hist.merged h in
+  Alcotest.(check int) "merged count" 3_000 (Util.Histogram.count m);
+  Alcotest.(check bool)
+    "p99 in the slowest domain's band" true
+    (Util.Histogram.percentile m 0.99 >= 30_000)
+
+(* --- site attribution vs the legacy Stats façade ------------------------ *)
+
+(* Every flush/fence increments the global total and exactly one site
+   (untagged when no label was given), so summing over all sites must
+   reproduce the Stats totals — single-threaded and multi-threaded. *)
+let check_invariant ctx =
+  let s = Pmem.Stats.snapshot () in
+  let sites = Obs.Site.all () in
+  let clwb = List.fold_left (fun a x -> a + Obs.Site.clwb_count x) 0 sites
+  and sfence = List.fold_left (fun a x -> a + Obs.Site.sfence_count x) 0 sites in
+  Alcotest.(check int) (ctx ^ ": clwb sum = Stats") s.Pmem.Stats.s_clwb clwb;
+  Alcotest.(check int) (ctx ^ ": sfence sum = Stats") s.Pmem.Stats.s_sfence
+    sfence
+
+let test_site_totals_single () =
+  reset ();
+  let t = Clht.create () in
+  for k = 1 to 2_000 do
+    ignore (Clht.insert t k (k * 2))
+  done;
+  Alcotest.(check bool)
+    "workload flushed something" true
+    ((Pmem.Stats.snapshot ()).Pmem.Stats.s_clwb > 0);
+  check_invariant "clht load"
+
+let test_site_totals_multi () =
+  reset ();
+  let t = Art.create () in
+  let spawned =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to 1_000 do
+              let k = (d * 100_000) + i in
+              ignore (Art.insert t (Util.Keys.encode_int k) k)
+            done))
+  in
+  List.iter Domain.join spawned;
+  check_invariant "art 4 domains";
+  (* And the tagged sites actually fired: the work is attributed, not all
+     falling through to the untagged catch-all. *)
+  let art_clwb =
+    List.fold_left
+      (fun a x -> a + Obs.Site.clwb_count x)
+      0
+      (Obs.Site.by_index "P-ART")
+  in
+  Alcotest.(check bool) "P-ART sites attributed" true (art_clwb > 0)
+
+(* --- trace ring --------------------------------------------------------- *)
+
+let test_trace_wraparound () =
+  reset ();
+  Obs.Trace.set_enabled true;
+  let n = (Obs.Trace.capacity * 2) + 37 in
+  for i = 1 to n do
+    Obs.Trace.record Obs.Trace.Note ~arg:i "wrap"
+  done;
+  Obs.Trace.set_enabled false;
+  let events = Obs.Trace.dump () in
+  Alcotest.(check int)
+    "ring retains exactly its capacity" Obs.Trace.capacity
+    (List.length events);
+  Alcotest.(check int)
+    "older events dropped, not lost count"
+    (n - Obs.Trace.capacity) (Obs.Trace.dropped ());
+  (* The retained window is the most recent events, in sequence order. *)
+  let seqs = List.map (fun e -> e.Obs.Trace.seq) events in
+  Alcotest.(check bool)
+    "sorted by sequence" true
+    (List.sort compare seqs = seqs);
+  Alcotest.(check int)
+    "newest event retained" (n - 1)
+    (List.fold_left max 0 seqs);
+  let last3 = Obs.Trace.recent 3 in
+  Alcotest.(check int) "recent n" 3 (List.length last3);
+  Obs.Trace.clear ();
+  Alcotest.(check int) "clear empties the ring" 0
+    (List.length (Obs.Trace.dump ()))
+
+let test_trace_disabled_records_nothing () =
+  reset ();
+  Obs.Trace.record Obs.Trace.Note "dropped";
+  Alcotest.(check int) "disabled ring stays empty" 0
+    (List.length (Obs.Trace.dump ()))
+
+(* --- JSON --------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let open Obs.Json in
+  let v =
+    Obj
+      [
+        ("name", Str "P-ART");
+        ("escaped", Str "a\"b\\c\nd\te");
+        ("ok", Bool true);
+        ("missing", Null);
+        ("mops", Num 1.25);
+        ("count", int 42);
+        ("empty_list", List []);
+        ("empty_obj", Obj []);
+        ("sites", List [ Obj [ ("clwb", int 7) ]; Num 3.0 ]);
+      ]
+  in
+  match parse (to_string v) with
+  | Error e -> Alcotest.failf "roundtrip parse failed: %s" e
+  | Ok v' ->
+      Alcotest.(check bool) "roundtrip preserves the value" true (v = v');
+      Alcotest.(check (option string))
+        "member access" (Some "P-ART")
+        (Option.bind (member "name" v') to_str);
+      Alcotest.(check (option (float 0.0)))
+        "number access" (Some 1.25)
+        (Option.bind (member "mops" v') to_num)
+
+let test_json_rejects_garbage () =
+  let bad = [ "{"; "[1,"; "{\"a\" 1}"; "tru"; "\"unterminated"; "1 2" ] in
+  List.iter
+    (fun s ->
+      match Obs.Json.parse s with
+      | Ok _ -> Alcotest.failf "parsed garbage %S" s
+      | Error _ -> ())
+    bad
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "counters",
+        [
+          Alcotest.test_case "cross-domain merge" `Quick
+            test_counter_cross_domain;
+          Alcotest.test_case "find or create" `Quick test_counter_find_or_create;
+          Alcotest.test_case "histogram cross-domain" `Quick
+            test_hist_cross_domain;
+        ] );
+      ( "sites",
+        [
+          Alcotest.test_case "totals = Stats (single)" `Quick
+            test_site_totals_single;
+          Alcotest.test_case "totals = Stats (multi-domain)" `Quick
+            test_site_totals_multi;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "ring wraparound" `Quick test_trace_wraparound;
+          Alcotest.test_case "disabled is free" `Quick
+            test_trace_disabled_records_nothing;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+        ] );
+    ]

@@ -110,6 +110,48 @@ let test_histogram () =
   let m = Util.Histogram.mean h in
   Alcotest.(check bool) "mean near 500" true (m > 450.0 && m < 550.0)
 
+(* Regression: with few samples, [q * count] truncates to 0 and percentile
+   used to return bucket 0 (= 1 ns) regardless of the data. *)
+let test_histogram_small_counts () =
+  let h = Util.Histogram.create () in
+  Util.Histogram.add h 1_000;
+  Alcotest.(check bool)
+    "p50 of a single 1000ns sample is ~1000ns (4%% bucket floor)" true
+    (Util.Histogram.percentile h 0.5 >= 960);
+  Alcotest.(check bool)
+    "p99 of a single sample equals p50" true
+    (Util.Histogram.percentile h 0.99 = Util.Histogram.percentile h 0.5);
+  let h2 = Util.Histogram.create () in
+  Util.Histogram.add h2 100;
+  Util.Histogram.add h2 10_000;
+  (* target rank of q=0.4 over 2 samples is ceil(0.8)=1: the first sample *)
+  Alcotest.(check bool)
+    "low quantile picks the smaller sample" true
+    (Util.Histogram.percentile h2 0.4 < 1_000);
+  Alcotest.(check bool)
+    "high quantile picks the larger sample" true
+    (Util.Histogram.percentile h2 0.99 >= 9_000);
+  (* Empty histogram stays at 0 (no clamping to rank 1). *)
+  let h3 = Util.Histogram.create () in
+  Alcotest.(check int) "empty percentile" 0 (Util.Histogram.percentile h3 0.99)
+
+let test_histogram_merge () =
+  let a = Util.Histogram.create () and b = Util.Histogram.create () in
+  for i = 1 to 100 do
+    Util.Histogram.add a i
+  done;
+  for i = 10_001 to 10_100 do
+    Util.Histogram.add b i
+  done;
+  Util.Histogram.merge a b;
+  Alcotest.(check int) "merged count" 200 (Util.Histogram.count a);
+  Alcotest.(check bool)
+    "p99 comes from the slow half" true
+    (Util.Histogram.percentile a 0.99 >= 9_000);
+  Alcotest.(check bool)
+    "p25 comes from the fast half" true
+    (Util.Histogram.percentile a 0.25 <= 128)
+
 (* qcheck: key encoding is a monotone bijection. *)
 let prop_encode_monotone =
   QCheck.Test.make ~name:"encode_int monotone" ~count:1000
@@ -149,7 +191,12 @@ let () =
           Alcotest.test_case "successor" `Quick test_successor;
         ] );
       ("bits", [ Alcotest.test_case "helpers" `Quick test_bits ]);
-      ("histogram", [ Alcotest.test_case "percentiles" `Quick test_histogram ]);
+      ( "histogram",
+        [
+          Alcotest.test_case "percentiles" `Quick test_histogram;
+          Alcotest.test_case "small counts" `Quick test_histogram_small_counts;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+        ] );
       ( "properties",
         [
           QCheck_alcotest.to_alcotest prop_encode_monotone;

@@ -24,9 +24,10 @@ let test_mix_ratios () =
           Atomic.incr rd;
           true);
       scan =
-        (fun _ _ ->
-          Atomic.incr sc;
-          0);
+        Some
+          (fun _ _ ->
+            Atomic.incr sc;
+            0);
     }
   in
   let r = Ycsb.run p d in
@@ -51,9 +52,10 @@ let test_workload_e_scans () =
       insert = (fun _ -> Atomic.incr ins);
       read = (fun _ -> true);
       scan =
-        (fun _ len ->
-          Atomic.incr sc;
-          len);
+        Some
+          (fun _ len ->
+            Atomic.incr sc;
+            len);
     }
   in
   let r = Ycsb.run p d in
@@ -129,6 +131,46 @@ let test_end_to_end_art_scans () =
   let r = Ycsb.run p d in
   Alcotest.(check bool) "scans visited entries" true (r.Ycsb.scanned_total > 0)
 
+(* Workload E against a scanless (hash) driver must fail fast, not measure
+   no-ops. *)
+let test_scan_unsupported () =
+  reset ();
+  let p =
+    Ycsb.prepare ~workload:Ycsb.E ~kind:Ycsb.Randint ~nloaded:100 ~nops:100
+      ~threads:1 ~seed:7 ()
+  in
+  let t = Clht.create () in
+  let d = Harness.Drivers.clht p t in
+  ignore (Ycsb.load p d);
+  Alcotest.check_raises "E on hash raises"
+    (Ycsb.Scan_unsupported Clht.name) (fun () -> ignore (Ycsb.run p d))
+
+(* Per-op-type latency histograms: classes partition the merged histogram. *)
+let test_latency_by_op () =
+  reset ();
+  let p =
+    Ycsb.prepare ~workload:Ycsb.A ~kind:Ycsb.Randint ~nloaded:500 ~nops:2_000
+      ~threads:2 ~seed:8 ()
+  in
+  let t = Clht.create () in
+  let d = Harness.Drivers.clht p t in
+  ignore (Ycsb.load p d);
+  let r = Ycsb.run ~latency:true p d in
+  let count = function
+    | Some h -> Util.Histogram.count h
+    | None -> 0
+  in
+  Alcotest.(check int) "all ops sampled" r.Ycsb.ops (count r.Ycsb.latency);
+  Alcotest.(check int) "classes partition the total"
+    (count r.Ycsb.latency)
+    (count r.Ycsb.lat_insert + count r.Ycsb.lat_read + count r.Ycsb.lat_scan);
+  Alcotest.(check int) "no scans in A" 0 (count r.Ycsb.lat_scan);
+  Alcotest.(check bool) "p99 >= p50" true
+    (match r.Ycsb.latency with
+    | Some h ->
+        Util.Histogram.percentile h 0.99 >= Util.Histogram.percentile h 0.5
+    | None -> false)
+
 let () =
   Alcotest.run "ycsb"
     [
@@ -144,5 +186,7 @@ let () =
         [
           Alcotest.test_case "clht all workloads" `Quick test_end_to_end_clht;
           Alcotest.test_case "art scans" `Quick test_end_to_end_art_scans;
+          Alcotest.test_case "scan unsupported" `Quick test_scan_unsupported;
+          Alcotest.test_case "latency by op type" `Quick test_latency_by_op;
         ] );
     ]
