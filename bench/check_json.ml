@@ -98,6 +98,30 @@ let check_index ix =
   ignore (get ix "counters");
   name
 
+(* The micro-pmem section: every substrate accessor must report a finite,
+   non-negative ns/op, in both the single- and multi-domain tables. *)
+let check_micro_pmem doc =
+  let m = get doc "micro_pmem" in
+  let table key required =
+    match get m key with
+    | J.Obj rows ->
+        List.iter
+          (fun (n, v) ->
+            let x = num ("micro_pmem." ^ key ^ "." ^ n) v in
+            if not (x >= 0.0 && Float.is_finite x) then
+              fail "micro_pmem.%s.%s: bad ns/op %g" key n x)
+          rows;
+        List.iter
+          (fun r ->
+            if not (List.mem_assoc r rows) then
+              fail "micro_pmem.%s: required op %S missing" key r)
+          required
+    | _ -> fail "micro_pmem.%s: not an object" key
+  in
+  table "single_domain_ns_per_op"
+    [ "words_get"; "words_set"; "words_cas"; "words_clwb" ];
+  table "multi_domain_ns_per_op" [ "mt_words_get"; "mt_words_cas_shared" ]
+
 let run file =
   let s = In_channel.with_open_text file In_channel.input_all in
   let doc =
@@ -106,6 +130,7 @@ let run file =
     | Error e -> fail "%s does not parse: %s" file e
   in
   ignore (get doc "meta");
+  check_micro_pmem doc;
   let idxs =
     match J.to_list (get doc "indexes") with
     | Some l -> l

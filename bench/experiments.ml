@@ -385,6 +385,138 @@ let micro () =
   Report.print_table ~title:"Bechamel micro-benchmarks (single op)"
     ~header:[ "benchmark"; "ns/op" ] rows
 
+(* --- E19: micro-pmem — substrate accessor cost (ns/op) ----------------------------------------- *)
+
+(* Raw cost of the {!Pmem.Words}/{!Pmem.Refs} hot-path accessors in fast
+   mode (no shadow, no LLC probe): the floor every index operation pays per
+   word touched.  Single-domain loops, then the same accessors aggregated
+   over [threads] domains on disjoint objects (plus one deliberately shared
+   CAS word).  Multi-domain rows report aggregate ns/op: wall time divided
+   by total operations, so perfect scaling shows as single/threads. *)
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+let micro_pmem_measure ?(threads = 4) () =
+  reset_env ();
+  let module W = Pmem.Words in
+  let module R = Pmem.Refs in
+  let iters = 1_000_000 in
+  let mask = 4095 in
+  let time name f =
+    f (iters / 10);
+    (* warm-up *)
+    let t0 = now_ns () in
+    f iters;
+    (name, float_of_int (now_ns () - t0) /. float_of_int iters)
+  in
+  let w = W.make ~name:"micro.words" (mask + 1) 0 in
+  let wc = W.make ~name:"micro.cas" ~atomic_words:[ 0 ] 1 0 in
+  let rf = R.make ~name:"micro.refs-flat" ~atomic:false (mask + 1) 0 in
+  let ra = R.make ~name:"micro.refs-atomic" ~atomic:true (mask + 1) 0 in
+  let sink = ref 0 in
+  let single =
+    [
+      time "words_get" (fun n ->
+          let acc = ref 0 in
+          for i = 0 to n - 1 do
+            acc := !acc + W.get w (i land mask)
+          done;
+          sink := !acc);
+      time "words_set" (fun n ->
+          for i = 0 to n - 1 do
+            W.set w (i land mask) i
+          done);
+      time "words_cas" (fun n ->
+          W.set wc 0 0;
+          for i = 0 to n - 1 do
+            ignore (W.cas wc 0 ~expected:i ~desired:(i + 1) : bool)
+          done);
+      time "words_clwb" (fun n ->
+          for i = 0 to n - 1 do
+            W.clwb w (i land mask)
+          done);
+      time "refs_get_flat" (fun n ->
+          let acc = ref 0 in
+          for i = 0 to n - 1 do
+            acc := !acc + R.get rf (i land mask)
+          done;
+          sink := !acc);
+      time "refs_get_atomic" (fun n ->
+          let acc = ref 0 in
+          for i = 0 to n - 1 do
+            acc := !acc + R.get ra (i land mask)
+          done;
+          sink := !acc);
+    ]
+  in
+  (* Multi-domain: a start barrier, then [threads] domains each running
+     [per] iterations; ns/op is wall time over total ops. *)
+  let run_domains body =
+    let ready = Atomic.make 0 and go = Atomic.make false in
+    let worker tid () =
+      Atomic.incr ready;
+      while not (Atomic.get go) do
+        Domain.cpu_relax ()
+      done;
+      body tid
+    in
+    let ds = List.init threads (fun tid -> Domain.spawn (worker tid)) in
+    while Atomic.get ready < threads do
+      Domain.cpu_relax ()
+    done;
+    let t0 = now_ns () in
+    Atomic.set go true;
+    List.iter Domain.join ds;
+    now_ns () - t0
+  in
+  let per = iters / threads in
+  let mt name body =
+    let dt = run_domains body in
+    (name, float_of_int dt /. float_of_int (per * threads))
+  in
+  let ws = Array.init threads (fun _ -> W.make ~name:"micro.words-mt" (mask + 1) 0) in
+  let multi =
+    [
+      mt "mt_words_get" (fun tid ->
+          let w = ws.(tid) in
+          let acc = ref 0 in
+          for i = 0 to per - 1 do
+            acc := !acc + W.get w (i land mask)
+          done;
+          sink := !acc);
+      mt "mt_words_set" (fun tid ->
+          let w = ws.(tid) in
+          for i = 0 to per - 1 do
+            W.set w (i land mask) i
+          done);
+      mt "mt_words_cas_shared" (fun _tid ->
+          (* Contended read-modify-write on one shared atomic word. *)
+          for _ = 1 to per do
+            let rec bump () =
+              let v = W.get wc 0 in
+              if not (W.cas wc 0 ~expected:v ~desired:(v + 1)) then bump ()
+            in
+            bump ()
+          done);
+    ]
+  in
+  reset_env ();
+  (single, multi)
+
+let micro_pmem cfg =
+  let threads = max 2 cfg.threads in
+  let single, multi = micro_pmem_measure ~threads () in
+  Report.print_table
+    ~title:"micro-pmem: substrate accessor cost, single domain (fast mode)"
+    ~header:[ "op"; "ns/op" ]
+    (List.map (fun (n, v) -> [ n; Report.f2 v ]) single);
+  Report.print_table
+    ~title:
+      (Printf.sprintf
+         "micro-pmem: %d domains, disjoint objects (aggregate ns/op)" threads)
+    ~header:[ "op"; "ns/op" ]
+    (List.map (fun (n, v) -> [ n; Report.f2 v ]) multi)
+
 (* --- E13: ablation — literal vs coalesced conversion flushes -------------------------------- *)
 
 let ablation cfg =

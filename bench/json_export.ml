@@ -162,6 +162,20 @@ let index_json cfg (name, ordered, build) =
       ("sites", sites);
     ]
 
+(* Substrate accessor costs (the micro-pmem experiment): ns/op for the
+   Words/Refs hot path, single-domain and aggregated over domains. *)
+let micro_pmem_json cfg =
+  Printf.printf "json: measuring micro-pmem...\n%!";
+  let threads = max 2 cfg.Experiments.threads in
+  let single, multi = Experiments.micro_pmem_measure ~threads () in
+  let rows l = J.Obj (List.map (fun (n, v) -> (n, J.Num v)) l) in
+  J.Obj
+    [
+      ("threads", J.int threads);
+      ("single_domain_ns_per_op", rows single);
+      ("multi_domain_ns_per_op", rows multi);
+    ]
+
 let write cfg ~smoke file =
   let { Experiments.nloaded; nops; threads; seed; _ } = cfg in
   let doc =
@@ -178,6 +192,7 @@ let write cfg ~smoke file =
               ("smoke", J.Bool smoke);
               ("key_kind", J.Str "randint");
             ] );
+        ("micro_pmem", micro_pmem_json cfg);
         ("indexes", J.List (List.map (index_json cfg) indexes));
       ]
   in

@@ -12,8 +12,8 @@ open Cmdliner
 let all_experiments =
   [
     "fig4a"; "fig4b"; "fig4c"; "fig4d"; "fig5"; "table4"; "woart"; "crash";
-    "durability"; "taxonomy"; "micro"; "ablation"; "single"; "overhead";
-    "recovery"; "zipf"; "latency";
+    "durability"; "taxonomy"; "micro"; "micro-pmem"; "ablation"; "single";
+    "overhead"; "recovery"; "zipf"; "latency";
   ]
 
 let run_experiment cfg name =
@@ -29,6 +29,7 @@ let run_experiment cfg name =
   | "durability" -> Experiments.durability ()
   | "taxonomy" -> Experiments.taxonomy ()
   | "micro" -> Experiments.micro ()
+  | "micro-pmem" -> Experiments.micro_pmem cfg
   | "ablation" -> Experiments.ablation cfg
   | "single" -> Experiments.single_thread_hash cfg
   | "overhead" -> Experiments.conversion_overhead cfg

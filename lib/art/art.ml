@@ -106,7 +106,10 @@ let make_node kind ~level ~prefix_len ~prefix_word =
     kind;
     header;
     index = (match kind with N48 -> Some (W.make ~name:"art.index" 40 0) | _ -> None);
-    children = R.make ~name:"art.children" (capacity kind) CNull;
+    (* Atomic: child slots are CASed (commit point of Condition #2) and
+       live-node slots publish freshly built subtrees to lock-free
+       readers. *)
+    children = R.make ~name:"art.children" ~atomic:true (capacity kind) CNull;
     lock = Lock.create ();
   }
 

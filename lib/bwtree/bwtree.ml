@@ -93,8 +93,11 @@ let rec segment t s =
   | None ->
       Mutex.lock t.grow_lock;
       if Atomic.get t.segments.(s) = None then begin
+        (* Atomic: mapping-table slots are the CAS install points of every
+           delta/consolidation — the canonical cas-bearing structure. *)
         let seg =
-          R.make ~name:"bw.mapping" mapping_segment (NBase (dummy_base ()))
+          R.make ~name:"bw.mapping" ~atomic:true mapping_segment
+            (NBase (dummy_base ()))
         in
         R.clwb_all ~site:s_alloc seg;
         Pmem.sfence ~site:s_alloc ();

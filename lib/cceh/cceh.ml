@@ -95,7 +95,9 @@ let persist_segment ?(site = s_alloc) s =
 let make_dir ~depth ~init =
   let meta = W.make ~name:"cceh.dirmeta" 8 0 in
   W.set meta 0 depth;
-  { segs = R.make ~name:"cceh.dir" (1 lsl depth) init; depth; meta }
+  (* Atomic: directory slots are split-install commit points read by
+     lock-free probes. *)
+  { segs = R.make ~name:"cceh.dir" ~atomic:true (1 lsl depth) init; depth; meta }
 
 let persist_dir ?(site = s_alloc) d =
   R.clwb_all ~site d.segs;
@@ -122,7 +124,8 @@ let create ?(bug_doubling = false) ?(capacity = default_capacity) () =
   done;
   persist_dir d;
   Pmem.sfence ~site:s_alloc ();
-  let dir = R.make ~name:"cceh.dirptr" 1 d in
+  (* Atomic: the directory pointer is the doubling commit point. *)
+  let dir = R.make ~name:"cceh.dirptr" ~atomic:true 1 d in
   R.clwb_all ~site:s_alloc dir;
   let depth_word = W.make ~name:"cceh.depth" 1 depth in
   W.clwb_all ~site:s_alloc depth_word;

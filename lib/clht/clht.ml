@@ -1,10 +1,19 @@
 (* P-CLHT — persistent cache-line hash table (paper §6.2).
 
-   Layout: one bucket = one simulated cache line of 8 words —
-   keys in words 0..2, values in words 3..5 (words 6..7 model the lock and
-   next-pointer of the C layout; the lock itself is volatile and the next
-   pointer is a pointer slot).  The bucket-chain lock lives at the head
-   bucket and covers the whole chain, as in CLHT-LB.
+   Layout: the whole bucket array is ONE flat {!Pmem.Words} arena, one
+   bucket per simulated 64-byte cache line — exactly the C layout the paper
+   converts: keys in words 0..2, values in words 3..5 of each line (words
+   6..7 model the lock and next-pointer slots; the lock itself is volatile
+   and overflow chains hang off a separate atomic pointer table).  A lookup
+   is therefore a hash, one arena line read, and nothing else: no bucket
+   record, no per-bucket Words object, no chunk indirection — the
+   dependent-load chain of the hot path is the table pointer plus the arena
+   line, as on the real hardware.
+
+   Overflow buckets (rare: resize keeps the load factor under 2/3) are
+   linked records published through an [~atomic] {!Pmem.Refs} slot per head
+   bucket, so lock-free readers acquire the freshly filled bucket's plain
+   stores through the link's release/acquire edge.
 
    Persistence (Condition #1): an insert writes the value word, then commits
    by writing the key word — the single atomic visibility point — and flushes
@@ -35,14 +44,17 @@ let s_delete = site "delete-commit"
 let s_rehash = site ~crash:true "rehash"
 
 let entries_per_bucket = 3
+let words_per_bucket = 8 (* one simulated cache line *)
 
-type bucket = {
-  words : W.t; (* 8 words: keys 0..2, values 3..5 *)
-  next : bucket option R.t;
-  lock : Lock.t; (* meaningful only on chain heads *)
+(* Overflow bucket: its own line of words plus the next link of the chain. *)
+type obucket = { words : W.t; next : obucket option R.t }
+
+type table = {
+  arena : W.t; (* (mask+1) * 8 words: the flat bucket array *)
+  nexts : obucket option R.t; (* per-head overflow chain, atomic links *)
+  locks : Lock.t array; (* volatile head locks *)
+  mask : int;
 }
-
-type table = { buckets : bucket array; mask : int }
 
 type t = {
   table : table R.t; (* slot 0: current table pointer *)
@@ -50,29 +62,44 @@ type t = {
   count : int Atomic.t; (* volatile statistic driving the resize trigger *)
 }
 
-let new_bucket () =
+(* Overflow-bucket words are flat plain cells; the chain link stays atomic —
+   it is the publication point through which lock-free readers discover a
+   freshly filled overflow bucket, so the link store must be a release. *)
+let new_obucket () =
   {
-    words = W.make ~name:"clht.bucket" 8 0;
-    next = R.make ~name:"clht.next" 1 None;
-    lock = Lock.create ();
+    words = W.make ~name:"clht.bucket" words_per_bucket 0;
+    next = R.make ~name:"clht.next" ~atomic:true 1 None;
   }
 
 (* On real hardware the next pointer occupies word 7 of the bucket's single
    cache line, so a bucket flush is ONE clwb.  The simulator forces pointer
-   slots into their own line; to keep the flush counters faithful we flush
-   that line only when it carries a real pointer — except under shadow mode,
+   slots into their own lines; to keep the flush counters faithful we flush
+   them only when they carry a real pointer — except under shadow mode,
    where the crash/durability machinery needs every allocated line written
    back explicitly. *)
-let persist_bucket ?(site = s_alloc) b =
+let persist_obucket ?(site = s_alloc) b =
   W.clwb_all ~site b.words;
   if Pmem.Mode.shadow_enabled () || R.get b.next 0 <> None then
     R.clwb_all ~site b.next
 
+let shadow_or_nonempty r =
+  Pmem.Mode.shadow_enabled ()
+  ||
+  let n = R.length r in
+  let rec any i = i < n && (R.get r i <> None || any (i + 1)) in
+  any 0
+
 let new_table n_buckets =
-  { buckets = Array.init n_buckets (fun _ -> new_bucket ()); mask = n_buckets - 1 }
+  {
+    arena = W.make ~name:"clht.arena" (n_buckets * words_per_bucket) 0;
+    nexts = R.make ~name:"clht.nexts" ~atomic:true n_buckets None;
+    locks = Array.init n_buckets (fun _ -> Lock.create ());
+    mask = n_buckets - 1;
+  }
 
 let persist_table tbl =
-  Array.iter (persist_bucket ~site:s_alloc) tbl.buckets;
+  W.clwb_all ~site:s_alloc tbl.arena;
+  if shadow_or_nonempty tbl.nexts then R.clwb_all ~site:s_alloc tbl.nexts;
   Pmem.sfence ~site:s_alloc ()
 
 (* 48 KB of 64-byte buckets. *)
@@ -82,75 +109,95 @@ let create ?(capacity = default_buckets) () =
   let n = Util.Bits.next_power_of_two (max 4 capacity) in
   let tbl = new_table n in
   persist_table tbl;
-  let table = R.make ~name:"clht.table" 1 tbl in
+  (* Atomic: the table pointer is the resize commit point — the swap
+     publishes the whole freshly built table to wait-free readers. *)
+  let table = R.make ~name:"clht.table" ~atomic:true 1 tbl in
   R.clwb_all ~site:s_alloc table;
   Pmem.sfence ~site:s_alloc ();
   { table; resize_lock = Lock.create (); count = Atomic.make 0 }
 
 let hash_key k = (k * 0x1CE4E5B9) lxor (k lsr 29)
-
-let bucket_for tbl k = tbl.buckets.(hash_key k land tbl.mask)
-
+let bucket_for tbl k = hash_key k land tbl.mask
 let length t = Atomic.get t.count
 
 let bucket_count t =
   let tbl = R.get t.table 0 in
-  let n = ref 0 in
-  Array.iter
-    (fun head ->
-      let rec walk b =
-        incr n;
-        match R.get b.next 0 with None -> () | Some nb -> walk nb
-      in
-      walk head)
-    tbl.buckets;
+  let n = ref (tbl.mask + 1) in
+  for h = 0 to tbl.mask do
+    let rec walk = function
+      | None -> ()
+      | Some ob ->
+          incr n;
+          walk (R.get ob.next 0)
+    in
+    walk (R.get tbl.nexts h)
+  done;
   !n
 
 (* --- Lock-free read path ----------------------------------------------- *)
 
+(* Overflow chains: same slot protocol, record-linked (rare path). *)
+let rec chain_lookup k = function
+  | None -> None
+  | Some ob ->
+      let rec slot i =
+        if i = entries_per_bucket then chain_lookup k (R.get ob.next 0)
+        else if W.get ob.words i = k then begin
+          let v = W.get ob.words (i + entries_per_bucket) in
+          if W.get ob.words i = k then Some v else slot i
+        end
+        else slot (i + 1)
+      in
+      slot 0
+
 let lookup t k =
   let tbl = R.get t.table 0 in
-  let rec chain b =
-    let rec slot i =
-      if i = entries_per_bucket then
-        match R.get b.next 0 with None -> None | Some nb -> chain nb
-      else if W.get b.words i = k then begin
-        (* CLHT atomic snapshot: value is valid if the key is unchanged
-           after reading it (inserts write value before key). *)
-        let v = W.get b.words (i + entries_per_bucket) in
-        if W.get b.words i = k then Some v else slot i
-      end
-      else slot (i + 1)
-    in
-    slot 0
+  let h = bucket_for tbl k in
+  let base = h * words_per_bucket in
+  let rec slot i =
+    if i = entries_per_bucket then chain_lookup k (R.get tbl.nexts h)
+    else if W.get tbl.arena (base + i) = k then begin
+      (* CLHT atomic snapshot: value is valid if the key is unchanged
+         after reading it (inserts write value before key). *)
+      let v = W.get tbl.arena (base + i + entries_per_bucket) in
+      if W.get tbl.arena (base + i) = k then Some v else slot i
+    end
+    else slot (i + 1)
   in
-  chain (bucket_for tbl k)
+  slot 0
 
-let iter t f =
-  let tbl = R.get t.table 0 in
-  Array.iter
-    (fun head ->
-      let rec walk b =
-        for i = 0 to entries_per_bucket - 1 do
-          let k = W.get b.words i in
-          if k <> 0 then f k (W.get b.words (i + entries_per_bucket))
-        done;
-        match R.get b.next 0 with None -> () | Some nb -> walk nb
-      in
-      walk head)
-    tbl.buckets
+let iter_table tbl f =
+  for h = 0 to tbl.mask do
+    let base = h * words_per_bucket in
+    for i = 0 to entries_per_bucket - 1 do
+      let k = W.get tbl.arena (base + i) in
+      if k <> 0 then f k (W.get tbl.arena (base + i + entries_per_bucket))
+    done;
+    let rec walk = function
+      | None -> ()
+      | Some ob ->
+          for i = 0 to entries_per_bucket - 1 do
+            let k = W.get ob.words i in
+            if k <> 0 then f k (W.get ob.words (i + entries_per_bucket))
+          done;
+          walk (R.get ob.next 0)
+    in
+    walk (R.get tbl.nexts h)
+  done
+
+let iter t f = iter_table (R.get t.table 0) f
 
 (* --- Write path --------------------------------------------------------- *)
 
 (* Acquire the head-bucket lock for [k] in the *current* table, retrying
-   across concurrent resizes.  Returns the table and head it locked. *)
+   across concurrent resizes.  Returns the table and head index it locked. *)
 let rec lock_head t k =
   let tbl = R.get t.table 0 in
-  let head = bucket_for tbl k in
-  if Lock.try_lock head.lock then
-    if R.get t.table 0 == tbl then (tbl, head)
+  let h = bucket_for tbl k in
+  if Lock.try_lock tbl.locks.(h) then
+    if R.get t.table 0 == tbl then (tbl, h)
     else begin
-      Lock.unlock head.lock;
+      Lock.unlock tbl.locks.(h);
       lock_head t k
     end
   else begin
@@ -160,55 +207,69 @@ let rec lock_head t k =
 
 (* Copy-based insert used privately by the resizer: no locks, no per-store
    flush (the whole new table is persisted once before the swap). *)
-let rec copy_insert tbl k v =
-  let rec walk b =
-    let rec slot i =
-      if i = entries_per_bucket then
-        match R.get b.next 0 with
-        | Some nb -> walk nb
-        | None ->
-            let nb = new_bucket () in
-            W.set nb.words 0 k;
-            W.set nb.words entries_per_bucket v;
-            R.set b.next 0 (Some nb)
-      else if W.get b.words i = 0 then begin
-        W.set b.words (i + entries_per_bucket) v;
-        W.set b.words i k
-      end
-      else slot (i + 1)
-    in
-    slot 0
+let copy_insert tbl k v =
+  let h = bucket_for tbl k in
+  let base = h * words_per_bucket in
+  let fill_ob nb =
+    W.set nb.words entries_per_bucket v;
+    W.set nb.words 0 k
   in
-  walk (bucket_for tbl k)
+  let rec ochain ob =
+    let rec oslot i =
+      if i = entries_per_bucket then
+        match R.get ob.next 0 with
+        | Some nb -> ochain nb
+        | None ->
+            let nb = new_obucket () in
+            fill_ob nb;
+            R.set ob.next 0 (Some nb)
+      else if W.get ob.words i = 0 then begin
+        W.set ob.words (i + entries_per_bucket) v;
+        W.set ob.words i k
+      end
+      else oslot (i + 1)
+    in
+    oslot 0
+  in
+  let rec slot i =
+    if i = entries_per_bucket then
+      match R.get tbl.nexts h with
+      | Some ob -> ochain ob
+      | None ->
+          let nb = new_obucket () in
+          fill_ob nb;
+          R.set tbl.nexts h (Some nb)
+    else if W.get tbl.arena (base + i) = 0 then begin
+      W.set tbl.arena (base + i + entries_per_bucket) v;
+      W.set tbl.arena (base + i) k
+    end
+    else slot (i + 1)
+  in
+  slot 0
 
-and resize t =
+let resize t =
   if Lock.try_lock t.resize_lock then begin
     let old = R.get t.table 0 in
     (* Take every head lock; they are never released — the old table is dead
        after the swap and stalled writers re-read the table pointer. *)
-    Array.iter (fun b -> Lock.lock b.lock) old.buckets;
+    Array.iter Lock.lock old.locks;
     Pmem.Crash.point ~site:s_rehash ();
     (* Grow 4x: ample headroom so steady-state mixed workloads run without
        further rehashing (§7.2: "when the hash table is sufficiently large,
        P-CLHT performs no rehashing in workload A and B"). *)
     let fresh = new_table (4 * (old.mask + 1)) in
-    Array.iter
-      (fun head ->
-        let rec walk b =
-          for i = 0 to entries_per_bucket - 1 do
-            let k = W.get b.words i in
-            if k <> 0 then copy_insert fresh k (W.get b.words (i + entries_per_bucket))
-          done;
-          match R.get b.next 0 with None -> () | Some nb -> walk nb
-        in
-        walk head)
-      old.buckets;
+    iter_table old (fun k v -> copy_insert fresh k v);
     (* Persist the whole new table, then commit with one atomic swap. *)
-    let rec persist_chain b =
-      persist_bucket ~site:s_rehash b;
-      match R.get b.next 0 with None -> () | Some nb -> persist_chain nb
-    in
-    Array.iter persist_chain fresh.buckets;
+    persist_table fresh;
+    for h = 0 to fresh.mask do
+      let rec persist_chain = function
+        | None -> ()
+        | Some ob ->
+            persist_obucket ~site:s_rehash ob;
+            persist_chain (R.get ob.next 0)
+      in
+      persist_chain (R.get fresh.nexts h)
+    done;
     Pmem.sfence ~site:s_rehash ();
     Pmem.Crash.point ~site:s_rehash ();
     P.commit_ref ~site:s_rehash t.table 0 fresh;
@@ -225,44 +286,63 @@ let maybe_resize t =
 
 let insert t k v =
   if k <= 0 then invalid_arg "Clht.insert: key must be positive";
-  let _tbl, head = lock_head t k in
-  (* Walk the chain: fail if present, remember the first free slot. *)
+  let tbl, h = lock_head t k in
+  let base = h * words_per_bucket in
+  (* Walk bucket + chain: fail if present, remember the first free slot.
+     [free]: arena slot index, or overflow bucket and slot. *)
   let exception Present in
-  let free : (bucket * int) option ref = ref None in
-  let last = ref head in
+  let arena_free = ref (-1) in
+  let chain_free : (obucket * int) option ref = ref None in
+  let last : obucket option ref = ref None in
   let inserted =
     try
-      let rec walk b =
-        last := b;
-        for i = 0 to entries_per_bucket - 1 do
-          let kk = W.get b.words i in
-          if kk = k then raise Present;
-          if kk = 0 && !free = None then free := Some (b, i)
-        done;
-        match R.get b.next 0 with None -> () | Some nb -> walk nb
+      for i = 0 to entries_per_bucket - 1 do
+        let kk = W.get tbl.arena (base + i) in
+        if kk = k then raise Present;
+        if kk = 0 && !arena_free < 0 then arena_free := base + i
+      done;
+      let rec walk = function
+        | None -> ()
+        | Some ob ->
+            last := Some ob;
+            for i = 0 to entries_per_bucket - 1 do
+              let kk = W.get ob.words i in
+              if kk = k then raise Present;
+              if kk = 0 && !chain_free = None then chain_free := Some (ob, i)
+            done;
+            walk (R.get ob.next 0)
       in
-      walk head;
-      (match !free with
-      | Some (b, i) ->
-          (* Value first, then the atomic key store commits: one line, one
-             flush (§6.2 "only one cache line flush per update"). *)
-          P.store ~site:s_insert b.words (i + entries_per_bucket) v;
-          Pmem.Crash.point ~site:s_insert ();
-          P.commit ~site:s_insert b.words i k
-      | None ->
-          (* Chain overflow: build the new bucket, persist it, then commit
-             by atomically linking it. *)
-          let nb = new_bucket () in
-          W.set nb.words entries_per_bucket v;
-          W.set nb.words 0 k;
-          persist_bucket ~site:s_chain nb;
-          Pmem.sfence ~site:s_chain ();
-          Pmem.Crash.point ~site:s_chain ();
-          P.commit_ref ~site:s_chain !last.next 0 (Some nb));
+      walk (R.get tbl.nexts h);
+      (if !arena_free >= 0 then begin
+         (* Value first, then the atomic key store commits: one line, one
+            flush (§6.2 "only one cache line flush per update"). *)
+         let s = !arena_free in
+         P.store ~site:s_insert tbl.arena (s + entries_per_bucket) v;
+         Pmem.Crash.point ~site:s_insert ();
+         P.commit ~site:s_insert tbl.arena s k
+       end
+       else
+         match !chain_free with
+         | Some (ob, i) ->
+             P.store ~site:s_insert ob.words (i + entries_per_bucket) v;
+             Pmem.Crash.point ~site:s_insert ();
+             P.commit ~site:s_insert ob.words i k
+         | None ->
+             (* Chain overflow: build the new bucket, persist it, then commit
+                by atomically linking it. *)
+             let nb = new_obucket () in
+             W.set nb.words entries_per_bucket v;
+             W.set nb.words 0 k;
+             persist_obucket ~site:s_chain nb;
+             Pmem.sfence ~site:s_chain ();
+             Pmem.Crash.point ~site:s_chain ();
+             (match !last with
+             | Some ob -> P.commit_ref ~site:s_chain ob.next 0 (Some nb)
+             | None -> P.commit_ref ~site:s_chain tbl.nexts h (Some nb)));
       true
     with Present -> false
   in
-  Lock.unlock head.lock;
+  Lock.unlock tbl.locks.(h);
   if inserted then begin
     Atomic.incr t.count;
     maybe_resize t
@@ -271,24 +351,33 @@ let insert t k v =
 
 let delete t k =
   if k <= 0 then invalid_arg "Clht.delete: key must be positive";
-  let _tbl, head = lock_head t k in
+  let tbl, h = lock_head t k in
+  let base = h * words_per_bucket in
   let deleted =
-    let rec walk b =
-      let rec slot i =
-        if i = entries_per_bucket then
-          match R.get b.next 0 with None -> false | Some nb -> walk nb
-        else if W.get b.words i = k then begin
-          (* Deletion commits by zeroing the key word (§6.2). *)
-          P.commit ~site:s_delete b.words i 0;
-          true
-        end
-        else slot (i + 1)
-      in
-      slot 0
+    let rec slot i =
+      if i = entries_per_bucket then chain (R.get tbl.nexts h)
+      else if W.get tbl.arena (base + i) = k then begin
+        (* Deletion commits by zeroing the key word (§6.2). *)
+        P.commit ~site:s_delete tbl.arena (base + i) 0;
+        true
+      end
+      else slot (i + 1)
+    and chain = function
+      | None -> false
+      | Some ob ->
+          let rec oslot i =
+            if i = entries_per_bucket then chain (R.get ob.next 0)
+            else if W.get ob.words i = k then begin
+              P.commit ~site:s_delete ob.words i 0;
+              true
+            end
+            else oslot (i + 1)
+          in
+          oslot 0
     in
-    walk head
+    slot 0
   in
-  Lock.unlock head.lock;
+  Lock.unlock tbl.locks.(h);
   if deleted then Atomic.decr t.count;
   deleted
 

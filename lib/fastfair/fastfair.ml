@@ -77,9 +77,14 @@ let make_node ~level ~min_key ~has_min =
     min_key;
     has_min;
     keys = W.make ~name:"ff.keys" cardinality 0;
-    ptrs = R.make ~name:"ff.ptrs" cardinality Null;
-    leftmost = R.make ~name:"ff.leftmost" 1 Null;
-    sibling = R.make ~name:"ff.sibling" 1 None;
+    (* Atomic: ptr slots publish freshly built children during split parent
+       updates, read by lock-free traversals mid-shift. *)
+    ptrs = R.make ~name:"ff.ptrs" ~atomic:true cardinality Null;
+    (* Flat: leftmost is written only during node construction, before the
+       node is published via root/ptrs/sibling commits. *)
+    leftmost = R.make ~name:"ff.leftmost" ~atomic:false 1 Null;
+    (* Atomic: sibling is the split's publication commit (B-link). *)
+    sibling = R.make ~name:"ff.sibling" ~atomic:true 1 None;
     meta;
     lock = Lock.create ();
     seq = Atomic.make 0;
@@ -97,7 +102,8 @@ let create ?(bug_highkey = false) ?(bug_split_order = false)
     ?(bug_root_flush = false) ~space () =
   let root = make_node ~level:0 ~min_key:0 ~has_min:false in
   if not bug_root_flush then persist_node root;
-  let root_ref = R.make ~name:"ff.root" 1 root in
+  (* Atomic: root pointer is CASed on root splits. *)
+  let root_ref = R.make ~name:"ff.root" ~atomic:true 1 root in
   if not bug_root_flush then begin
     R.clwb_all ~site:s_alloc root_ref;
     Pmem.sfence ~site:s_alloc ()

@@ -128,7 +128,9 @@ and make_node at =
   in
   let nbits, nslots = count at in
   let bits = W.make ~name:"hot.bits" (max 1 nbits) 0 in
-  let children = R.make ~name:"hot.children" (max 1 nslots) HNull in
+  (* Atomic: child slots of a live node are the publish commit points of
+     copy-on-write rebuilds, read by lock-free traversals. *)
+  let children = R.make ~name:"hot.children" ~atomic:true (max 1 nslots) HNull in
   let nbit = ref 0 and nslot = ref 0 in
   let rec build = function
     | ALeaf c ->
@@ -150,7 +152,8 @@ and make_node at =
   { bits; children; shape; lock = Lock.create () }
 
 let create () =
-  let root = R.make ~name:"hot.root" 1 HNull in
+  (* Atomic: the root slot is a publish commit point. *)
+  let root = R.make ~name:"hot.root" ~atomic:true 1 HNull in
   R.clwb_all ~site:s_publish root;
   Pmem.sfence ~site:s_publish ();
   { root; root_lock = Lock.create () }

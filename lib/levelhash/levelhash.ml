@@ -76,7 +76,9 @@ let create ?(capacity = default_capacity) () =
   let top_n = max 4 (Util.Bits.next_power_of_two (capacity * 2 / 3)) in
   let tb = make_table top_n in
   persist_table tb;
-  let table = R.make ~name:"level.table" 1 tb in
+  (* Atomic: the table pointer is the resize commit point publishing the
+     freshly built two-level table. *)
+  let table = R.make ~name:"level.table" ~atomic:true 1 tb in
   R.clwb_all ~site:s_alloc table;
   Pmem.sfence ~site:s_alloc ();
   {

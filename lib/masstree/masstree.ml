@@ -126,7 +126,11 @@ let perm n = W.get n.header 0
 let nalloc n = W.get n.header 1
 
 let make_node ~leaf ~level ~has_min ~min_key =
-  let header = W.make ~name:"mt.header" 8 0 in
+  (* Word 0 is the permutation word: the single-store commit point through
+     which lock-free readers discover appended slots, so it stays an atomic
+     control word (release on commit, acquire on read) while the rest of
+     the header is flat. *)
+  let header = W.make ~name:"mt.header" ~atomic_words:[ 0 ] 8 0 in
   W.set header 2 (if leaf then 1 else 0);
   W.set header 3 level;
   W.set header 4 (if has_min then 1 else 0);
@@ -138,9 +142,15 @@ let make_node ~leaf ~level ~has_min ~min_key =
     min_key;
     header;
     keys = W.make ~name:"mt.keys" fanout 0;
-    entries = R.make ~name:"mt.entries" fanout Empty;
-    leftmost = R.make ~name:"mt.leftmost" 1 Empty;
-    sibling = R.make ~name:"mt.sibling" 1 None;
+    (* Atomic: live-node entry slots are commit points (Val updates, Link
+       layer installs) read by lock-free traversals. *)
+    entries = R.make ~name:"mt.entries" ~atomic:true fanout Empty;
+    (* Flat: leftmost is written only while the node is still private
+       (split/new-root construction) and published with the node itself. *)
+    leftmost = R.make ~name:"mt.leftmost" ~atomic:false 1 Empty;
+    (* Atomic: the sibling link is the split's publication commit (B-link
+       readers follow it lock-free). *)
+    sibling = R.make ~name:"mt.sibling" ~atomic:true 1 None;
     lock = Lock.create ();
   }
 
@@ -155,7 +165,8 @@ let persist_node ?(site = s_alloc) n =
 let new_tree () =
   let root = make_node ~leaf:true ~level:0 ~has_min:false ~min_key:0 in
   persist_node root;
-  let troot = R.make ~name:"mt.troot" 1 root in
+  (* Atomic: root pointer is CASed on root splits. *)
+  let troot = R.make ~name:"mt.troot" ~atomic:true 1 root in
   R.clwb_all ~site:s_alloc troot;
   Pmem.sfence ~site:s_alloc ();
   { troot }

@@ -40,7 +40,11 @@ let on_flush () = if !flush_ns > 0 then spin_ns !flush_ns
 let on_fence () = if !fence_ns > 0 then spin_ns !fence_ns
 
 (** [set ~flush ~fence] charges the given busy-wait (ns) per clwb / sfence;
-    [set ~flush:0 ~fence:0] disables. *)
+    [set ~flush:0 ~fence:0] disables.  Enabling any charge forces the spin
+    calibration immediately: lazily it would fire inside the *first timed
+    flush*, landing a 5M-iteration calibration loop in a measured region and
+    corrupting that run's first latency sample. *)
 let set ~flush ~fence =
   flush_ns := flush;
-  fence_ns := fence
+  fence_ns := fence;
+  if flush > 0 || fence > 0 then ignore (Lazy.force iters_per_ns : float)

@@ -44,7 +44,10 @@ let configure ?(capacity_bytes = 32 * 1024 * 1024) ?(ways = 16) () =
 
 let set_enabled b =
   if b && !cache = None then configure ();
-  enabled := b
+  enabled := b;
+  (* Refresh the packed per-epoch accessor flags ({!Words}/{!Refs} test one
+     word instead of this ref per access). *)
+  Mode.set_llc_probe b
 
 let is_enabled () = !enabled
 
@@ -57,26 +60,28 @@ let access line_id =
       let base = set * c.ways in
       c.accesses <- c.accesses + 1;
       c.clock <- c.clock + 1;
-      let rec find w =
-        if w >= c.ways then -1
-        else if c.tags.(base + w) = line_id then w
-        else find (w + 1)
+      (* One fused pass over the set: find the hit and track the LRU victim
+         at the same time, instead of a hit scan followed by a separate
+         victim scan on every miss (misses dominate the interesting
+         workloads, so the second scan used to run almost every access). *)
+      let rec scan w victim victim_stamp =
+        if w >= c.ways then begin
+          c.misses <- c.misses + 1;
+          (if Obs.Trace.enabled () then
+             let old = c.tags.(base + victim) in
+             if old >= 0 then Obs.Trace.record Obs.Trace.Llc_evict ~arg:old "llc");
+          c.tags.(base + victim) <- line_id;
+          c.stamps.(base + victim) <- c.clock
+        end
+        else if Array.unsafe_get c.tags (base + w) = line_id then
+          Array.unsafe_set c.stamps (base + w) c.clock
+        else begin
+          let s = Array.unsafe_get c.stamps (base + w) in
+          if s < victim_stamp then scan (w + 1) w s
+          else scan (w + 1) victim victim_stamp
+        end
       in
-      let hit = find 0 in
-      if hit >= 0 then c.stamps.(base + hit) <- c.clock
-      else begin
-        c.misses <- c.misses + 1;
-        (* Evict the least recently used way. *)
-        let victim = ref 0 in
-        for w = 1 to c.ways - 1 do
-          if c.stamps.(base + w) < c.stamps.(base + !victim) then victim := w
-        done;
-        (if Obs.Trace.enabled () then
-           let old = c.tags.(base + !victim) in
-           if old >= 0 then Obs.Trace.record Obs.Trace.Llc_evict ~arg:old "llc");
-        c.tags.(base + !victim) <- line_id;
-        c.stamps.(base + !victim) <- c.clock
-      end
+      scan 0 0 max_int
 
 let misses () = match !cache with None -> 0 | Some c -> c.misses
 let accesses () = match !cache with None -> 0 | Some c -> c.accesses

@@ -6,11 +6,31 @@
    durability tests; off for throughput benchmarks.
 
    These are plain refs: modes are flipped only between experiment phases,
-   never concurrently with index operations. *)
+   never concurrently with index operations.
+
+   Epoch flag word: the substrate accessors ({!Words}/{!Refs} get/set/clwb)
+   used to branch on up to three separate globals per access — the LLC
+   probe, DRAM mode, and shadow mode.  Modes only ever change between
+   experiment phases, so the accessor decision is recomputed *once per mode
+   flip* into a single packed word, [flags]; the hot path loads exactly one
+   word and tests one mask, whatever combination of simulator features is
+   active.  All setters below (and {!Llc.set_enabled}) refresh it. *)
+
+let f_llc = 1 (* probe the LLC simulator on every word/slot access *)
+let f_dram = 2 (* clwb/sfence are free no-ops (DRAM-ancestor ablation) *)
+let f_shadow = 4 (* new objects carry a shadow (last-flushed) image *)
+
+let flags = ref 0
+
+let set_flag bit on =
+  flags := if on then !flags lor bit else !flags land lnot bit
 
 let shadow = ref false
 let shadow_enabled () = !shadow
-let set_shadow b = shadow := b
+
+let set_shadow b =
+  shadow := b;
+  set_flag f_shadow b
 
 (* [dram] — when on, clwb and sfence become free no-ops: the index runs as
    its volatile DRAM ancestor.  Used by the conversion-overhead ablation
@@ -18,4 +38,11 @@ let set_shadow b = shadow := b
    performance; this measures exactly what the conversion added). *)
 let dram = ref false
 let dram_enabled () = !dram
-let set_dram b = dram := b
+
+let set_dram b =
+  dram := b;
+  set_flag f_dram b
+
+(* The LLC probe bit is owned by {!Llc.set_enabled}; it lives here so the
+   accessors test one word for every mode. *)
+let set_llc_probe b = set_flag f_llc b

@@ -6,7 +6,32 @@
    machinery as {!Words}.  Child-pointer arrays, sibling pointers, mapping
    tables and directory entries are all built from this.
 
-   Storage is chunked like {!Words} (see the note there). *)
+   Every object declares its representation at construction time:
+
+   - [make ~atomic:true] — every slot is an [Atomic.t] cell.  Required for
+     slots that are CASed ([cas] raises on a flat object) and for slots that
+     serve as *publication points*: a pointer installed for lock-free
+     readers to discover freshly built structure.  The atomic store/CAS is a
+     release, the reader's atomic load an acquire, so all the plain stores
+     that initialized the new node (its flat {!Words}, its flat slots)
+     happen-before the reader's dereference — this is the synchronisation
+     the whole flat substrate leans on.
+
+   - [make ~atomic:false] — slots live in plain chunked ['a array]s: one
+     array load per access, no box.  For slot arrays that are only ever
+     read/written: write-once pools, and traversal arrays whose mutation is
+     already ordered by a lock + a separate atomic commit.  See DESIGN.md
+     for the per-index decisions and the one x86-TSO caveat.
+
+   The choice is a required argument on purpose: whether a pointer slot is
+   a data slot or a synchronisation point is index-design information, and
+   it must be visible (and greppable) at the allocation site.
+
+   Storage is chunked (boxed mode: so no allocation exceeds the OCaml
+   minor-heap large-object threshold — filling a major-heap array with young
+   boxes serializes multi-domain runs on the remembered set; flat mode: so
+   stores hit minor-heap chunks and stay off the major-heap remembered
+   set). *)
 
 let slots_per_line = 8
 let chunk_bits = 7
@@ -14,15 +39,19 @@ let chunk_size = 1 lsl chunk_bits
 
 type 'a shadow_state = {
   image : 'a array;
-  dirty : bool Atomic.t array;
+  dirty : int Atomic.t array; (* flat bitset, one bit per line *)
   registered : bool Atomic.t;
 }
+
+type 'a repr =
+  | Flat of 'a array array (* plain chunked slots: get/set only *)
+  | Boxed of 'a Atomic.t array array (* one Atomic cell per slot *)
 
 type 'a t = {
   name : string;
   base_line : int;
   len : int;
-  data : 'a Atomic.t array array;
+  repr : 'a repr;
   shadow : 'a shadow_state option;
 }
 
@@ -30,60 +59,75 @@ let line_of_index i = i lsr 3
 let n_lines len = (len + slots_per_line - 1) / slots_per_line
 let length t = t.len
 
-let cell t i =
-  Array.unsafe_get (Array.unsafe_get t.data (i lsr chunk_bits)) (i land (chunk_size - 1))
+let read_slot t i =
+  match t.repr with
+  | Flat c ->
+      Array.unsafe_get
+        (Array.unsafe_get c (i lsr chunk_bits))
+        (i land (chunk_size - 1))
+  | Boxed c ->
+      Atomic.get
+        (Array.unsafe_get
+           (Array.unsafe_get c (i lsr chunk_bits))
+           (i land (chunk_size - 1)))
+
+let write_slot t i v =
+  match t.repr with
+  | Flat c ->
+      Array.unsafe_set
+        (Array.unsafe_get c (i lsr chunk_bits))
+        (i land (chunk_size - 1))
+        v
+  | Boxed c ->
+      Atomic.set
+        (Array.unsafe_get
+           (Array.unsafe_get c (i lsr chunk_bits))
+           (i land (chunk_size - 1)))
+        v
 
 let rec register t sh =
   if Atomic.compare_and_set sh.registered false true then
     Tracking.register
       {
         Tracking.name = t.name;
-        is_dirty = (fun () -> Array.exists Atomic.get sh.dirty);
+        is_dirty = (fun () -> Words.bitset_any sh.dirty);
         revert = (fun () -> revert t sh);
         persist = (fun () -> persist t sh);
         unregister = (fun () -> Atomic.set sh.registered false);
       }
 
 and revert t sh =
-  Array.iteri
-    (fun l d ->
-      if Atomic.get d then begin
-        let lo = l * slots_per_line in
-        let hi = min t.len (lo + slots_per_line) in
-        for i = lo to hi - 1 do
-          Atomic.set (cell t i) sh.image.(i)
-        done;
-        Atomic.set d false
-      end)
-    sh.dirty
+  Words.bitset_iter sh.dirty (fun l ->
+      let lo = l * slots_per_line in
+      let hi = min t.len (lo + slots_per_line) in
+      for i = lo to hi - 1 do
+        write_slot t i sh.image.(i)
+      done;
+      Words.bitset_unset sh.dirty l)
 
 and persist t sh =
-  Array.iteri
-    (fun l d ->
-      if Atomic.get d then begin
-        let lo = l * slots_per_line in
-        let hi = min t.len (lo + slots_per_line) in
-        for i = lo to hi - 1 do
-          sh.image.(i) <- Atomic.get (cell t i)
-        done;
-        Atomic.set d false
-      end)
-    sh.dirty
+  Words.bitset_iter sh.dirty (fun l ->
+      let lo = l * slots_per_line in
+      let hi = min t.len (lo + slots_per_line) in
+      for i = lo to hi - 1 do
+        sh.image.(i) <- read_slot t i
+      done;
+      Words.bitset_unset sh.dirty l)
 
-let mark_dirty t line =
-  match t.shadow with
-  | None -> ()
-  | Some sh ->
-      if not (Atomic.get sh.dirty.(line)) then Atomic.set sh.dirty.(line) true;
-      if not (Atomic.get sh.registered) then register t sh
+let mark_dirty t sh line =
+  Words.bitset_set sh.dirty line;
+  if not (Atomic.get sh.registered) then register t sh
 
-let make ?(name = "refs") len init =
+let make ?(name = "refs") ~atomic len init =
   if len <= 0 then invalid_arg "Refs.make: length must be positive";
   let n_chunks = (len + chunk_size - 1) / chunk_size in
-  let data =
-    Array.init n_chunks (fun c ->
-        let sz = min chunk_size (len - (c * chunk_size)) in
-        Array.init sz (fun _ -> Atomic.make init))
+  let chunk_len c = min chunk_size (len - (c * chunk_size)) in
+  let repr =
+    if atomic then
+      Boxed
+        (Array.init n_chunks (fun c ->
+             Array.init (chunk_len c) (fun _ -> Atomic.make init)))
+    else Flat (Array.init n_chunks (fun c -> Array.make (chunk_len c) init))
   in
   let lines = n_lines len in
   let shadow =
@@ -91,52 +135,71 @@ let make ?(name = "refs") len init =
       Some
         {
           image = Array.make len init;
-          dirty = Array.init lines (fun _ -> Atomic.make true);
+          dirty = Words.bitset_make lines true;
           registered = Atomic.make false;
         }
     else None
   in
-  let t = { name; base_line = Line_id.fresh lines; len; data; shadow } in
+  let t = { name; base_line = Line_id.fresh lines; len; repr; shadow } in
   Stats.add_allocation ~lines ~words:len;
   (match t.shadow with Some sh -> register t sh | None -> ());
   t
 
-let touch_llc t i = if !Llc.enabled then Llc.access (t.base_line + line_of_index i)
+let[@inline] probe_llc t i =
+  if !Mode.flags land Mode.f_llc <> 0 then
+    Llc.access (t.base_line + line_of_index i)
 
 let get t i =
-  touch_llc t i;
-  Atomic.get (cell t i)
+  probe_llc t i;
+  read_slot t i
 
 let set t i v =
-  touch_llc t i;
-  Atomic.set (cell t i) v;
-  if t.shadow <> None then mark_dirty t (line_of_index i)
+  probe_llc t i;
+  write_slot t i v;
+  match t.shadow with
+  | None -> ()
+  | Some sh -> mark_dirty t sh (line_of_index i)
 
 (* Physical-equality CAS: slots hold pointers, and pointer identity is what a
-   hardware CAS on an 8-byte pointer compares. *)
+   hardware CAS on an 8-byte pointer compares.  Only legal on [~atomic:true]
+   objects — a CAS on a plain slot would not be a synchronisation point. *)
 let cas t i ~expected ~desired =
-  touch_llc t i;
-  let ok = Atomic.compare_and_set (cell t i) expected desired in
-  if ok then (match t.shadow with Some _ -> mark_dirty t (line_of_index i) | None -> ());
+  probe_llc t i;
+  let cell =
+    match t.repr with
+    | Boxed c ->
+        Array.unsafe_get
+          (Array.unsafe_get c (i lsr chunk_bits))
+          (i land (chunk_size - 1))
+    | Flat _ ->
+        invalid_arg
+          (Printf.sprintf "Refs.%s: cas on a flat (~atomic:false) object"
+             t.name)
+  in
+  let ok = Atomic.compare_and_set cell expected desired in
+  (if ok then
+     match t.shadow with
+     | None -> ()
+     | Some sh -> mark_dirty t sh (line_of_index i));
   ok
 
 (** Flush the cache line containing slot [i].  [site] attributes the flush
     to an index × structural location in the {!Obs} registry. *)
 let clwb ?site t i =
-  if !Mode.dram then ()
+  if !Mode.flags land Mode.f_dram <> 0 then ()
   else begin
-  Stats.record_clwb ?site ();
-  Latency.on_flush ();
-  match t.shadow with
-  | None -> ()
-  | Some sh ->
-      let l = line_of_index i in
-      let lo = l * slots_per_line in
-      let hi = min t.len (lo + slots_per_line) in
-      for j = lo to hi - 1 do
-        sh.image.(j) <- Atomic.get (cell t j)
-      done;
-      Atomic.set sh.dirty.(l) false
+    Stats.record_clwb ?site ();
+    Latency.on_flush ();
+    match t.shadow with
+    | None -> ()
+    | Some sh ->
+        let l = line_of_index i in
+        let lo = l * slots_per_line in
+        let hi = min t.len (lo + slots_per_line) in
+        for j = lo to hi - 1 do
+          sh.image.(j) <- read_slot t j
+        done;
+        Words.bitset_unset sh.dirty l
   end
 
 let clwb_all ?site t =

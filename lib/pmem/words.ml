@@ -1,37 +1,53 @@
 (* A persistent array of 8-byte words.
 
    This is the building block for everything an index stores in simulated
-   persistent memory: keys, values, lock words, permutation words, headers.
-   Words are grouped 8 to a simulated 64-byte cache line, so [clwb] flushes
-   (and the flush counters count) at the same granularity as the machine the
+   persistent memory: keys, values, permutation words, node headers.  Words
+   are grouped 8 to a simulated 64-byte cache line, so [clwb] flushes (and
+   the flush counters count) at the same granularity as the machine the
    paper ran on.
 
+   Flat fast path: data words live in one plain, unboxed [int array] — a
+   [get] is a single array load, a [set] a single store, with no [Atomic.t]
+   box to chase and no chunk indirection (an int array carries no pointers,
+   so arbitrarily large arrays cost the GC nothing).  This is sound under
+   the OCaml 5 memory model for the access patterns of the converted
+   indexes: word-sized plain accesses never tear, writers mutate shared
+   lines only while holding a lock (an [Atomic] CAS/store pair), and new
+   structure is published to lock-free readers through [Atomic] pointer
+   slots ({!Refs} boxed mode), whose release/acquire ordering makes the
+   preceding plain stores visible.  See DESIGN.md "The flat substrate and
+   the OCaml 5 memory model" for the full argument and its one x86-TSO
+   caveat.
+
+   Words that need read-modify-write atomicity — lock words, version words,
+   counters updated with [cas]/[fetch_add] — must be declared at
+   construction time via [make ~atomic_words:[...]]; they are backed by
+   dedicated [Atomic.t] cells and every accessor routes them there.  The
+   split is deliberate API surface: whether a word is a plain data word or
+   an atomic control word is a per-structure design decision, not something
+   decided per call site.  [cas]/[fetch_add] on an undeclared word raise
+   [Invalid_argument].
+
    Semantics per mode:
-   - fast mode: [set]/[cas] are plain atomics, [clwb] only counts;
+   - fast mode: [set]/[cas] update the cache image, [clwb] only counts;
    - shadow mode: the object additionally keeps the last-flushed image of
-     every line.  A store marks its line dirty; [clwb] copies the cached
-     contents into the image; a simulated power failure reverts every dirty
-     line to the image.  A freshly allocated object starts with all lines
-     dirty — allocation stores are not persistent until flushed, which is
-     how the paper's durability test caught the unflushed root allocations
-     in FAST & FAIR and CCEH (§7.5).
-
-   The shadow image and dirty flags exist only for objects created while
-   shadow mode is enabled (enable it before constructing the index under
-   test); throughput runs pay nothing for them.
-
-   Implementation note: the atomic cells are stored in chunks of 128 so no
-   allocation exceeds the OCaml minor-heap large-object threshold — filling
-   a major-heap array with young boxes serializes multi-domain runs on the
-   remembered set, a two-orders-of-magnitude pathology on this runtime. *)
+     every line.  A store marks its line dirty in a flat bitset; [clwb]
+     copies the cached contents into the image; a simulated power failure
+     reverts every dirty line to the image.  A freshly allocated object
+     starts with all lines dirty — allocation stores are not persistent
+     until flushed, which is how the paper's durability test caught the
+     unflushed root allocations in FAST & FAIR and CCEH (§7.5). *)
 
 let words_per_line = 8
-let chunk_bits = 7
-let chunk_size = 1 lsl chunk_bits (* 128 *)
+
+(* Dirty-line bitset: 32 lines per cell keeps the shift/mask trivially in
+   range of a 63-bit OCaml int; marking races only on the first store to a
+   clean line, so the CAS loops below are all but uncontended. *)
+let lines_per_cell = 32
 
 type shadow_state = {
   image : int array; (* last-flushed contents *)
-  dirty : bool Atomic.t array; (* one flag per line *)
+  dirty : int Atomic.t array; (* bitset, one bit per line *)
   registered : bool Atomic.t;
 }
 
@@ -39,7 +55,9 @@ type t = {
   name : string;
   base_line : int;
   len : int;
-  data : int Atomic.t array array; (* chunks of <= 128 cells *)
+  data : int array; (* flat plain words — the fast path *)
+  atomic_idx : int array; (* sorted indices of declared atomic words *)
+  atomic_cells : int Atomic.t array; (* parallel to [atomic_idx] *)
   shadow : shadow_state option;
 }
 
@@ -47,117 +65,230 @@ let line_of_index i = i lsr 3
 let n_lines len = (len + words_per_line - 1) / words_per_line
 let length t = t.len
 
-let cell t i = Array.unsafe_get (Array.unsafe_get t.data (i lsr chunk_bits)) (i land (chunk_size - 1))
+(* --- dirty-line bitset -------------------------------------------------- *)
+
+let bitset_make n_lines all_dirty =
+  let cells = (n_lines + lines_per_cell - 1) / lines_per_cell in
+  Array.init cells (fun c ->
+      Atomic.make
+        (if not all_dirty then 0
+         else begin
+           (* Only bits of real lines: a stray bit would read as forever
+              dirty. *)
+           let lines = min lines_per_cell (n_lines - (c * lines_per_cell)) in
+           (1 lsl lines) - 1
+         end))
+
+let rec bitset_or cell bit =
+  let cur = Atomic.get cell in
+  if cur land bit = 0 && not (Atomic.compare_and_set cell cur (cur lor bit))
+  then bitset_or cell bit
+
+let rec bitset_clear cell bit =
+  let cur = Atomic.get cell in
+  if cur land bit <> 0
+     && not (Atomic.compare_and_set cell cur (cur land lnot bit))
+  then bitset_clear cell bit
+
+let bitset_mem dirty line =
+  Atomic.get (Array.unsafe_get dirty (line lsr 5)) land (1 lsl (line land 31))
+  <> 0
+
+let bitset_set dirty line =
+  let cell = Array.unsafe_get dirty (line lsr 5) in
+  let bit = 1 lsl (line land 31) in
+  if Atomic.get cell land bit = 0 then bitset_or cell bit
+
+let bitset_unset dirty line =
+  bitset_clear (Array.unsafe_get dirty (line lsr 5)) (1 lsl (line land 31))
+
+let bitset_any dirty =
+  Array.exists (fun c -> Atomic.get c <> 0) dirty
+
+(* Iterate the set bits of the whole bitset: [f line]. *)
+let bitset_iter dirty f =
+  Array.iteri
+    (fun c cell ->
+      let m = ref (Atomic.get cell) in
+      while !m <> 0 do
+        let b = !m land (- !m) in
+        (* log2 of an isolated bit < 2^32 *)
+        let rec log2 b acc = if b = 1 then acc else log2 (b lsr 1) (acc + 1) in
+        f ((c * lines_per_cell) + log2 b 0);
+        m := !m land lnot b
+      done)
+    dirty
+
+(* --- atomic control words ----------------------------------------------- *)
+
+let no_atomics : int array = [||]
+
+let atomic_cell t i =
+  let n = Array.length t.atomic_idx in
+  let rec find j =
+    if j = n then None
+    else if Array.unsafe_get t.atomic_idx j = i then
+      Some (Array.unsafe_get t.atomic_cells j)
+    else find (j + 1)
+  in
+  find 0
+
+let atomic_cell_exn t i =
+  match atomic_cell t i with
+  | Some c -> c
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Words.%s: word %d was not declared in ~atomic_words at make time"
+           t.name i)
+
+(* Read/write a word wherever its authority lives (slow path: shadow image
+   copies, crash revert, accesses to objects that declared atomic words). *)
+let read_word t i =
+  match atomic_cell t i with
+  | Some c -> Atomic.get c
+  | None -> Array.unsafe_get t.data i
+
+let write_word t i v =
+  match atomic_cell t i with
+  | Some c -> Atomic.set c v
+  | None -> Array.unsafe_set t.data i v
+
+(* --- shadow (crash/durability) machinery -------------------------------- *)
 
 let rec register t sh =
   if Atomic.compare_and_set sh.registered false true then
     Tracking.register
       {
         Tracking.name = t.name;
-        is_dirty = (fun () -> Array.exists Atomic.get sh.dirty);
+        is_dirty = (fun () -> bitset_any sh.dirty);
         revert = (fun () -> revert t sh);
         persist = (fun () -> persist t sh);
         unregister = (fun () -> Atomic.set sh.registered false);
       }
 
 and revert t sh =
-  Array.iteri
-    (fun l d ->
-      if Atomic.get d then begin
-        let lo = l * words_per_line in
-        let hi = min t.len (lo + words_per_line) in
-        for i = lo to hi - 1 do
-          Atomic.set (cell t i) sh.image.(i)
-        done;
-        Atomic.set d false
-      end)
-    sh.dirty
+  bitset_iter sh.dirty (fun l ->
+      let lo = l * words_per_line in
+      let hi = min t.len (lo + words_per_line) in
+      for i = lo to hi - 1 do
+        write_word t i sh.image.(i)
+      done;
+      bitset_unset sh.dirty l)
 
 and persist t sh =
-  Array.iteri
-    (fun l d ->
-      if Atomic.get d then begin
-        let lo = l * words_per_line in
-        let hi = min t.len (lo + words_per_line) in
-        for i = lo to hi - 1 do
-          sh.image.(i) <- Atomic.get (cell t i)
-        done;
-        Atomic.set d false
-      end)
-    sh.dirty
+  bitset_iter sh.dirty (fun l ->
+      let lo = l * words_per_line in
+      let hi = min t.len (lo + words_per_line) in
+      for i = lo to hi - 1 do
+        sh.image.(i) <- read_word t i
+      done;
+      bitset_unset sh.dirty l)
 
-let mark_dirty t line =
-  match t.shadow with
-  | None -> ()
-  | Some sh ->
-      if not (Atomic.get sh.dirty.(line)) then Atomic.set sh.dirty.(line) true;
-      if not (Atomic.get sh.registered) then register t sh
+let mark_dirty t sh line =
+  bitset_set sh.dirty line;
+  if not (Atomic.get sh.registered) then register t sh
 
-let make ?(name = "words") len init =
+let make ?(name = "words") ?(atomic_words = []) len init =
   if len <= 0 then invalid_arg "Words.make: length must be positive";
-  let n_chunks = (len + chunk_size - 1) / chunk_size in
-  let data =
-    Array.init n_chunks (fun c ->
-        let sz = min chunk_size (len - (c * chunk_size)) in
-        Array.init sz (fun _ -> Atomic.make init))
+  let atomic_idx =
+    match atomic_words with
+    | [] -> no_atomics
+    | l ->
+        let a = Array.of_list (List.sort_uniq compare l) in
+        Array.iter
+          (fun i ->
+            if i < 0 || i >= len then
+              invalid_arg "Words.make: atomic word index out of range")
+          a;
+        a
   in
+  let atomic_cells = Array.map (fun _ -> Atomic.make init) atomic_idx in
   let lines = n_lines len in
   let shadow =
     if Mode.shadow_enabled () then
       Some
         {
           image = Array.make len init;
-          dirty = Array.init lines (fun _ -> Atomic.make true);
+          dirty = bitset_make lines true;
           registered = Atomic.make false;
         }
     else None
   in
-  let t = { name; base_line = Line_id.fresh lines; len; data; shadow } in
+  let t =
+    {
+      name;
+      base_line = Line_id.fresh lines;
+      len;
+      data = Array.make len init;
+      atomic_idx;
+      atomic_cells;
+      shadow;
+    }
+  in
   Stats.add_allocation ~lines ~words:len;
   (* Allocation stores are in-cache only until explicitly flushed. *)
   (match t.shadow with Some sh -> register t sh | None -> ());
   t
 
-let touch_llc t i = if !Llc.enabled then Llc.access (t.base_line + line_of_index i)
+(* --- hot-path accessors -------------------------------------------------
+
+   One load of the packed {!Mode.flags} word decides every per-epoch
+   simulator feature; the per-object tests ([atomic_idx], [shadow]) are
+   single immediate-field checks that predict perfectly on the fast-mode
+   benchmark path. *)
+
+let[@inline] probe_llc t i =
+  if !Mode.flags land Mode.f_llc <> 0 then
+    Llc.access (t.base_line + line_of_index i)
 
 let get t i =
-  touch_llc t i;
-  Atomic.get (cell t i)
+  probe_llc t i;
+  if t.atomic_idx == no_atomics then Array.unsafe_get t.data i
+  else read_word t i
 
 let set t i v =
-  touch_llc t i;
-  Atomic.set (cell t i) v;
-  if t.shadow <> None then mark_dirty t (line_of_index i)
+  probe_llc t i;
+  if t.atomic_idx == no_atomics then Array.unsafe_set t.data i v
+  else write_word t i v;
+  match t.shadow with
+  | None -> ()
+  | Some sh -> mark_dirty t sh (line_of_index i)
 
 let cas t i ~expected ~desired =
-  touch_llc t i;
-  let ok = Atomic.compare_and_set (cell t i) expected desired in
-  if ok then (match t.shadow with Some _ -> mark_dirty t (line_of_index i) | None -> ());
+  probe_llc t i;
+  let ok = Atomic.compare_and_set (atomic_cell_exn t i) expected desired in
+  (if ok then
+     match t.shadow with
+     | None -> ()
+     | Some sh -> mark_dirty t sh (line_of_index i));
   ok
 
 let fetch_add t i delta =
-  touch_llc t i;
-  let v = Atomic.fetch_and_add (cell t i) delta in
-  (match t.shadow with Some _ -> mark_dirty t (line_of_index i) | None -> ());
+  probe_llc t i;
+  let v = Atomic.fetch_and_add (atomic_cell_exn t i) delta in
+  (match t.shadow with
+  | None -> ()
+  | Some sh -> mark_dirty t sh (line_of_index i));
   v
 
 (** Flush the cache line containing word [i].  [site] attributes the flush
     to an index × structural location in the {!Obs} registry. *)
 let clwb ?site t i =
-  if !Mode.dram then ()
+  if !Mode.flags land Mode.f_dram <> 0 then ()
   else begin
-  Stats.record_clwb ?site ();
-  Latency.on_flush ();
-  match t.shadow with
-  | None -> ()
-  | Some sh ->
-      let l = line_of_index i in
-      let lo = l * words_per_line in
-      let hi = min t.len (lo + words_per_line) in
-      for j = lo to hi - 1 do
-        sh.image.(j) <- Atomic.get (cell t j)
-      done;
-      Atomic.set sh.dirty.(l) false
+    Stats.record_clwb ?site ();
+    Latency.on_flush ();
+    match t.shadow with
+    | None -> ()
+    | Some sh ->
+        let l = line_of_index i in
+        let lo = l * words_per_line in
+        let hi = min t.len (lo + words_per_line) in
+        for j = lo to hi - 1 do
+          sh.image.(j) <- read_word t j
+        done;
+        bitset_unset sh.dirty l
   end
 
 (** Flush every line of the object (e.g. right after allocation). *)

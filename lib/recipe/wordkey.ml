@@ -61,7 +61,13 @@ let rec pool_segment p s =
       Mutex.lock p.grow;
       if Atomic.get p.segments.(s) = None then
         Atomic.set p.segments.(s)
-          (Some (Pmem.Refs.make ~name:"wordkey.pool" pool_segment_size ""));
+          (* Flat slots: each is written exactly once (at a fresh cursor
+             index) before the interned word is published through the
+             owning index's atomic commit, so readers are ordered by that
+             commit, never by the pool slot itself. *)
+          (Some
+             (Pmem.Refs.make ~name:"wordkey.pool" ~atomic:false
+                pool_segment_size ""));
       Mutex.unlock p.grow;
       pool_segment p s
 

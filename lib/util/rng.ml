@@ -14,10 +14,19 @@ let next t =
   let z = (z lxor (z lsr 27)) * 0x1CE4E5B9 land max_int in
   z lxor (z lsr 31)
 
-(** Uniform integer in [0, bound). *)
+(** Uniform integer in [0, bound).  Lemire multiply-shift reduction: for the
+    bounds every workload generator actually uses (key universes, percents)
+    the reduction is one multiply and one shift — no integer division, which
+    costs 20-40 cycles on the sampling hot path.  Bounds at or above 2^30
+    (never hit by the generators) fall back to [mod]. *)
+let lemire_bits = 30
+let lemire_max = 1 lsl lemire_bits
+
 let below t bound =
   if bound <= 0 then invalid_arg "Rng.below: bound must be positive";
-  next t mod bound
+  if bound < lemire_max then
+    ((next t land (lemire_max - 1)) * bound) lsr lemire_bits
+  else next t mod bound
 
 (** Uniform float in [0, 1). *)
 let float t = float_of_int (next t land 0xFFFFFFFFFFFF) /. 140737488355328.0

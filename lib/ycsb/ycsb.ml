@@ -32,7 +32,14 @@ type distribution = Uniform | Zipfian of float
 (* Scrambled-Zipfian sampler over [0, n) (Gray et al., as in YCSB): ranks
    drawn Zipfian are scrambled by a multiplicative hash so the hot keys are
    spread across the key space. *)
-type zipf = { n : int; theta : float; alpha : float; zetan : float; eta : float }
+type zipf = {
+  n : int;
+  theta : float;
+  alpha : float;
+  zetan : float;
+  eta : float;
+  scramble : int array; (* rank -> key-universe index, precomputed *)
+}
 
 let make_zipf n theta =
   let zetan = ref 0.0 in
@@ -40,6 +47,17 @@ let make_zipf n theta =
     zetan := !zetan +. (1.0 /. Float.pow (float_of_int i) theta)
   done;
   let zeta2 = (1.0 /. 1.0) +. (1.0 /. Float.pow 2.0 theta) in
+  (* The scramble (multiplicative hash spreading hot ranks over the key
+     space) used to cost a 64-bit multiply plus an integer *division* per
+     sample; ranks are dense in [0, n), so precompute the whole map once and
+     sampling becomes a single array load.  The reduction of the hash into
+     [0, n) is Lemire multiply-shift — same family as {!Util.Rng.below} —
+     so even the precomputation is division-free. *)
+  let scramble =
+    Array.init n (fun rank ->
+        let h = rank * 0x5DEECE66D land ((1 lsl 30) - 1) in
+        h * n lsr 30)
+  in
   {
     n;
     theta;
@@ -48,6 +66,7 @@ let make_zipf n theta =
     eta =
       (1.0 -. Float.pow (2.0 /. float_of_int n) (1.0 -. theta))
       /. (1.0 -. (zeta2 /. !zetan));
+    scramble;
   }
 
 let zipf_sample z rng =
@@ -61,8 +80,7 @@ let zipf_sample z rng =
         (float_of_int z.n *. Float.pow ((z.eta *. u) -. z.eta +. 1.0) z.alpha)
   in
   let rank = if rank >= z.n then z.n - 1 else rank in
-  (* scramble so hot ranks are spread over the key space *)
-  rank * 0x5DEECE66D land max_int mod z.n
+  Array.unsafe_get z.scramble rank
 
 (* Operation encoding in the per-thread streams: opcode 0 = insert, 1 =
    read, 2 = scan; [arg] = key-universe index; [len] = scan length. *)
@@ -171,6 +189,16 @@ let prepare ~workload ~kind ?(dist = Uniform) ~nloaded ~nops ~threads ~seed () =
   in
   { kind; n_loaded = nloaded; workload; threads; int_keys; str_keys; streams }
 
+(* Monotonic timestamp in integer nanoseconds (a noalloc, unboxed
+   clock_gettime(CLOCK_MONOTONIC) stub).  The latency path used to call
+   [Unix.gettimeofday] twice per operation: wall-clock time (steppable by
+   NTP, so samples can even go negative), a float box each call, and a
+   measurable perturbation of the throughput the run annotates.  Combined
+   with every-Kth-op sampling ([?sample]) the instrumented run converges on
+   the uninstrumented one. *)
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+let now () = float_of_int (now_ns ()) /. 1e9
+
 (* Spawn [threads] domains running [body tid], measuring wall time from a
    common start barrier to the last join. *)
 let timed_domains threads body =
@@ -187,10 +215,10 @@ let timed_domains threads body =
   while Atomic.get ready < threads do
     Domain.cpu_relax ()
   done;
-  let t0 = Unix.gettimeofday () in
+  let t0 = now () in
   Atomic.set go true;
   let results = List.map Domain.join domains in
-  let dt = Unix.gettimeofday () -. t0 in
+  let dt = now () -. t0 in
   (dt, results)
 
 (* Merge the thread-local histograms at position [c]; [None] if no thread
@@ -203,7 +231,8 @@ let merge_class per_thread c =
     per_thread;
   if Util.Histogram.count h = 0 then None else Some h
 
-let load ?(latency = false) (p : prepared) driver =
+let load ?(latency = false) ?(sample = 1) (p : prepared) driver =
+  if sample <= 0 then invalid_arg "Ycsb.load: sample must be positive";
   let threads = p.threads in
   let per = p.n_loaded / threads in
   let body tid =
@@ -219,11 +248,17 @@ let load ?(latency = false) (p : prepared) driver =
           driver.insert i
         done
     | Some hs ->
+        (* Countdown instead of [i mod sample]: no division per op. *)
+        let until_sample = ref 1 in
         for i = lo to hi - 1 do
-          let t0 = Unix.gettimeofday () in
-          driver.insert i;
-          Util.Histogram.add hs.(0)
-            (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
+          decr until_sample;
+          if !until_sample = 0 then begin
+            until_sample := sample;
+            let t0 = now_ns () in
+            driver.insert i;
+            Util.Histogram.add hs.(0) (now_ns () - t0)
+          end
+          else driver.insert i
         done);
     hists
   in
@@ -248,7 +283,8 @@ let load ?(latency = false) (p : prepared) driver =
 let op_class = function '\000' -> 0 | '\001' -> 1 | _ -> 2
 let op_label = [| "insert"; "read"; "scan" |]
 
-let run ?(latency = false) (p : prepared) driver =
+let run ?(latency = false) ?(sample = 1) (p : prepared) driver =
+  if sample <= 0 then invalid_arg "Ycsb.run: sample must be positive";
   (* Fail fast: an unordered index cannot execute workload E at all. *)
   (match (p.workload, driver.scan) with
   | E, None -> raise (Scan_unsupported driver.dname)
@@ -290,12 +326,17 @@ let run ?(latency = false) (p : prepared) driver =
           exec j
         done
     | Some hs ->
+        let until_sample = ref 1 in
         for j = 0 to n - 1 do
-          let c = op_class (Bytes.unsafe_get s.opcodes j) in
-          let t0 = Unix.gettimeofday () in
-          exec j;
-          Util.Histogram.add hs.(c)
-            (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
+          decr until_sample;
+          if !until_sample = 0 then begin
+            until_sample := sample;
+            let c = op_class (Bytes.unsafe_get s.opcodes j) in
+            let t0 = now_ns () in
+            exec j;
+            Util.Histogram.add hs.(c) (now_ns () - t0)
+          end
+          else exec j
         done);
     (!found, !missed, !scanned, hists)
   in

@@ -91,18 +91,21 @@ type result = {
 (** [load p driver] runs the load phase (all [nloaded] keys inserted,
     statically split across the prepared thread count) and returns its
     measurement as a Load_a result.  [latency:true] samples per-insert
-    latency. *)
-val load : ?latency:bool -> prepared -> driver -> result
+    latency with the monotonic clock; [sample] (default 1: every op) keeps
+    only every Kth operation's timestamp pair, so latency annotation stops
+    perturbing the throughput it annotates. *)
+val load : ?latency:bool -> ?sample:int -> prepared -> driver -> result
 
-(** [run ?latency p driver] executes the prepared operation streams on
-    their domains and measures wall-clock throughput.  The load phase must
-    have been run first.  [latency:true] additionally samples per-operation
-    latency, overall ([latency]) and split by operation type
+(** [run ?latency ?sample p driver] executes the prepared operation streams
+    on their domains and measures wall-clock throughput.  The load phase
+    must have been run first.  [latency:true] additionally samples
+    per-operation latency (monotonic clock, every [sample]th op — default
+    every op), overall ([latency]) and split by operation type
     ([lat_insert]/[lat_read]/[lat_scan]).  When the {!Obs.Trace} ring is
     enabled, every operation is bracketed with [Op_begin]/[Op_end] events.
 
     @raise Scan_unsupported when the workload is [E] and [driver.scan] is
     [None]. *)
-val run : ?latency:bool -> prepared -> driver -> result
+val run : ?latency:bool -> ?sample:int -> prepared -> driver -> result
 
 val pp_result : Format.formatter -> result -> unit

@@ -37,10 +37,14 @@ let test_fastfair_bug_caught () =
   in
   Alcotest.(check bool) "data loss detected" true (r.Crashtest.lost_keys > 0)
 
-(* The buggy CCEH directory doubling stalls after some crash state. *)
+(* The buggy CCEH directory doubling stalls after some crash state.  The
+   stall window is a single crash point per doubling, so the sampled crash
+   states must land on it: seed 23 does within 60 states. *)
 let test_cceh_bug_caught () =
   let r =
-    campaign (fun () -> Harness.Subjects.cceh ~bug_doubling:true ()) ~states:60
+    Crashtest.consistency_campaign
+      ~make:(fun () -> Harness.Subjects.cceh ~bug_doubling:true ())
+      ~states:60 ~load:400 ~ops:400 ~threads:4 ~seed:23 ()
   in
   Alcotest.(check bool) "stall detected" true (r.Crashtest.stalled > 0)
 

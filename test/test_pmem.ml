@@ -11,7 +11,7 @@ let reset () =
 
 let test_words_basic () =
   reset ();
-  let w = Pmem.Words.make 20 0 in
+  let w = Pmem.Words.make ~atomic_words:[ 3 ] 20 0 in
   Alcotest.(check int) "length" 20 (Pmem.Words.length w);
   Pmem.Words.set w 3 42;
   Alcotest.(check int) "set/get" 42 (Pmem.Words.get w 3);
@@ -84,7 +84,7 @@ let test_allocation_starts_dirty () =
 let test_refs_shadow () =
   reset ();
   Pmem.Mode.set_shadow true;
-  let r = Pmem.Refs.make 4 "init" in
+  let r = Pmem.Refs.make ~atomic:false 4 "init" in
   Pmem.Refs.clwb_all r;
   Pmem.Refs.set r 0 "flushed";
   Pmem.Refs.clwb r 0;
@@ -97,7 +97,7 @@ let test_refs_shadow () =
 let test_refs_cas_is_physical () =
   reset ();
   let a = "a" and b = "b" in
-  let r = Pmem.Refs.make 1 a in
+  let r = Pmem.Refs.make ~atomic:true 1 a in
   Alcotest.(check bool) "cas on same pointer" true
     (Pmem.Refs.cas r 0 ~expected:a ~desired:b);
   Alcotest.(check bool) "cas with stale pointer" false
@@ -168,11 +168,89 @@ let test_llc_capacity_eviction () =
   Alcotest.(check int) "evicted line misses again" (m + 1) (Pmem.Llc.misses ());
   Pmem.Llc.set_enabled false
 
+(* Flat words and atomic-declared words must go through the same shadow
+   machinery: run one script of stores and flushes against both layouts,
+   crash, and demand identical surviving images. *)
+let test_shadow_flat_vs_atomic_equivalence () =
+  reset ();
+  Pmem.Mode.set_shadow true;
+  let len = 32 in
+  let flat = Pmem.Words.make len 0 in
+  let atomics = Pmem.Words.make ~atomic_words:(List.init len Fun.id) len 0 in
+  let script w =
+    Pmem.Words.clwb_all w;
+    (* persist initial zeros *)
+    (* A fixed pseudo-random walk: some lines flushed, some left dirty. *)
+    let x = ref 7 in
+    for step = 1 to 200 do
+      x := (!x * 1103515245) + 12345;
+      let i = !x land (len - 1) in
+      Pmem.Words.set w i step;
+      if step land 3 = 0 then Pmem.Words.clwb w i
+    done
+  in
+  script flat;
+  script atomics;
+  Pmem.simulate_power_failure ();
+  for i = 0 to len - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "post-crash word %d" i)
+      (Pmem.Words.get flat i)
+      (Pmem.Words.get atomics i)
+  done;
+  Pmem.Mode.set_shadow false
+
 (* --- Concurrency smoke --------------------------------------------------- *)
+
+(* Publication safety of the flat substrate: writers fill flat Words with
+   plain stores, then publish each object with a CAS on an atomic Refs slot
+   (a release).  Readers discover objects through plain-mode get on the same
+   slots (an acquire on the Atomic cell) and must never observe the
+   pre-publication zeros inside — this is the happens-before edge every
+   index's node-allocation path relies on. *)
+let test_publication_smoke () =
+  reset ();
+  let n_slots = 128 and n_words = 16 in
+  let slots = Pmem.Refs.make ~atomic:true n_slots None in
+  let n_writers = 2 and n_readers = 2 in
+  let writer w () =
+    let i = ref w in
+    while !i < n_slots do
+      let s = !i in
+      let words = Pmem.Words.make n_words 0 in
+      for j = 0 to n_words - 1 do
+        Pmem.Words.set words j ((s * 1000) + j)
+      done;
+      if not (Pmem.Refs.cas slots s ~expected:None ~desired:(Some (s, words)))
+      then Alcotest.fail "publication cas lost on a writer-private slot";
+      i := !i + n_writers
+    done
+  in
+  let reader () =
+    let bad = ref 0 and seen = ref 0 in
+    while !seen < n_slots do
+      seen := 0;
+      for s = 0 to n_slots - 1 do
+        match Pmem.Refs.get slots s with
+        | None -> ()
+        | Some (id, words) ->
+            incr seen;
+            for j = 0 to n_words - 1 do
+              if Pmem.Words.get words j <> (id * 1000) + j then incr bad
+            done
+      done
+    done;
+    !bad
+  in
+  let writers = List.init n_writers (fun w -> Domain.spawn (writer w)) in
+  let readers = List.init n_readers (fun _ -> Domain.spawn reader) in
+  List.iter Domain.join writers;
+  let bad = List.fold_left (fun a d -> a + Domain.join d) 0 readers in
+  Alcotest.(check int) "readers saw no pre-publication words" 0 bad
 
 let test_parallel_cas_counter () =
   reset ();
-  let w = Pmem.Words.make 1 0 in
+  let w = Pmem.Words.make ~atomic_words:[ 0 ] 1 0 in
   let n_domains = 4 and per = 5_000 in
   let body () =
     for _ = 1 to per do
@@ -202,6 +280,8 @@ let () =
           Alcotest.test_case "allocation dirty" `Quick test_allocation_starts_dirty;
           Alcotest.test_case "refs" `Quick test_refs_shadow;
           Alcotest.test_case "refs cas physical" `Quick test_refs_cas_is_physical;
+          Alcotest.test_case "flat vs atomic equivalence" `Quick
+            test_shadow_flat_vs_atomic_equivalence;
         ] );
       ( "crash",
         [
@@ -215,5 +295,8 @@ let () =
           Alcotest.test_case "capacity eviction" `Quick test_llc_capacity_eviction;
         ] );
       ( "concurrency",
-        [ Alcotest.test_case "parallel cas" `Quick test_parallel_cas_counter ] );
+        [
+          Alcotest.test_case "publication" `Quick test_publication_smoke;
+          Alcotest.test_case "parallel cas" `Quick test_parallel_cas_counter;
+        ] );
     ]

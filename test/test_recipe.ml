@@ -37,7 +37,7 @@ let test_naive_store_flushes () =
 
 let test_commit_cas_flushes_only_on_success () =
   reset ();
-  let r = Pmem.Refs.make 1 "a" in
+  let r = Pmem.Refs.make ~atomic:true 1 "a" in
   Pmem.Stats.reset ();
   let ok = Recipe.Persist.commit_cas_ref r 0 ~expected:"a" ~desired:"b" in
   Alcotest.(check bool) "cas won" true ok;
