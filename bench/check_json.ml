@@ -120,7 +120,27 @@ let check_micro_pmem doc =
   in
   table "single_domain_ns_per_op"
     [ "words_get"; "words_set"; "words_cas"; "words_clwb" ];
-  table "multi_domain_ns_per_op" [ "mt_words_get"; "mt_words_cas_shared" ]
+  table "multi_domain_ns_per_op" [ "mt_words_get"; "mt_words_cas_shared" ];
+  (* The sanitizer-overhead table arrived after the first committed reports;
+     validate it only when present so older reports keep checking. *)
+  match J.member "sanitize_ns_per_op" m with
+  | None -> ()
+  | Some (J.Obj rows) ->
+      List.iter
+        (fun (n, v) ->
+          let cell k =
+            num
+              ("micro_pmem.sanitize_ns_per_op." ^ n ^ "." ^ k)
+              (get v k)
+          in
+          let off = cell "off" and on_ = cell "on" in
+          ignore (cell "ratio");
+          if not (off >= 0.0 && Float.is_finite off) then
+            fail "micro_pmem.sanitize_ns_per_op.%s: bad off ns/op %g" n off;
+          if not (on_ >= 0.0 && Float.is_finite on_) then
+            fail "micro_pmem.sanitize_ns_per_op.%s: bad on ns/op %g" n on_)
+        rows
+  | Some _ -> fail "micro_pmem.sanitize_ns_per_op: not an object"
 
 let run file =
   let s = In_channel.with_open_text file In_channel.input_all in

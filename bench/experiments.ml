@@ -503,6 +503,80 @@ let micro_pmem_measure ?(threads = 4) () =
   reset_env ();
   (single, multi)
 
+(* Sanitize-off vs sanitize-on cost of the single-domain accessors: the
+   PSan slow path takes a shard lock per event, so this runs fewer
+   iterations and reports both columns plus the ratio.  The off column is
+   remeasured here (not reused from [micro_pmem_measure]) so both numbers
+   come from the same loop shapes and iteration count. *)
+let micro_pmem_sanitize_measure () =
+  reset_env ();
+  let module W = Pmem.Words in
+  let module R = Pmem.Refs in
+  let iters = 100_000 in
+  let mask = 4095 in
+  let time f =
+    f (iters / 10);
+    (* warm-up *)
+    let t0 = now_ns () in
+    f iters;
+    float_of_int (now_ns () - t0) /. float_of_int iters
+  in
+  let w = W.make ~name:"micro.words" (mask + 1) 0 in
+  let wc = W.make ~name:"micro.cas" ~atomic_words:[ 0 ] 1 0 in
+  let rf = R.make ~name:"micro.refs-flat" ~atomic:false (mask + 1) 0 in
+  let ra = R.make ~name:"micro.refs-atomic" ~atomic:true (mask + 1) 0 in
+  let sink = ref 0 in
+  let ops =
+    [
+      ( "words_get",
+        fun n ->
+          let acc = ref 0 in
+          for i = 0 to n - 1 do
+            acc := !acc + W.get w (i land mask)
+          done;
+          sink := !acc );
+      ( "words_set",
+        fun n ->
+          for i = 0 to n - 1 do
+            W.set w (i land mask) i
+          done );
+      ( "words_cas",
+        fun n ->
+          W.set wc 0 0;
+          for i = 0 to n - 1 do
+            ignore (W.cas wc 0 ~expected:i ~desired:(i + 1) : bool)
+          done );
+      ( "words_clwb",
+        fun n ->
+          for i = 0 to n - 1 do
+            W.clwb w (i land mask)
+          done );
+      ( "refs_get_flat",
+        fun n ->
+          let acc = ref 0 in
+          for i = 0 to n - 1 do
+            acc := !acc + R.get rf (i land mask)
+          done;
+          sink := !acc );
+      ( "refs_get_atomic",
+        fun n ->
+          let acc = ref 0 in
+          for i = 0 to n - 1 do
+            acc := !acc + R.get ra (i land mask)
+          done;
+          sink := !acc );
+    ]
+  in
+  let off = List.map (fun (n, f) -> (n, time f)) ops in
+  Psan.enable ();
+  let on_ = List.map (fun (n, f) -> (n, time f)) ops in
+  Psan.disable ();
+  (* The raw accessor loops never publish, so a clean run reports nothing;
+     clear anyway so a diagnostics-asserting caller is never polluted. *)
+  Obs.Diag.clear ();
+  reset_env ();
+  List.map2 (fun (n, o) (_, s) -> (n, o, s)) off on_
+
 let micro_pmem cfg =
   let threads = max 2 cfg.threads in
   let single, multi = micro_pmem_measure ~threads () in
@@ -515,7 +589,13 @@ let micro_pmem cfg =
       (Printf.sprintf
          "micro-pmem: %d domains, disjoint objects (aggregate ns/op)" threads)
     ~header:[ "op"; "ns/op" ]
-    (List.map (fun (n, v) -> [ n; Report.f2 v ]) multi)
+    (List.map (fun (n, v) -> [ n; Report.f2 v ]) multi);
+  Report.print_table
+    ~title:"micro-pmem: PSan sanitizer overhead, single domain"
+    ~header:[ "op"; "off ns/op"; "on ns/op"; "ratio" ]
+    (List.map
+       (fun (n, o, s) -> [ n; Report.f2 o; Report.f2 s; Report.f2 (s /. o) ])
+       (micro_pmem_sanitize_measure ()))
 
 (* --- E13: ablation — literal vs coalesced conversion flushes -------------------------------- *)
 

@@ -168,12 +168,25 @@ let micro_pmem_json cfg =
   Printf.printf "json: measuring micro-pmem...\n%!";
   let threads = max 2 cfg.Experiments.threads in
   let single, multi = Experiments.micro_pmem_measure ~threads () in
+  let sanitize = Experiments.micro_pmem_sanitize_measure () in
   let rows l = J.Obj (List.map (fun (n, v) -> (n, J.Num v)) l) in
   J.Obj
     [
       ("threads", J.int threads);
       ("single_domain_ns_per_op", rows single);
       ("multi_domain_ns_per_op", rows multi);
+      ( "sanitize_ns_per_op",
+        J.Obj
+          (List.map
+             (fun (n, off, on_) ->
+               ( n,
+                 J.Obj
+                   [
+                     ("off", J.Num off);
+                     ("on", J.Num on_);
+                     ("ratio", J.Num (on_ /. off));
+                   ] ))
+             sanitize) );
     ]
 
 let write cfg ~smoke file =

@@ -28,7 +28,7 @@ let build_driver p name kind =
       Some (Harness.Drivers.levelhash p (Levelhash.create ()))
   | _ -> None
 
-let main index workload keys ops threads strkeys seed =
+let main index workload keys ops threads strkeys seed sanitize =
   match Ycsb.workload_of_string workload with
   | None ->
       Printf.eprintf "unknown workload %S (loada|a|b|c|e)\n" workload;
@@ -43,6 +43,7 @@ let main index workload keys ops threads strkeys seed =
           Printf.eprintf "unknown index %S\n" index;
           1
       | Some d ->
+          if sanitize then Psan.enable ();
           let loadres = Ycsb.load p d in
           Format.printf "load: %a@." Ycsb.pp_result loadres;
           if w <> Ycsb.Load_a then begin
@@ -54,7 +55,19 @@ let main index workload keys ops threads strkeys seed =
                    range scans (workload E)\n"
                   dname
           end;
-          0)
+          if sanitize then begin
+            Psan.disable ();
+            let n = Psan.diagnostic_count () in
+            if n = 0 then begin
+              print_endline "psan: no diagnostics";
+              0
+            end
+            else begin
+              Format.printf "%t@." Psan.print_report;
+              1
+            end
+          end
+          else 0)
 
 let cmd =
   let index =
@@ -68,8 +81,18 @@ let cmd =
   let threads = Arg.(value & opt int 4 & info [ "threads" ] ~docv:"N") in
   let strkeys = Arg.(value & flag & info [ "string-keys" ]) in
   let seed = Arg.(value & opt int 42 & info [ "seed" ]) in
+  let sanitize =
+    Arg.(
+      value & flag
+      & info [ "sanitize" ]
+          ~doc:
+            "Run the whole workload under the PSan sanitizer and report its \
+             diagnostics; exit 1 if any fired.")
+  in
   Cmd.v
     (Cmd.info "ycsb_run" ~doc:"Run one YCSB workload against one index")
-    Term.(const main $ index $ workload $ keys $ ops $ threads $ strkeys $ seed)
+    Term.(
+      const main $ index $ workload $ keys $ ops $ threads $ strkeys $ seed
+      $ sanitize)
 
 let () = exit (Cmd.eval' cmd)

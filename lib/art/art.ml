@@ -82,16 +82,30 @@ let pack_string s off len =
 
 (* --- header accessors -------------------------------------------------------- *)
 
-let count n = W.get n.header 0
-let prefix_len n = W.get n.header 1
-let level n = W.get n.header 2
-let prefix_byte n i = packed_get n.header 3 i
-let key_byte n j = packed_get n.header 4 j
+(* Node-metadata reads (count, key/index bytes, prefix) are optimistic:
+   lock-free readers tolerate a concurrent writer's partial update — a miss
+   is retried one level down, a stale prefix is re-derived from a leaf, and
+   crash leftovers are helper-fixed.  Declare the window to the sanitizer
+   (at the accessor, so every metadata read is covered) so its race check
+   doesn't flag these by-design benign reads. *)
+let[@inline] spec f =
+  if !Pmem.Mode.flags land Pmem.Mode.f_sanitize <> 0 then begin
+    Pmem.Sanhook.spec_enter ();
+    Fun.protect ~finally:Pmem.Sanhook.spec_exit f
+  end
+  else f ()
+
+let count n = spec @@ fun () -> W.get n.header 0
+let prefix_len n = spec @@ fun () -> W.get n.header 1
+let level n = spec @@ fun () -> W.get n.header 2
+let prefix_byte n i = spec @@ fun () -> packed_get n.header 3 i
+let key_byte n j = spec @@ fun () -> packed_get n.header 4 j
 let set_key_byte n j b = packed_set n.header 4 j b
 
 let capacity = function N4 -> 4 | N16 -> 16 | N48 -> 48 | N256 -> 256
 
 let index_byte n b =
+  spec @@ fun () ->
   match n.index with Some iw -> packed_get iw 0 b | None -> assert false
 
 let set_index_byte n b v =
@@ -141,6 +155,7 @@ let shrink_count t = Atomic.get t.shrinks
 (* --- child access -------------------------------------------------------------- *)
 
 let find_child n b =
+  spec @@ fun () ->
   match n.kind with
   | N4 | N16 ->
       let c = count n in
@@ -158,6 +173,7 @@ let find_child n b =
 
 (* Live (byte, child) pairs in ascending byte order. *)
 let children_in_order n =
+  spec @@ fun () ->
   match n.kind with
   | N4 | N16 ->
       let c = count n in
@@ -205,6 +221,7 @@ let rec minimum_leaf n =
    consistent, leaf reconstruction beyond byte 7 (or entirely, when the
    stored header is stale after a crash). *)
 let authoritative_prefix n depth =
+  spec @@ fun () ->
   let epl = level n - depth in
   if epl = 0 then Some ""
   else

@@ -278,11 +278,16 @@ let double t seen_depth =
     Pmem.sfence ~site:s_double ();
     Pmem.Crash.point ~site:s_double ();
     if t.bug_doubling then begin
-      P.commit_ref ~site:s_double t.dir 0 nd;
+      (* §3: the new global depth is a separate plain store with no flush
+         ordered before the directory pointer that depends on it.  The new
+         depth sits in cache while the doubled directory commits; a crash
+         from here until something happens to write the line back recovers
+         old depth + new directory.  The crash campaigns catch this as a
+         [Stalled] recovery; PSan reports it deterministically at the
+         directory commit below (the depth line is still dirty). *)
+      P.store ~site:s_double t.depth_word 0 nd.depth;
       Pmem.Crash.point ~site:s_double ();
-      (* §3: the global depth is a separate persistent store — the crash
-         window between the two commits is the CCEH bug. *)
-      P.commit ~site:s_double t.depth_word 0 nd.depth
+      P.commit_ref ~site:s_double t.dir 0 nd
     end
     else begin
       (* Fixed: the record swap carries the depth; the shadow word is kept

@@ -74,16 +74,17 @@ let new_obucket () =
 (* On real hardware the next pointer occupies word 7 of the bucket's single
    cache line, so a bucket flush is ONE clwb.  The simulator forces pointer
    slots into their own lines; to keep the flush counters faithful we flush
-   them only when they carry a real pointer — except under shadow mode,
-   where the crash/durability machinery needs every allocated line written
-   back explicitly. *)
+   them only when they carry a real pointer — except under the tracked
+   modes (shadow, sanitize), where the crash/durability machinery and the
+   sanitizer's allocation tracking need every allocated line written back
+   explicitly. *)
 let persist_obucket ?(site = s_alloc) b =
   W.clwb_all ~site b.words;
-  if Pmem.Mode.shadow_enabled () || R.get b.next 0 <> None then
+  if Pmem.Mode.tracked () || R.get b.next 0 <> None then
     R.clwb_all ~site b.next
 
 let shadow_or_nonempty r =
-  Pmem.Mode.shadow_enabled ()
+  Pmem.Mode.tracked ()
   ||
   let n = R.length r in
   let rec any i = i < n && (R.get r i <> None || any (i + 1)) in
@@ -261,16 +262,20 @@ let resize t =
     iter_table old (fun k v -> copy_insert fresh k v);
     (* Persist the whole new table, then commit with one atomic swap. *)
     persist_table fresh;
+    let chains = ref false in
     for h = 0 to fresh.mask do
       let rec persist_chain = function
         | None -> ()
         | Some ob ->
+            chains := true;
             persist_obucket ~site:s_rehash ob;
             persist_chain (R.get ob.next 0)
       in
       persist_chain (R.get fresh.nexts h)
     done;
-    Pmem.sfence ~site:s_rehash ();
+    (* Only fence if a chain was actually flushed; otherwise [persist_table]'s
+       fence already ordered everything and this one would be redundant. *)
+    if !chains then Pmem.sfence ~site:s_rehash ();
     Pmem.Crash.point ~site:s_rehash ();
     P.commit_ref ~site:s_rehash t.table 0 fresh;
     Lock.unlock t.resize_lock

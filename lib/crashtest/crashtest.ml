@@ -122,6 +122,9 @@ let consistency_campaign ~make ~states ~load ~ops ~threads ~seed () =
     in
     let domains = List.init threads (fun tid -> Domain.spawn (body tid)) in
     let results = List.map Domain.join domains in
+    (* Join edge for the sanitizer's race check: the verification reads
+       below are ordered after every worker's writes. *)
+    Pmem.sanitize_sync ();
     List.iter (fun (e, _) -> stalled := !stalled + e) results;
     (* Read back every successfully inserted key. *)
     (try

@@ -117,16 +117,24 @@ let height t = (R.get t.root 0).level
 let seq_begin n = Atomic.incr n.seq
 let seq_end n = Atomic.incr n.seq
 
+(* The body of [f] intentionally reads words a concurrent writer may be
+   mutating; the version recheck discards any torn result.  Under sanitize
+   mode the reads are bracketed as speculative so the race check does not
+   flag them. *)
 let rec read_stable n f =
   let s = Atomic.get n.seq in
   if s land 1 = 1 then begin
     Domain.cpu_relax ();
     read_stable n f
   end
-  else
+  else begin
+    let san = !Pmem.Mode.flags land Pmem.Mode.f_sanitize <> 0 in
+    if san then Pmem.Sanhook.spec_enter ();
     let r = f () in
+    if san then Pmem.Sanhook.spec_exit ();
     if Atomic.get n.seq = s then r
     else read_stable n f
+  end
 
 (* --- node scanning primitives (callers hold the seqlock or the lock) ------ *)
 
@@ -255,7 +263,10 @@ let remove_slot n pos count =
       Pmem.Crash.point ~site:s_remove ()
     end
   done;
-  if count - 2 >= pos then flush_slot_lines ~site:s_remove n (count - 2);
+  (* If the loop's last iteration ended exactly on a line crossing, the tail
+     line is already persisted — flushing it again would be redundant. *)
+  if count - 2 >= pos && (count - 1) mod slots_per_line <> 0 then
+    flush_slot_lines ~site:s_remove n (count - 2);
   Pmem.Crash.point ~site:s_remove ();
   P.commit_ref ~site:s_remove n.ptrs (count - 1) Null;
   seq_end n
@@ -304,7 +315,11 @@ let insert_slot n pos count kw p =
       Pmem.Crash.point ~site:s_insert ()
     end
   done;
-  if count > pos then flush_slot_lines ~site:s_insert n (pos + 1);
+  (* If the shift's last iteration ended exactly on a line crossing, the tail
+     line was already flushed and fenced by the boundary flush above —
+     flushing it again would be redundant (same guard as [remove_slot]). *)
+  if count > pos && (pos + 1) mod slots_per_line <> 0 then
+    flush_slot_lines ~site:s_insert n (pos + 1);
   Pmem.Crash.point ~site:s_insert ();
   P.store ~site:s_insert n.keys pos kw;
   W.clwb ~site:s_insert n.keys pos;

@@ -1,0 +1,31 @@
+(* Opt-in sanitizer harness for existing test executables.
+
+   [init ()] is called at the top of every index test main.  Normally a
+   no-op; with RECIPE_SANITIZE=1 in the environment (the [@sanitize] dune
+   alias sets it) it enables {!Psan} for the whole process and registers an
+   at_exit check that fails the run if any diagnostic was reported.  This is
+   how "the full index test suite under [~sanitize:true] produces zero
+   diagnostics" is enforced without duplicating the suites.
+
+   RECIPE_SANITIZE=ordering enables only the persistency-ordering checks
+   (race check off) — useful when bisecting a race report. *)
+
+let armed = ref false
+
+let arm ~races =
+  armed := true;
+  Psan.enable ~races ();
+  at_exit (fun () ->
+      if Obs.Diag.count () > 0 then begin
+        Format.eprintf "RECIPE_SANITIZE: sanitizer found problems:@.";
+        Obs.Diag.pp_all Format.err_formatter ();
+        exit 1
+      end
+      else Format.eprintf "RECIPE_SANITIZE: no diagnostics@.")
+
+let init () =
+  if not !armed then
+    match Sys.getenv_opt "RECIPE_SANITIZE" with
+    | Some ("1" | "true" | "yes" | "full") -> arm ~races:true
+    | Some "ordering" -> arm ~races:false
+    | _ -> ()

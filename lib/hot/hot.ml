@@ -282,9 +282,13 @@ let rec ainsert at d key lf =
       if key_bit key d = 0 then ABit (d, ALeaf (HLeaf lf), at)
       else ABit (d, at, ALeaf (HLeaf lf))
 
-(* Commit a rebuilt child into its slot (flush + fence done by commit). *)
-let publish t slotref c =
-  Pmem.sfence ~site:s_publish ();
+(* Commit a rebuilt child into its slot (flush + fence done by commit).
+   The leading fence orders the writebacks of freshly packed nodes/leaves
+   before they become reachable; pass [~fence:false] when the committed
+   child is HNull or an existing already-persisted subtree (delete
+   clearing or collapsing a slot) — the commit's own fence suffices. *)
+let publish ?(fence = true) t slotref c =
+  if fence then Pmem.sfence ~site:s_publish ();
   Pmem.Crash.point ~site:s_publish ();
   match slotref with
   | Root -> P.commit_ref ~site:s_publish t.root 0 c
@@ -497,7 +501,7 @@ and delete_attempt t key =
       let r =
         match R.get t.root 0 with
         | HLeaf l when String.equal l.lkey key ->
-            publish t Root HNull;
+            publish ~fence:false t Root HNull;
             Some true
         | HNull | HLeaf _ | HNode _ -> None
       in
@@ -532,10 +536,15 @@ and delete_attempt t key =
               let at0 = unpack p in
               match aremove at0 key with
               | None ->
-                  publish t pslot HNull;
+                  publish ~fence:false t pslot HNull;
                   Some true
               | Some at' when at' == at0 -> Some false (* already gone *)
-              | Some at' ->
+              | Some (ALeaf c) ->
+                  (* Collapsed to its one remaining child: republish the
+                     existing, already-persisted subtree as-is. *)
+                  publish ~fence:false t pslot c;
+                  Some true
+              | Some (ABit _ as at') ->
                   let fresh = pack at' in
                   publish t pslot fresh;
                   Some true

@@ -128,6 +128,13 @@ let write_slot ?(site = s_insert) arr b j k v =
 
 let clear_slot ?(site = s_delete) arr b j = P.commit ~site arr ((b * 8) + (2 * j)) 0
 
+(* Slot write into a table that is not yet published (resize build): plain
+   stores only — the table is private, so there is nothing to commit; one
+   [persist_table] before the swap flushes every line exactly once. *)
+let write_slot_private arr b j k v =
+  P.store ~site:s_resize arr ((b * 8) + (2 * j) + 1) v;
+  P.store ~site:s_resize arr ((b * 8) + (2 * j)) k
+
 let find_in_bucket arr b k =
   let rec go j =
     if j >= slots_per_bucket then None
@@ -211,9 +218,10 @@ let delete t k =
   if !deleted then Atomic.decr t.count;
   !deleted
 
-(* Try to place (k, v) in one of the four candidate buckets.  Caller holds
-   this key's stripes. *)
-let try_place tb k v =
+(* Try to place (k, v) in one of the four candidate buckets via [write].
+   Caller holds this key's stripes (live table) or owns the table outright
+   (resize build). *)
+let try_place_with write tb k v =
   let cands = candidates tb k in
   let rec go i =
     if i >= Array.length cands then false
@@ -221,11 +229,14 @@ let try_place tb k v =
       let arr, b = cands.(i) in
       match free_in_bucket arr b with
       | Some j ->
-          write_slot arr b j k v;
+          write arr b j k v;
           true
       | None -> go (i + 1)
   in
   go 0
+
+let try_place tb k v =
+  try_place_with (fun arr b j k v -> write_slot arr b j k v) tb k v
 
 (* Movement: evict one occupant of a top candidate bucket to its alternate
    top location.  Caller holds every stripe (the escalation path), so any
@@ -271,7 +282,9 @@ let rec build_resized tb top_n pending =
   (* The new bottom is logically the old top; we copy it rather than alias so
      the old table stays immutable for concurrent readers and crash states. *)
   let ok = ref true in
-  let place k v = if !ok && not (try_place fresh k v) then ok := false in
+  let place k v =
+    if !ok && not (try_place_with write_slot_private fresh k v) then ok := false
+  in
   for b = 0 to tb.top_n - 1 do
     for j = 0 to slots_per_bucket - 1 do
       let k = slot_key tb.top b j in

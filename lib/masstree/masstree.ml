@@ -397,7 +397,13 @@ let rec build_layer a va b vb =
     W.set root.header 1 1;
     W.set root.header 0 1
   end;
-  persist_node root;
+  (* [new_tree] already persisted the whole fresh node; only the lines
+     written since — the first key/entry slots and the header — need
+     flushing, not another full [persist_node]. *)
+  W.clwb ~site:s_alloc root.keys 0;
+  R.clwb ~site:s_alloc root.entries 0;
+  W.clwb ~site:s_alloc root.header 0;
+  Pmem.sfence ~site:s_alloc ();
   tr
 
 (* Insert a separator into the internal nodes of layer [tr] after a split. *)

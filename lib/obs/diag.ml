@@ -1,0 +1,99 @@
+(* Structured sanitizer diagnostics.
+
+   The psan sanitizer reports findings here rather than printing: each
+   diagnostic carries the offending {!Site} (where the unpersisted store /
+   redundant flush / racy write happened), the site that *exposed* it (the
+   publication or fence), the substrate object and global line it concerns,
+   and the reporting domain.  Tests assert on counts and kinds; the bench
+   and CLI front ends pretty-print the collected list.
+
+   Identical findings are deduplicated: repeated occurrences of the same
+   (kind, sites, object) only bump a count, so a bug hit once per operation
+   in a million-op run still reads as one line.  The sink is shared by every
+   domain and guarded by a mutex — diagnostics are rare events on the
+   sanitizer's slow path, so contention is irrelevant. *)
+
+type t = {
+  kind : string; (* "unpersisted-publish" | "redundant-flush" | ... *)
+  store_site : Site.t option; (* where the offending store/flush happened *)
+  expose_site : Site.t option; (* the publication/fence that exposed it *)
+  obj : string; (* substrate object name, e.g. "ff.keys" *)
+  line : int; (* global line id (word id for race reports) *)
+  domain : int; (* domain that triggered the report *)
+  detail : string;
+}
+
+let mu = Mutex.create ()
+let items : (t * int ref) list ref = ref []
+let total = ref 0
+
+let site_name = function Some s -> Site.name s | None -> "?"
+
+let key d =
+  Printf.sprintf "%s|%s|%s|%s" d.kind (site_name d.store_site)
+    (site_name d.expose_site) d.obj
+
+let seen : (string, int ref) Hashtbl.t = Hashtbl.create 64
+
+let report d =
+  Mutex.lock mu;
+  incr total;
+  (match Hashtbl.find_opt seen (key d) with
+  | Some n -> incr n
+  | None ->
+      let n = ref 1 in
+      Hashtbl.add seen (key d) n;
+      items := (d, n) :: !items);
+  Mutex.unlock mu
+
+(** Distinct findings, oldest first, each with its occurrence count. *)
+let all () =
+  Mutex.lock mu;
+  let l = List.rev_map (fun (d, n) -> (d, !n)) !items in
+  Mutex.unlock mu;
+  l
+
+(** Number of distinct findings (not occurrences). *)
+let count () =
+  Mutex.lock mu;
+  let n = List.length !items in
+  Mutex.unlock mu;
+  n
+
+let count_kind k =
+  Mutex.lock mu;
+  let n =
+    List.fold_left
+      (fun acc (d, _) -> if String.equal d.kind k then acc + 1 else acc)
+      0 !items
+  in
+  Mutex.unlock mu;
+  n
+
+(** Total occurrences across all findings. *)
+let occurrences () =
+  Mutex.lock mu;
+  let n = !total in
+  Mutex.unlock mu;
+  n
+
+let clear () =
+  Mutex.lock mu;
+  items := [];
+  total := 0;
+  Hashtbl.reset seen;
+  Mutex.unlock mu
+
+let pp ppf (d, n) =
+  Format.fprintf ppf "[%s] %s line %d: %s (store %s, exposed at %s, domain %d)"
+    d.kind d.obj d.line d.detail (site_name d.store_site)
+    (site_name d.expose_site) d.domain;
+  if n > 1 then Format.fprintf ppf " x%d" n
+
+let pp_all ppf () =
+  match all () with
+  | [] -> Format.fprintf ppf "psan: no diagnostics@."
+  | l ->
+      Format.fprintf ppf "psan: %d finding(s), %d occurrence(s)@."
+        (List.length l) (occurrences ());
+      List.iter (fun d -> Format.fprintf ppf "  %a@." pp d) l

@@ -22,6 +22,7 @@ module Hist = Hist
 module Site = Site
 module Trace = Trace
 module Json = Json
+module Diag = Diag
 
 (** Find-or-create shorthands. *)
 let counter = Counter.v
@@ -34,4 +35,5 @@ let hist = Hist.v
 let reset_all () =
   Counter.reset_all ();
   Hist.reset_all ();
-  Trace.clear ()
+  Trace.clear ();
+  Diag.clear ()

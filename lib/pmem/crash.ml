@@ -53,6 +53,7 @@ let arm_at n =
 let fire site =
   arming := Disarmed;
   Stats.incr_crashes ();
+  if !Mode.flags land Mode.f_sanitize <> 0 then (!Sanhook.h).h_crash ();
   (match site with
   | Some s ->
       Obs.Site.crash_fire s;

@@ -19,6 +19,7 @@
 let f_llc = 1 (* probe the LLC simulator on every word/slot access *)
 let f_dram = 2 (* clwb/sfence are free no-ops (DRAM-ancestor ablation) *)
 let f_shadow = 4 (* new objects carry a shadow (last-flushed) image *)
+let f_sanitize = 8 (* route every substrate event through {!Sanhook} *)
 
 let flags = ref 0
 
@@ -42,6 +43,25 @@ let dram_enabled () = !dram
 let set_dram b =
   dram := b;
   set_flag f_dram b
+
+(* [sanitize] — when on, every substrate access additionally reports to the
+   hook table in {!Sanhook}; [lib/psan] installs handlers there and turns
+   the event stream into persistency-ordering and domain-race diagnostics.
+   Off, the accessors pay exactly one extra bit in the single [flags] test
+   they already perform. *)
+let sanitize = ref false
+let sanitize_enabled () = !sanitize
+
+let set_sanitize b =
+  sanitize := b;
+  set_flag f_sanitize b
+
+(* Shadow and sanitize mode both need indexes to flush lines they would
+   skip as unobservable in plain fast mode (e.g. still-empty pointer
+   arrays): shadow because the durability test checks for dirty objects,
+   sanitize because unflushed allocations are exactly what diagnostic #1
+   reports at the next publication. *)
+let tracked () = !shadow || !sanitize
 
 (* The LLC probe bit is owned by {!Llc.set_enabled}; it lives here so the
    accessors test one word for every mode. *)

@@ -142,6 +142,8 @@ let make ?(name = "refs") ~atomic len init =
   in
   let t = { name; base_line = Line_id.fresh lines; len; repr; shadow } in
   Stats.add_allocation ~lines ~words:len;
+  if !Mode.flags land Mode.f_sanitize <> 0 then
+    (!Sanhook.h).h_alloc name t.base_line lines;
   (match t.shadow with Some sh -> register t sh | None -> ());
   t
 
@@ -149,12 +151,22 @@ let[@inline] probe_llc t i =
   if !Mode.flags land Mode.f_llc <> 0 then
     Llc.access (t.base_line + line_of_index i)
 
+(* A slot is a release/acquire point iff the object is [~atomic:true]. *)
+let is_atomic t = match t.repr with Boxed _ -> true | Flat _ -> false
+
+let san_load t i = (!Sanhook.h).h_load t.name t.base_line i (is_atomic t)
+let san_store t i = (!Sanhook.h).h_store t.name t.base_line i (is_atomic t)
+
 let get t i =
   probe_llc t i;
-  read_slot t i
+  (* Read first, report second — see {!Words.get}. *)
+  let v = read_slot t i in
+  if !Mode.flags land Mode.f_sanitize <> 0 then san_load t i;
+  v
 
 let set t i v =
   probe_llc t i;
+  if !Mode.flags land Mode.f_sanitize <> 0 then san_store t i;
   write_slot t i v;
   match t.shadow with
   | None -> ()
@@ -176,20 +188,35 @@ let cas t i ~expected ~desired =
           (Printf.sprintf "Refs.%s: cas on a flat (~atomic:false) object"
              t.name)
   in
-  let ok = Atomic.compare_and_set cell expected desired in
+  let op () = Atomic.compare_and_set cell expected desired in
+  let ok =
+    if !Mode.flags land Mode.f_sanitize <> 0 then
+      (!Sanhook.h).h_rmw t.name t.base_line i op
+    else op ()
+  in
   (if ok then
      match t.shadow with
      | None -> ()
      | Some sh -> mark_dirty t sh (line_of_index i));
   ok
 
+(** Sanitizer publication point — see {!Words.sanitize_publish}. *)
+let sanitize_publish ?site t i =
+  if !Mode.flags land Mode.f_sanitize <> 0 then
+    (!Sanhook.h).h_publish t.name t.base_line i site
+
 (** Flush the cache line containing slot [i].  [site] attributes the flush
     to an index × structural location in the {!Obs} registry. *)
 let clwb ?site t i =
   if !Mode.flags land Mode.f_dram <> 0 then ()
+  else if
+    !Mode.flags land Mode.f_sanitize <> 0 && Sanhook.should_drop_clwb site
+  then () (* mutation test: this flush instruction is "deleted" *)
   else begin
     Stats.record_clwb ?site ();
     Latency.on_flush ();
+    if !Mode.flags land Mode.f_sanitize <> 0 then
+      (!Sanhook.h).h_clwb t.name t.base_line i site;
     match t.shadow with
     | None -> ()
     | Some sh ->

@@ -227,6 +227,8 @@ let make ?(name = "words") ?(atomic_words = []) len init =
     }
   in
   Stats.add_allocation ~lines ~words:len;
+  if !Mode.flags land Mode.f_sanitize <> 0 then
+    (!Sanhook.h).h_alloc name t.base_line lines;
   (* Allocation stores are in-cache only until explicitly flushed. *)
   (match t.shadow with Some sh -> register t sh | None -> ());
   t
@@ -242,13 +244,33 @@ let[@inline] probe_llc t i =
   if !Mode.flags land Mode.f_llc <> 0 then
     Llc.access (t.base_line + line_of_index i)
 
+(* Sanitizer event reporters — out of line so the fast path below stays a
+   flags test + branch.  A word is a release/acquire point iff it was
+   declared in [~atomic_words]. *)
+
+let is_atomic_word t i = atomic_cell t i <> None
+
+let san_load t i = (!Sanhook.h).h_load t.name t.base_line i (is_atomic_word t i)
+
+let san_store t i =
+  (!Sanhook.h).h_store t.name t.base_line i (is_atomic_word t i)
+
 let get t i =
   probe_llc t i;
-  if t.atomic_idx == no_atomics then Array.unsafe_get t.data i
-  else read_word t i
+  (* Read first, report second: a reader that observed a released value
+     must find the matching release clock already recorded (stores report
+     before writing), or a publish racing this load could slip between the
+     sanitizer's join and the read. *)
+  let v =
+    if t.atomic_idx == no_atomics then Array.unsafe_get t.data i
+    else read_word t i
+  in
+  if !Mode.flags land Mode.f_sanitize <> 0 then san_load t i;
+  v
 
 let set t i v =
   probe_llc t i;
+  if !Mode.flags land Mode.f_sanitize <> 0 then san_store t i;
   if t.atomic_idx == no_atomics then Array.unsafe_set t.data i v
   else write_word t i v;
   match t.shadow with
@@ -257,7 +279,13 @@ let set t i v =
 
 let cas t i ~expected ~desired =
   probe_llc t i;
-  let ok = Atomic.compare_and_set (atomic_cell_exn t i) expected desired in
+  let cell = atomic_cell_exn t i in
+  let op () = Atomic.compare_and_set cell expected desired in
+  let ok =
+    if !Mode.flags land Mode.f_sanitize <> 0 then
+      (!Sanhook.h).h_rmw t.name t.base_line i op
+    else op ()
+  in
   (if ok then
      match t.shadow with
      | None -> ()
@@ -266,19 +294,41 @@ let cas t i ~expected ~desired =
 
 let fetch_add t i delta =
   probe_llc t i;
-  let v = Atomic.fetch_and_add (atomic_cell_exn t i) delta in
+  let cell = atomic_cell_exn t i in
+  let v = ref 0 in
+  let op () =
+    v := Atomic.fetch_and_add cell delta;
+    true
+  in
+  if !Mode.flags land Mode.f_sanitize <> 0 then
+    ignore ((!Sanhook.h).h_rmw t.name t.base_line i op)
+  else ignore (op ());
   (match t.shadow with
   | None -> ()
   | Some sh -> mark_dirty t sh (line_of_index i));
-  v
+  !v
+
+(** Sanitizer publication point: called by the [Recipe.Persist] commit
+    combinators right after their commit store, before the commit flush.
+    The sanitizer checks that nothing the calling domain wrote earlier is
+    still unpersisted (RECIPE Condition #1/#2).  A no-op unless sanitize
+    mode is on. *)
+let sanitize_publish ?site t i =
+  if !Mode.flags land Mode.f_sanitize <> 0 then
+    (!Sanhook.h).h_publish t.name t.base_line i site
 
 (** Flush the cache line containing word [i].  [site] attributes the flush
     to an index × structural location in the {!Obs} registry. *)
 let clwb ?site t i =
   if !Mode.flags land Mode.f_dram <> 0 then ()
+  else if
+    !Mode.flags land Mode.f_sanitize <> 0 && Sanhook.should_drop_clwb site
+  then () (* mutation test: this flush instruction is "deleted" *)
   else begin
     Stats.record_clwb ?site ();
     Latency.on_flush ();
+    if !Mode.flags land Mode.f_sanitize <> 0 then
+      (!Sanhook.h).h_clwb t.name t.base_line i site;
     match t.shadow with
     | None -> ()
     | Some sh ->

@@ -27,17 +27,41 @@ let set_naive b = naive := b
 
 (* Every combinator takes an optional [?site] (an {!Obs.Site.t}: index ×
    structural location) forwarded to the flush/fence primitives, feeding the
-   per-site attribution of the bench JSON export. *)
+   per-site attribution of the bench JSON export.
+
+   Under sanitize mode ({!Pmem.Mode.f_sanitize}) the combinators do two more
+   things, both free when the mode is off:
+
+   - the [?site] is published to the per-domain store-site context around
+     the store itself, so the sanitizer can attribute a line's *store* (not
+     just its flushes) when it later reports the line;
+   - the commit combinators mark their store as a *publication point* via
+     [sanitize_publish]: these are the visibility commits of the conversion
+     discipline, exactly where RECIPE Condition #1/#2 requires everything
+     reachable to already be persisted.  Raw substrate stores (private
+     initialization of unpublished structure) are deliberately not checked. *)
+
+let[@inline] sanitizing () = !Pmem.Mode.flags land Pmem.Mode.f_sanitize <> 0
 
 let store ?site w i v =
-  Pmem.Words.set w i v;
+  if sanitizing () then begin
+    Pmem.Sanhook.set_site site;
+    Pmem.Words.set w i v;
+    Pmem.Sanhook.clear_site ()
+  end
+  else Pmem.Words.set w i v;
   if !naive then begin
     Pmem.Words.clwb ?site w i;
     Pmem.sfence ?site ()
   end
 
 let store_ref ?site r i v =
-  Pmem.Refs.set r i v;
+  if sanitizing () then begin
+    Pmem.Sanhook.set_site site;
+    Pmem.Refs.set r i v;
+    Pmem.Sanhook.clear_site ()
+  end
+  else Pmem.Refs.set r i v;
   if !naive then begin
     Pmem.Refs.clwb ?site r i;
     Pmem.sfence ?site ()
@@ -46,12 +70,24 @@ let store_ref ?site r i v =
 (** Commit store: make the operation visible and durable.  Flush + fence
     always. *)
 let commit ?site w i v =
-  Pmem.Words.set w i v;
+  if sanitizing () then begin
+    Pmem.Sanhook.set_site site;
+    Pmem.Words.set w i v;
+    Pmem.Sanhook.clear_site ();
+    Pmem.Words.sanitize_publish ?site w i
+  end
+  else Pmem.Words.set w i v;
   Pmem.Words.clwb ?site w i;
   Pmem.sfence ?site ()
 
 let commit_ref ?site r i v =
-  Pmem.Refs.set r i v;
+  if sanitizing () then begin
+    Pmem.Sanhook.set_site site;
+    Pmem.Refs.set r i v;
+    Pmem.Sanhook.clear_site ();
+    Pmem.Refs.sanitize_publish ?site r i
+  end
+  else Pmem.Refs.set r i v;
   Pmem.Refs.clwb ?site r i;
   Pmem.sfence ?site ()
 
@@ -60,7 +96,12 @@ let commit_ref ?site r i v =
     succeeds — P-BwTree's optimization from §6.3: the first flush of an
     indirect pointer persists the most recent successful CAS. *)
 let commit_cas_ref ?site r i ~expected ~desired =
+  if sanitizing () then Pmem.Sanhook.set_site site;
   let ok = Pmem.Refs.cas r i ~expected ~desired in
+  if sanitizing () then begin
+    Pmem.Sanhook.clear_site ();
+    if ok then Pmem.Refs.sanitize_publish ?site r i
+  end;
   if ok then begin
     Pmem.Refs.clwb ?site r i;
     Pmem.sfence ?site ()
@@ -68,7 +109,12 @@ let commit_cas_ref ?site r i ~expected ~desired =
   ok
 
 let commit_cas ?site w i ~expected ~desired =
+  if sanitizing () then Pmem.Sanhook.set_site site;
   let ok = Pmem.Words.cas w i ~expected ~desired in
+  if sanitizing () then begin
+    Pmem.Sanhook.clear_site ();
+    if ok then Pmem.Words.sanitize_publish ?site w i
+  end;
   if ok then begin
     Pmem.Words.clwb ?site w i;
     Pmem.sfence ?site ()

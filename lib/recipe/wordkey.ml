@@ -59,15 +59,21 @@ let rec pool_segment p s =
   | Some seg -> seg
   | None ->
       Mutex.lock p.grow;
-      if Atomic.get p.segments.(s) = None then
-        Atomic.set p.segments.(s)
-          (* Flat slots: each is written exactly once (at a fresh cursor
-             index) before the interned word is published through the
-             owning index's atomic commit, so readers are ordered by that
-             commit, never by the pool slot itself. *)
-          (Some
-             (Pmem.Refs.make ~name:"wordkey.pool" ~atomic:false
-                pool_segment_size ""));
+      if Atomic.get p.segments.(s) = None then begin
+        (* Flat slots: each is written exactly once (at a fresh cursor
+           index) before the interned word is published through the
+           owning index's atomic commit, so readers are ordered by that
+           commit, never by the pool slot itself. *)
+        let seg =
+          Pmem.Refs.make ~name:"wordkey.pool" ~atomic:false pool_segment_size
+            ""
+        in
+        (* Persist the segment's initial fill before any handle into it can
+           be published (Condition #1 — same as every node allocation). *)
+        Pmem.Refs.clwb_all seg;
+        Pmem.sfence ();
+        Atomic.set p.segments.(s) (Some seg)
+      end;
       Mutex.unlock p.grow;
       pool_segment p s
 

@@ -6,23 +6,52 @@
    effect without walking the structure: a global lock epoch.  A lock is held
    iff its word equals the *current* epoch; recovery bumps the epoch, which
    atomically frees every lock in the index — including locks held by the
-   thread that "died" at the simulated crash point. *)
+   thread that "died" at the simulated crash point.
 
-type t = int Atomic.t
+   Each lock also carries a process-unique [id] and optional acquire/release
+   hooks: the psan sanitizer registers handlers so lock hand-off counts as a
+   release/acquire publication edge in its race check (a writer's plain
+   stores under the lock are visible to the next holder).  The hooks are
+   behind one ref test and default to off. *)
+
+type t = { cell : int Atomic.t; id : int }
 
 let epoch = Atomic.make 1
 
 (** Recovery: instantly re-initialize (free) every lock ever created. *)
 let new_epoch () = Atomic.incr epoch
 
-let create () = Atomic.make 0
+let next_id = Atomic.make 0
+let create () = { cell = Atomic.make 0; id = Atomic.fetch_and_add next_id 1 }
+let id t = t.id
 
-let is_locked t = Atomic.get t = Atomic.get epoch
+(* Sanitizer hooks: [acquired id] after winning the lock, [released id]
+   just before giving it up.  Installed by [Psan.enable]. *)
+let hooks_on = ref false
+let on_acquired : (int -> unit) ref = ref ignore
+let on_released : (int -> unit) ref = ref ignore
+
+let set_hooks ~acquired ~released =
+  on_acquired := acquired;
+  on_released := released;
+  hooks_on := true
+
+let clear_hooks () =
+  hooks_on := false;
+  on_acquired := ignore;
+  on_released := ignore
+
+let is_locked t = Atomic.get t.cell = Atomic.get epoch
 
 let try_lock t =
   let cur = Atomic.get epoch in
-  let v = Atomic.get t in
-  if v = cur then false else Atomic.compare_and_set t v cur
+  let v = Atomic.get t.cell in
+  if v = cur then false
+  else begin
+    let ok = Atomic.compare_and_set t.cell v cur in
+    if ok && !hooks_on then !on_acquired t.id;
+    ok
+  end
 
 (* Bounded spinning, then yield the OS thread: on machines with fewer cores
    than domains (this container has one), a preempted lock holder would
@@ -41,7 +70,9 @@ let lock t =
   in
   go 200 0.000001
 
-let unlock t = Atomic.set t 0
+let unlock t =
+  if !hooks_on then !on_released t.id;
+  Atomic.set t.cell 0
 
 (** [with_lock t f] runs [f] holding [t].  No cleanup on exception: a
     simulated crash must leave the lock held, exactly like a real power

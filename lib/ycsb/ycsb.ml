@@ -218,6 +218,8 @@ let timed_domains threads body =
   let t0 = now () in
   Atomic.set go true;
   let results = List.map Domain.join domains in
+  (* Join edge for the sanitizer's race check (no-op unless sanitizing). *)
+  Pmem.sanitize_sync ();
   let dt = now () -. t0 in
   (dt, results)
 

@@ -2,6 +2,11 @@
    model-based checks, concurrency, crash consistency with the Condition #3
    helper, durability. *)
 
+(* Under RECIPE_SANITIZE (the @sanitize alias) the whole suite runs with
+   the psan sanitizer enabled and must produce zero diagnostics. *)
+let () = Harness.Sanitize_env.init ()
+
+
 let reset () =
   Pmem.Mode.set_shadow false;
   Pmem.Llc.set_enabled false;

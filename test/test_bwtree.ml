@@ -1,6 +1,11 @@
 (* Tests for P-BwTree: delta-chain semantics, consolidation, splits with
    helping, lock-free concurrency, crash consistency, durability. *)
 
+(* Under RECIPE_SANITIZE (the @sanitize alias) the whole suite runs with
+   the psan sanitizer enabled and must produce zero diagnostics. *)
+let () = Harness.Sanitize_env.init ()
+
+
 let reset () =
   Pmem.Mode.set_shadow false;
   Pmem.Llc.set_enabled false;

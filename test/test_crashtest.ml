@@ -38,15 +38,29 @@ let test_fastfair_bug_caught () =
   Alcotest.(check bool) "data loss detected" true (r.Crashtest.lost_keys > 0)
 
 (* The buggy CCEH directory doubling stalls after some crash state.  The
-   stall window is a single crash point per doubling, so the sampled crash
-   states must land on it: seed 23 does within 60 states. *)
+   stall window is a single crash point per doubling, so a sampled campaign
+   is not guaranteed to land on it at any one seed; search a bounded range
+   of seeds and require that at least one exposes the stall.  (This is the
+   honest statement of §7.5's methodology — the bug is found by sampling,
+   not by a magic seed baked into the test.) *)
 let test_cceh_bug_caught () =
-  let r =
-    Crashtest.consistency_campaign
-      ~make:(fun () -> Harness.Subjects.cceh ~bug_doubling:true ())
-      ~states:60 ~load:400 ~ops:400 ~threads:4 ~seed:23 ()
+  let max_seed = 32 in
+  let rec search seed =
+    if seed > max_seed then
+      Alcotest.failf
+        "CCEH doubling stall not reproduced by any seed in 1..%d" max_seed
+    else
+      let r =
+        Crashtest.consistency_campaign
+          ~make:(fun () -> Harness.Subjects.cceh ~bug_doubling:true ())
+          ~states:12 ~load:400 ~ops:400 ~threads:4 ~seed ()
+      in
+      if r.Crashtest.stalled > 0 then seed else search (seed + 1)
   in
-  Alcotest.(check bool) "stall detected" true (r.Crashtest.stalled > 0)
+  let found = search 1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "stall detected (seed %d)" found)
+    true (found >= 1)
 
 (* Double crashes: the second crash interrupts writers that may be fixing
    leftovers of the first (the consecutive-crash scenario behind the FAST &

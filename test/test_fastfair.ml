@@ -2,6 +2,11 @@
    splits, string-key mode, concurrency, crash consistency, and reproduction
    of the paper's §3 bugs under the bug flags. *)
 
+(* Under RECIPE_SANITIZE (the @sanitize alias) the whole suite runs with
+   the psan sanitizer enabled and must produce zero diagnostics. *)
+let () = Harness.Sanitize_env.init ()
+
+
 let reset () =
   Pmem.Mode.set_shadow false;
   Pmem.Llc.set_enabled false;
@@ -240,7 +245,9 @@ let test_crash_bug_split_order_loses_data () =
   (* With the wrong store order in the split, some crash position must lose
      persisted keys — the class of bug §7.5's testing found in FAST & FAIR. *)
   let lost = crash_campaign ~bug_split_order:true ~points:60 () in
-  Alcotest.(check bool) "buggy split order loses keys" true (lost > 0)
+  Alcotest.(check bool) "buggy split order loses keys" true (lost > 0);
+  (* Intentionally-buggy variant: drop any sanitizer diagnostics it made. *)
+  Obs.Diag.clear ()
 
 let test_durability_flags_unflushed_root () =
   reset ();

@@ -1,6 +1,11 @@
 (* Tests for P-HOT: trie semantics, height optimization, ordered scans with
    pruning, concurrency, crash consistency (Condition #1), durability. *)
 
+(* Under RECIPE_SANITIZE (the @sanitize alias) the whole suite runs with
+   the psan sanitizer enabled and must produce zero diagnostics. *)
+let () = Harness.Sanitize_env.init ()
+
+
 let reset () =
   Pmem.Mode.set_shadow false;
   Pmem.Llc.set_enabled false;

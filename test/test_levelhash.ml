@@ -1,6 +1,11 @@
 (* Tests for the Level Hashing baseline: semantics, movement, resize,
    concurrency, crash consistency, durability. *)
 
+(* Under RECIPE_SANITIZE (the @sanitize alias) the whole suite runs with
+   the psan sanitizer enabled and must produce zero diagnostics. *)
+let () = Harness.Sanitize_env.init ()
+
+
 let reset () =
   Pmem.Mode.set_shadow false;
   Pmem.Llc.set_enabled false;

@@ -1,6 +1,11 @@
 (* Tests for the WOART baseline: semantics under the global lock, concurrent
    serialization, crash recovery of a held global lock. *)
 
+(* Under RECIPE_SANITIZE (the @sanitize alias) the whole suite runs with
+   the psan sanitizer enabled and must produce zero diagnostics. *)
+let () = Harness.Sanitize_env.init ()
+
+
 let reset () =
   Pmem.Mode.set_shadow false;
   Pmem.Crash.disarm ();

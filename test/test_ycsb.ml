@@ -1,5 +1,10 @@
 (* Tests for the YCSB generator and runner. *)
 
+(* Under RECIPE_SANITIZE (the @sanitize alias) the whole suite runs with
+   the psan sanitizer enabled and must produce zero diagnostics. *)
+let () = Harness.Sanitize_env.init ()
+
+
 let reset () =
   Pmem.Mode.set_shadow false;
   Pmem.Crash.disarm ();
