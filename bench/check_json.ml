@@ -142,6 +142,45 @@ let check_micro_pmem doc =
         rows
   | Some _ -> fail "micro_pmem.sanitize_ns_per_op: not an object"
 
+(* The recovery table arrived with the fault-injection subsystem; validate
+   it only when present so older reports keep checking.  When present it
+   must cover every index, carry well-formed counters, and report a clean
+   verdict: zero lost acknowledged operations, zero wrong values, zero
+   stalls — the recovery-under-load invariant is part of the schema, not
+   just of the test suite. *)
+let check_recovery doc =
+  match J.member "recovery" doc with
+  | None -> ()
+  | Some (J.Obj rows) ->
+      List.iter
+        (fun (name, v) ->
+          let cell k = num ("recovery." ^ name ^ "." ^ k) (get v k) in
+          let states = cell "states" and recoveries = cell "recoveries" in
+          if states < 1.0 then fail "recovery.%s: no states tested" name;
+          if recoveries < states then
+            fail "recovery.%s: fewer recoveries (%g) than states (%g)" name
+              recoveries states;
+          List.iter
+            (fun k ->
+              if cell k < 0.0 then fail "recovery.%s: negative %s" name k)
+            [
+              "crashes"; "faults_injected"; "recover_ns_total";
+              "recover_ns_mean"; "repaired"; "orphans"; "reclaimed";
+            ];
+          List.iter
+            (fun k ->
+              if cell k <> 0.0 then
+                fail "recovery.%s: %s = %g — recovery lost acknowledged work"
+                  name k (cell k))
+            [ "lost"; "wrong"; "stalled" ])
+        rows;
+      List.iter
+        (fun r ->
+          if not (List.mem_assoc r rows) then
+            fail "recovery: required index %S missing" r)
+        required_indexes
+  | Some _ -> fail "recovery: not an object"
+
 let run file =
   let s = In_channel.with_open_text file In_channel.input_all in
   let doc =
@@ -151,6 +190,7 @@ let run file =
   in
   ignore (get doc "meta");
   check_micro_pmem doc;
+  check_recovery doc;
   let idxs =
     match J.to_list (get doc "indexes") with
     | Some l -> l

@@ -189,6 +189,57 @@ let micro_pmem_json cfg =
              sanitize) );
     ]
 
+(* Recovery-time table: one fault-injected recovery-under-load campaign per
+   index (crashes at arbitrary substrate events, power failure, timed
+   recovery, reclaiming leak sweep, resumed traffic).  Reports wall-clock
+   recovery cost and structural-repair counts next to the zero-lost-acks
+   verdict; check_json.ml requires the verdict columns to be zero. *)
+let recovery_json ~smoke () =
+  Printf.printf "json: measuring recovery...\n%!";
+  let states = if smoke then 5 else 20
+  and load = if smoke then 150 else 600 in
+  let subjects =
+    [
+      ("P-ART", Harness.Subjects.art);
+      ("P-HOT", Harness.Subjects.hot);
+      ("P-Masstree", Harness.Subjects.masstree);
+      ("P-BwTree", Harness.Subjects.bwtree);
+      ("FAST&FAIR", fun () -> Harness.Subjects.fastfair ());
+      ("WOART", Harness.Subjects.woart);
+      ("P-CLHT", Harness.Subjects.clht);
+      ("CCEH", fun () -> Harness.Subjects.cceh ());
+      ("Level", Harness.Subjects.levelhash);
+    ]
+  in
+  J.Obj
+    (List.map
+       (fun (name, make) ->
+         let r =
+           Crashtest.recovery_under_load_campaign ~make ~states ~load
+             ~ops:load ~threads:4 ~seed:7 ~faults:true
+             ~crash_during_recovery:false ()
+         in
+         let b = r.Crashtest.base and s = r.Crashtest.sweep_stats in
+         let recoveries = max 1 r.Crashtest.recoveries in
+         ( name,
+           J.Obj
+             [
+               ("states", J.int b.Crashtest.states_tested);
+               ("crashes", J.int b.Crashtest.crashes_fired);
+               ("faults_injected", J.int r.Crashtest.faults_injected);
+               ("recoveries", J.int r.Crashtest.recoveries);
+               ("recover_ns_total", J.int r.Crashtest.recover_ns);
+               ( "recover_ns_mean",
+                 J.Num (float_of_int r.Crashtest.recover_ns /. float_of_int recoveries) );
+               ("repaired", J.int s.Recipe.Recovery.repaired);
+               ("orphans", J.int s.Recipe.Recovery.orphans);
+               ("reclaimed", J.int s.Recipe.Recovery.reclaimed);
+               ("lost", J.int b.Crashtest.lost_keys);
+               ("wrong", J.int b.Crashtest.wrong_values);
+               ("stalled", J.int b.Crashtest.stalled);
+             ] ))
+       subjects)
+
 let write cfg ~smoke file =
   let { Experiments.nloaded; nops; threads; seed; _ } = cfg in
   let doc =
@@ -206,6 +257,7 @@ let write cfg ~smoke file =
               ("key_kind", J.Str "randint");
             ] );
         ("micro_pmem", micro_pmem_json cfg);
+        ("recovery", recovery_json ~smoke ());
         ("indexes", J.List (List.map (index_json cfg) indexes));
       ]
   in

@@ -63,7 +63,7 @@ let dump_trace () =
     (List.length recent) (Obs.Trace.dropped ());
   List.iter (fun e -> Format.printf "  %a@." Obs.Trace.pp_event e) recent
 
-let main index bug states sweep load seed trace =
+let main index bug states sweep faults load seed trace =
   match subject index bug with
   | None ->
       Printf.eprintf "unknown index %S (or bad --bug for it)\n" index;
@@ -77,6 +77,15 @@ let main index bug states sweep load seed trace =
           in
           Format.printf "sweep: %a@." Crashtest.pp_report r;
           failed r
+        end
+        else if faults then begin
+          let r =
+            Crashtest.recovery_under_load_campaign ~make ~states ~load
+              ~ops:load ~threads:4 ~seed ~faults:true
+              ~crash_during_recovery:true ()
+          in
+          Format.printf "faults: %a@." Crashtest.pp_load_report r;
+          failed r.Crashtest.base
         end
         else begin
           let r =
@@ -111,6 +120,16 @@ let cmd =
   let sweep =
     Arg.(value & flag & info [ "sweep" ] ~doc:"Deterministic crash-point sweep")
   in
+  let faults =
+    Arg.(
+      value & flag
+      & info [ "faults" ]
+          ~doc:
+            "Recovery-under-load campaign with fault injection: crash a \
+             multi-domain run at arbitrary substrate events (flush, fence, \
+             store, allocation, torn line), crash recovery itself, and \
+             verify zero lost acknowledged operations plus the leak sweep.")
+  in
   let load = Arg.(value & opt int 400 & info [ "load" ] ~docv:"N") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ]) in
   let trace =
@@ -123,6 +142,7 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "crash_check" ~doc:"Crash-recovery testing for one index (§5)")
-    Term.(const main $ index $ bug $ states $ sweep $ load $ seed $ trace)
+    Term.(
+      const main $ index $ bug $ states $ sweep $ faults $ load $ seed $ trace)
 
 let () = exit (Cmd.eval' cmd)

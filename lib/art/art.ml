@@ -44,6 +44,7 @@ let s_chain = site ~crash:true "chain-install"
 let s_grow = site ~crash:true "grow"
 let s_split = site ~crash:true "split-prefix"
 let s_shrink = site ~crash:true "shrink"
+let s_recover = site "recover"
 
 type kind = N4 | N16 | N48 | N256
 
@@ -59,7 +60,12 @@ and node = {
   lock : Lock.t;
 }
 
-type t = { root : node; fixes : int Atomic.t; shrinks : int Atomic.t }
+type t = {
+  root : node;
+  fixes : int Atomic.t;
+  shrinks : int Atomic.t;
+  repairs : int Atomic.t; (* prefixes fixed by the last [recover] *)
+}
 
 let byte s i = Char.code (String.unsafe_get s i)
 
@@ -147,7 +153,7 @@ let persist_leaf ?(site = s_alloc_leaf) l =
 let create () =
   let root = make_node N256 ~level:0 ~prefix_len:0 ~prefix_word:0 in
   persist_node root;
-  { root; fixes = Atomic.make 0; shrinks = Atomic.make 0 }
+  { root; fixes = Atomic.make 0; shrinks = Atomic.make 0; repairs = Atomic.make 0 }
 
 let helper_fixes t = Atomic.get t.fixes
 let shrink_count t = Atomic.get t.shrinks
@@ -849,4 +855,69 @@ let range t lo hi =
 
 (* --- recovery ----------------------------------------------------------------------- *)
 
-let recover _t = Lock.new_epoch ()
+(* Depth-tracked DFS over every inner node: [depth] is the key depth at
+   which [n] sits, so its expected prefix length is [level n - depth] and
+   its children sit at depth [level n + 1]. *)
+let iter_nodes t f =
+  let rec go n depth =
+    f n depth;
+    List.iter
+      (fun (_, c) -> match c with CInner m -> go m (level n + 1) | CLeaf _ | CNull -> ())
+      (children_in_order n)
+  in
+  go t.root 0
+
+(* Eagerly run the Condition #3 helper everywhere: a crash between the two
+   ordered steps of a path-compression split leaves the old node's stored
+   prefix stale ([prefix_len <> level - depth]); readers tolerate it, the
+   write path fixes it lazily, and recovery fixes it here once and for
+   all. *)
+let recover t =
+  Lock.new_epoch ();
+  let repaired = ref 0 in
+  iter_nodes t (fun n depth ->
+      if prefix_len n <> level n - depth then begin
+        fix_prefix t n depth;
+        incr repaired
+      end);
+  Atomic.set t.repairs !repaired
+
+(* Reachability sweep for crash-orphaned child slots:
+   - Node4/16: [add_child] stores the child pointer at slot [count] and the
+     count increment commits — a crash in between leaves a populated slot
+     beyond [count] that no reader ever visits;
+   - Node48: the child store and count increment precede the index-byte
+     commit, so an orphan is either a populated slot beyond [count] or a
+     slot below [count] that no index byte references;
+   - Node256 commits with the pointer store itself — no window. *)
+let leak_sweep ?(reclaim = false) t =
+  let orphans = ref 0 and reclaimed = ref 0 in
+  let clear n j =
+    incr orphans;
+    if reclaim then begin
+      P.commit_ref ~site:s_recover n.children j CNull;
+      incr reclaimed
+    end
+  in
+  iter_nodes t (fun n _depth ->
+      match n.kind with
+      | N4 | N16 ->
+          let c = count n in
+          for j = c to capacity n.kind - 1 do
+            if R.get n.children j <> CNull then clear n j
+          done
+      | N48 ->
+          let c = count n in
+          let referenced = Array.make (max c 1) false in
+          for b = 0 to 255 do
+            let idx = index_byte n b in
+            if idx > 0 && idx <= c then referenced.(idx - 1) <- true
+          done;
+          for j = 0 to c - 1 do
+            if (not referenced.(j)) && R.get n.children j <> CNull then clear n j
+          done;
+          for j = c to capacity n.kind - 1 do
+            if R.get n.children j <> CNull then clear n j
+          done
+      | N256 -> ());
+  { Recipe.Recovery.repaired = Atomic.get t.repairs; orphans = !orphans; reclaimed = !reclaimed }

@@ -50,9 +50,21 @@ val scan : t -> string -> int -> (string -> int -> unit) -> int
 
 val range : t -> string -> string -> (string * int) list
 
-(** Post-crash recovery: re-initializes volatile locks; P-ART needs no other
-    recovery (inconsistencies are fixed lazily by the write-path helper). *)
+(** Post-crash recovery: re-initializes volatile locks, then eagerly runs
+    the Condition #3 prefix-fix helper on every node whose stored prefix is
+    stale ([prefix_len <> level - depth], the window between the two ordered
+    steps of a path-compression split).  Readers tolerate such nodes and the
+    write path fixes them lazily, so running this is optional — it converts
+    lazy repair into eager repair. *)
 val recover : t -> unit
+
+(** [leak_sweep ?reclaim t] counts crash-orphaned child slots no reader can
+    reach: Node4/16/48 slots populated beyond the committed [count], and
+    Node48 slots below [count] left unreferenced by every index byte (the
+    window between the count commit and the index-byte commit).
+    [~reclaim:true] nulls them out.  [repaired] echoes the prefix count the
+    last [recover] fixed. *)
+val leak_sweep : ?reclaim:bool -> t -> Recipe.Recovery.stats
 
 (** Number of prefix-fix helper invocations (tests: proves the Condition #3
     helper actually runs after crashes). *)

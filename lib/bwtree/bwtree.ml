@@ -32,6 +32,7 @@ let s_index = site ~crash:true "index-install"
 let s_consol = site ~crash:true "consolidate"
 let s_split = site ~crash:true "split"
 let s_root = site ~crash:true "new-root"
+let s_recover = site "recover"
 let max_entries = 32
 let max_chain = 8
 let mapping_segment = 4096
@@ -62,6 +63,7 @@ type t = {
   next_pid : int Atomic.t;
   helps : int Atomic.t;
   consolidations : int Atomic.t;
+  repairs : int Atomic.t; (* structures the last [recover] completed *)
   grow_lock : Mutex.t;
 }
 
@@ -139,6 +141,9 @@ let make_base ?(site = s_alloc) ~leaf ~count ~has_high ~high ~next_pid fill_keys
   W.set bmeta 2 (if has_high then 1 else 0);
   W.set bmeta 3 high;
   W.set bmeta 4 next_pid;
+  (* Live marker: distinguishes published bases from the mapping table's
+     dummy placeholders when recovery scans for allocated page ids. *)
+  W.set bmeta 5 1;
   let b = { leaf; count; keys; vals; has_high; high; next_pid; bmeta } in
   W.clwb_all ~site keys;
   W.clwb_all ~site vals;
@@ -173,6 +178,7 @@ let create ~space () =
       next_pid = Atomic.make 1;
       helps = Atomic.make 0;
       consolidations = Atomic.make 0;
+      repairs = Atomic.make 0;
       grow_lock = Mutex.create ();
     }
   in
@@ -634,4 +640,114 @@ let range t lo hi =
 
 (* --- recovery -------------------------------------------------------------------------------------- *)
 
-let recover _t = Util.Lock.new_epoch ()
+(* A mapping slot is live when it holds a delta chain or a base published by
+   [make_base] (live marker in the spare metadata word); the segment-fill
+   dummies carry no marker, and an unflushed marker reverts with the base —
+   a never-published page correctly reads as dead after a crash. *)
+let live_node = function
+  | NDelta _ -> true
+  | NBase b -> W.length b.bmeta > 5 && W.get b.bmeta 5 = 1
+
+(* B-link fields of a chain, leaf or internal. *)
+let chain_links t node =
+  if node_leaf node then
+    let _, has_high, high, next_pid = flatten_leaf t node in
+    (has_high, high, next_pid)
+  else
+    let _, _, has_high, high, next_pid = flatten_internal t node in
+    (has_high, high, next_pid)
+
+(* BFS over pages reachable from the root — through child pointers and
+   B-link siblings (a split sibling is reachable through the lower half's
+   link before the parent learns its separator).  Calls [f pid parent node]
+   once per page; returns the visited set. *)
+let iter_reachable t f =
+  let visited = Hashtbl.create 64 in
+  let rec visit pid parent =
+    if not (Hashtbl.mem visited pid) then begin
+      Hashtbl.add visited pid ();
+      let node = mapping_get t pid in
+      f pid parent node;
+      if node_leaf node then begin
+        let _, has_high, _, next_pid = flatten_leaf t node in
+        if has_high && next_pid > 0 then visit next_pid parent
+      end
+      else begin
+        let leftmost, seps, has_high, _, next_pid = flatten_internal t node in
+        visit leftmost (Some pid);
+        List.iter (fun (_, c) -> visit c (Some pid)) seps;
+        if has_high && next_pid > 0 then visit next_pid parent
+      end
+    end
+  in
+  visit 0 None;
+  visited
+
+(* Post-crash recovery:
+   - rebuild the volatile page-id allocator from the highest live mapping
+     slot;
+   - complete an interrupted root split (root still a leaf with a B-link:
+     the growth CAS was lost) by replaying [finish_split];
+   - walk the reachable pages doing eager helping — every sibling hanging
+     off a B-link gets its separator installed in the parent ([add_index]
+     no-ops when it is already there) — and consolidating chains past the
+     length threshold, converting the lazy repairs into eager ones. *)
+let recover t =
+  Util.Lock.new_epoch ();
+  let hi = ref 0 in
+  Array.iteri
+    (fun s cell ->
+      match Atomic.get cell with
+      | None -> ()
+      | Some seg ->
+          for j = 0 to mapping_segment - 1 do
+            if live_node (R.get seg j) then hi := max !hi ((s * mapping_segment) + j)
+          done)
+    t.segments;
+  Atomic.set t.next_pid (!hi + 1);
+  let helps0 = Atomic.get t.helps and cons0 = Atomic.get t.consolidations in
+  let root_completed = ref 0 in
+  (let root = mapping_get t 0 in
+   if node_leaf root then begin
+     let _, has_high, high, next_pid = flatten_leaf t root in
+     if has_high && next_pid > 0 then begin
+       finish_split t 0 None high next_pid;
+       incr root_completed
+     end
+   end);
+  ignore
+    (iter_reachable t (fun pid parent node ->
+         let has_high, high, next_pid = chain_links t node in
+         (match parent with
+         | Some pp when has_high && next_pid > 0 -> add_index t pp high next_pid
+         | Some _ | None -> ());
+         maybe_consolidate t pid parent));
+  Atomic.set t.repairs
+    (!root_completed
+    + (Atomic.get t.helps - helps0)
+    + (Atomic.get t.consolidations - cons0))
+
+(* Sweep live mapping slots unreachable from the root: a split sibling (or a
+   root split's demoted lower half) published at a fresh page id whose
+   committing CAS was lost to the crash.  [~reclaim:true] resets the slot to
+   a dummy placeholder. *)
+let leak_sweep ?(reclaim = false) t =
+  let reachable = iter_reachable t (fun _ _ _ -> ()) in
+  let orphans = ref 0 and reclaimed = ref 0 in
+  Array.iteri
+    (fun s cell ->
+      match Atomic.get cell with
+      | None -> ()
+      | Some seg ->
+          for j = 0 to mapping_segment - 1 do
+            let pid = (s * mapping_segment) + j in
+            if live_node (R.get seg j) && not (Hashtbl.mem reachable pid) then begin
+              incr orphans;
+              if reclaim then begin
+                mapping_set ~site:s_recover t pid (NBase (dummy_base ()));
+                incr reclaimed
+              end
+            end
+          done)
+    t.segments;
+  { Recipe.Recovery.repaired = Atomic.get t.repairs; orphans = !orphans; reclaimed = !reclaimed }

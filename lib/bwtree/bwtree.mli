@@ -49,9 +49,19 @@ val scan : t -> string -> int -> (string -> int -> unit) -> int
 
 val range : t -> string -> string -> (string * int) list
 
-(** Post-crash recovery: nothing to do beyond lock re-initialization (the
-    structure is lock-free; helping repairs interrupted SMOs lazily). *)
+(** Post-crash recovery: rebuilds the volatile page-id allocator from the
+    persistent mapping table, completes an interrupted root split, then
+    walks the reachable pages installing every B-link sibling's separator in
+    its parent and consolidating over-long delta chains — the repairs
+    lock-free helping would otherwise perform lazily. *)
 val recover : t -> unit
+
+(** [leak_sweep ?reclaim t] counts live mapping slots unreachable from the
+    root: split siblings (or a root split's demoted lower half) published at
+    a fresh page id whose committing CAS the crash interrupted.
+    [~reclaim:true] resets them to placeholders.  [repaired] echoes the
+    SMO-completion count of the last [recover]. *)
+val leak_sweep : ?reclaim:bool -> t -> Recipe.Recovery.stats
 
 (** Number of parent-completion (helping) events — proves Condition #2's
     mechanism runs (tests). *)

@@ -64,6 +64,7 @@ type t = {
   dir_lock : Lock.t;
   bug_doubling : bool;
   splits : int Atomic.t; (* statistic: segment splits performed *)
+  repairs : int Atomic.t; (* pointers the last [recover] normalized *)
 }
 
 let hash k =
@@ -136,6 +137,7 @@ let create ?(bug_doubling = false) ?(capacity = default_capacity) () =
     dir_lock = Lock.create ();
     bug_doubling;
     splits = Atomic.make 0;
+    repairs = Atomic.make 0;
   }
 
 let get_dir t =
@@ -363,18 +365,41 @@ let delete t k =
 
 (* --- recovery ---------------------------------------------------------------- *)
 
-let recover t =
-  Lock.new_epoch ();
+(* Directory slots deviating from their region's first slot — what an
+   interrupted split's partially updated pointer range looks like. *)
+let iter_denormalized t f =
   let d = get_dir t in
-  (* Normalize every directory region to the segment its first slot points
-     to, completing or rolling back a split interrupted by the crash. *)
   let n = R.length d.segs in
   let i = ref 0 in
   while !i < n do
     let s = R.get d.segs !i in
     let rs = 1 lsl (d.depth - s.local_depth) in
     for j = !i to !i + rs - 1 do
-      if R.get d.segs j != s then P.commit_ref ~site:s_recover d.segs j s
+      if R.get d.segs j != s then f d j s
     done;
     i := !i + rs
   done
+
+let recover t =
+  Lock.new_epoch ();
+  (* Normalize every directory region to the segment its first slot points
+     to, completing or rolling back a split interrupted by the crash. *)
+  let repaired = ref 0 in
+  iter_denormalized t (fun d j s ->
+      P.commit_ref ~site:s_recover d.segs j s;
+      incr repaired);
+  Atomic.set t.repairs !repaired
+
+(* Sweep = the same denormalized-pointer scan, reported instead of (or, with
+   [~reclaim:true], in addition to) being repaired.  The segment halves a
+   crashed split built but never linked are reachable only through these
+   pointers, so the count is the leak count. *)
+let leak_sweep ?(reclaim = false) t =
+  let orphans = ref 0 and reclaimed = ref 0 in
+  iter_denormalized t (fun d j s ->
+      incr orphans;
+      if reclaim then begin
+        P.commit_ref ~site:s_recover d.segs j s;
+        incr reclaimed
+      end);
+  { Recipe.Recovery.repaired = Atomic.get t.repairs; orphans = !orphans; reclaimed = !reclaimed }

@@ -51,3 +51,9 @@ val split_count : t -> int
 (** Post-crash recovery: re-initializes locks and normalizes directory
     pointers interrupted mid-split (the recovery CCEH's design requires). *)
 val recover : t -> unit
+
+(** [leak_sweep ?reclaim t] counts directory slots deviating from their
+    region's first pointer — the reachable trace of a split the crash
+    interrupted mid-update.  [~reclaim:true] normalizes them (what [recover]
+    does).  [repaired] echoes the last [recover]'s normalization count. *)
+val leak_sweep : ?reclaim:bool -> t -> Recipe.Recovery.stats

@@ -42,6 +42,7 @@ let s_insert = site ~crash:true "insert-commit"
 let s_chain = site ~crash:true "chain-link"
 let s_delete = site "delete-commit"
 let s_rehash = site ~crash:true "rehash"
+let s_recover = site ~crash:true "recover"
 
 let entries_per_bucket = 3
 let words_per_bucket = 8 (* one simulated cache line *)
@@ -58,8 +59,10 @@ type table = {
 
 type t = {
   table : table R.t; (* slot 0: current table pointer *)
+  pending : table option R.t; (* resize in flight: the table being built *)
   resize_lock : Lock.t;
   count : int Atomic.t; (* volatile statistic driving the resize trigger *)
+  repairs : int Atomic.t; (* leftovers the last [recover] rolled forward *)
 }
 
 (* Overflow-bucket words are flat plain cells; the chain link stays atomic —
@@ -114,8 +117,18 @@ let create ?(capacity = default_buckets) () =
      publishes the whole freshly built table to wait-free readers. *)
   let table = R.make ~name:"clht.table" ~atomic:true 1 tbl in
   R.clwb_all ~site:s_alloc table;
+  (* Persistent resize-intent slot: recovery rolls an interrupted rehash
+     forward from here. *)
+  let pending = R.make ~name:"clht.pending" ~atomic:true 1 None in
+  R.clwb_all ~site:s_alloc pending;
   Pmem.sfence ~site:s_alloc ();
-  { table; resize_lock = Lock.create (); count = Atomic.make 0 }
+  {
+    table;
+    pending;
+    resize_lock = Lock.create ();
+    count = Atomic.make 0;
+    repairs = Atomic.make 0;
+  }
 
 let hash_key k = (k * 0x1CE4E5B9) lxor (k lsr 29)
 let bucket_for tbl k = hash_key k land tbl.mask
@@ -202,13 +215,20 @@ let rec lock_head t k =
       lock_head t k
     end
   else begin
+    Lock.abort_point ();
     Domain.cpu_relax ();
     lock_head t k
   end
 
-(* Copy-based insert used privately by the resizer: no locks, no per-store
-   flush (the whole new table is persisted once before the swap). *)
-let copy_insert tbl k v =
+(* Copy-based insert used privately by the resizer and the recovery
+   roll-forward: no locks, and each write is flushed as it lands.  The empty
+   table is persisted in full before the resize intent publishes, so a
+   blanket re-persist after the copy would re-flush every untouched (clean)
+   line — the sanitizer rightly reports those as redundant clwbs.  Flushing
+   per copied binding keeps every flush on a just-dirtied line, and makes
+   the roll-forward flush exactly the bindings it actually re-copies.  The
+   caller fences once after the whole copy. *)
+let copy_insert ~site tbl k v =
   let h = bucket_for tbl k in
   let base = h * words_per_bucket in
   let fill_ob nb =
@@ -223,10 +243,13 @@ let copy_insert tbl k v =
         | None ->
             let nb = new_obucket () in
             fill_ob nb;
-            R.set ob.next 0 (Some nb)
+            persist_obucket ~site nb;
+            R.set ob.next 0 (Some nb);
+            R.clwb ~site ob.next 0
       else if W.get ob.words i = 0 then begin
         W.set ob.words (i + entries_per_bucket) v;
-        W.set ob.words i k
+        W.set ob.words i k;
+        W.clwb ~site ob.words i
       end
       else oslot (i + 1)
     in
@@ -239,10 +262,13 @@ let copy_insert tbl k v =
       | None ->
           let nb = new_obucket () in
           fill_ob nb;
-          R.set tbl.nexts h (Some nb)
+          persist_obucket ~site nb;
+          R.set tbl.nexts h (Some nb);
+          R.clwb ~site tbl.nexts h
     else if W.get tbl.arena (base + i) = 0 then begin
       W.set tbl.arena (base + i + entries_per_bucket) v;
-      W.set tbl.arena (base + i) k
+      W.set tbl.arena (base + i) k;
+      W.clwb ~site tbl.arena base
     end
     else slot (i + 1)
   in
@@ -259,25 +285,26 @@ let resize t =
        further rehashing (§7.2: "when the hash table is sufficiently large,
        P-CLHT performs no rehashing in workload A and B"). *)
     let fresh = new_table (4 * (old.mask + 1)) in
-    iter_table old (fun k v -> copy_insert fresh k v);
-    (* Persist the whole new table, then commit with one atomic swap. *)
+    (* Persist the fresh (still empty) table first — the intent slot must
+       never expose unflushed lines — then declare the resize intent before
+       copying: a crash anywhere between here and the pending-clear leaves a
+       persistent record of the half-finished rehash that [recover] rolls
+       forward. *)
     persist_table fresh;
-    let chains = ref false in
-    for h = 0 to fresh.mask do
-      let rec persist_chain = function
-        | None -> ()
-        | Some ob ->
-            chains := true;
-            persist_obucket ~site:s_rehash ob;
-            persist_chain (R.get ob.next 0)
-      in
-      persist_chain (R.get fresh.nexts h)
-    done;
-    (* Only fence if a chain was actually flushed; otherwise [persist_table]'s
-       fence already ordered everything and this one would be redundant. *)
-    if !chains then Pmem.sfence ~site:s_rehash ();
+    P.commit_ref ~site:s_rehash t.pending 0 (Some fresh);
+    Pmem.Crash.point ~site:s_rehash ();
+    let copied = ref 0 in
+    iter_table old (fun k v ->
+        incr copied;
+        copy_insert ~site:s_rehash fresh k v);
+    (* One fence orders every per-binding flush, then commit with one atomic
+       swap.  Skipped when nothing was copied: the fence after the intent
+       publish already ordered everything and this one would be redundant. *)
+    if !copied > 0 then Pmem.sfence ~site:s_rehash ();
     Pmem.Crash.point ~site:s_rehash ();
     P.commit_ref ~site:s_rehash t.table 0 fresh;
+    Pmem.Crash.point ~site:s_rehash ();
+    P.commit_ref ~site:s_rehash t.pending 0 None;
     Lock.unlock t.resize_lock
   end
 
@@ -386,4 +413,88 @@ let delete t k =
   if deleted then Atomic.decr t.count;
   deleted
 
-let recover _t = Lock.new_epoch ()
+(* --- recovery ----------------------------------------------------------- *)
+
+(* Quiesced membership probe against one specific table (no snapshot
+   re-check: recovery runs single-threaded). *)
+let find_in_table tbl k =
+  let h = bucket_for tbl k in
+  let base = h * words_per_bucket in
+  let rec slot i =
+    if i = entries_per_bucket then chain_lookup k (R.get tbl.nexts h)
+    else if W.get tbl.arena (base + i) = k then
+      Some (W.get tbl.arena (base + i + entries_per_bucket))
+    else slot (i + 1)
+  in
+  slot 0
+
+(* Structural recovery (§2.4, run eagerly at restart): free every lock via
+   the epoch bump, then adopt a half-finished resize.  The [pending] slot is
+   the persistent record of the interrupted rehash; rolling it forward is
+   idempotent (the copy loop dup-checks against what already persisted), so
+   a crash *during* recovery just leaves the same leftover for the next
+   attempt.  Finally the volatile count — lost with the DRAM state — is
+   rebuilt by iteration. *)
+let recover t =
+  Lock.new_epoch ();
+  Atomic.set t.repairs 0;
+  (match R.get t.pending 0 with
+  | None -> ()
+  | Some fresh ->
+      let cur = R.get t.table 0 in
+      if fresh == cur then begin
+        (* Crashed between the table swap and the pending-clear: the resize
+           completed; just retire the intent. *)
+        Atomic.incr t.repairs;
+        P.commit_ref ~site:s_recover t.pending 0 None
+      end
+      else begin
+        (* Crashed mid-copy: finish copying [cur] into [fresh] (each copied
+           binding flushes itself; surviving bindings are already persisted
+           and are not re-flushed), fence, swap, clear — the tail of
+           [resize]. *)
+        let before = Atomic.get t.repairs in
+        iter_table cur (fun k v ->
+            if find_in_table fresh k = None then begin
+              copy_insert ~site:s_recover fresh k v;
+              Atomic.incr t.repairs
+            end);
+        if Atomic.get t.repairs > before then
+          Pmem.sfence ~site:s_recover ();
+        Pmem.Crash.point ~site:s_recover ();
+        P.commit_ref ~site:s_recover t.table 0 fresh;
+        Pmem.Crash.point ~site:s_recover ();
+        P.commit_ref ~site:s_recover t.pending 0 None
+      end);
+  let n = ref 0 in
+  iter t (fun _ _ -> incr n);
+  Atomic.set t.count !n
+
+(* Reachability-based leak sweep: with an interrupted resize pending, every
+   binding already copied into the unpublished table is unreachable from the
+   live table pointer.  [~reclaim:true] drops the half-built table (the
+   alternative repair to [recover]'s roll-forward — useful after deciding
+   the resize should be abandoned). *)
+let leak_sweep ?(reclaim = false) t =
+  let repaired = Atomic.get t.repairs in
+  match R.get t.pending 0 with
+  | None -> { Recipe.Recovery.repaired; orphans = 0; reclaimed = 0 }
+  | Some fresh ->
+      let cur = R.get t.table 0 in
+      if fresh == cur then begin
+        (* Stale intent on a completed resize: nothing is orphaned. *)
+        if reclaim then P.commit_ref ~site:s_recover t.pending 0 None;
+        { Recipe.Recovery.repaired; orphans = 0; reclaimed = 0 }
+      end
+      else begin
+        let orphans = ref 0 in
+        iter_table fresh (fun _ _ -> incr orphans);
+        let reclaimed =
+          if reclaim then begin
+            P.commit_ref ~site:s_recover t.pending 0 None;
+            !orphans
+          end
+          else 0
+        in
+        { Recipe.Recovery.repaired; orphans = !orphans; reclaimed }
+      end

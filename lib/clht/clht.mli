@@ -37,9 +37,18 @@ val length : t -> int
 (** Number of buckets in the current table, including overflow buckets. *)
 val bucket_count : t -> int
 
-(** Post-crash recovery: re-initializes the volatile locks; P-CLHT needs no
-    other recovery work (Condition #1). *)
+(** Post-crash recovery: re-initializes the volatile locks, rolls a
+    half-finished resize forward from the persistent [pending] intent slot
+    (finish the copy under a dup check, persist, swap, clear — idempotent,
+    so crashing during recovery is safe), and rebuilds the volatile count. *)
 val recover : t -> unit
+
+(** [leak_sweep ?reclaim t] reports bindings copied into a not-yet-published
+    resize table — reachable only through the pending-resize intent, not the
+    live table pointer.  [~reclaim:true] abandons the half-built table
+    (the alternative to [recover]'s roll-forward).  [repaired] echoes what
+    the last [recover] rolled forward. *)
+val leak_sweep : ?reclaim:bool -> t -> Recipe.Recovery.stats
 
 (** Iterate over all bindings (no atomicity across buckets; test helper). *)
 val iter : t -> (int -> int -> unit) -> unit

@@ -6,6 +6,7 @@ type subject = {
   lookup : int -> int option;
   recover : unit -> unit;
   scan_all : (unit -> (int * int) list) option;
+  sweep : (unit -> Recipe.Recovery.stats) option;
 }
 
 type report = {
@@ -292,6 +293,281 @@ let double_crash_campaign ~make ~states ~load ~seed () =
     wrong_values = !wrong;
     stalled = !stalled;
   }
+
+(* --- recovery under load ------------------------------------------------------ *)
+
+type load_report = {
+  base : report;
+  faults_injected : int;
+  recoveries : int;
+  recover_ns : int;
+  sweep_stats : Recipe.Recovery.stats;
+}
+
+let pp_load_report ppf r =
+  Format.fprintf ppf "%a | faults=%d recoveries=%d recover=%.1fus sweep(%a)"
+    pp_report r.base r.faults_injected r.recoveries
+    (float_of_int r.recover_ns /. 1e3)
+    Recipe.Recovery.pp r.sweep_stats
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+(* One state of the recovery-under-load campaign:
+
+   1. preload [load] keys (every returning insert is acknowledged: the
+      commit combinators flush and fence before the index returns, so every
+      acked binding must survive any later crash);
+   2. run a multi-domain mixed phase and crash it mid-flight — either at a
+      declared crash point or, with [~faults:true], at an arbitrary
+      substrate event drawn by {!Faultinject.random_plan} (flush/fence/
+      store/alloc/torn-line).  The crashing domain raises; the others drain
+      on a stop flag, and a {!Util.Lock.abort_hook} kicks any domain
+      spinning on a lock the crashed domain still holds;
+   3. power-fail, then run timed recovery — optionally crashed again by a
+      fresh plan ([~crash_during_recovery:true]), power-failed and retried,
+      exercising recovery idempotence;
+   4. leak-sweep (reclaiming), attributing repairs and orphans;
+   5. resume mixed traffic on fresh domains (lazy repair runs concurrently
+      with this traffic), then verify every acknowledged binding from all
+      three phases, plus ordered-scan consistency. *)
+let recovery_under_load_campaign ~make ~states ~load ~ops ~threads ~seed
+    ?(faults = false) ?(crash_during_recovery = false) () =
+  let rng = Util.Rng.create seed in
+  let preview s =
+    for i = 0 to load - 1 do
+      ignore (s.insert (load_key i) (load_key i * 2))
+    done;
+    for j = 0 to (ops / threads) - 1 do
+      let kk = phase2_key ~load 0 j in
+      ignore (s.insert kk (kk * 3));
+      ignore (s.lookup (load_key (j mod load)))
+    done
+  in
+  let max_points =
+    fresh_env ();
+    let s = make () in
+    max 1 (Pmem.Crash.count_points (fun () -> preview s))
+  in
+  let max_events =
+    fresh_env ();
+    let s = make () in
+    let ev = Faultinject.count_events (fun () -> preview s) in
+    max 1 ev.Faultinject.flushes
+  in
+  let crashes = ref 0 and lost = ref 0 and wrong = ref 0 and stalled = ref 0 in
+  let faults0 = Faultinject.fire_count () in
+  let recoveries = ref 0 and recover_ns = ref 0 in
+  let sweep_stats = ref Recipe.Recovery.zero in
+  let per = ops / threads in
+  for _state = 1 to states do
+    fresh_env ();
+    let s = make () in
+    (* Phase 0: acknowledged preload. *)
+    let completed = Array.make load false in
+    for i = 0 to load - 1 do
+      if s.insert (load_key i) (load_key i * 2) then completed.(i) <- true
+    done;
+    (* Phase 1: multi-domain mixed traffic, crashed mid-flight. *)
+    let stop = Atomic.make false in
+    Util.Lock.set_abort_hook (fun () ->
+        if Atomic.get stop then raise Pmem.Crash.Simulated_crash);
+    if faults then Faultinject.arm (Faultinject.random_plan rng ~max_events)
+    else Pmem.Crash.arm_at (1 + Util.Rng.below rng max_points);
+    let body tid () =
+      let acked = ref [] in
+      (try
+         for j = 0 to per - 1 do
+           if Atomic.get stop then raise Stdlib.Exit;
+           let kk = phase2_key ~load tid j in
+           if j land 1 = 0 then begin
+             if s.insert kk (kk * 3) then acked := kk :: !acked
+           end
+           else ignore (s.lookup (load_key (j mod load)))
+         done
+       with
+      | Pmem.Crash.Simulated_crash | Pmem.Fault.Alloc_failed _ ->
+          Atomic.set stop true
+      | Stdlib.Exit -> ());
+      !acked
+    in
+    let domains = List.init threads (fun tid -> Domain.spawn (body tid)) in
+    let acked1 = List.concat_map Domain.join domains in
+    Pmem.sanitize_sync ();
+    Util.Lock.clear_abort_hook ();
+    Faultinject.disarm ();
+    Pmem.Crash.disarm ();
+    if Atomic.get stop then incr crashes;
+    (* Phase 2: power failure, then recovery — possibly crashed itself. *)
+    Pmem.simulate_power_failure ();
+    let rec run_recovery arm_fault =
+      incr recoveries;
+      if arm_fault then
+        Faultinject.arm
+          (Faultinject.random_plan rng ~max_events:(max 8 (max_events / 4)));
+      let t0 = now_ns () in
+      let outcome =
+        try
+          recover_traced s;
+          `Ok
+        with
+        | Pmem.Crash.Simulated_crash -> `Crashed
+        | _ -> `Stalled
+      in
+      recover_ns := !recover_ns + (now_ns () - t0);
+      Faultinject.disarm ();
+      match outcome with
+      | `Ok -> ()
+      | `Stalled -> incr stalled
+      | `Crashed ->
+          incr crashes;
+          Pmem.simulate_power_failure ();
+          run_recovery false
+    in
+    run_recovery (faults && crash_during_recovery);
+    (match s.sweep with
+    | Some sw -> (
+        try sweep_stats := Recipe.Recovery.add !sweep_stats (sw ())
+        with _ -> incr stalled)
+    | None -> ());
+    (* Phase 3: resume mixed traffic on fresh domains; lazy repair (helpers,
+       consolidation) runs concurrently with this traffic. *)
+    let body2 tid () =
+      let acked = ref [] and errors = ref 0 in
+      let r = Util.Rng.create (seed + (100 * tid) + 13) in
+      for j = per to (2 * per) - 1 do
+        try
+          let kk = phase2_key ~load tid j in
+          if j land 1 = 0 then begin
+            if s.insert kk (kk * 3) then acked := kk :: !acked
+          end
+          else begin
+            let i = Util.Rng.below r load in
+            match s.lookup (load_key i) with
+            | Some v -> if v <> load_key i * 2 then incr errors
+            | None -> if completed.(i) then incr errors
+          end
+        with _ -> incr errors
+      done;
+      (!acked, !errors)
+    in
+    let domains2 = List.init threads (fun tid -> Domain.spawn (body2 tid)) in
+    let results2 = List.map Domain.join domains2 in
+    Pmem.sanitize_sync ();
+    List.iter (fun (_, e) -> wrong := !wrong + e) results2;
+    let acked2 = List.concat_map fst results2 in
+    (* Verification: every acknowledged binding, from all phases. *)
+    (try
+       let check k v =
+         match s.lookup k with
+         | Some v' -> if v' <> v then incr wrong
+         | None -> incr lost
+       in
+       for i = 0 to load - 1 do
+         if completed.(i) then check (load_key i) (load_key i * 2)
+       done;
+       List.iter (fun k -> check k (k * 3)) acked1;
+       List.iter (fun k -> check k (k * 3)) acked2;
+       let expected = ref [] in
+       List.iter
+         (fun k -> expected := (k, k * 3) :: !expected)
+         (acked1 @ acked2);
+       for i = load - 1 downto 0 do
+         if completed.(i) then
+           expected := (load_key i, load_key i * 2) :: !expected
+       done;
+       let w, l = verify_scan s (List.sort compare !expected) in
+       wrong := !wrong + w;
+       lost := !lost + l
+     with _ -> incr stalled)
+  done;
+  Pmem.Mode.set_shadow false;
+  Pmem.Crash.disarm ();
+  Faultinject.disarm ();
+  {
+    base =
+      {
+        states_tested = states;
+        crashes_fired = !crashes;
+        lost_keys = !lost;
+        wrong_values = !wrong;
+        stalled = !stalled;
+      };
+    faults_injected = Faultinject.fire_count () - faults0;
+    recoveries = !recoveries;
+    recover_ns = !recover_ns;
+    sweep_stats = !sweep_stats;
+  }
+
+(* --- deterministic crash-state digest ---------------------------------------- *)
+
+(* Single-threaded, fully seed-deterministic campaign digest: run [states]
+   crash-recover cycles and fold every post-recovery observation (lookups,
+   scans, sweep stats, which step raised) into one FNV-mixed word.  Two runs
+   with equal arguments must produce equal digests — the campaign
+   determinism regression. *)
+let crash_state_digest ~make ~states ~load ~seed ?(faults = true) () =
+  let rng = Util.Rng.create seed in
+  let load_run s =
+    for i = 0 to load - 1 do
+      ignore (s.insert (load_key i) (load_key i * 2))
+    done
+  in
+  let max_points =
+    fresh_env ();
+    let s = make () in
+    max 1 (Pmem.Crash.count_points (fun () -> load_run s))
+  in
+  let max_events =
+    fresh_env ();
+    let s = make () in
+    let ev = Faultinject.count_events (fun () -> load_run s) in
+    max 1 ev.Faultinject.flushes
+  in
+  let digest = ref 0x811C9DC5 in
+  let mix x = digest := (!digest lxor (x land max_int)) * 0x01000193 land max_int in
+  for _state = 1 to states do
+    fresh_env ();
+    let s = make () in
+    if faults then Faultinject.arm (Faultinject.random_plan rng ~max_events)
+    else Pmem.Crash.arm_at (1 + Util.Rng.below rng max_points);
+    (try
+       load_run s;
+       Pmem.Crash.disarm ()
+     with
+    | Pmem.Crash.Simulated_crash -> mix 1
+    | Pmem.Fault.Alloc_failed _ -> mix 2);
+    Faultinject.disarm ();
+    Pmem.simulate_power_failure ();
+    (try recover_traced s with _ -> mix 3);
+    (match s.sweep with
+    | Some sw -> (
+        try
+          let st = sw () in
+          mix st.Recipe.Recovery.repaired;
+          mix st.orphans;
+          mix st.reclaimed
+        with _ -> mix 4)
+    | None -> ());
+    for i = 0 to load - 1 do
+      match s.lookup (load_key i) with
+      | Some v -> mix v
+      | None -> mix (-1)
+      | exception _ -> mix 5
+    done;
+    (match s.scan_all with
+    | Some scan -> (
+        try
+          List.iter
+            (fun (k, v) ->
+              mix k;
+              mix v)
+            (scan ())
+        with _ -> mix 6)
+    | None -> ())
+  done;
+  Pmem.Mode.set_shadow false;
+  Pmem.Crash.disarm ();
+  !digest
 
 let durability_test ~make ~inserts ~seed () =
   fresh_env ();

@@ -29,6 +29,9 @@ type subject = {
   scan_all : (unit -> (int * int) list) option;
       (** Ordered indexes: every binding in ascending key order; campaigns
           additionally verify scan consistency after recovery. *)
+  sweep : (unit -> Recipe.Recovery.stats) option;
+      (** The index's reachability leak sweep (reclaiming), run after each
+          recovery; its stats are accumulated in the campaign report. *)
 }
 
 type report = {
@@ -88,3 +91,53 @@ val durability_test : make:(unit -> subject) -> inserts:int -> seed:int -> unit 
     consistency. *)
 val double_crash_campaign :
   make:(unit -> subject) -> states:int -> load:int -> seed:int -> unit -> report
+
+(** Report of {!recovery_under_load_campaign}: the base consistency report
+    plus fault-injection and recovery accounting.  [base.lost_keys = 0] is
+    the zero-lost-acknowledged-operations invariant. *)
+type load_report = {
+  base : report;
+  faults_injected : int;  (** faults fired by {!Faultinject} plans *)
+  recoveries : int;  (** recovery invocations (> states when recovery itself crashed) *)
+  recover_ns : int;  (** total wall-clock nanoseconds spent in recovery *)
+  sweep_stats : Recipe.Recovery.stats;  (** summed leak-sweep results *)
+}
+
+val pp_load_report : Format.formatter -> load_report -> unit
+
+(** [recovery_under_load_campaign ~make ~states ~load ~ops ~threads ~seed ()]
+    — the capstone campaign: preload [load] acknowledged keys, crash a
+    [threads]-domain mixed run mid-flight (at a declared crash point, or at
+    an arbitrary substrate event when [~faults:true] arms a
+    {!Faultinject.random_plan}), power-fail, run timed recovery
+    (crashed again and retried when [~crash_during_recovery:true]), run the
+    subject's reclaiming leak sweep, then resume mixed traffic on fresh
+    domains concurrently with lazy repair and verify every acknowledged
+    binding from all phases plus ordered-scan consistency. *)
+val recovery_under_load_campaign :
+  make:(unit -> subject) ->
+  states:int ->
+  load:int ->
+  ops:int ->
+  threads:int ->
+  seed:int ->
+  ?faults:bool ->
+  ?crash_during_recovery:bool ->
+  unit ->
+  load_report
+
+(** [crash_state_digest ~make ~states ~load ~seed ()] runs [states]
+    single-threaded crash-recover cycles and folds every post-recovery
+    observation (lookup results, scans, sweep stats, which step raised)
+    into one word.  Fully seed-deterministic: two runs with equal arguments
+    must return equal digests — the campaign-determinism regression.
+    [~faults:false] draws crash positions from declared crash points
+    instead of substrate events. *)
+val crash_state_digest :
+  make:(unit -> subject) ->
+  states:int ->
+  load:int ->
+  seed:int ->
+  ?faults:bool ->
+  unit ->
+  int

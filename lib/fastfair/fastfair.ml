@@ -65,6 +65,7 @@ type t = {
   bug_highkey : bool;
   bug_split_order : bool;
   bug_root_flush : bool;
+  repairs : int Atomic.t; (* leftovers the last [recover] fixed eagerly *)
 }
 
 let make_node ~level ~min_key ~has_min =
@@ -108,7 +109,14 @@ let create ?(bug_highkey = false) ?(bug_split_order = false)
     R.clwb_all ~site:s_alloc root_ref;
     Pmem.sfence ~site:s_alloc ()
   end;
-  { ks = space; root = root_ref; bug_highkey; bug_split_order; bug_root_flush }
+  {
+    ks = space;
+    root = root_ref;
+    bug_highkey;
+    bug_split_order;
+    bug_root_flush;
+    repairs = Atomic.make 0;
+  }
 
 let height t = (R.get t.root 0).level
 
@@ -124,6 +132,9 @@ let seq_end n = Atomic.incr n.seq
 let rec read_stable n f =
   let s = Atomic.get n.seq in
   if s land 1 = 1 then begin
+    (* A domain that crashed mid-write leaves the version odd forever; the
+       abort hook lets campaign peers unwind instead of spinning. *)
+    Lock.abort_point ();
     Domain.cpu_relax ();
     read_stable n f
   end
@@ -276,17 +287,19 @@ let remove_slot n pos count =
    duplicates, and complete an interrupted split's truncation by retracting
    the Null terminator over the invalid-by-bound suffix. *)
 let fix_node t n =
+  let repairs = ref 0 in
   let rec drop_dups () =
     let count = physical_count n in
     let rec find i = if i >= count - 1 then None else if is_dup n i then Some i else find (i + 1) in
     match find 0 with
     | Some i ->
         remove_slot n i count;
+        incr repairs;
         drop_dups ()
     | None -> ()
   in
   drop_dups ();
-  match bound n with
+  (match bound n with
   | None -> ()
   | Some m ->
       let count = physical_count n in
@@ -299,8 +312,10 @@ let fix_node t n =
       if cut < count then begin
         seq_begin n;
         P.commit_ref ~site:s_fix n.ptrs cut Null;
-        seq_end n
-      end
+        seq_end n;
+        incr repairs
+      end);
+  !repairs
 
 (* Insert (kw, p) at slot [pos] of a node with [count] < cardinality
    entries: FAST right-shift (key before pointer, lines flushed
@@ -345,7 +360,7 @@ let rec lock_covering t n probe =
 let rec insert_entry t probe kw p level =
   let n = find_node t (R.get t.root 0) probe level in
   let n = lock_covering t n probe in
-  fix_node t n;
+  ignore (fix_node t n);
   let count = physical_count n in
   if count = cardinality then begin
     split t n;
@@ -439,7 +454,7 @@ let insert t probe value =
 let delete t probe =
   let leaf = find_node t (R.get t.root 0) probe 0 in
   let n = lock_covering t leaf probe in
-  fix_node t n;
+  ignore (fix_node t n);
   let count = physical_count n in
   let rec find i =
     if i >= count then None
@@ -521,13 +536,12 @@ let range t lo hi =
 
 (* --- recovery ---------------------------------------------------------------- *)
 
-let recover t =
-  Lock.new_epoch ();
-  (* Reset the volatile per-node versions level by level: walk each level's
-     sibling chain, descending via leftmost children. *)
+(* Walk every node of every level (sibling chains, descending via leftmost
+   children) and apply [f]. *)
+let iter_nodes t f =
   let rec level_start n =
     let rec chain m =
-      Atomic.set m.seq 0;
+      f m;
       match R.get m.sibling 0 with Some s -> chain s | None -> ()
     in
     chain n;
@@ -537,3 +551,39 @@ let recover t =
       | Null | Value _ -> assert false
   in
   level_start (R.get t.root 0)
+
+let recover t =
+  Lock.new_epoch ();
+  Atomic.set t.repairs 0;
+  (* Reset the volatile per-node versions and eagerly run the writer-side
+     leftover repair on every node: remove the duplicates a crashed FAST
+     shift left behind and complete interrupted splits by retracting the
+     Null terminator over the invalid-by-bound suffix (§3's lazy fixes,
+     run once at restart so the post-crash tree starts clean). *)
+  iter_nodes t (fun m ->
+      Atomic.set m.seq 0;
+      let r = fix_node t m in
+      if r > 0 then ignore (Atomic.fetch_and_add t.repairs r))
+
+(* Leak sweep: entries of a node that a reader would already skip — adjacent
+   duplicates from an interrupted shift and the invalid-by-bound suffix of a
+   torn split — are orphaned slots pending lazy repair.  [~reclaim:true]
+   runs the repair ([fix_node]) on every node carrying leftovers. *)
+let leak_sweep ?(reclaim = false) t =
+  let orphans = ref 0 and reclaimed = ref 0 in
+  iter_nodes t (fun m ->
+      let count = physical_count m in
+      let valid = List.length (valid_entries t m) in
+      let left = count - valid in
+      if left > 0 then begin
+        orphans := !orphans + left;
+        if reclaim then begin
+          ignore (fix_node t m);
+          reclaimed := !reclaimed + left
+        end
+      end);
+  {
+    Recipe.Recovery.repaired = Atomic.get t.repairs;
+    orphans = !orphans;
+    reclaimed = !reclaimed;
+  }

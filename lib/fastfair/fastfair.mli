@@ -55,8 +55,17 @@ val scan : t -> string -> int -> (string -> int -> unit) -> int
 val range : t -> string -> string -> (string * int) list
 
 (** Re-initialize volatile locks and per-node version counters after a
-    simulated crash. *)
+    simulated crash, then eagerly run the writer-side leftover repair on
+    every node: drop duplicates left by an interrupted FAST shift and
+    complete interrupted splits by retracting the Null terminator over the
+    invalid-by-bound suffix. *)
 val recover : t -> unit
+
+(** [leak_sweep ?reclaim t] counts entry slots a reader already skips —
+    adjacent duplicates and invalid-by-bound split suffixes — i.e. the
+    leftovers pending lazy repair.  [~reclaim:true] repairs them in place.
+    [repaired] echoes what the last [recover] fixed. *)
+val leak_sweep : ?reclaim:bool -> t -> Recipe.Recovery.stats
 
 (** Height of the tree (levels above the leaves), for structure tests. *)
 val height : t -> int

@@ -12,6 +12,7 @@ let clht () =
     lookup = (fun key -> Clht.lookup t key);
     recover = (fun () -> Clht.recover t);
     scan_all = None;
+    sweep = Some (fun () -> Clht.leak_sweep ~reclaim:true t);
   }
 
 let cceh ?bug_doubling () =
@@ -22,6 +23,7 @@ let cceh ?bug_doubling () =
     lookup = (fun key -> Cceh.lookup t key);
     recover = (fun () -> Cceh.recover t);
     scan_all = None;
+    sweep = Some (fun () -> Cceh.leak_sweep ~reclaim:true t);
   }
 
 let levelhash () =
@@ -32,6 +34,7 @@ let levelhash () =
     lookup = (fun key -> Levelhash.lookup t key);
     recover = (fun () -> Levelhash.recover t);
     scan_all = None;
+    sweep = Some (fun () -> Levelhash.leak_sweep ~reclaim:true t);
   }
 
 let art () =
@@ -49,6 +52,7 @@ let art () =
             (Art.scan t (k 0) max_int (fun key v ->
                  acc := (Util.Keys.decode_int key, v) :: !acc));
           List.rev !acc);
+    sweep = Some (fun () -> Art.leak_sweep ~reclaim:true t);
   }
 
 let hot () =
@@ -66,6 +70,7 @@ let hot () =
             (Hot.scan t (k 0) max_int (fun key v ->
                  acc := (Util.Keys.decode_int key, v) :: !acc));
           List.rev !acc);
+    sweep = Some (fun () -> Hot.leak_sweep t);
   }
 
 let masstree () =
@@ -83,6 +88,7 @@ let masstree () =
             (Masstree.scan t (k 0) max_int (fun key v ->
                  acc := (Util.Keys.decode_int key, v) :: !acc));
           List.rev !acc);
+    sweep = Some (fun () -> Masstree.leak_sweep ~reclaim:true t);
   }
 
 let bwtree () =
@@ -100,6 +106,7 @@ let bwtree () =
             (Bwtree.scan t (k 0) max_int (fun key v ->
                  acc := (Util.Keys.decode_int key, v) :: !acc));
           List.rev !acc);
+    sweep = Some (fun () -> Bwtree.leak_sweep ~reclaim:true t);
   }
 
 let fastfair ?bug_highkey ?bug_split_order ?bug_root_flush () =
@@ -124,6 +131,7 @@ let fastfair ?bug_highkey ?bug_split_order ?bug_root_flush () =
             (Fastfair.scan t (k 0) max_int (fun key v ->
                  acc := (Util.Keys.decode_int key, v) :: !acc));
           List.rev !acc);
+    sweep = Some (fun () -> Fastfair.leak_sweep ~reclaim:true t);
   }
 
 let woart () =
@@ -141,6 +149,7 @@ let woart () =
             (Woart.scan t (k 0) max_int (fun key v ->
                  acc := (Util.Keys.decode_int key, v) :: !acc));
           List.rev !acc);
+    sweep = Some (fun () -> Woart.leak_sweep ~reclaim:true t);
   }
 
 (** The five RECIPE-converted indexes (all must pass every campaign). *)

@@ -41,8 +41,14 @@ val scan : t -> string -> int -> (string -> int -> unit) -> int
 val range : t -> string -> string -> (string * int) list
 
 (** Post-crash recovery: re-initialize volatile locks (Condition #1 — no
-    recovery logic needed). *)
+    recovery logic needed: every update publishes a privately built,
+    fully persisted COW subtree with one committed pointer store). *)
 val recover : t -> unit
+
+(** [leak_sweep ?reclaim t] — always zeros for P-HOT: a crash before a COW
+    publish abandons only volatile heap objects, never persistent slots.
+    The call still walks the whole tree as a structural self-check. *)
+val leak_sweep : ?reclaim:bool -> t -> Recipe.Recovery.stats
 
 (** Maximum physical-node chain length from root to a leaf (tests: height
     optimization keeps this near log32). *)

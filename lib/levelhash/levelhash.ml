@@ -21,6 +21,7 @@ let s_insert = site ~crash:true "slot-commit"
 let s_move = site ~crash:true "movement"
 let s_resize = site ~crash:true "resize"
 let s_delete = site "delete-commit"
+let s_recover = site "recover"
 
 let slots_per_bucket = 4
 let n_stripes = 256
@@ -40,6 +41,7 @@ type t = {
   count : int Atomic.t;
   resizes : int Atomic.t;
   moves : int Atomic.t;
+  repairs : int Atomic.t; (* duplicates the last [recover] cleared *)
 }
 
 let hash1 k =
@@ -88,6 +90,7 @@ let create ?(capacity = default_capacity) () =
     count = Atomic.make 0;
     resizes = Atomic.make 0;
     moves = Atomic.make 0;
+    repairs = Atomic.make 0;
   }
 
 let length t = Atomic.get t.count
@@ -353,4 +356,85 @@ let insert t k v =
     inserted
   end
 
-let recover _t = Lock.new_epoch ()
+(* --- recovery ---------------------------------------------------------------- *)
+
+(* Every occupied slot of both levels. *)
+let iter_slots tb f =
+  let level arr n =
+    for b = 0 to n - 1 do
+      for j = 0 to slots_per_bucket - 1 do
+        let k = slot_key arr b j in
+        if k <> 0 then f arr b j k
+      done
+    done
+  in
+  level tb.top tb.top_n;
+  level tb.bottom tb.bottom_n
+
+(* Positions among [k]'s candidate buckets currently holding [k], in probe
+   order, physical duplicates removed (the two top candidates can alias). *)
+let replica_positions tb k =
+  let pos = ref [] in
+  Array.iter
+    (fun (arr, b) ->
+      for j = 0 to slots_per_bucket - 1 do
+        if
+          slot_key arr b j = k
+          && not
+               (List.exists
+                  (fun (a, b', j') -> a == arr && b' = b && j' = j)
+                  !pos)
+        then pos := (arr, b, j) :: !pos
+      done)
+    (candidates tb k);
+  List.rev !pos
+
+(* Post-crash recovery: re-initialize the volatile locks, clear the benign
+   duplicate replicas a crash inside [try_movement] leaves (copy committed,
+   source not yet cleared — the first position in probe order is kept, which
+   is the one [lookup] answers from), and rebuild the volatile count.  A
+   crash during resize needs nothing: the fresh table was private until the
+   table-pointer commit. *)
+let recover t =
+  Lock.new_epoch ();
+  let tb = R.get t.table 0 in
+  let seen = Hashtbl.create 256 in
+  let repaired = ref 0 in
+  iter_slots tb (fun _ _ _ k ->
+      if not (Hashtbl.mem seen k) then begin
+        Hashtbl.add seen k ();
+        match replica_positions tb k with
+        | [] | [ _ ] -> ()
+        | _keep :: dups ->
+            List.iter
+              (fun (arr, b, j) ->
+                clear_slot ~site:s_recover arr b j;
+                incr repaired)
+              dups
+      end);
+  Atomic.set t.count (Hashtbl.length seen);
+  Atomic.set t.repairs !repaired
+
+(* Count (and with [~reclaim:true] clear) duplicate replicas: slots beyond a
+   key's first candidate position in probe order.  Readers never see them
+   ([lookup] stops at the first hit) and [delete] clears all of them, so
+   they cost capacity, not correctness. *)
+let leak_sweep ?(reclaim = false) t =
+  let tb = R.get t.table 0 in
+  let seen = Hashtbl.create 256 in
+  let orphans = ref 0 and reclaimed = ref 0 in
+  iter_slots tb (fun _ _ _ k ->
+      if not (Hashtbl.mem seen k) then begin
+        Hashtbl.add seen k ();
+        match replica_positions tb k with
+        | [] | [ _ ] -> ()
+        | _keep :: dups ->
+            orphans := !orphans + List.length dups;
+            if reclaim then
+              List.iter
+                (fun (arr, b, j) ->
+                  clear_slot ~site:s_recover arr b j;
+                  incr reclaimed)
+                dups
+      end);
+  { Recipe.Recovery.repaired = Atomic.get t.repairs; orphans = !orphans; reclaimed = !reclaimed }

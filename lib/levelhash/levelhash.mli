@@ -42,5 +42,16 @@ val resize_count : t -> int
 (** Number of in-table movements performed (tests). *)
 val move_count : t -> int
 
-(** Post-crash recovery: re-initializes volatile locks. *)
+(** Post-crash recovery: re-initializes volatile locks, clears the benign
+    duplicate replicas a crash mid-movement leaves behind (copy committed,
+    source not yet cleared; the first candidate position in probe order —
+    the one [lookup] answers from — is kept), and rebuilds the volatile
+    count. *)
 val recover : t -> unit
+
+(** [leak_sweep ?reclaim t] counts duplicate replicas — slots beyond a key's
+    first candidate position in probe order.  They are invisible to readers
+    and fully cleared by [delete], so they cost capacity, not correctness.
+    [~reclaim:true] clears them.  [repaired] echoes what the last [recover]
+    cleared. *)
+val leak_sweep : ?reclaim:bool -> t -> Recipe.Recovery.stats

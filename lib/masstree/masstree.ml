@@ -37,6 +37,7 @@ let s_root = site ~crash:true "new-root"
 let s_layer = site ~crash:true "layer-install"
 let s_update = site "update"
 let s_delete = site "delete-commit"
+let s_recover = site "recover"
 let fanout = 14
 let slice_bytes = 7
 
@@ -120,7 +121,11 @@ and lnode = {
 
 and tree = { troot : lnode R.t }
 
-type t = { top : tree; fixes : int Atomic.t }
+type t = {
+  top : tree;
+  fixes : int Atomic.t;
+  repairs : int Atomic.t; (* nodes the last [recover] split-replayed *)
+}
 
 let perm n = W.get n.header 0
 let nalloc n = W.get n.header 1
@@ -171,7 +176,8 @@ let new_tree () =
   Pmem.sfence ~site:s_alloc ();
   { troot }
 
-let create () = { top = new_tree (); fixes = Atomic.make 0 }
+let create () =
+  { top = new_tree (); fixes = Atomic.make 0; repairs = Atomic.make 0 }
 let helper_fixes t = Atomic.get t.fixes
 
 (* Upper bound of [n]: the linked sibling's immutable minimum (-1 = minus
@@ -661,4 +667,75 @@ let range t lo hi =
 
 (* --- recovery ------------------------------------------------------------------------------- *)
 
-let recover _t = Lock.new_epoch ()
+(* Visit every node of every trie layer: each B+ level's full sibling chain
+   (split siblings stay reachable through the B-link even before the parent
+   is updated), descending through [leftmost], and recursing into [Link]
+   sub-layers of live leaf slots. *)
+let rec iter_layer_nodes tr f =
+  let visit n =
+    f n;
+    if n.leaf then begin
+      let p = perm n in
+      for r = 0 to pcount p - 1 do
+        match R.get n.entries (pslot p r) with
+        | Link sub -> iter_layer_nodes sub f
+        | Empty | Val _ | Child _ -> ()
+      done
+    end
+  in
+  let rec down n =
+    let rec chain m =
+      visit m;
+      match R.get m.sibling 0 with Some s -> chain s | None -> ()
+    in
+    chain n;
+    if not n.leaf then
+      match R.get n.leftmost 0 with
+      | Child m -> down m
+      | Empty | Val _ | Link _ -> ()
+  in
+  down (R.get tr.troot 0)
+
+(* Eagerly replay step 2 of every interrupted split on all levels of all
+   layers: [fix_node] drops out-of-bound ranks from the permutation — the
+   state a crash between the sibling-link commit and the permutation
+   truncation leaves behind.  Readers already tolerate it (bounded
+   [find_rank]) and writers fix it lazily; recovery makes it eager. *)
+let recover t =
+  Lock.new_epoch ();
+  let before = Atomic.get t.fixes in
+  iter_layer_nodes t.top (fun n -> fix_node t n);
+  Atomic.set t.repairs (Atomic.get t.fixes - before)
+
+(* Sweep slots allocated ([< nalloc]) but absent from the permutation: a
+   crash between [append_entry]'s slot write and its permutation commit
+   leaks the slot; split truncation and deletions also leave dead slots
+   (awaiting migration), which this conflates by design — all are invisible
+   to readers.  [~reclaim:true] shrinks the allocation watermark over the
+   trailing dead run (the append-crash case); interior dead slots need a
+   migration split, not recovery. *)
+let leak_sweep ?(reclaim = false) t =
+  let orphans = ref 0 and reclaimed = ref 0 in
+  iter_layer_nodes t.top (fun n ->
+      let p = perm n in
+      let c = pcount p in
+      let in_perm slot =
+        let rec go r = r < c && (pslot p r = slot || go (r + 1)) in
+        go 0
+      in
+      let na = nalloc n in
+      for slot = 0 to na - 1 do
+        if not (in_perm slot) then incr orphans
+      done;
+      if reclaim then begin
+        let rec trim k =
+          if k > 0 && not (in_perm (k - 1)) then begin
+            incr reclaimed;
+            trim (k - 1)
+          end
+          else k
+        in
+        let na' = trim na in
+        if na' <> na then P.commit ~site:s_recover n.header 1 na'
+      end);
+  { Recipe.Recovery.repaired = Atomic.get t.repairs; orphans = !orphans; reclaimed = !reclaimed }

@@ -47,8 +47,19 @@ val scan : t -> string -> int -> (string -> int -> unit) -> int
 
 val range : t -> string -> string -> (string * int) list
 
-(** Post-crash recovery: re-initializes volatile locks only. *)
+(** Post-crash recovery: re-initializes volatile locks, then eagerly replays
+    step 2 of every interrupted split — on all B+ levels of all trie layers —
+    by truncating out-of-bound ranks from each node's permutation word (the
+    same repair the write path performs lazily). *)
 val recover : t -> unit
+
+(** [leak_sweep ?reclaim t] counts slots below each node's allocation
+    watermark that the permutation no longer references: append-crash
+    leftovers, split-truncation residue, and deleted entries awaiting a
+    migration split (conflated by design — all are reader-invisible).
+    [~reclaim:true] lowers the watermark over the trailing dead run.
+    [repaired] echoes the node count the last [recover] fixed. *)
+val leak_sweep : ?reclaim:bool -> t -> Recipe.Recovery.stats
 
 (** Number of split-replay helper invocations (tests: proves the
     Condition #3 helper runs). *)

@@ -1,0 +1,44 @@
+(* Fault-injection seam.
+
+   The mirror image of {!Sanhook}: a record of hook functions the substrate
+   accessors call on every allocation, store, flush and fence — but only
+   when {!Mode.f_inject} is set in the packed flags word, so the injection
+   machinery costs exactly one extra bit in the single flags test the hot
+   path already performs.  [lib/faultinject] installs fault *plans* here
+   (crash at the k-th flush of a chosen site, allocation failure at the k-th
+   allocation, torn-line crashes that persist only a prefix of a line's
+   pending stores); the default hooks do nothing.
+
+   Hooks are allowed to raise: [f_clwb] raising skips the flush it
+   intercepted (the line stays dirty — exactly a crash before the
+   writeback), [f_alloc] raising [Alloc_failed] models an out-of-space
+   persistent allocator, and any hook may raise [Crash.Simulated_crash] via
+   {!Crash.fire}.
+
+   [f_store] receives the store's *global line id* and a persist closure
+   that, when called, writes just that store's value into the object's
+   shadow image (a no-op outside shadow mode).  This is the torn-line
+   primitive: at the chosen flush, the plan applies a store-order-consistent
+   prefix of the line's pending closures and then crashes — the line
+   persists partially, modelling an early eviction mid-operation. *)
+
+exception Alloc_failed of string
+
+type hooks = {
+  f_alloc : string -> unit; (* object name; may raise [Alloc_failed] *)
+  f_store : int -> (unit -> unit) -> unit; (* global line, persist closure *)
+  f_clwb : Obs.Site.t option -> int -> unit; (* site, global line; may raise *)
+  f_sfence : Obs.Site.t option -> unit; (* may raise *)
+}
+
+let noop =
+  {
+    f_alloc = (fun _ -> ());
+    f_store = (fun _ _ -> ());
+    f_clwb = (fun _ _ -> ());
+    f_sfence = (fun _ -> ());
+  }
+
+let h = ref noop
+let install hooks = h := hooks
+let uninstall () = h := noop

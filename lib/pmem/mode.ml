@@ -20,6 +20,7 @@ let f_llc = 1 (* probe the LLC simulator on every word/slot access *)
 let f_dram = 2 (* clwb/sfence are free no-ops (DRAM-ancestor ablation) *)
 let f_shadow = 4 (* new objects carry a shadow (last-flushed) image *)
 let f_sanitize = 8 (* route every substrate event through {!Sanhook} *)
+let f_inject = 16 (* route allocs/stores/flushes/fences through {!Fault} *)
 
 let flags = ref 0
 
@@ -55,6 +56,18 @@ let sanitize_enabled () = !sanitize
 let set_sanitize b =
   sanitize := b;
   set_flag f_sanitize b
+
+(* [inject] — when on, every allocation, store, flush and fence additionally
+   reports to the hook table in {!Fault}; [lib/faultinject] installs fault
+   plans there (crash at the k-th flush of a site, allocation failure, torn
+   lines).  Off, the accessors pay exactly one extra bit in the single
+   [flags] test they already perform — the same bargain as [sanitize]. *)
+let inject = ref false
+let inject_enabled () = !inject
+
+let set_inject b =
+  inject := b;
+  set_flag f_inject b
 
 (* Shadow and sanitize mode both need indexes to flush lines they would
    skip as unobservable in plain fast mode (e.g. still-empty pointer

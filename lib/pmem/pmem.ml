@@ -25,6 +25,7 @@ module Refs = Refs
 module Line_id = Line_id
 module Latency = Latency
 module Sanhook = Sanhook
+module Fault = Fault
 
 (** Store fence: orders preceding flushes before subsequent stores.  In this
     simulator flushes apply synchronously, so the fence only counts — the
@@ -35,6 +36,7 @@ let sfence ?site () =
     if !Mode.flags land Mode.f_sanitize <> 0 && Sanhook.should_drop_sfence site
     then () (* mutation test: this fence instruction is "deleted" *)
     else begin
+      if !Mode.flags land Mode.f_inject <> 0 then (!Fault.h).f_sfence site;
       Stats.record_sfence ?site ();
       Latency.on_fence ();
       if !Mode.flags land Mode.f_sanitize <> 0 then (!Sanhook.h).h_sfence site

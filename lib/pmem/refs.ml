@@ -120,6 +120,7 @@ let mark_dirty t sh line =
 
 let make ?(name = "refs") ~atomic len init =
   if len <= 0 then invalid_arg "Refs.make: length must be positive";
+  if !Mode.flags land Mode.f_inject <> 0 then (!Fault.h).f_alloc name;
   let n_chunks = (len + chunk_size - 1) / chunk_size in
   let chunk_len c = min chunk_size (len - (c * chunk_size)) in
   let repr =
@@ -157,6 +158,15 @@ let is_atomic t = match t.repr with Boxed _ -> true | Flat _ -> false
 let san_load t i = (!Sanhook.h).h_load t.name t.base_line i (is_atomic t)
 let san_store t i = (!Sanhook.h).h_store t.name t.base_line i (is_atomic t)
 
+(* Fault-injection store reporter — see {!Words.inject_store}. *)
+let inject_store t i v =
+  let persist =
+    match t.shadow with
+    | Some sh -> fun () -> sh.image.(i) <- v
+    | None -> ignore
+  in
+  (!Fault.h).f_store (t.base_line + line_of_index i) persist
+
 let get t i =
   probe_llc t i;
   (* Read first, report second — see {!Words.get}. *)
@@ -168,9 +178,10 @@ let set t i v =
   probe_llc t i;
   if !Mode.flags land Mode.f_sanitize <> 0 then san_store t i;
   write_slot t i v;
-  match t.shadow with
+  (match t.shadow with
   | None -> ()
-  | Some sh -> mark_dirty t sh (line_of_index i)
+  | Some sh -> mark_dirty t sh (line_of_index i));
+  if !Mode.flags land Mode.f_inject <> 0 then inject_store t i v
 
 (* Physical-equality CAS: slots hold pointers, and pointer identity is what a
    hardware CAS on an 8-byte pointer compares.  Only legal on [~atomic:true]
@@ -194,10 +205,12 @@ let cas t i ~expected ~desired =
       (!Sanhook.h).h_rmw t.name t.base_line i op
     else op ()
   in
-  (if ok then
-     match t.shadow with
+  (if ok then begin
+     (match t.shadow with
      | None -> ()
      | Some sh -> mark_dirty t sh (line_of_index i));
+     if !Mode.flags land Mode.f_inject <> 0 then inject_store t i desired
+   end);
   ok
 
 (** Sanitizer publication point — see {!Words.sanitize_publish}. *)
@@ -213,6 +226,8 @@ let clwb ?site t i =
     !Mode.flags land Mode.f_sanitize <> 0 && Sanhook.should_drop_clwb site
   then () (* mutation test: this flush instruction is "deleted" *)
   else begin
+    if !Mode.flags land Mode.f_inject <> 0 then
+      (!Fault.h).f_clwb site (t.base_line + line_of_index i);
     Stats.record_clwb ?site ();
     Latency.on_flush ();
     if !Mode.flags land Mode.f_sanitize <> 0 then
@@ -233,3 +248,10 @@ let clwb_all ?site t =
   for l = 0 to n_lines t.len - 1 do
     clwb ?site t (l * slots_per_line)
   done
+
+(* Dirty-lines-only variant; see {!Words.clwb_all_dirty}. *)
+let clwb_all_dirty ?site t =
+  match t.shadow with
+  | Some sh ->
+      Words.bitset_iter sh.dirty (fun l -> clwb ?site t (l * slots_per_line))
+  | None -> clwb_all ?site t

@@ -191,6 +191,7 @@ let mark_dirty t sh line =
 
 let make ?(name = "words") ?(atomic_words = []) len init =
   if len <= 0 then invalid_arg "Words.make: length must be positive";
+  if !Mode.flags land Mode.f_inject <> 0 then (!Fault.h).f_alloc name;
   let atomic_idx =
     match atomic_words with
     | [] -> no_atomics
@@ -255,6 +256,17 @@ let san_load t i = (!Sanhook.h).h_load t.name t.base_line i (is_atomic_word t i)
 let san_store t i =
   (!Sanhook.h).h_store t.name t.base_line i (is_atomic_word t i)
 
+(* Fault-injection store reporter — out of line like the sanitizer's, so the
+   fast path below stays a flags test + branch.  The persist closure writes
+   just this store's value into the shadow image: the torn-line primitive. *)
+let inject_store t i v =
+  let persist =
+    match t.shadow with
+    | Some sh -> fun () -> sh.image.(i) <- v
+    | None -> ignore
+  in
+  (!Fault.h).f_store (t.base_line + line_of_index i) persist
+
 let get t i =
   probe_llc t i;
   (* Read first, report second: a reader that observed a released value
@@ -273,9 +285,10 @@ let set t i v =
   if !Mode.flags land Mode.f_sanitize <> 0 then san_store t i;
   if t.atomic_idx == no_atomics then Array.unsafe_set t.data i v
   else write_word t i v;
-  match t.shadow with
+  (match t.shadow with
   | None -> ()
-  | Some sh -> mark_dirty t sh (line_of_index i)
+  | Some sh -> mark_dirty t sh (line_of_index i));
+  if !Mode.flags land Mode.f_inject <> 0 then inject_store t i v
 
 let cas t i ~expected ~desired =
   probe_llc t i;
@@ -286,10 +299,12 @@ let cas t i ~expected ~desired =
       (!Sanhook.h).h_rmw t.name t.base_line i op
     else op ()
   in
-  (if ok then
-     match t.shadow with
+  (if ok then begin
+     (match t.shadow with
      | None -> ()
      | Some sh -> mark_dirty t sh (line_of_index i));
+     if !Mode.flags land Mode.f_inject <> 0 then inject_store t i desired
+   end);
   ok
 
 let fetch_add t i delta =
@@ -325,6 +340,8 @@ let clwb ?site t i =
     !Mode.flags land Mode.f_sanitize <> 0 && Sanhook.should_drop_clwb site
   then () (* mutation test: this flush instruction is "deleted" *)
   else begin
+    if !Mode.flags land Mode.f_inject <> 0 then
+      (!Fault.h).f_clwb site (t.base_line + line_of_index i);
     Stats.record_clwb ?site ();
     Latency.on_flush ();
     if !Mode.flags land Mode.f_sanitize <> 0 then
@@ -346,3 +363,15 @@ let clwb_all ?site t =
   for l = 0 to n_lines t.len - 1 do
     clwb ?site t (l * words_per_line)
   done
+
+(** Flush only the lines the tracked modes know to be dirty; untracked modes
+    keep no dirty bitset and fall back to flushing everything.  For a
+    re-persist pass over a structure that is already partially persisted
+    (CLHT's rehash and its recovery roll-forward), this keeps every clwb
+    landing on a genuinely dirty line — the sanitizer reports a flush of an
+    already-persisted line as redundant. *)
+let clwb_all_dirty ?site t =
+  match t.shadow with
+  | Some sh ->
+      bitset_iter sh.dirty (fun l -> clwb ?site t (l * words_per_line))
+  | None -> clwb_all ?site t

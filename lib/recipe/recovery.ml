@@ -1,0 +1,31 @@
+(* Shared recovery/leak-sweep accounting.
+
+   Every index exposes [recover : t -> unit] (structural repair: §2.4's
+   lazy-repair actions run eagerly at restart) and
+   [leak_sweep : ?reclaim:bool -> t -> Recipe.Recovery.stats] (a
+   reachability walk over the persistent structure that reports — and with
+   [~reclaim:true] reclaims — slots a crash orphaned).  The stats record is
+   what those return and what the bench JSON export tabulates:
+
+   - [repaired]: structural leftovers the last [recover] completed or
+     rolled forward (half-finished resizes adopted, torn splits replayed,
+     delta chains consolidated, duplicate replicas cleared);
+   - [orphans]: slots reachable from the object's own arrays but not from
+     the published structure (allocated-but-unlinked children, permutation
+     holes, unreachable page ids);
+   - [reclaimed]: orphans actually freed by this sweep. *)
+
+type stats = { repaired : int; orphans : int; reclaimed : int }
+
+let zero = { repaired = 0; orphans = 0; reclaimed = 0 }
+
+let add a b =
+  {
+    repaired = a.repaired + b.repaired;
+    orphans = a.orphans + b.orphans;
+    reclaimed = a.reclaimed + b.reclaimed;
+  }
+
+let pp fmt s =
+  Format.fprintf fmt "repaired=%d orphans=%d reclaimed=%d" s.repaired s.orphans
+    s.reclaimed

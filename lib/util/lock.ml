@@ -41,6 +41,18 @@ let clear_hooks () =
   on_acquired := ignore;
   on_released := ignore
 
+(* Abort hook: called on every failed spin iteration, here and in the
+   indexes' own retry loops (CLHT bucket-head locking, FAST & FAIR seqlock
+   reads).  A crash campaign installs a closure that raises
+   [Pmem.Crash.Simulated_crash] once its stop flag is up, so domains left
+   spinning on a lock held by the "crashed" domain unwind instead of
+   hanging — a real power failure kills them too; the epoch bump at
+   recovery then frees the lock.  Defaults to a no-op. *)
+let abort_hook : (unit -> unit) ref = ref ignore
+let abort_point () = !abort_hook ()
+let set_abort_hook f = abort_hook := f
+let clear_abort_hook () = abort_hook := ignore
+
 let is_locked t = Atomic.get t.cell = Atomic.get epoch
 
 let try_lock t =
@@ -58,7 +70,8 @@ let try_lock t =
    otherwise stall every spinner for a whole scheduling quantum. *)
 let lock t =
   let rec go spins pause =
-    if not (try_lock t) then
+    if not (try_lock t) then begin
+      abort_point ();
       if spins > 0 then begin
         Domain.cpu_relax ();
         go (spins - 1) pause
@@ -67,6 +80,7 @@ let lock t =
         Unix.sleepf pause;
         go 0 (Float.min (pause *. 2.0) 0.0001)
       end
+    end
   in
   go 200 0.000001
 

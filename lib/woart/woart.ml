@@ -29,3 +29,4 @@ let range t lo hi = with_global t (fun () -> Art.range t.tree lo hi)
 (* No lock here: after a crash the global lock may still be held by the
    crashed operation; recovery's epoch bump is what frees it. *)
 let recover t = Art.recover t.tree
+let leak_sweep ?reclaim t = Art.leak_sweep ?reclaim t.tree

@@ -34,3 +34,6 @@ val scan : t -> string -> int -> (string -> int -> unit) -> int
 
 val range : t -> string -> string -> (string * int) list
 val recover : t -> unit
+
+(** Delegates to {!Art.leak_sweep} on the underlying tree. *)
+val leak_sweep : ?reclaim:bool -> t -> Recipe.Recovery.stats

@@ -168,6 +168,7 @@ let test_crash_doubling_bug () =
       lookup = (fun k -> Cceh.lookup t k);
       recover = (fun () -> Cceh.recover t);
       scan_all = None;
+      sweep = Some (fun () -> Cceh.leak_sweep ~reclaim:true t);
     }
   in
   let r = Crashtest.sweep ~make ~points:20_000 ~stride:1 ~load:3_000 () in

@@ -81,6 +81,37 @@ let test_allocation_starts_dirty () =
   Alcotest.(check int) "flushed" 0 (Pmem.dirty_count ());
   Pmem.Mode.set_shadow false
 
+(* [clwb_all_dirty] flushes exactly the dirty lines under the tracked
+   modes (and degrades to [clwb_all] without tracking): the primitive
+   behind re-persist passes that must not re-flush already-persisted
+   lines, which the sanitizer reports as redundant. *)
+let test_clwb_all_dirty () =
+  reset ();
+  Pmem.Mode.set_shadow true;
+  let w = Pmem.Words.make 64 0 in
+  Pmem.Words.clwb_all w;
+  (* Dirty two of the eight lines. *)
+  Pmem.Words.set w 0 1;
+  Pmem.Words.set w 17 2;
+  let before = Pmem.Stats.snapshot () in
+  Pmem.Words.clwb_all_dirty w;
+  let d = Pmem.Stats.(diff (snapshot ()) before) in
+  Alcotest.(check int) "flushes only the two dirty lines" 2
+    d.Pmem.Stats.s_clwb;
+  Alcotest.(check int) "nothing left dirty" 0 (Pmem.dirty_count ());
+  let before = Pmem.Stats.snapshot () in
+  Pmem.Words.clwb_all_dirty w;
+  let d = Pmem.Stats.(diff (snapshot ()) before) in
+  Alcotest.(check int) "clean object flushes nothing" 0 d.Pmem.Stats.s_clwb;
+  Pmem.Mode.set_shadow false;
+  (* Untracked fallback: every line is flushed. *)
+  let w = Pmem.Words.make 64 0 in
+  let before = Pmem.Stats.snapshot () in
+  Pmem.Words.clwb_all_dirty w;
+  let d = Pmem.Stats.(diff (snapshot ()) before) in
+  Alcotest.(check int) "untracked mode flushes all lines" 8
+    d.Pmem.Stats.s_clwb
+
 let test_refs_shadow () =
   reset ();
   Pmem.Mode.set_shadow true;
@@ -278,6 +309,7 @@ let () =
           Alcotest.test_case "revert" `Quick test_shadow_revert;
           Alcotest.test_case "same line" `Quick test_shadow_same_line;
           Alcotest.test_case "allocation dirty" `Quick test_allocation_starts_dirty;
+          Alcotest.test_case "clwb_all_dirty" `Quick test_clwb_all_dirty;
           Alcotest.test_case "refs" `Quick test_refs_shadow;
           Alcotest.test_case "refs cas physical" `Quick test_refs_cas_is_physical;
           Alcotest.test_case "flat vs atomic equivalence" `Quick
