@@ -181,6 +181,73 @@ let check_recovery doc =
         required_indexes
   | Some _ -> fail "recovery: not an object"
 
+(* The serve table arrived with the KV service layer (lib/kvserve);
+   validate it only when present so older reports keep checking.  When
+   present it must sweep at least two shard counts with both the
+   group-persist and per-op-persist rows for each, every row well-formed,
+   and batching must not increase flushes per operation — and must strictly
+   reduce fences per operation — versus the per-op ablation on the same
+   traffic.  The batching win is part of the schema, not just a claim. *)
+let check_serve doc =
+  match J.member "serve" doc with
+  | None -> ()
+  | Some (J.List rows) ->
+      let parsed =
+        List.map
+          (fun r ->
+            let ix =
+              match J.to_str (get r "index") with
+              | Some s -> s
+              | None -> fail "serve: row without an index name"
+            in
+            let cell k = num ("serve." ^ ix ^ "." ^ k) (get r k) in
+            let group =
+              match J.member "group_persist" r with
+              | Some (J.Bool b) -> b
+              | _ -> fail "serve.%s: group_persist missing" ix
+            in
+            if cell "batch" < 1.0 then fail "serve.%s: batch < 1" ix;
+            if cell "ops_acked" <= 0.0 then fail "serve.%s: no acked ops" ix;
+            ignore (cell "seed");
+            let kops = cell "kops" in
+            if not (kops >= 0.0 && Float.is_finite kops) then
+              fail "serve.%s: bad throughput %g" ix kops;
+            if cell "ack_p50_ns" > cell "ack_p99_ns" then
+              fail "serve.%s: ack p50 > p99" ix;
+            if cell "mean_batch_ops" < 1.0 then
+              fail "serve.%s: batches below one op" ix;
+            ( int_of_float (cell "shards"),
+              group,
+              cell "clwb_per_op",
+              cell "sfence_per_op" ))
+          rows
+      in
+      let shard_counts =
+        List.sort_uniq compare (List.map (fun (s, _, _, _) -> s) parsed)
+      in
+      if List.length shard_counts < 2 then
+        fail "serve: %d shard count(s) measured, need >= 2"
+          (List.length shard_counts);
+      List.iter
+        (fun sc ->
+          let cell g =
+            match
+              List.find_opt (fun (s, g', _, _) -> s = sc && g' = g) parsed
+            with
+            | Some r -> r
+            | None -> fail "serve: shard count %d missing group=%b row" sc g
+          in
+          let _, _, clwb_on, sf_on = cell true in
+          let _, _, clwb_off, sf_off = cell false in
+          if clwb_on > clwb_off then
+            fail "serve: %d shards: batching RAISED clwb/op (%g > %g)" sc
+              clwb_on clwb_off;
+          if sf_on >= sf_off then
+            fail "serve: %d shards: batching did not reduce sfence/op (%g >= %g)"
+              sc sf_on sf_off)
+        shard_counts
+  | Some _ -> fail "serve: not a list"
+
 let run file =
   let s = In_channel.with_open_text file In_channel.input_all in
   let doc =
@@ -191,6 +258,7 @@ let run file =
   ignore (get doc "meta");
   check_micro_pmem doc;
   check_recovery doc;
+  check_serve doc;
   let idxs =
     match J.to_list (get doc "indexes") with
     | Some l -> l

@@ -65,6 +65,7 @@ let workload_json cfg build w =
   J.Obj
     [
       ("workload", J.Str (Ycsb.workload_name w));
+      ("seed", J.int r.Ycsb.seed);
       ("ops", J.int r.Ycsb.ops);
       ("seconds", J.Num r.Ycsb.seconds);
       ("mops", J.Num r.Ycsb.mops);
@@ -240,6 +241,22 @@ let recovery_json ~smoke () =
              ] ))
        subjects)
 
+(* Group-persist batching table: the KV service layer (lib/kvserve) over
+   the standard grid — shard counts × {group persist on, per-op persist} —
+   driven with write-heavy overwrite traffic by the closed-loop load
+   generator.  The rows come from {!Kvserve.Servebench.run_one}, the same
+   measurement bin/kv_bench.exe prints, so the committed report and the CLI
+   always agree; check_json.ml requires batching to not increase flushes
+   per operation. *)
+let serve_json ~smoke () =
+  Printf.printf "json: measuring serve...\n%!";
+  let requests = if smoke then 50 else 400 in
+  Experiments.reset_env ();
+  Kvserve.Servebench.rows_json
+    (Kvserve.Servebench.run_grid ~make:Harness.Kvparts.art
+       ~shard_counts:[ 2; 4 ] ~batch:32 ~workers:4 ~requests
+       ~ops_per_request:16 ~write_pct:100 ~key_space:64 ~seed:42 ())
+
 let write cfg ~smoke file =
   let { Experiments.nloaded; nops; threads; seed; _ } = cfg in
   let doc =
@@ -258,6 +275,7 @@ let write cfg ~smoke file =
             ] );
         ("micro_pmem", micro_pmem_json cfg);
         ("recovery", recovery_json ~smoke ());
+        ("serve", serve_json ~smoke ());
         ("indexes", J.List (List.map (index_json cfg) indexes));
       ]
   in

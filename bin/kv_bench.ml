@@ -1,0 +1,145 @@
+(* Group-persist batching benchmark CLI.
+
+     dune exec bin/kv_bench.exe -- --index art --shards 2,4 --batch 32
+
+   Runs the closed-loop load generator against the sharded KV service for
+   every requested shard count, group persist on and off (the per-op-flush
+   ablation), over write-heavy overwrite traffic, and prints the batching
+   table: throughput, p50/p99 ack latency, realized batch size, and
+   flushes/fences per acknowledged operation.  [--json FILE] writes the
+   same rows as the machine-readable [serve] table (the schema the bench
+   export and bench/check_json.ml share). *)
+
+open Cmdliner
+module J = Obs.Json
+
+let parse_shards s =
+  try
+    let l =
+      String.split_on_char ',' s
+      |> List.filter (fun x -> String.trim x <> "")
+      |> List.map (fun x -> int_of_string (String.trim x))
+    in
+    if l = [] || List.exists (fun n -> n <= 0) l then None else Some l
+  with Failure _ -> None
+
+let main index shards_s batch workers requests opr write_pct key_space seed
+    json =
+  match (Harness.Kvparts.find index, parse_shards shards_s) with
+  | None, _ ->
+      Printf.eprintf "unknown index %S (one of: %s)\n" index
+        (String.concat " " (List.map fst Harness.Kvparts.all));
+      1
+  | _, None ->
+      Printf.eprintf "bad --shards %S (comma-separated positive ints)\n"
+        shards_s;
+      1
+  | Some make, Some shard_counts ->
+      Printf.printf
+        "kv_bench: %s, %d worker(s) x %d request(s) x %d op(s), %d%% writes \
+         over %d keys, seed %d\n"
+        index workers requests opr write_pct key_space seed;
+      Kvserve.Servebench.print_header ();
+      let rows =
+        List.concat_map
+          (fun shards ->
+            List.map
+              (fun group ->
+                let r =
+                  Kvserve.Servebench.run_one ~make ~shards ~batch ~group
+                    ~workers ~requests ~ops_per_request:opr ~write_pct
+                    ~key_space ~seed ()
+                in
+                Kvserve.Servebench.print_row r;
+                r)
+              [ true; false ])
+          shard_counts
+      in
+      (* Headline: the flush coalescing factor per shard count. *)
+      List.iter
+        (fun shards ->
+          let cell g =
+            List.find
+              (fun r ->
+                r.Kvserve.Servebench.r_shards = shards
+                && r.Kvserve.Servebench.r_group = g)
+              rows
+          in
+          let on = cell true and off = cell false in
+          Printf.printf
+            "%d shard(s): group persist %.2f clwb/op vs %.2f per-op (%.1fx), \
+             %.2f vs %.2f sfence/op\n"
+            shards on.Kvserve.Servebench.r_flushes_per_op
+            off.Kvserve.Servebench.r_flushes_per_op
+            (off.Kvserve.Servebench.r_flushes_per_op
+            /. Float.max 1e-9 on.Kvserve.Servebench.r_flushes_per_op)
+            on.Kvserve.Servebench.r_fences_per_op
+            off.Kvserve.Servebench.r_fences_per_op)
+        shard_counts;
+      (match json with
+      | None -> ()
+      | Some file ->
+          let doc =
+            J.Obj
+              [
+                ("schema", J.Str "recipe-serve-bench/1");
+                ( "meta",
+                  J.Obj
+                    [
+                      ("index", J.Str index);
+                      ("workers", J.int workers);
+                      ("requests", J.int requests);
+                      ("ops_per_request", J.int opr);
+                      ("write_pct", J.int write_pct);
+                      ("key_space", J.int key_space);
+                      ("seed", J.int seed);
+                    ] );
+                ("serve", Kvserve.Servebench.rows_json rows);
+              ]
+          in
+          let oc = open_out file in
+          J.to_channel oc doc;
+          close_out oc;
+          Printf.printf "kv_bench: wrote %s\n" file);
+      0
+
+let cmd =
+  let index =
+    Arg.(value & opt string "art" & info [ "index"; "i" ] ~docv:"INDEX")
+  in
+  let shards =
+    Arg.(
+      value & opt string "2,4"
+      & info [ "shards" ] ~docv:"N,M"
+          ~doc:"Comma-separated shard counts to sweep.")
+  in
+  let batch = Arg.(value & opt int 32 & info [ "batch" ] ~docv:"N") in
+  let workers = Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N") in
+  let requests =
+    Arg.(
+      value & opt int 200
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests per worker.")
+  in
+  let opr = Arg.(value & opt int 16 & info [ "ops-per-req" ] ~docv:"N") in
+  let write_pct = Arg.(value & opt int 100 & info [ "write-pct" ] ~docv:"PCT") in
+  let key_space =
+    Arg.(
+      value & opt int 64
+      & info [ "key-space" ] ~docv:"N"
+          ~doc:"Overwrite key range (small: write-heavy line reuse).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ]) in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the rows as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "kv_bench"
+       ~doc:"Benchmark group-persist batching in the KV service layer")
+    Term.(
+      const main $ index $ shards $ batch $ workers $ requests $ opr
+      $ write_pct $ key_space $ seed $ json)
+
+let () = exit (Cmd.eval' cmd)

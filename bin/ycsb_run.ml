@@ -28,7 +28,67 @@ let build_driver p name kind =
       Some (Harness.Drivers.levelhash p (Levelhash.create ()))
   | _ -> None
 
-let main index workload keys ops threads strkeys seed sanitize =
+(* [--shards N]: route every operation through the sharded KV service
+   instead of calling the index directly — each YCSB thread becomes a
+   closed-loop client of the group-persist router, so concurrent clients'
+   writes coalesce into shared batch fences.  Returns the server so the
+   caller can stop it after the measurement. *)
+let kvparts_name name =
+  match String.lowercase_ascii name with
+  | "fast&fair" | "ff" -> "fastfair"
+  | "level" -> "levelhash"
+  | n ->
+      if String.length n > 2 && String.sub n 0 2 = "p-" then
+        String.sub n 2 (String.length n - 2)
+      else n
+
+let build_served_driver p name ~shards ~batch =
+  match Harness.Kvparts.find (kvparts_name name) with
+  | None -> None
+  | Some make ->
+      let parts = Array.init shards (fun _ -> make ()) in
+      let cfg =
+        {
+          Kvserve.Server.shards;
+          batch;
+          queue_cap = max 256 batch;
+          group_persist = batch > 1;
+        }
+      in
+      let srv = Kvserve.Server.start cfg parts in
+      let submit1 i op =
+        let resp = Kvserve.Server.submit srv { Kvserve.Wire.rid = i; ops = [ op ] } in
+        match (resp.Kvserve.Wire.status, resp.Kvserve.Wire.replies) with
+        | Kvserve.Wire.Ok, [ r ] -> Some r
+        | _ -> None
+      in
+      let scan =
+        if parts.(0).Kvserve.Server.p_scan = None then None
+        else
+          Some
+            (fun i len ->
+              match submit1 i (Kvserve.Wire.Scan (Ycsb.key_string p i, len)) with
+              | Some (Kvserve.Wire.Scanned items) -> List.length items
+              | _ -> 0)
+      in
+      Some
+        ( srv,
+          {
+            Ycsb.dname = Printf.sprintf "%s/serve(%dx%d)" name shards batch;
+            insert =
+              (fun i ->
+                ignore
+                  (submit1 i
+                     (Kvserve.Wire.Put (Ycsb.key_string p i, i))));
+            read =
+              (fun i ->
+                match submit1 i (Kvserve.Wire.Get (Ycsb.key_string p i)) with
+                | Some (Kvserve.Wire.Found _) -> true
+                | _ -> false);
+            scan;
+          } )
+
+let main index workload keys ops threads strkeys seed shards batch sanitize =
   match Ycsb.workload_of_string workload with
   | None ->
       Printf.eprintf "unknown workload %S (loada|a|b|c|e)\n" workload;
@@ -38,11 +98,18 @@ let main index workload keys ops threads strkeys seed sanitize =
       let p =
         Ycsb.prepare ~workload:w ~kind ~nloaded:keys ~nops:ops ~threads ~seed ()
       in
-      match build_driver p index kind with
+      let built =
+        if shards > 0 then
+          Option.map
+            (fun (srv, d) -> (Some srv, d))
+            (build_served_driver p index ~shards ~batch)
+        else Option.map (fun d -> (None, d)) (build_driver p index kind)
+      in
+      match built with
       | None ->
           Printf.eprintf "unknown index %S\n" index;
           1
-      | Some d ->
+      | Some (srv, d) ->
           if sanitize then Psan.enable ();
           let loadres = Ycsb.load p d in
           Format.printf "load: %a@." Ycsb.pp_result loadres;
@@ -55,6 +122,7 @@ let main index workload keys ops threads strkeys seed sanitize =
                    range scans (workload E)\n"
                   dname
           end;
+          Option.iter Kvserve.Server.stop srv;
           if sanitize then begin
             Psan.disable ();
             let n = Psan.diagnostic_count () in
@@ -81,6 +149,22 @@ let cmd =
   let threads = Arg.(value & opt int 4 & info [ "threads" ] ~docv:"N") in
   let strkeys = Arg.(value & flag & info [ "string-keys" ]) in
   let seed = Arg.(value & opt int 42 & info [ "seed" ]) in
+  let shards =
+    Arg.(
+      value & opt int 0
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Route operations through the sharded KV service with $(docv) \
+             shards instead of calling the index directly (0: direct).")
+  in
+  let batch =
+    Arg.(
+      value & opt int 32
+      & info [ "batch" ] ~docv:"N"
+          ~doc:
+            "Group-persist batch size for --shards mode (1: per-op \
+             flush+fence).")
+  in
   let sanitize =
     Arg.(
       value & flag
@@ -93,6 +177,6 @@ let cmd =
     (Cmd.info "ycsb_run" ~doc:"Run one YCSB workload against one index")
     Term.(
       const main $ index $ workload $ keys $ ops $ threads $ strkeys $ seed
-      $ sanitize)
+      $ shards $ batch $ sanitize)
 
 let () = exit (Cmd.eval' cmd)

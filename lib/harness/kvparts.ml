@@ -1,0 +1,158 @@
+(* KV-service partition adapters: one {!Kvserve.Server.partition} builder
+   per index.  The sharded router constructs one instance per shard, so a
+   builder returns a *fresh* index each call.
+
+   Ordered indexes serve arbitrary string keys natively; [p_insert] has
+   upsert semantics where the index exposes [update] (ART, HOT, Masstree,
+   BwTree, WOART), put-if-absent otherwise (FAST & FAIR).  Hash indexes are
+   integer-keyed: an 8-byte key decodes as the big-endian integer
+   ({!Util.Keys.encode_int} round-trip — what the load generator and crash
+   campaign send); any other length falls back to a 62-bit FNV-1a of the
+   bytes (best-effort: two distinct long keys colliding would alias, which
+   the service's own traffic never produces). *)
+
+let int_of_key s =
+  if String.length s = Util.Keys.int_key_length then Util.Keys.decode_int s
+  else begin
+    let h = ref 0x4BF29CE484222325 in
+    String.iter (fun c -> h := (!h lxor Char.code c) * 0x100000001B3) s;
+    !h land max_int
+  end
+
+let scan_list scan start n =
+  let acc = ref [] in
+  ignore (scan start n (fun key v -> acc := (key, v) :: !acc));
+  List.rev !acc
+
+let art () =
+  let t = Art.create () in
+  {
+    Kvserve.Server.p_name = Art.name;
+    p_insert =
+      (fun key v -> if Art.insert t key v then true else Art.update t key v);
+    p_lookup = (fun key -> Art.lookup t key);
+    p_delete = (fun key -> Art.delete t key);
+    p_scan = Some (fun start n -> scan_list (Art.scan t) start n);
+    p_recover = (fun () -> Art.recover t);
+    p_sweep = Some (fun () -> Art.leak_sweep ~reclaim:true t);
+  }
+
+let hot () =
+  let t = Hot.create () in
+  {
+    Kvserve.Server.p_name = Hot.name;
+    p_insert =
+      (fun key v -> if Hot.insert t key v then true else Hot.update t key v);
+    p_lookup = (fun key -> Hot.lookup t key);
+    p_delete = (fun key -> Hot.delete t key);
+    p_scan = Some (fun start n -> scan_list (Hot.scan t) start n);
+    p_recover = (fun () -> Hot.recover t);
+    p_sweep = Some (fun () -> Hot.leak_sweep t);
+  }
+
+let masstree () =
+  let t = Masstree.create () in
+  {
+    Kvserve.Server.p_name = Masstree.name;
+    p_insert =
+      (fun key v ->
+        if Masstree.insert t key v then true else Masstree.update t key v);
+    p_lookup = (fun key -> Masstree.lookup t key);
+    p_delete = (fun key -> Masstree.delete t key);
+    p_scan = Some (fun start n -> scan_list (Masstree.scan t) start n);
+    p_recover = (fun () -> Masstree.recover t);
+    p_sweep = Some (fun () -> Masstree.leak_sweep ~reclaim:true t);
+  }
+
+let bwtree () =
+  let t = Bwtree.create ~space:(Recipe.Wordkey.int_space ()) () in
+  {
+    Kvserve.Server.p_name = Bwtree.name;
+    p_insert =
+      (fun key v ->
+        if Bwtree.insert t key v then true else Bwtree.update t key v);
+    p_lookup = (fun key -> Bwtree.lookup t key);
+    p_delete = (fun key -> Bwtree.delete t key);
+    p_scan = Some (fun start n -> scan_list (Bwtree.scan t) start n);
+    p_recover = (fun () -> Bwtree.recover t);
+    p_sweep = Some (fun () -> Bwtree.leak_sweep ~reclaim:true t);
+  }
+
+let fastfair () =
+  let t = Fastfair.create ~space:(Recipe.Wordkey.int_space ()) () in
+  {
+    Kvserve.Server.p_name = Fastfair.name;
+    p_insert = (fun key v -> Fastfair.insert t key v);
+    p_lookup = (fun key -> Fastfair.lookup t key);
+    p_delete = (fun key -> Fastfair.delete t key);
+    p_scan = Some (fun start n -> scan_list (Fastfair.scan t) start n);
+    p_recover = (fun () -> Fastfair.recover t);
+    p_sweep = Some (fun () -> Fastfair.leak_sweep ~reclaim:true t);
+  }
+
+let woart () =
+  let t = Woart.create () in
+  {
+    Kvserve.Server.p_name = Woart.name;
+    p_insert =
+      (fun key v ->
+        if Woart.insert t key v then true else Woart.update t key v);
+    p_lookup = (fun key -> Woart.lookup t key);
+    p_delete = (fun key -> Woart.delete t key);
+    p_scan = Some (fun start n -> scan_list (Woart.scan t) start n);
+    p_recover = (fun () -> Woart.recover t);
+    p_sweep = Some (fun () -> Woart.leak_sweep ~reclaim:true t);
+  }
+
+let clht () =
+  let t = Clht.create ~capacity:16 () in
+  {
+    Kvserve.Server.p_name = Clht.name;
+    p_insert = (fun key v -> Clht.insert t (int_of_key key) v);
+    p_lookup = (fun key -> Clht.lookup t (int_of_key key));
+    p_delete = (fun key -> Clht.delete t (int_of_key key));
+    p_scan = None;
+    p_recover = (fun () -> Clht.recover t);
+    p_sweep = Some (fun () -> Clht.leak_sweep ~reclaim:true t);
+  }
+
+let cceh () =
+  let t = Cceh.create ~capacity:128 () in
+  {
+    Kvserve.Server.p_name = Cceh.name;
+    p_insert = (fun key v -> Cceh.insert t (int_of_key key) v);
+    p_lookup = (fun key -> Cceh.lookup t (int_of_key key));
+    p_delete = (fun key -> Cceh.delete t (int_of_key key));
+    p_scan = None;
+    p_recover = (fun () -> Cceh.recover t);
+    p_sweep = Some (fun () -> Cceh.leak_sweep ~reclaim:true t);
+  }
+
+let levelhash () =
+  let t = Levelhash.create ~capacity:12 () in
+  {
+    Kvserve.Server.p_name = Levelhash.name;
+    p_insert = (fun key v -> Levelhash.insert t (int_of_key key) v);
+    p_lookup = (fun key -> Levelhash.lookup t (int_of_key key));
+    p_delete = (fun key -> Levelhash.delete t (int_of_key key));
+    p_scan = None;
+    p_recover = (fun () -> Levelhash.recover t);
+    p_sweep = Some (fun () -> Levelhash.leak_sweep ~reclaim:true t);
+  }
+
+(** Every adapter, by index name (the [--index] argument of the server and
+    bench binaries). *)
+let all : (string * (unit -> Kvserve.Server.partition)) list =
+  [
+    ("art", art);
+    ("hot", hot);
+    ("masstree", masstree);
+    ("bwtree", bwtree);
+    ("fastfair", fastfair);
+    ("woart", woart);
+    ("clht", clht);
+    ("cceh", cceh);
+    ("levelhash", levelhash);
+  ]
+
+let find name = List.assoc_opt (String.lowercase_ascii name) all

@@ -1,0 +1,172 @@
+(* Closed-loop load generator for the KV service layer.
+
+   Each worker domain owns one {!Util.Rng} stream for its whole run (no
+   re-seeding between phases — the reproducibility discipline the YCSB
+   harness also follows) and submits batched requests through the
+   in-process transport, blocking for each acknowledgement before sending
+   the next request: closed-loop, so measured ack latency includes queueing
+   behind other clients and the group-persist fence.
+
+   Two key regimes:
+
+   - [Fresh_keys]: every put uses a globally fresh key (disjoint per-worker
+     ranges, the {!Crashtest} convention [value = 3*key]).  Acked bindings
+     are returned for post-crash verification.
+   - [Overwrite n]: puts upsert over a small space of [n] keys — the
+     batching benchmark's write-heavy regime, where a batch's commits land
+     on few distinct cache lines and group flushing coalesces them.
+
+   On [Overloaded] the worker backs off and retries the same request —
+   safe, since a rejected request was not applied at all.  On [Shutdown]
+   (server crashed) the worker stops. *)
+
+type mode = Fresh_keys | Overwrite of int
+
+type cfg = {
+  workers : int;
+  requests : int;  (** per worker *)
+  ops_per_request : int;
+  write_pct : int;  (** percent of ops that are puts (0–100) *)
+  scan_pct : int;  (** percent of ops that are scans (of the remainder) *)
+  scan_len : int;
+  read_space : int;  (** gets/scans draw keys from [1..read_space] *)
+  mode : mode;
+  key_base : int;  (** fresh-key offset (skip a preloaded range) *)
+  seed : int;
+}
+
+let default_cfg =
+  {
+    workers = 2;
+    requests = 200;
+    ops_per_request = 8;
+    write_pct = 50;
+    scan_pct = 0;
+    scan_len = 16;
+    read_space = 1000;
+    mode = Fresh_keys;
+    key_base = 1_000_000;
+    seed = 42;
+  }
+
+type outcome = {
+  requests_sent : int;
+  ops_acked : int;
+  puts_acked : (int * int) list;
+      (** acked [Put] bindings (integer key, value) with [Done true] *)
+  overloaded : int;  (** backpressure rejections observed (then retried) *)
+  shutdowns : int;  (** requests that died with the server *)
+  elapsed_ns : int;
+  seed : int;
+}
+
+let fresh_key cfg wid seq = cfg.key_base + (wid * 1_000_000) + seq
+
+let value_of_key k = k * 3
+
+let build_request (cfg : cfg) rng wid rid seq0 =
+  let ops = ref [] in
+  for j = cfg.ops_per_request - 1 downto 0 do
+    let roll = Util.Rng.below rng 100 in
+    if roll < cfg.write_pct then begin
+      let k =
+        match cfg.mode with
+        | Fresh_keys -> fresh_key cfg wid (seq0 + j)
+        | Overwrite n -> 1 + Util.Rng.below rng n
+      in
+      ops := Wire.Put (Util.Keys.encode_int k, value_of_key k) :: !ops
+    end
+    else if roll < cfg.write_pct + cfg.scan_pct then begin
+      let k = 1 + Util.Rng.below rng (max 1 cfg.read_space) in
+      ops := Wire.Scan (Util.Keys.encode_int k, cfg.scan_len) :: !ops
+    end
+    else begin
+      let k = 1 + Util.Rng.below rng (max 1 cfg.read_space) in
+      ops := Wire.Get (Util.Keys.encode_int k) :: !ops
+    end
+  done;
+  { Wire.rid; ops = !ops }
+
+let worker srv (cfg : cfg) wid () =
+  (* The worker's single Rng stream: one [create] for the whole run. *)
+  let rng = Util.Rng.create (cfg.seed + (31 * wid) + 7) in
+  let sent = ref 0 and acked = ref 0 and over = ref 0 and down = ref 0 in
+  let puts = ref [] in
+  let stop = ref false in
+  let r = ref 0 in
+  while (not !stop) && !r < cfg.requests do
+    let req = build_request cfg rng wid !r (!r * cfg.ops_per_request) in
+    let rec try_submit retries =
+      incr sent;
+      let resp = Server.submit srv req in
+      match resp.Wire.status with
+      | Wire.Overloaded ->
+          incr over;
+          if retries > 0 then begin
+            Domain.cpu_relax ();
+            try_submit (retries - 1)
+          end
+          (* Pathological config (queue_cap < request size): drop — the
+             request was never applied, so dropping is safe. *)
+      | Wire.Ok ->
+          acked := !acked + List.length req.Wire.ops;
+          (* Record the puts the server actually applied and fenced. *)
+          List.iter2
+            (fun op reply ->
+              match (op, reply) with
+              | Wire.Put (ks, v), Wire.Done true ->
+                  puts := (Util.Keys.decode_int ks, v) :: !puts
+              | _ -> ())
+            req.Wire.ops resp.Wire.replies
+      | Wire.Shutdown ->
+          incr down;
+          stop := true
+      | Wire.Bad_request -> stop := true
+    in
+    try_submit 10_000;
+    incr r
+  done;
+  {
+    requests_sent = !sent;
+    ops_acked = !acked;
+    puts_acked = !puts;
+    overloaded = !over;
+    shutdowns = !down;
+    elapsed_ns = 0;
+    seed = cfg.seed;
+  }
+
+let merge a b =
+  {
+    requests_sent = a.requests_sent + b.requests_sent;
+    ops_acked = a.ops_acked + b.ops_acked;
+    puts_acked = List.rev_append b.puts_acked a.puts_acked;
+    overloaded = a.overloaded + b.overloaded;
+    shutdowns = a.shutdowns + b.shutdowns;
+    elapsed_ns = max a.elapsed_ns b.elapsed_ns;
+    seed = a.seed;
+  }
+
+(* Run the closed-loop phase: [cfg.workers] client domains against [srv],
+   wall-clocked around spawn-to-join. *)
+let run srv (cfg : cfg) =
+  let t0 = Monotonic_clock.now () in
+  let domains =
+    List.init cfg.workers (fun wid -> Domain.spawn (worker srv cfg wid))
+  in
+  let outcomes = List.map Domain.join domains in
+  let elapsed = Int64.to_int (Int64.sub (Monotonic_clock.now ()) t0) in
+  match outcomes with
+  | [] ->
+      {
+        requests_sent = 0;
+        ops_acked = 0;
+        puts_acked = [];
+        overloaded = 0;
+        shutdowns = 0;
+        elapsed_ns = elapsed;
+        seed = cfg.seed;
+      }
+  | o :: rest ->
+      let m = List.fold_left merge o rest in
+      { m with elapsed_ns = elapsed }

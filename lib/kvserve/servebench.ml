@@ -1,0 +1,149 @@
+(* Group-persist batching benchmark: drive the closed-loop load generator
+   against a server over a grid of (shard count × batching on/off)
+   configurations, reporting throughput, ack-latency percentiles, realized
+   batch size, and flushes/fences per acknowledged operation.
+
+   The flushes/op column is the experiment's point: with group persist on,
+   a batch's commits coalesce — every distinct cache line flushed once, one
+   fence for the whole batch — so write-heavy overwrite traffic should show
+   clwb/op and sfence/op well below the per-op-persist ablation (group off,
+   same traffic).  Throughput and p50/p99 ack latency quantify what the
+   coalescing costs or buys end-to-end.
+
+   Shared by [bin/kv_bench.exe] (human table) and the bench JSON export's
+   [serve] section, so both always report the same measurement. *)
+
+module J = Obs.Json
+module H = Util.Histogram
+
+type row = {
+  r_index : string;
+  r_shards : int;
+  r_batch : int;
+  r_group : bool;  (** group persist on ([false] = per-op flush ablation) *)
+  r_workers : int;
+  r_ops : int;  (** operations acknowledged *)
+  r_elapsed_ns : int;
+  r_kops : float;  (** acked operations per second, thousands *)
+  r_ack_p50_ns : int;
+  r_ack_p99_ns : int;
+  r_mean_batch : float;  (** realized operations per executed batch *)
+  r_flushes_per_op : float;
+  r_fences_per_op : float;
+  r_overloaded : int;
+  r_seed : int;
+}
+
+(* The serve metrics are process-global named histograms; zero the ones this
+   run will observe so each grid cell reports only its own traffic. *)
+let reset_serve_metrics shards =
+  Obs.Hist.reset (Obs.Hist.v "serve.ack_ns");
+  for sid = 0 to shards - 1 do
+    Obs.Hist.reset (Obs.Hist.v (Printf.sprintf "serve.batch_ops.%d" sid))
+  done
+
+let run_one ~(make : unit -> Server.partition) ~shards ~batch ~group
+    ?(workers = 2) ?(requests = 100) ?(ops_per_request = 16)
+    ?(write_pct = 100) ?(key_space = 64) ?(seed = 42) () =
+  let parts = Array.init shards (fun _ -> make ()) in
+  let cfg =
+    {
+      Server.shards;
+      batch;
+      queue_cap = max (4 * batch) (workers * ops_per_request);
+      group_persist = group;
+    }
+  in
+  reset_serve_metrics shards;
+  let s0 = Pmem.Stats.snapshot () in
+  let srv = Server.start cfg parts in
+  let lcfg =
+    {
+      Loadgen.default_cfg with
+      workers;
+      requests;
+      ops_per_request;
+      write_pct;
+      read_space = key_space;
+      mode = Loadgen.Overwrite key_space;
+      seed;
+    }
+  in
+  let out = Loadgen.run srv lcfg in
+  Server.stop srv;
+  let d = Pmem.Stats.diff (Pmem.Stats.snapshot ()) s0 in
+  let ack = Obs.Hist.merged (Server.ack_hist srv) in
+  let batches = H.create () in
+  for sid = 0 to shards - 1 do
+    H.merge batches
+      (Obs.Hist.merged (Obs.Hist.v (Printf.sprintf "serve.batch_ops.%d" sid)))
+  done;
+  let ops = out.Loadgen.ops_acked in
+  let fops = float_of_int (max 1 ops) in
+  {
+    r_index = parts.(0).Server.p_name;
+    r_shards = shards;
+    r_batch = batch;
+    r_group = group;
+    r_workers = workers;
+    r_ops = ops;
+    r_elapsed_ns = out.Loadgen.elapsed_ns;
+    r_kops =
+      fops /. (float_of_int (max 1 out.Loadgen.elapsed_ns) /. 1e9) /. 1e3;
+    r_ack_p50_ns = H.percentile ack 0.50;
+    r_ack_p99_ns = H.percentile ack 0.99;
+    r_mean_batch = H.mean batches;
+    r_flushes_per_op = float_of_int d.Pmem.Stats.s_clwb /. fops;
+    r_fences_per_op = float_of_int d.Pmem.Stats.s_sfence /. fops;
+    r_overloaded = out.Loadgen.overloaded;
+    r_seed = out.Loadgen.seed;
+  }
+
+(* The standard grid: every shard count × {group on, group off}, identical
+   traffic (same seed) in each cell. *)
+let run_grid ~make ~shard_counts ~batch ?workers ?requests ?ops_per_request
+    ?write_pct ?key_space ?seed () =
+  List.concat_map
+    (fun shards ->
+      List.map
+        (fun group ->
+          run_one ~make ~shards ~batch ~group ?workers ?requests
+            ?ops_per_request ?write_pct ?key_space ?seed ())
+        [ true; false ])
+    shard_counts
+
+let row_json r =
+  J.Obj
+    [
+      ("index", J.Str r.r_index);
+      ("shards", J.int r.r_shards);
+      ("batch", J.int r.r_batch);
+      ("group_persist", J.Bool r.r_group);
+      ("workers", J.int r.r_workers);
+      ("ops_acked", J.int r.r_ops);
+      ("elapsed_ns", J.int r.r_elapsed_ns);
+      ("kops", J.Num r.r_kops);
+      ("ack_p50_ns", J.int r.r_ack_p50_ns);
+      ("ack_p99_ns", J.int r.r_ack_p99_ns);
+      ("mean_batch_ops", J.Num r.r_mean_batch);
+      ("clwb_per_op", J.Num r.r_flushes_per_op);
+      ("sfence_per_op", J.Num r.r_fences_per_op);
+      ("overloaded", J.int r.r_overloaded);
+      ("seed", J.int r.r_seed);
+    ]
+
+let rows_json rows = J.List (List.map row_json rows)
+
+let print_header () =
+  Printf.printf "%-10s %6s %6s %6s %10s %9s %11s %11s %10s %10s %10s\n"
+    "index" "shards" "batch" "group" "ops" "kops/s" "p50_ack_us" "p99_ack_us"
+    "mean_batch" "clwb/op" "sfence/op"
+
+let print_row r =
+  Printf.printf "%-10s %6d %6d %6s %10d %9.1f %11.1f %11.1f %10.2f %10.2f %10.2f\n"
+    r.r_index r.r_shards r.r_batch
+    (if r.r_group then "on" else "off")
+    r.r_ops r.r_kops
+    (float_of_int r.r_ack_p50_ns /. 1e3)
+    (float_of_int r.r_ack_p99_ns /. 1e3)
+    r.r_mean_batch r.r_flushes_per_op r.r_fences_per_op

@@ -1,0 +1,207 @@
+(* Crash-mid-serving campaign: the server-path extension of
+   {!Crashtest.recovery_under_load_campaign}.
+
+   Per state:
+
+   1. preload [load] keys *through the server* (submit blocks until the
+      batch fence, so every reply is an acknowledgement);
+   2. arm a seed-deterministic {!Faultinject.random_plan} and run
+      closed-loop client traffic; some shard worker crashes mid-batch, the
+      server declares itself dead, in-flight and queued requests fail with
+      [Shutdown] (never acknowledged);
+   3. power-fail (every unflushed line discarded — including the crashed
+      batch's deferred commit lines), run each partition's timed recovery
+      and reclaiming leak sweep;
+   4. restart the server on the recovered partitions, resume client
+      traffic, then verify every acknowledged binding from all phases via
+      served gets, plus a served scan's global order (ordered partitions).
+
+   Zero lost acknowledged operations ([base.lost_keys = 0]) is the
+   acceptance invariant: an acked put was group-fenced before its reply was
+   sent, so it must survive the crash. *)
+
+let fresh_env () =
+  Pmem.Crash.disarm ();
+  Pmem.Mode.set_shadow true;
+  ignore (Pmem.persist_everything ());
+  Util.Lock.new_epoch ()
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+(* Preload through the server; returns the acked flags. *)
+let preload srv load =
+  let completed = Array.make (load + 1) false in
+  let chunk = 16 in
+  let k = ref 1 in
+  while !k <= load do
+    let hi = min load (!k + chunk - 1) in
+    let ops = ref [] in
+    for i = hi downto !k do
+      ops :=
+        Wire.Put (Util.Keys.encode_int i, Loadgen.value_of_key i) :: !ops
+    done;
+    let resp = Server.submit srv { Wire.rid = !k; ops = !ops } in
+    (if resp.Wire.status = Wire.Ok then
+       List.iteri
+         (fun j r ->
+           match r with
+           | Wire.Done true -> completed.(!k + j) <- true
+           | _ -> ())
+         resp.Wire.replies);
+    k := hi + 1
+  done;
+  completed
+
+let traffic_cfg ~workers ~ops ~load ~key_base ~seed =
+  {
+    Loadgen.workers;
+    requests = max 1 (ops / workers / 4);
+    ops_per_request = 4;
+    write_pct = 50;
+    scan_pct = 0;
+    scan_len = 16;
+    read_space = load;
+    mode = Loadgen.Fresh_keys;
+    key_base;
+    seed;
+  }
+
+let campaign ~make ~(cfg : Server.config) ~states ~load ~ops ~workers ~seed ()
+    : Crashtest.load_report =
+  let rng = Util.Rng.create seed in
+  let mk_parts () = Array.init cfg.shards make in
+  (* Preview: measure the traffic phase's substrate event count so random
+     plans land inside it. *)
+  let max_events =
+    fresh_env ();
+    let parts = mk_parts () in
+    let srv = Server.start cfg parts in
+    ignore (preload srv load);
+    let ev =
+      Faultinject.count_events (fun () ->
+          ignore
+            (Loadgen.run srv
+               (traffic_cfg ~workers ~ops ~load ~key_base:(load + 1)
+                  ~seed)))
+    in
+    Server.stop srv;
+    max 1 ev.Faultinject.flushes
+  in
+  let crashes = ref 0 and lost = ref 0 and wrong = ref 0 and stalled = ref 0 in
+  let faults0 = Faultinject.fire_count () in
+  let recoveries = ref 0 and recover_ns = ref 0 in
+  let sweep_stats = ref Recipe.Recovery.zero in
+  for state = 1 to states do
+    fresh_env ();
+    let parts = mk_parts () in
+    let srv = Server.start cfg parts in
+    let completed = preload srv load in
+    (* Phase 1: traffic under an armed fault plan. *)
+    Faultinject.arm (Faultinject.random_plan rng ~max_events);
+    let out1 =
+      Loadgen.run srv
+        (traffic_cfg ~workers ~ops ~load ~key_base:(load + 1)
+           ~seed:(seed + (1000 * state)))
+    in
+    if Server.crashed srv then incr crashes;
+    Server.stop srv;
+    Faultinject.disarm ();
+    Pmem.Crash.disarm ();
+    Pmem.sanitize_sync ();
+    (* Phase 2: power failure, per-partition timed recovery, leak sweep. *)
+    Pmem.simulate_power_failure ();
+    Array.iter
+      (fun (p : Server.partition) ->
+        incr recoveries;
+        let t0 = now_ns () in
+        (try p.Server.p_recover () with _ -> incr stalled);
+        recover_ns := !recover_ns + (now_ns () - t0);
+        match p.Server.p_sweep with
+        | Some sw -> (
+            try sweep_stats := Recipe.Recovery.add !sweep_stats (sw ())
+            with _ -> incr stalled)
+        | None -> ())
+      parts;
+    (* Phase 3: resumed serving on the recovered partitions. *)
+    let srv2 = Server.start cfg parts in
+    let out2 =
+      Loadgen.run srv2
+        (traffic_cfg ~workers ~ops ~load ~key_base:(load + 100_001)
+           ~seed:(seed + (1000 * state) + 1))
+    in
+    (* Verification, through the serving path. *)
+    let get k =
+      let resp =
+        Server.submit srv2
+          { Wire.rid = 0; ops = [ Wire.Get (Util.Keys.encode_int k) ] }
+      in
+      match (resp.Wire.status, resp.Wire.replies) with
+      | Wire.Ok, [ Wire.Found v ] -> Some v
+      | Wire.Ok, [ Wire.Absent ] -> None
+      | _ ->
+          incr stalled;
+          None
+    in
+    let check k v =
+      match get k with
+      | Some v' -> if v' <> v then incr wrong
+      | None -> incr lost
+    in
+    let expected = ref [] in
+    for i = load downto 1 do
+      if completed.(i) then expected := (i, Loadgen.value_of_key i) :: !expected
+    done;
+    let acked =
+      List.rev_append out1.Loadgen.puts_acked out2.Loadgen.puts_acked
+    in
+    List.iter (fun (k, v) -> check k v) !expected;
+    List.iter (fun (k, v) -> check k v) acked;
+    (* Served-scan consistency (ordered partitions only): ascending global
+       key order and every acknowledged binding present. *)
+    (match (Array.length parts > 0, parts.(0).Server.p_scan) with
+    | true, Some _ ->
+        let resp =
+          Server.submit srv2
+            {
+              Wire.rid = 0;
+              ops = [ Wire.Scan (Util.Keys.encode_int 0, 65535) ];
+            }
+        in
+        (match (resp.Wire.status, resp.Wire.replies) with
+        | Wire.Ok, [ Wire.Scanned items ] ->
+            let rec sorted = function
+              | (a, _) :: ((b, _) :: _ as rest) ->
+                  if String.compare a b >= 0 then incr wrong;
+                  sorted rest
+              | [ _ ] | [] -> ()
+            in
+            sorted items;
+            let tbl = Hashtbl.create (List.length items) in
+            List.iter (fun (k, v) -> Hashtbl.replace tbl k v) items;
+            List.iter
+              (fun (k, v) ->
+                match Hashtbl.find_opt tbl (Util.Keys.encode_int k) with
+                | Some v' -> if v' <> v then incr wrong
+                | None -> incr lost)
+              (!expected @ acked)
+        | _ -> incr stalled)
+    | _ -> ());
+    Server.stop srv2
+  done;
+  Pmem.Mode.set_shadow false;
+  Pmem.Crash.disarm ();
+  Faultinject.disarm ();
+  {
+    Crashtest.base =
+      {
+        Crashtest.states_tested = states;
+        crashes_fired = !crashes;
+        lost_keys = !lost;
+        wrong_values = !wrong;
+        stalled = !stalled;
+      };
+    faults_injected = Faultinject.fire_count () - faults0;
+    recoveries = !recoveries;
+    recover_ns = !recover_ns;
+    sweep_stats = !sweep_stats;
+  }

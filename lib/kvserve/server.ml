@@ -1,0 +1,503 @@
+(* Sharded request router with group-persist batching.
+
+   Keys are hash-partitioned across [shards] partitions, each owned by one
+   worker domain draining a bounded MPSC queue.  A worker dequeues up to
+   [batch] operations, applies them against its partition, and — in
+   group-persist mode — issues one {!Recipe.Persist.group_flush} for the
+   whole batch (every deferred commit line flushed once, one fence) before
+   acknowledging any of the batch's clients.  Acknowledged writes are
+   therefore durable exactly as in per-operation mode; an unacknowledged
+   write may be lost wholesale by a crash, which is the group-commit
+   contract (DESIGN.md §10 gives the persistence argument).
+
+   Partition exclusivity is the concurrency keystone: a partition is only
+   ever touched by its shard worker, so index operations never contend
+   across workers, and a worker that crashes mid-operation (fault
+   injection) cannot leave a lock that another worker spins on.
+
+   Backpressure is explicit: a request whose operations do not all fit in
+   their target shards' queues is rejected with [Overloaded] having
+   enqueued nothing — shard mutexes are taken in ascending id order, every
+   capacity check passes before the first push, so an op is never lost or
+   double-applied on the rejection path (asserted by the backpressure
+   test). *)
+
+(* One key-partition of the service: an index instance restricted to the
+   keys that hash to its shard.  [p_scan] is [None] for unordered (hash)
+   partitions.  [p_insert] has upsert semantics where the index supports
+   update, put-if-absent otherwise. *)
+type partition = {
+  p_name : string;
+  p_insert : string -> int -> bool;
+  p_lookup : string -> int option;
+  p_delete : string -> bool;
+  p_scan : (string -> int -> (string * int) list) option;
+  p_recover : unit -> unit;
+  p_sweep : (unit -> Recipe.Recovery.stats) option;
+}
+
+type config = {
+  shards : int;
+  batch : int;  (** max operations coalesced into one group persist *)
+  queue_cap : int;  (** per-shard queue bound, in operations *)
+  group_persist : bool;  (** [false]: per-op flush+fence (the ablation) *)
+}
+
+let default_config =
+  { shards = 2; batch = 32; queue_cap = 256; group_persist = true }
+
+(* FNV-1a, folded to 62 bits so shard selection stays positive. *)
+let hash_key k =
+  let h = ref 0x4BF29CE484222325 (* FNV offset basis, top bit dropped *) in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x100000001B3)
+    k;
+  !h land max_int
+
+let shard_of_key cfg k = hash_key k mod cfg.shards
+
+(* --- request completion -------------------------------------------------- *)
+
+(* Scan results arrive per shard; the submitter merges once all have
+   contributed.  [unsupported] latches if any partition lacks scan. *)
+type scan_acc = {
+  want : int;
+  parts : (string * int) list array;
+  mutable unsupported : bool;
+}
+
+type slot = Unfilled | Direct of Wire.reply | Scan_parts of scan_acc
+
+(* Completion cell shared by the submitter and every worker holding one of
+   the request's items.  [pmu] is a leaf lock: it is only ever taken while
+   holding no shard mutex (submit) or after releasing it (workers). *)
+type pending = {
+  pmu : Mutex.t;
+  pcond : Condition.t;
+  slots : slot array;
+  mutable remaining : int;
+  mutable aborted : bool;  (* a contributing worker crashed / shut down *)
+}
+
+type item = { op : Wire.op; opi : int; pend : pending }
+
+(* --- shards -------------------------------------------------------------- *)
+
+type shard = {
+  sid : int;
+  part : partition;
+  smu : Mutex.t;
+  nonempty : Condition.t;
+  ring : item option array;
+  mutable head : int;
+  mutable len : int;
+  mutable stopping : bool;  (* drain remaining work, then exit *)
+  mutable dead : bool;  (* crashed: fail remaining work, reject new *)
+  m_depth : Obs.Hist.t;  (* queue depth sampled at enqueue *)
+  m_batch : Obs.Hist.t;  (* operations per executed batch *)
+}
+
+type t = {
+  cfg : config;
+  shards_ : shard array;
+  crashed : bool Atomic.t;
+  mutable workers : unit Domain.t list;
+  c_ops : Obs.Counter.t;
+  c_batches : Obs.Counter.t;
+  c_overloaded : Obs.Counter.t;
+  c_group_lines : Obs.Counter.t;
+  m_ack : Obs.Hist.t;  (* submit-to-ack latency, successful requests *)
+}
+
+let crashed t = Atomic.get t.crashed
+
+let shard_metrics t sid = (t.shards_.(sid).m_depth, t.shards_.(sid).m_batch)
+let ack_hist t = t.m_ack
+let partitions t = Array.map (fun sh -> sh.part) t.shards_
+
+(* --- completion plumbing ------------------------------------------------- *)
+
+let contribute it sid reply =
+  let p = it.pend in
+  Mutex.lock p.pmu;
+  (match p.slots.(it.opi) with
+  | Scan_parts acc -> (
+      match reply with
+      | Wire.Scanned items -> acc.parts.(sid) <- items
+      | Wire.Unsupported -> acc.unsupported <- true
+      | _ -> acc.unsupported <- true)
+  | _ -> p.slots.(it.opi) <- Direct reply);
+  p.remaining <- p.remaining - 1;
+  if p.remaining = 0 then Condition.broadcast p.pcond;
+  Mutex.unlock p.pmu
+
+let abort_item it =
+  let p = it.pend in
+  Mutex.lock p.pmu;
+  p.aborted <- true;
+  p.remaining <- p.remaining - 1;
+  if p.remaining = 0 then Condition.broadcast p.pcond;
+  Mutex.unlock p.pmu
+
+(* Merge per-shard sorted scan fragments: shards hold disjoint keys, so a
+   global sort of the concatenation is the global key order. *)
+let assemble_scan acc =
+  if acc.unsupported then Wire.Unsupported
+  else begin
+    let all =
+      Array.fold_left (fun l p -> List.rev_append p l) [] acc.parts
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    in
+    let rec take n = function
+      | x :: rest when n > 0 -> x :: take (n - 1) rest
+      | _ -> []
+    in
+    Wire.Scanned (take acc.want all)
+  end
+
+(* --- worker -------------------------------------------------------------- *)
+
+let apply part op =
+  match op with
+  | Wire.Get k -> (
+      match part.p_lookup k with Some v -> Wire.Found v | None -> Wire.Absent)
+  | Wire.Put (k, v) -> Wire.Done (part.p_insert k v)
+  | Wire.Delete k -> Wire.Done (part.p_delete k)
+  | Wire.Scan (k, n) -> (
+      match part.p_scan with
+      | Some scan -> Wire.Scanned (scan k n)
+      | None -> Wire.Unsupported)
+
+let pop sh =
+  match sh.ring.(sh.head) with
+  | None -> assert false
+  | Some it ->
+      sh.ring.(sh.head) <- None;
+      sh.head <- (sh.head + 1) mod Array.length sh.ring;
+      sh.len <- sh.len - 1;
+      it
+
+(* Crash path: declare the whole server dead (a process crash takes every
+   shard down), wake all workers so they fail-drain their queues. *)
+let kill t =
+  Atomic.set t.crashed true;
+  Array.iter
+    (fun sh ->
+      Mutex.lock sh.smu;
+      sh.dead <- true;
+      Condition.broadcast sh.nonempty;
+      Mutex.unlock sh.smu)
+    t.shards_
+
+let worker t sh =
+  let batch_buf = Array.make t.cfg.batch None in
+  let replies = Array.make t.cfg.batch Wire.Absent in
+  let running = ref true in
+  while !running do
+    Mutex.lock sh.smu;
+    while sh.len = 0 && not sh.stopping && not sh.dead do
+      Condition.wait sh.nonempty sh.smu
+    done;
+    if sh.dead then begin
+      (* Fail-drain: every queued op gets an aborted completion so no
+         submitter blocks forever; none is applied. *)
+      while sh.len > 0 do
+        let it = pop sh in
+        Mutex.unlock sh.smu;
+        abort_item it;
+        Mutex.lock sh.smu
+      done;
+      Mutex.unlock sh.smu;
+      running := false
+    end
+    else if sh.len = 0 (* && stopping *) then begin
+      Mutex.unlock sh.smu;
+      running := false
+    end
+    else begin
+      let n = min t.cfg.batch sh.len in
+      for i = 0 to n - 1 do
+        batch_buf.(i) <- Some (pop sh)
+      done;
+      Mutex.unlock sh.smu;
+      Obs.Hist.observe sh.m_batch n;
+      match
+        for i = 0 to n - 1 do
+          match batch_buf.(i) with
+          | Some it -> replies.(i) <- apply sh.part it.op
+          | None -> assert false
+        done;
+        (* The batch fence: after this, every operation above is durable
+           and may be acknowledged. *)
+        if t.cfg.group_persist then
+          Obs.Counter.add t.c_group_lines (Recipe.Persist.group_flush ())
+      with
+      | () ->
+          for i = 0 to n - 1 do
+            match batch_buf.(i) with
+            | Some it ->
+                contribute it sh.sid replies.(i);
+                batch_buf.(i) <- None
+            | None -> ()
+          done;
+          Obs.Counter.add t.c_ops n;
+          Obs.Counter.incr t.c_batches
+      | exception e ->
+          (* Injected crash (or any fault) mid-batch: the batch is abandoned
+             wholesale.  Deferred commit lines are dropped un-flushed — the
+             power failure that follows a crash discards them anyway, and
+             none of these ops was acknowledged. *)
+          (match e with
+          | Pmem.Crash.Simulated_crash | Pmem.Fault.Alloc_failed _ -> ()
+          | e ->
+              (* Unexpected exception: still take the server down rather
+                 than hang clients, but surface the error for tests. *)
+              Printf.eprintf "kvserve worker %d: %s\n%!" sh.sid
+                (Printexc.to_string e));
+          Recipe.Persist.group_reset ();
+          kill t;
+          for i = 0 to n - 1 do
+            match batch_buf.(i) with
+            | Some it ->
+                abort_item it;
+                batch_buf.(i) <- None
+            | None -> ()
+          done;
+          running := false
+    end
+  done
+
+(* --- lifecycle ----------------------------------------------------------- *)
+
+let start cfg parts =
+  if cfg.shards <= 0 then invalid_arg "Server.start: shards must be positive";
+  if cfg.batch <= 0 then invalid_arg "Server.start: batch must be positive";
+  if cfg.queue_cap < cfg.batch then
+    invalid_arg "Server.start: queue_cap must be >= batch";
+  if Array.length parts <> cfg.shards then
+    invalid_arg "Server.start: one partition per shard required";
+  let shards_ =
+    Array.init cfg.shards (fun sid ->
+        {
+          sid;
+          part = parts.(sid);
+          smu = Mutex.create ();
+          nonempty = Condition.create ();
+          ring = Array.make cfg.queue_cap None;
+          head = 0;
+          len = 0;
+          stopping = false;
+          dead = false;
+          m_depth = Obs.Hist.v (Printf.sprintf "serve.queue_depth.%d" sid);
+          m_batch = Obs.Hist.v (Printf.sprintf "serve.batch_ops.%d" sid);
+        })
+  in
+  let t =
+    {
+      cfg;
+      shards_;
+      crashed = Atomic.make false;
+      workers = [];
+      c_ops = Obs.Counter.v "serve.ops";
+      c_batches = Obs.Counter.v "serve.batches";
+      c_overloaded = Obs.Counter.v "serve.overloaded";
+      c_group_lines = Obs.Counter.v "serve.group_lines";
+      m_ack = Obs.Hist.v "serve.ack_ns";
+    }
+  in
+  Recipe.Persist.set_group cfg.group_persist;
+  t.workers <-
+    List.init cfg.shards (fun sid ->
+        Domain.spawn (fun () -> worker t shards_.(sid)));
+  t
+
+(* Stop serving: drain queued work (unless crashed, in which case workers
+   fail-drain), join every worker, leave group mode.  After [stop] no batch
+   is mid-flight, so a campaign may power-fail / recover the partitions. *)
+let stop t =
+  Array.iter
+    (fun sh ->
+      Mutex.lock sh.smu;
+      sh.stopping <- true;
+      Condition.broadcast sh.nonempty;
+      Mutex.unlock sh.smu)
+    t.shards_;
+  List.iter Domain.join t.workers;
+  t.workers <- [];
+  Recipe.Persist.set_group false
+
+(* --- submit (the in-process transport) ----------------------------------- *)
+
+let ok_response rid replies = { Wire.rrid = rid; status = Wire.Ok; replies }
+let status_response rid status = { Wire.rrid = rid; status; replies = [] }
+
+(* Route one request's ops: returns the per-shard item lists and the
+   completion cell, or [None] for an empty request. *)
+let route t (req : Wire.request) =
+  let nshards = t.cfg.shards in
+  let ops = Array.of_list req.ops in
+  let nops = Array.length ops in
+  if nops = 0 then None
+  else begin
+    let slots = Array.make nops Unfilled in
+    let per_shard = Array.make nshards [] in
+    let total = ref 0 in
+    let pend =
+      {
+        pmu = Mutex.create ();
+        pcond = Condition.create ();
+        slots;
+        remaining = 0;
+        aborted = false;
+      }
+    in
+    for opi = nops - 1 downto 0 do
+      match ops.(opi) with
+      | Wire.Scan (_, want) ->
+          slots.(opi) <-
+            Scan_parts
+              { want; parts = Array.make nshards []; unsupported = false };
+          for sid = 0 to nshards - 1 do
+            per_shard.(sid) <- { op = ops.(opi); opi; pend } :: per_shard.(sid)
+          done;
+          total := !total + nshards
+      | (Wire.Get k | Wire.Put (k, _) | Wire.Delete k) as op ->
+          let sid = shard_of_key t.cfg k in
+          per_shard.(sid) <- { op; opi; pend } :: per_shard.(sid);
+          incr total
+    done;
+    pend.remaining <- !total;
+    Some (pend, per_shard)
+  end
+
+exception Reject of Wire.status
+
+(* All-or-nothing enqueue: take the target shards' mutexes in ascending id
+   order, verify every shard is alive and has room, and only then push.  On
+   any failure nothing has been enqueued. *)
+let enqueue t per_shard =
+  let nshards = Array.length per_shard in
+  let needed = Array.map List.length per_shard in
+  let locked = Array.make nshards false in
+  let unlock_all () =
+    for sid = 0 to nshards - 1 do
+      if locked.(sid) then begin
+        locked.(sid) <- false;
+        Mutex.unlock t.shards_.(sid).smu
+      end
+    done
+  in
+  match
+    for sid = 0 to nshards - 1 do
+      if needed.(sid) > 0 then begin
+        let sh = t.shards_.(sid) in
+        Mutex.lock sh.smu;
+        locked.(sid) <- true;
+        if sh.dead || sh.stopping then raise (Reject Wire.Shutdown);
+        if sh.len + needed.(sid) > t.cfg.queue_cap then
+          raise (Reject Wire.Overloaded)
+      end
+    done
+  with
+  | () ->
+      for sid = 0 to nshards - 1 do
+        if needed.(sid) > 0 then begin
+          let sh = t.shards_.(sid) in
+          List.iter
+            (fun it ->
+              let tail = (sh.head + sh.len) mod Array.length sh.ring in
+              sh.ring.(tail) <- Some it;
+              sh.len <- sh.len + 1)
+            per_shard.(sid);
+          Obs.Hist.observe sh.m_depth sh.len;
+          Condition.broadcast sh.nonempty
+        end
+      done;
+      unlock_all ();
+      None
+  | exception Reject status ->
+      unlock_all ();
+      Some status
+
+(* Submit a request and block until every op completes (the in-process
+   transport; connection handlers call this per decoded frame).  Returns
+   [Overloaded]/[Shutdown] without applying anything when rejected. *)
+let submit t (req : Wire.request) =
+  match route t req with
+  | None -> ok_response req.rid []
+  | Some (pend, per_shard) -> (
+      if Atomic.get t.crashed then status_response req.rid Wire.Shutdown
+      else
+        let t0 = Monotonic_clock.now () in
+        match enqueue t per_shard with
+        | Some Wire.Overloaded ->
+            Obs.Counter.incr t.c_overloaded;
+            status_response req.rid Wire.Overloaded
+        | Some status -> status_response req.rid status
+        | None ->
+            Mutex.lock pend.pmu;
+            while pend.remaining > 0 do
+              Condition.wait pend.pcond pend.pmu
+            done;
+            let aborted = pend.aborted in
+            Mutex.unlock pend.pmu;
+            if aborted then status_response req.rid Wire.Shutdown
+            else begin
+              Obs.Hist.observe t.m_ack
+                (Int64.to_int (Int64.sub (Monotonic_clock.now ()) t0));
+              ok_response req.rid
+                (Array.to_list
+                   (Array.map
+                      (function
+                        | Direct r -> r
+                        | Scan_parts acc -> assemble_scan acc
+                        | Unfilled -> assert false)
+                      pend.slots))
+            end)
+
+(* --- framed connection (codec-exercising transport) ----------------------- *)
+
+(* Incremental frame processor shared by the in-process tests and the TCP
+   front-end: feed raw bytes in, get raw response bytes out.  A malformed
+   frame produces one [Bad_request] response and poisons the connection
+   (subsequent bytes are discarded — resynchronizing inside a corrupt
+   binary stream is not possible). *)
+module Conn = struct
+  type conn = {
+    srv : t;
+    inbuf : Buffer.t;
+    mutable consumed : int;
+    mutable broken : bool;
+  }
+
+  let create srv = { srv; inbuf = Buffer.create 256; consumed = 0; broken = false }
+
+  let broken c = c.broken
+
+  let feed c bytes =
+    if c.broken then ""
+    else begin
+      Buffer.add_string c.inbuf bytes;
+      let data = Buffer.contents c.inbuf in
+      let out = Buffer.create 64 in
+      let rec step pos =
+        match Wire.decode_request data pos with
+        | `Ok (req, pos') ->
+            Wire.encode_response out (submit c.srv req);
+            step pos'
+        | `Need_more -> pos
+        | `Malformed _ ->
+            Wire.encode_response out (status_response 0 Wire.Bad_request);
+            c.broken <- true;
+            String.length data
+      in
+      let pos = step c.consumed in
+      c.consumed <- pos;
+      (* Compact once everything buffered has been consumed. *)
+      if c.consumed = String.length data then begin
+        Buffer.clear c.inbuf;
+        c.consumed <- 0
+      end;
+      Buffer.contents out
+    end
+end

@@ -59,6 +59,10 @@ let line_of_index i = i lsr 3
 let n_lines len = (len + slots_per_line - 1) / slots_per_line
 let length t = t.len
 
+(** Process-global line number of the line containing slot [i] (same
+    identifier space as {!Line_id}) — see {!Words.global_line}. *)
+let global_line t i = t.base_line + line_of_index i
+
 let read_slot t i =
   match t.repr with
   | Flat c ->

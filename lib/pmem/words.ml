@@ -65,6 +65,12 @@ let line_of_index i = i lsr 3
 let n_lines len = (len + words_per_line - 1) / words_per_line
 let length t = t.len
 
+(** Process-global line number of the line containing word [i] — the same
+    identifier space as {!Line_id}, {!Llc} and the fault/sanitizer hooks.
+    Lets callers that defer flushes (the group-persist batch executor)
+    deduplicate per cache line across objects. *)
+let global_line t i = t.base_line + line_of_index i
+
 (* --- dirty-line bitset -------------------------------------------------- *)
 
 let bitset_make n_lines all_dirty =

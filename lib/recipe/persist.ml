@@ -25,6 +25,112 @@ let naive = ref false
     bench); [false] restores coalesced flushing. *)
 let set_naive b = naive := b
 
+(* --- group-commit deferral (the kvserve batch executor's mode) -----------
+
+   Per-operation persistence pays one commit flush + one fence per write.
+   The service layer's group-persist executor amortizes that cost: while
+   [group] is on, the commit combinators perform their store (the operation
+   becomes *visible* immediately, exactly as before) but defer the trailing
+   clwb + sfence, recording the commit's cache line in a per-domain table;
+   {!group_flush} then flushes every recorded line once — deduplicated per
+   line, which is where the flushes/op saving comes from — and issues a
+   single fence for the whole batch.  The executor acknowledges its clients
+   only after that fence, so an acknowledged operation is durable, same as
+   per-op mode; an unacknowledged one may be lost wholesale by a crash,
+   which is the standard group-commit contract.
+
+   Ordering safety: only the *commit* flush+fence is deferred.  Explicit
+   ordering flushes ([flush], [persist_new_*]) — the "previous state is
+   persisted first" actions of Condition #2 — still execute eagerly, so
+   every deferred commit's prerequisites are durable by the time the commit
+   word itself is flushed.  A crash therefore loses some suffix-subset of
+   the deferred single-word commits, each of which is individually a legal
+   pre/post state — the same states per-operation crash testing already
+   explores — plus unreachable (leak-swept) garbage.  DESIGN.md §10 gives
+   the full argument.
+
+   The deferral table is per-domain (same slot discipline as {!Obs.Shard}).
+   Two live domains almost never share a slot (ids of domains spawned
+   together are consecutive), but a collision must stay *safe*, not just
+   unlikely, so every slot carries a mutex — uncontended in the common case.
+   Collisions are semantically benign: a colliding domain flushing another
+   worker's deferred line is indistinguishable from a cache eviction, which
+   PM code must tolerate anywhere, and the line is then persisted strictly
+   earlier than the owner's batch fence — never later than its ack.
+   [group] itself is flipped only between serving phases, never concurrently
+   with index operations. *)
+
+let group = ref false
+
+let group_slots = 128
+
+(* line id -> the flush thunk that persists it (first recording wins; any
+   thunk for the line flushes the same bytes). *)
+let group_tbl : (int, unit -> unit) Hashtbl.t array =
+  Array.init group_slots (fun _ -> Hashtbl.create 64)
+
+let group_mu : Mutex.t array = Array.init group_slots (fun _ -> Mutex.create ())
+
+let[@inline] slot_id () = (Domain.self () :> int) land (group_slots - 1)
+
+(* Run [f] on the calling domain's table, slot mutex held.  [f] may raise
+   ([Simulated_crash] from an injected fault inside a flush thunk) — the
+   mutex must be released on that path too. *)
+let with_slot f =
+  let s = slot_id () in
+  let mu = Array.unsafe_get group_mu s in
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) (fun () ->
+      f (Array.unsafe_get group_tbl s))
+
+(** Enable/disable group-commit deferral.  Disabling clears every domain's
+    pending table (a server stopping mid-batch must not leak deferred lines
+    into the next phase). *)
+let set_group b =
+  group := b;
+  if not b then
+    Array.iteri
+      (fun i t ->
+        Mutex.lock group_mu.(i);
+        Hashtbl.reset t;
+        Mutex.unlock group_mu.(i))
+      group_tbl
+
+let group_enabled () = !group
+
+let defer line thunk =
+  with_slot (fun t -> if not (Hashtbl.mem t line) then Hashtbl.add t line thunk)
+
+(* An explicit flush of a deferred line supersedes the deferred one (and
+   avoids a redundant clwb at batch end, which the sanitizer would report). *)
+let group_drop line = with_slot (fun t -> Hashtbl.remove t line)
+
+(** Deferred commit lines recorded by the calling domain. *)
+let group_pending () = with_slot Hashtbl.length
+
+(** Forget the calling domain's deferred lines without flushing — the
+    crashed-worker path: a simulated power failure discards those lines
+    anyway. *)
+let group_reset () = with_slot Hashtbl.reset
+
+(** Flush every line the calling domain deferred (each exactly once), then
+    issue one fence for the whole batch.  No-op when nothing is pending, so
+    a read-only batch costs no fence.  Returns the number of lines
+    flushed — the executor's mean-batch-coalescing metric. *)
+let group_flush ?site () =
+  with_slot (fun t ->
+      let n = Hashtbl.length t in
+      if n > 0 then begin
+        (* Reset before running thunks: a thunk may crash (injected fault),
+           and the batch is then abandoned wholesale — [group_reset] by the
+           catcher must not replay half of it. *)
+        let thunks = Hashtbl.fold (fun _ th acc -> th :: acc) t [] in
+        Hashtbl.reset t;
+        List.iter (fun th -> th ()) thunks;
+        Pmem.sfence ?site ()
+      end;
+      n)
+
 (* Every combinator takes an optional [?site] (an {!Obs.Site.t}: index ×
    structural location) forwarded to the flush/fence primitives, feeding the
    per-site attribution of the bench JSON export.
@@ -68,28 +174,38 @@ let store_ref ?site r i v =
   end
 
 (** Commit store: make the operation visible and durable.  Flush + fence
-    always. *)
+    always — or, in group mode, deferred to the batch's {!group_flush} (the
+    publication check is skipped too: the line is intentionally unpersisted
+    until the batch fence, and the executor acks only after it). *)
 let commit ?site w i v =
   if sanitizing () then begin
     Pmem.Sanhook.set_site site;
     Pmem.Words.set w i v;
     Pmem.Sanhook.clear_site ();
-    Pmem.Words.sanitize_publish ?site w i
+    if not !group then Pmem.Words.sanitize_publish ?site w i
   end
   else Pmem.Words.set w i v;
-  Pmem.Words.clwb ?site w i;
-  Pmem.sfence ?site ()
+  if !group then
+    defer (Pmem.Words.global_line w i) (fun () -> Pmem.Words.clwb ?site w i)
+  else begin
+    Pmem.Words.clwb ?site w i;
+    Pmem.sfence ?site ()
+  end
 
 let commit_ref ?site r i v =
   if sanitizing () then begin
     Pmem.Sanhook.set_site site;
     Pmem.Refs.set r i v;
     Pmem.Sanhook.clear_site ();
-    Pmem.Refs.sanitize_publish ?site r i
+    if not !group then Pmem.Refs.sanitize_publish ?site r i
   end
   else Pmem.Refs.set r i v;
-  Pmem.Refs.clwb ?site r i;
-  Pmem.sfence ?site ()
+  if !group then
+    defer (Pmem.Refs.global_line r i) (fun () -> Pmem.Refs.clwb ?site r i)
+  else begin
+    Pmem.Refs.clwb ?site r i;
+    Pmem.sfence ?site ()
+  end
 
 (** Commit CAS: the single-CAS visibility points of Condition #1/#2 indexes
     (BwTree mapping-table install, pointer swaps).  Flushes only when the CAS
@@ -100,12 +216,15 @@ let commit_cas_ref ?site r i ~expected ~desired =
   let ok = Pmem.Refs.cas r i ~expected ~desired in
   if sanitizing () then begin
     Pmem.Sanhook.clear_site ();
-    if ok then Pmem.Refs.sanitize_publish ?site r i
+    if ok && not !group then Pmem.Refs.sanitize_publish ?site r i
   end;
-  if ok then begin
-    Pmem.Refs.clwb ?site r i;
-    Pmem.sfence ?site ()
-  end;
+  if ok then
+    if !group then
+      defer (Pmem.Refs.global_line r i) (fun () -> Pmem.Refs.clwb ?site r i)
+    else begin
+      Pmem.Refs.clwb ?site r i;
+      Pmem.sfence ?site ()
+    end;
   ok
 
 let commit_cas ?site w i ~expected ~desired =
@@ -113,22 +232,27 @@ let commit_cas ?site w i ~expected ~desired =
   let ok = Pmem.Words.cas w i ~expected ~desired in
   if sanitizing () then begin
     Pmem.Sanhook.clear_site ();
-    if ok then Pmem.Words.sanitize_publish ?site w i
+    if ok && not !group then Pmem.Words.sanitize_publish ?site w i
   end;
-  if ok then begin
-    Pmem.Words.clwb ?site w i;
-    Pmem.sfence ?site ()
-  end;
+  if ok then
+    if !group then
+      defer (Pmem.Words.global_line w i) (fun () -> Pmem.Words.clwb ?site w i)
+    else begin
+      Pmem.Words.clwb ?site w i;
+      Pmem.sfence ?site ()
+    end;
   ok
 
 (** Flush + fence a line that was written with [store] in coalesced mode —
     used before a dependent store must be ordered after it (the "previous
     state is persisted first" rule of Condition #2). *)
 let flush ?site w i =
+  if !group then group_drop (Pmem.Words.global_line w i);
   Pmem.Words.clwb ?site w i;
   Pmem.sfence ?site ()
 
 let flush_ref ?site r i =
+  if !group then group_drop (Pmem.Refs.global_line r i);
   Pmem.Refs.clwb ?site r i;
   Pmem.sfence ?site ()
 

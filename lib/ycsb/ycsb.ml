@@ -94,6 +94,7 @@ type prepared = {
   int_keys : int array; (* whole universe: loaded + fresh insert keys *)
   str_keys : string array; (* encoded keys, same indexing *)
   streams : stream array; (* one per thread *)
+  seed : int; (* the run's seed, carried into every result *)
 }
 
 type driver = {
@@ -118,6 +119,7 @@ type result = {
   lat_insert : Util.Histogram.t option;
   lat_read : Util.Histogram.t option;
   lat_scan : Util.Histogram.t option;
+  seed : int;  (* the seed the workload was prepared with *)
 }
 
 let nloaded p = p.n_loaded
@@ -130,10 +132,10 @@ let prepare ~workload ~kind ?(dist = Uniform) ~nloaded ~nops ~threads ~seed () =
   let rng = Util.Rng.create seed in
   let pick_loaded =
     match dist with
-    | Uniform -> fun () -> Util.Rng.below rng nloaded
+    | Uniform -> fun rng -> Util.Rng.below rng nloaded
     | Zipfian theta ->
         let z = make_zipf nloaded theta in
-        fun () -> zipf_sample z rng
+        fun rng -> zipf_sample z rng
   in
   let n_inserts = nops * insert_percent workload / 100 in
   let universe = nloaded + n_inserts in
@@ -164,7 +166,14 @@ let prepare ~workload ~kind ?(dist = Uniform) ~nloaded ~nops ~threads ~seed () =
   let per = nops / threads in
   let next_fresh = ref nloaded in
   let streams =
-    Array.init threads (fun _ ->
+    Array.init threads (fun tid ->
+        (* One private Rng stream per worker, derived once from the run
+           seed: a worker's operation mix no longer depends on how many
+           draws the other workers' streams consumed (the universe rng
+           above is left untouched here), and generating the same worker
+           again — another phase, another index — replays the same
+           stream. *)
+        let rng = Util.Rng.create (seed + (31 * tid) + 7) in
         let opcodes = Bytes.create (max 1 per) in
         let args = Array.make (max 1 per) 0 in
         let lens = Bytes.create (max 1 per) in
@@ -177,17 +186,26 @@ let prepare ~workload ~kind ?(dist = Uniform) ~nloaded ~nops ~threads ~seed () =
           end
           else if workload = E then begin
             Bytes.set opcodes j '\002';
-            args.(j) <- pick_loaded ();
+            args.(j) <- pick_loaded rng;
             Bytes.set lens j (Char.chr (1 + Util.Rng.below rng max_scan_length))
           end
           else begin
             Bytes.set opcodes j '\001';
-            args.(j) <- pick_loaded ()
+            args.(j) <- pick_loaded rng
           end
         done;
         { opcodes; args; lens })
   in
-  { kind; n_loaded = nloaded; workload; threads; int_keys; str_keys; streams }
+  {
+    kind;
+    n_loaded = nloaded;
+    workload;
+    threads;
+    int_keys;
+    str_keys;
+    streams;
+    seed;
+  }
 
 (* Monotonic timestamp in integer nanoseconds (a noalloc, unboxed
    clock_gettime(CLOCK_MONOTONIC) stub).  The latency path used to call
@@ -279,6 +297,7 @@ let load ?(latency = false) ?(sample = 1) (p : prepared) driver =
     lat_insert = merged;
     lat_read = None;
     lat_scan = None;
+    seed = p.seed;
   }
 
 (* Operation class of an opcode: 0 = insert, 1 = read, 2 = scan. *)
@@ -377,10 +396,12 @@ let run ?(latency = false) ?(sample = 1) (p : prepared) driver =
     lat_insert;
     lat_read;
     lat_scan;
+    seed = p.seed;
   }
 
 let pp_result ppf r =
   Format.fprintf ppf
-    "%-5s threads=%-2d ops=%-9d %.3fs  %8.3f Mops/s  (found=%d missed=%d scanned=%d)"
+    "%-5s threads=%-2d ops=%-9d %.3fs  %8.3f Mops/s  (found=%d missed=%d \
+     scanned=%d seed=%d)"
     (workload_name r.workload) r.threads r.ops r.seconds r.mops r.reads_found
-    r.reads_missed r.scanned_total
+    r.reads_missed r.scanned_total r.seed

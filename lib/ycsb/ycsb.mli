@@ -86,6 +86,7 @@ type result = {
   lat_insert : Util.Histogram.t option;  (** latency of insert ops only *)
   lat_read : Util.Histogram.t option;  (** latency of read ops only *)
   lat_scan : Util.Histogram.t option;  (** latency of scan ops only *)
+  seed : int;  (** the seed the workload was prepared with *)
 }
 
 (** [load p driver] runs the load phase (all [nloaded] keys inserted,

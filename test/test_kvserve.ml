@@ -1,0 +1,480 @@
+(* The KV service layer end to end: wire-codec round trips (including
+   limit cases and truncated/corrupt frames), the group-commit deferral
+   substrate, the sharded server over real index partitions through the
+   codec-exercising in-process transport, all-or-nothing backpressure, the
+   group-persist flush saving, and the crash-mid-serving campaign (zero
+   lost acknowledged writes). *)
+
+let () = Harness.Sanitize_env.init ()
+
+open Kvserve
+
+let fresh_env () =
+  Faultinject.disarm ();
+  Pmem.Crash.disarm ();
+  Pmem.Mode.set_shadow true;
+  ignore (Pmem.persist_everything ());
+  Util.Lock.new_epoch ()
+
+let teardown () =
+  Faultinject.disarm ();
+  Pmem.Crash.disarm ();
+  Recipe.Persist.set_group false;
+  Pmem.Mode.set_shadow false
+
+let with_env f = Fun.protect ~finally:teardown (fun () -> fresh_env (); f ())
+
+(* --- wire codec ---------------------------------------------------------- *)
+
+let arb_key =
+  QCheck.Gen.(
+    frequency
+      [
+        (8, string_size ~gen:printable (int_range 0 24));
+        (1, string_size ~gen:char (int_range 0 300));
+        (1, return (String.make 65535 'k'));
+      ])
+
+let arb_op =
+  QCheck.Gen.(
+    arb_key >>= fun k ->
+    frequency
+      [
+        (3, return (Wire.Get k));
+        (3, map (fun v -> Wire.Put (k, v land max_int)) int);
+        (2, return (Wire.Delete k));
+        (2, map (fun n -> Wire.Scan (k, n land 0xFFFF)) int);
+      ])
+
+let arb_request =
+  QCheck.Gen.(
+    map2
+      (fun rid ops -> { Wire.rid = rid land 0xFFFFFFFF; ops })
+      int
+      (list_size (int_range 0 12) arb_op))
+
+let arb_reply =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, return Wire.Absent);
+        (3, map (fun v -> Wire.Found (v land max_int)) int);
+        (2, map (fun b -> Wire.Done b) bool);
+        ( 2,
+          map
+            (fun items -> Wire.Scanned items)
+            (list_size (int_range 0 8)
+               (map2 (fun k v -> (k, v land max_int)) arb_key int))
+        );
+        (1, return Wire.Unsupported);
+      ])
+
+let arb_response =
+  QCheck.Gen.(
+    map2 (fun rid (status, replies) -> { Wire.rrid = rid land 0xFFFFFFFF;
+                                         status; replies })
+      int
+      (frequency
+         [
+           ( 6,
+             map
+               (fun rs -> (Wire.Ok, rs))
+               (list_size (int_range 0 12) arb_reply) );
+           (1, return (Wire.Overloaded, []));
+           (1, return (Wire.Bad_request, []));
+           (1, return (Wire.Shutdown, []));
+         ]))
+
+let request_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"request round-trip"
+    (QCheck.make arb_request) (fun req ->
+      let s = Wire.request_string req in
+      match Wire.decode_request s 0 with
+      | `Ok (req', consumed) -> req' = req && consumed = String.length s
+      | _ -> false)
+
+let response_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"response round-trip"
+    (QCheck.make arb_response) (fun resp ->
+      let s = Wire.response_string resp in
+      match Wire.decode_response s 0 with
+      | `Ok (resp', consumed) -> resp' = resp && consumed = String.length s
+      | _ -> false)
+
+(* Every strict prefix of a valid frame must decode as [`Need_more] — the
+   incremental TCP read contract. *)
+let request_prefix_needs_more =
+  QCheck.Test.make ~count:100 ~name:"truncated frame decodes Need_more"
+    (QCheck.make arb_request) (fun req ->
+      let s = Wire.request_string req in
+      let ok = ref true in
+      for cut = 0 to String.length s - 1 do
+        match Wire.decode_request (String.sub s 0 cut) 0 with
+        | `Need_more -> ()
+        | _ -> ok := false
+      done;
+      !ok)
+
+let test_wire_empty_batch () =
+  let req = { Wire.rid = 7; ops = [] } in
+  match Wire.decode_request (Wire.request_string req) 0 with
+  | `Ok (req', _) -> Alcotest.(check bool) "empty batch" true (req' = req)
+  | _ -> Alcotest.fail "empty batch did not round-trip"
+
+let test_wire_max_key () =
+  let k = String.init 65535 (fun i -> Char.chr (i land 0xFF)) in
+  let req = { Wire.rid = 1; ops = [ Wire.Put (k, max_int) ] } in
+  (match Wire.decode_request (Wire.request_string req) 0 with
+  | `Ok (req', _) -> Alcotest.(check bool) "max key" true (req' = req)
+  | _ -> Alcotest.fail "max-size key did not round-trip");
+  (* One byte over the u16 limit must be an encoder error, not a silent
+     truncation. *)
+  Alcotest.check_raises "oversized key rejected"
+    (Wire.Encode_error "key exceeds 65535 bytes") (fun () ->
+      ignore (Wire.request_string
+                { Wire.rid = 1; ops = [ Wire.Get (String.make 65536 'x') ] }))
+
+let test_wire_malformed () =
+  let s = Wire.request_string { Wire.rid = 3; ops = [ Wire.Get "abc" ] } in
+  (* Corrupt the opcode byte (offset 4 length + 1 kind + 4 rid + 2 nops). *)
+  let b = Bytes.of_string s in
+  Bytes.set b 11 '\x09';
+  (match Wire.decode_request (Bytes.to_string b) 0 with
+  | `Malformed _ -> ()
+  | _ -> Alcotest.fail "bad opcode not rejected");
+  (* A frame whose declared length exceeds its content is truncation; a
+     frame with bytes left over is malformed. *)
+  (match Wire.decode_request (s ^ "\x00") 0 with
+  | `Ok (_, consumed) -> Alcotest.(check int) "consumed" (String.length s) consumed
+  | _ -> Alcotest.fail "valid frame with trailing bytes must decode");
+  let b = Bytes.of_string s in
+  (* Inflate the declared length: decoder must wait for the missing bytes. *)
+  Bytes.set b 3 (Char.chr (Char.code (Bytes.get b 3) + 1));
+  (match Wire.decode_request (Bytes.to_string b) 0 with
+  | `Need_more -> ()
+  | _ -> Alcotest.fail "inflated length must be Need_more");
+  (* Deflate it: the ops can no longer fit, so the frame is malformed. *)
+  let b = Bytes.of_string s in
+  Bytes.set b 3 (Char.chr (Char.code (Bytes.get b 3) - 1));
+  match Wire.decode_request (Bytes.to_string b) 0 with
+  | `Malformed _ -> ()
+  | _ -> Alcotest.fail "deflated length must be Malformed"
+
+(* --- group-commit deferral ----------------------------------------------- *)
+
+let test_group_deferral () =
+  with_env (fun () ->
+      let w = Pmem.Words.make ~name:"kv.group" 64 0 in
+      ignore (Pmem.persist_everything ());
+      let before = Pmem.Stats.snapshot () in
+      Recipe.Persist.set_group true;
+      (* Eight commits on the same cache line defer to ONE flush. *)
+      for i = 0 to 7 do
+        Recipe.Persist.commit w i (i + 1)
+      done;
+      Alcotest.(check int) "one line pending" 1 (Recipe.Persist.group_pending ());
+      let mid = Pmem.Stats.snapshot () in
+      Alcotest.(check int) "no flush before group_flush" 0
+        (mid.Pmem.Stats.s_clwb - before.Pmem.Stats.s_clwb);
+      Alcotest.(check int) "no fence before group_flush" 0
+        (mid.Pmem.Stats.s_sfence - before.Pmem.Stats.s_sfence);
+      let lines = Recipe.Persist.group_flush () in
+      Alcotest.(check int) "one line flushed" 1 lines;
+      let after = Pmem.Stats.snapshot () in
+      Alcotest.(check int) "one clwb" 1
+        (after.Pmem.Stats.s_clwb - mid.Pmem.Stats.s_clwb);
+      Alcotest.(check int) "one sfence" 1
+        (after.Pmem.Stats.s_sfence - mid.Pmem.Stats.s_sfence);
+      Alcotest.(check int) "nothing dirty after group flush" 0
+        (Pmem.dirty_count ());
+      (* An explicit ordering flush supersedes the deferred one. *)
+      Recipe.Persist.commit w 8 99;
+      Alcotest.(check int) "line deferred" 1 (Recipe.Persist.group_pending ());
+      Recipe.Persist.flush w 8;
+      Alcotest.(check int) "explicit flush drops deferred line" 0
+        (Recipe.Persist.group_pending ());
+      Alcotest.(check int) "empty group_flush is free" 0
+        (Recipe.Persist.group_flush ());
+      Recipe.Persist.set_group false)
+
+(* --- in-process server through the framed transport ----------------------- *)
+
+let ik = Util.Keys.encode_int
+
+(* Submit one request through a framed connection so every smoke operation
+   also exercises encode -> decode -> serve -> encode -> decode. *)
+let via_conn conn req =
+  let out = Server.Conn.feed conn (Wire.request_string req) in
+  match Wire.decode_response out 0 with
+  | `Ok (resp, consumed) when consumed = String.length out -> resp
+  | _ -> Alcotest.fail "connection did not return exactly one response"
+
+let test_server_smoke () =
+  with_env (fun () ->
+      let cfg =
+        { Server.shards = 2; batch = 8; queue_cap = 64; group_persist = true }
+      in
+      let srv = Server.start cfg (Array.init 2 (fun _ -> Harness.Kvparts.art ())) in
+      let conn = Server.Conn.create srv in
+      (* Batched puts, one request. *)
+      let put_ops = List.init 100 (fun i -> Wire.Put (ik (i + 1), (i + 1) * 3)) in
+      let resp = via_conn conn { Wire.rid = 1; ops = put_ops } in
+      Alcotest.(check bool) "puts acked" true (resp.Wire.status = Wire.Ok);
+      List.iter
+        (function
+          | Wire.Done true -> ()
+          | _ -> Alcotest.fail "put not applied")
+        resp.Wire.replies;
+      (* After the ack, everything is flushed: the group fence ran. *)
+      Alcotest.(check int) "no dirty lines after acked batch" 0
+        (Pmem.dirty_count ());
+      (* Point lookups route to the right shard. *)
+      let resp =
+        via_conn conn
+          { Wire.rid = 2; ops = List.init 100 (fun i -> Wire.Get (ik (i + 1))) }
+      in
+      List.iteri
+        (fun i r ->
+          match r with
+          | Wire.Found v when v = (i + 1) * 3 -> ()
+          | _ -> Alcotest.fail (Printf.sprintf "get %d wrong" (i + 1)))
+        resp.Wire.replies;
+      (* Upsert: same key, new value. *)
+      let resp =
+        via_conn conn { Wire.rid = 3; ops = [ Wire.Put (ik 1, 777) ] }
+      in
+      Alcotest.(check bool) "upsert acked" true
+        (resp.Wire.replies = [ Wire.Done true ]);
+      let resp = via_conn conn { Wire.rid = 4; ops = [ Wire.Get (ik 1) ] } in
+      Alcotest.(check bool) "upsert visible" true
+        (resp.Wire.replies = [ Wire.Found 777 ]);
+      (* Scan fans out to both shards and merges in global key order. *)
+      let resp =
+        via_conn conn { Wire.rid = 5; ops = [ Wire.Scan (ik 0, 50) ] }
+      in
+      (match resp.Wire.replies with
+      | [ Wire.Scanned items ] ->
+          Alcotest.(check int) "scan length" 50 (List.length items);
+          List.iteri
+            (fun i (kk, v) ->
+              if kk <> ik (i + 1) then Alcotest.fail "scan key order";
+              let expect = if i = 0 then 777 else (i + 1) * 3 in
+              if v <> expect then Alcotest.fail "scan value")
+            items
+      | _ -> Alcotest.fail "scan reply shape");
+      (* Delete, then absent. *)
+      let resp =
+        via_conn conn
+          { Wire.rid = 6; ops = [ Wire.Delete (ik 2); Wire.Get (ik 2) ] }
+      in
+      Alcotest.(check bool) "delete then absent" true
+        (match resp.Wire.replies with
+        | [ Wire.Done true; _ ] -> true
+        | _ -> false);
+      let resp = via_conn conn { Wire.rid = 7; ops = [ Wire.Get (ik 2) ] } in
+      Alcotest.(check bool) "deleted key absent" true
+        (resp.Wire.replies = [ Wire.Absent ]);
+      (* Malformed bytes poison the connection with one Bad_request. *)
+      let out = Server.Conn.feed conn "\x00\x00\x00\x01\xFF" in
+      (match Wire.decode_response out 0 with
+      | `Ok (r, _) ->
+          Alcotest.(check bool) "bad request" true
+            (r.Wire.status = Wire.Bad_request)
+      | _ -> Alcotest.fail "no Bad_request response");
+      Alcotest.(check bool) "connection poisoned" true (Server.Conn.broken conn);
+      Server.stop srv)
+
+(* Unordered partitions: scans answer [Unsupported], point ops work. *)
+let test_server_hash_partition () =
+  with_env (fun () ->
+      let cfg =
+        { Server.shards = 2; batch = 4; queue_cap = 64; group_persist = true }
+      in
+      let srv =
+        Server.start cfg (Array.init 2 (fun _ -> Harness.Kvparts.clht ()))
+      in
+      let resp =
+        Server.submit srv
+          {
+            Wire.rid = 1;
+            ops = [ Wire.Put (ik 5, 15); Wire.Scan (ik 0, 10); Wire.Get (ik 5) ];
+          }
+      in
+      Alcotest.(check bool) "hash partition serves" true
+        (resp.Wire.replies = [ Wire.Done true; Wire.Unsupported; Wire.Found 15 ]);
+      Server.stop srv)
+
+(* --- backpressure: all-or-nothing, exactly-once --------------------------- *)
+
+let test_backpressure () =
+  with_env (fun () ->
+      (* A deliberately slow pure-OCaml partition that counts every apply:
+         no op may be lost or double-applied, acked or not. *)
+      let applied : (string, int) Hashtbl.t = Hashtbl.create 64 in
+      let amu = Mutex.create () in
+      let slow_part =
+        {
+          Server.p_name = "slow";
+          p_insert =
+            (fun k _ ->
+              Unix.sleepf 0.002;
+              Mutex.lock amu;
+              Hashtbl.replace applied k
+                (1 + Option.value ~default:0 (Hashtbl.find_opt applied k));
+              Mutex.unlock amu;
+              true);
+          p_lookup = (fun _ -> None);
+          p_delete = (fun _ -> false);
+          p_scan = None;
+          p_recover = ignore;
+          p_sweep = None;
+        }
+      in
+      let cfg =
+        { Server.shards = 1; batch = 2; queue_cap = 4; group_persist = false }
+      in
+      let srv = Server.start cfg [| slow_part |] in
+      let nclients = 4 and per_client = 12 in
+      let client cid () =
+        let acked = ref [] and overloaded = ref 0 in
+        for r = 0 to per_client - 1 do
+          let keys = List.init 3 (fun j -> ik ((cid * 1000) + (r * 10) + j)) in
+          let req =
+            { Wire.rid = r; ops = List.map (fun kk -> Wire.Put (kk, 1)) keys }
+          in
+          let resp = Server.submit srv req in
+          match resp.Wire.status with
+          | Wire.Ok -> acked := keys @ !acked
+          | Wire.Overloaded -> incr overloaded
+          | _ -> ()
+        done;
+        (!acked, !overloaded)
+      in
+      let outs =
+        List.init nclients (fun cid -> Domain.spawn (client cid))
+        |> List.map Domain.join
+      in
+      Server.stop srv;
+      let acked = List.concat_map fst outs in
+      let overloaded = List.fold_left (fun a (_, o) -> a + o) 0 outs in
+      Alcotest.(check bool)
+        (Printf.sprintf "backpressure observed (%d rejections)" overloaded)
+        true (overloaded > 0);
+      (* Exactly-once: every acked key applied exactly once... *)
+      List.iter
+        (fun kk ->
+          match Hashtbl.find_opt applied kk with
+          | Some 1 -> ()
+          | Some n ->
+              Alcotest.fail (Printf.sprintf "acked key applied %d times" n)
+          | None -> Alcotest.fail "acked key never applied")
+        acked;
+      (* ...and nothing was applied more than once, acked or not (a rejected
+         request must have enqueued nothing, but a drained in-flight op may
+         have been applied without an ack — never twice). *)
+      Hashtbl.iter
+        (fun _ n ->
+          if n <> 1 then
+            Alcotest.fail (Printf.sprintf "key applied %d times" n))
+        applied)
+
+(* --- the batching win ----------------------------------------------------- *)
+
+(* Write-heavy overwrite traffic over a small key space: group persist must
+   spend strictly fewer flushes and fences than per-op persist for the
+   same operation stream. *)
+let flushes_for ~group () =
+  fresh_env ();
+  let cfg = { Server.shards = 2; batch = 32; queue_cap = 256; group_persist = group } in
+  let srv = Server.start cfg (Array.init 2 (fun _ -> Harness.Kvparts.art ())) in
+  let lg =
+    {
+      Loadgen.default_cfg with
+      workers = 2;
+      requests = 50;
+      ops_per_request = 16;
+      write_pct = 100;
+      mode = Loadgen.Overwrite 64;
+      seed = 7;
+    }
+  in
+  let before = Pmem.Stats.snapshot () in
+  let out = Loadgen.run srv lg in
+  let after = Pmem.Stats.snapshot () in
+  Server.stop srv;
+  Alcotest.(check int) "all ops acked" (2 * 50 * 16) out.Loadgen.ops_acked;
+  ( after.Pmem.Stats.s_clwb - before.Pmem.Stats.s_clwb,
+    after.Pmem.Stats.s_sfence - before.Pmem.Stats.s_sfence )
+
+let test_group_persist_saves_flushes () =
+  with_env (fun () ->
+      let clwb_on, sfence_on = flushes_for ~group:true () in
+      let clwb_off, sfence_off = flushes_for ~group:false () in
+      if not (clwb_on < clwb_off) then
+        Alcotest.fail
+          (Printf.sprintf "flushes not reduced: %d (group) vs %d (per-op)"
+             clwb_on clwb_off);
+      if not (sfence_on < sfence_off / 4) then
+        Alcotest.fail
+          (Printf.sprintf "fences not amortized: %d (group) vs %d (per-op)"
+             sfence_on sfence_off))
+
+(* --- crash mid-serving ----------------------------------------------------- *)
+
+let servecrash_cfg =
+  { Server.shards = 2; batch = 8; queue_cap = 64; group_persist = true }
+
+let run_campaign make =
+  Servecrash.campaign ~make ~cfg:servecrash_cfg ~states:3 ~load:60 ~ops:160
+    ~workers:2 ~seed:11 ()
+
+let check_campaign name r =
+  let b = r.Crashtest.base in
+  Alcotest.(check int) (name ^ ": lost acked") 0 b.Crashtest.lost_keys;
+  Alcotest.(check int) (name ^ ": wrong values") 0 b.Crashtest.wrong_values;
+  Alcotest.(check int) (name ^ ": stalled") 0 b.Crashtest.stalled;
+  Alcotest.(check bool) (name ^ ": recovered every state") true
+    (r.Crashtest.recoveries >= servecrash_cfg.Server.shards)
+
+let test_crash_mid_serving_ordered () =
+  with_env (fun () ->
+      let r = run_campaign (fun _ -> Harness.Kvparts.art ()) in
+      check_campaign "art" r)
+
+let test_crash_mid_serving_hash () =
+  with_env (fun () ->
+      let r = run_campaign (fun _ -> Harness.Kvparts.clht ()) in
+      check_campaign "clht" r)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "kvserve"
+    [
+      ( "wire",
+        q [ request_roundtrip; response_roundtrip; request_prefix_needs_more ]
+        @ [
+            Alcotest.test_case "empty batch" `Quick test_wire_empty_batch;
+            Alcotest.test_case "max-size key" `Quick test_wire_max_key;
+            Alcotest.test_case "malformed frames" `Quick test_wire_malformed;
+          ] );
+      ( "group-persist",
+        [
+          Alcotest.test_case "commit deferral" `Quick test_group_deferral;
+          Alcotest.test_case "flush saving vs per-op" `Quick
+            test_group_persist_saves_flushes;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "2-shard smoke over ART" `Quick test_server_smoke;
+          Alcotest.test_case "hash partitions" `Quick test_server_hash_partition;
+          Alcotest.test_case "backpressure exactly-once" `Quick
+            test_backpressure;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "mid-serving, ordered" `Quick
+            test_crash_mid_serving_ordered;
+          Alcotest.test_case "mid-serving, hash" `Quick
+            test_crash_mid_serving_hash;
+        ] );
+    ]
