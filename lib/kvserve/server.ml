@@ -190,6 +190,10 @@ let kill t =
     t.shards_
 
 let worker t sh =
+  (* Group mode is domain-local: each worker opts in for itself, so other
+     servers' workers (group or per-op) are unaffected, and the flag dies
+     with the domain. *)
+  if t.cfg.group_persist then Recipe.Persist.set_group true;
   let batch_buf = Array.make t.cfg.batch None in
   let replies = Array.make t.cfg.batch Wire.Absent in
   let running = ref true in
@@ -262,8 +266,12 @@ let worker t sh =
                 abort_item it;
                 batch_buf.(i) <- None
             | None -> ()
-          done;
-          running := false
+          done
+          (* Keep running: ops may have been enqueued to this shard between
+             the batch pop (smu released) and [kill] marking it dead, and no
+             other worker drains a foreign ring.  The loop re-enters, takes
+             the [sh.dead] branch, fail-drains them, and only then exits —
+             otherwise their submitters would block forever. *)
     end
   done
 
@@ -305,14 +313,14 @@ let start cfg parts =
       m_ack = Obs.Hist.v "serve.ack_ns";
     }
   in
-  Recipe.Persist.set_group cfg.group_persist;
   t.workers <-
     List.init cfg.shards (fun sid ->
         Domain.spawn (fun () -> worker t shards_.(sid)));
   t
 
 (* Stop serving: drain queued work (unless crashed, in which case workers
-   fail-drain), join every worker, leave group mode.  After [stop] no batch
+   fail-drain), join every worker.  Group mode needs no teardown — it is
+   domain-local to the workers and dies with them.  After [stop] no batch
    is mid-flight, so a campaign may power-fail / recover the partitions. *)
 let stop t =
   Array.iter
@@ -323,8 +331,7 @@ let stop t =
       Mutex.unlock sh.smu)
     t.shards_;
   List.iter Domain.join t.workers;
-  t.workers <- [];
-  Recipe.Persist.set_group false
+  t.workers <- []
 
 (* --- submit (the in-process transport) ----------------------------------- *)
 
@@ -474,30 +481,57 @@ module Conn = struct
 
   let broken c = c.broken
 
+  (* Compact once this much consumed prefix has accumulated; keeps the
+     dead-prefix copy cost amortized O(1) per byte. *)
+  let compact_at = 4096
+
+  (* Whether at least one whole frame is buffered (or the length prefix is
+     already illegal, which the decoder must turn into [Bad_request]).
+     O(1) [Buffer.nth] peeks — no materialization, so a connection
+     trickling a large frame costs O(chunk) per feed, not O(buffered). *)
+  let frame_ready c =
+    let avail = Buffer.length c.inbuf - c.consumed in
+    if avail < 4 then false
+    else begin
+      let byte i = Char.code (Buffer.nth c.inbuf (c.consumed + i)) in
+      let len =
+        (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3
+      in
+      len > Wire.max_frame || avail >= 4 + len
+    end
+
   let feed c bytes =
     if c.broken then ""
     else begin
       Buffer.add_string c.inbuf bytes;
-      let data = Buffer.contents c.inbuf in
-      let out = Buffer.create 64 in
-      let rec step pos =
-        match Wire.decode_request data pos with
-        | `Ok (req, pos') ->
-            Wire.encode_response out (submit c.srv req);
-            step pos'
-        | `Need_more -> pos
-        | `Malformed _ ->
-            Wire.encode_response out (status_response 0 Wire.Bad_request);
-            c.broken <- true;
-            String.length data
-      in
-      let pos = step c.consumed in
-      c.consumed <- pos;
-      (* Compact once everything buffered has been consumed. *)
-      if c.consumed = String.length data then begin
-        Buffer.clear c.inbuf;
-        c.consumed <- 0
-      end;
-      Buffer.contents out
+      if not (frame_ready c) then ""
+      else begin
+        let data = Buffer.contents c.inbuf in
+        let out = Buffer.create 64 in
+        let rec step pos =
+          match Wire.decode_request data pos with
+          | `Ok (req, pos') ->
+              Wire.encode_response out (submit c.srv req);
+              step pos'
+          | `Need_more -> pos
+          | `Malformed _ ->
+              Wire.encode_response out (status_response 0 Wire.Bad_request);
+              c.broken <- true;
+              String.length data
+        in
+        let pos = step c.consumed in
+        c.consumed <- pos;
+        let remaining = String.length data - c.consumed in
+        if remaining = 0 then begin
+          Buffer.clear c.inbuf;
+          c.consumed <- 0
+        end
+        else if c.consumed >= compact_at then begin
+          Buffer.clear c.inbuf;
+          Buffer.add_substring c.inbuf data c.consumed remaining;
+          c.consumed <- 0
+        end;
+        Buffer.contents out
+      end
     end
 end

@@ -75,7 +75,11 @@ let add_u32 b v =
   add_u16 b (v lsr 16);
   add_u16 b v
 
+(* A negative int (sign bit set) would encode with the u32-halves' top bits
+   masked away and round-trip to a *different* positive value — reject it
+   rather than corrupt silently. *)
 let add_u64 b v =
+  if v < 0 then raise (Encode_error "value out of 63-bit unsigned range");
   add_u32 b (v lsr 32);
   add_u32 b v
 

@@ -338,6 +338,14 @@ let sanitize_publish ?site t i =
   if !Mode.flags land Mode.f_sanitize <> 0 then
     (!Sanhook.h).h_publish t.name t.base_line i site
 
+(** Whether the line containing word [i] has unpersisted stores.
+    Conservatively [true] when shadow tracking is off — callers deciding
+    whether a flush is still needed must then flush. *)
+let line_dirty t i =
+  match t.shadow with
+  | Some sh -> bitset_mem sh.dirty (line_of_index i)
+  | None -> true
+
 (** Flush the cache line containing word [i].  [site] attributes the flush
     to an index × structural location in the {!Obs} registry. *)
 let clwb ?site t i =

@@ -29,15 +29,16 @@ let set_naive b = naive := b
 
    Per-operation persistence pays one commit flush + one fence per write.
    The service layer's group-persist executor amortizes that cost: while
-   [group] is on, the commit combinators perform their store (the operation
-   becomes *visible* immediately, exactly as before) but defer the trailing
-   clwb + sfence, recording the commit's cache line in a per-domain table;
-   {!group_flush} then flushes every recorded line once — deduplicated per
-   line, which is where the flushes/op saving comes from — and issues a
-   single fence for the whole batch.  The executor acknowledges its clients
-   only after that fence, so an acknowledged operation is durable, same as
-   per-op mode; an unacknowledged one may be lost wholesale by a crash,
-   which is the standard group-commit contract.
+   the calling domain has group mode on, the commit combinators perform
+   their store (the operation becomes *visible* immediately, exactly as
+   before) but defer the trailing clwb + sfence, recording the commit's
+   cache line in the domain's table; {!group_flush} then flushes every
+   recorded line once — deduplicated per line, which is where the
+   flushes/op saving comes from — and issues a single fence for the whole
+   batch.  The executor acknowledges its clients only after that fence, so
+   an acknowledged operation is durable, same as per-op mode; an
+   unacknowledged one may be lost wholesale by a crash, which is the
+   standard group-commit contract.
 
    Ordering safety: only the *commit* flush+fence is deferred.  Explicit
    ordering flushes ([flush], [persist_new_*]) — the "previous state is
@@ -49,87 +50,76 @@ let set_naive b = naive := b
    explores — plus unreachable (leak-swept) garbage.  DESIGN.md §10 gives
    the full argument.
 
-   The deferral table is per-domain (same slot discipline as {!Obs.Shard}).
-   Two live domains almost never share a slot (ids of domains spawned
-   together are consecutive), but a collision must stay *safe*, not just
-   unlikely, so every slot carries a mutex — uncontended in the common case.
-   Collisions are semantically benign: a colliding domain flushing another
-   worker's deferred line is indistinguishable from a cache eviction, which
-   PM code must tolerate anywhere, and the line is then persisted strictly
-   earlier than the owner's batch fence — never later than its ack.
-   [group] itself is flipped only between serving phases, never concurrently
-   with index operations. *)
+   Both the mode flag and the deferral table are domain-local (DLS): a
+   shard worker defers only its own commits and flushes only its own lines,
+   so concurrently running servers — group or per-op — cannot observe or
+   disturb each other's pending lines.  In particular, starting or stopping
+   one server never drops another server's deferred commits (which would
+   let its workers ack writes whose commit lines were never flushed).  No
+   locking is needed: a domain's table is touched by that domain alone. *)
 
-let group = ref false
+type group_state = {
+  mutable on : bool;
+  tbl : (int, unit -> bool) Hashtbl.t;
+      (* line id -> the flush thunk that persists it (first recording wins;
+         any thunk for the line flushes the same bytes).  A thunk returns
+         [false] when it found the line already persisted — an eager flush
+         (combinator or raw index clwb) superseded the deferred one — and
+         skips the clwb, which the sanitizer would report as redundant. *)
+}
 
-let group_slots = 128
+let group_key =
+  Domain.DLS.new_key (fun () -> { on = false; tbl = Hashtbl.create 64 })
 
-(* line id -> the flush thunk that persists it (first recording wins; any
-   thunk for the line flushes the same bytes). *)
-let group_tbl : (int, unit -> unit) Hashtbl.t array =
-  Array.init group_slots (fun _ -> Hashtbl.create 64)
+let[@inline] group_st () = Domain.DLS.get group_key
 
-let group_mu : Mutex.t array = Array.init group_slots (fun _ -> Mutex.create ())
-
-let[@inline] slot_id () = (Domain.self () :> int) land (group_slots - 1)
-
-(* Run [f] on the calling domain's table, slot mutex held.  [f] may raise
-   ([Simulated_crash] from an injected fault inside a flush thunk) — the
-   mutex must be released on that path too. *)
-let with_slot f =
-  let s = slot_id () in
-  let mu = Array.unsafe_get group_mu s in
-  Mutex.lock mu;
-  Fun.protect ~finally:(fun () -> Mutex.unlock mu) (fun () ->
-      f (Array.unsafe_get group_tbl s))
-
-(** Enable/disable group-commit deferral.  Disabling clears every domain's
-    pending table (a server stopping mid-batch must not leak deferred lines
-    into the next phase). *)
+(** Enable/disable group-commit deferral for the *calling domain* (each
+    shard worker opts in for itself).  Disabling clears the domain's own
+    pending table — a worker stopping mid-batch must not leak deferred
+    lines into the next phase — and cannot affect any other domain. *)
 let set_group b =
-  group := b;
-  if not b then
-    Array.iteri
-      (fun i t ->
-        Mutex.lock group_mu.(i);
-        Hashtbl.reset t;
-        Mutex.unlock group_mu.(i))
-      group_tbl
+  let st = group_st () in
+  st.on <- b;
+  if not b then Hashtbl.reset st.tbl
 
-let group_enabled () = !group
+let group_enabled () = (group_st ()).on
 
 let defer line thunk =
-  with_slot (fun t -> if not (Hashtbl.mem t line) then Hashtbl.add t line thunk)
+  let t = (group_st ()).tbl in
+  if not (Hashtbl.mem t line) then Hashtbl.add t line thunk
 
 (* An explicit flush of a deferred line supersedes the deferred one (and
    avoids a redundant clwb at batch end, which the sanitizer would report). *)
-let group_drop line = with_slot (fun t -> Hashtbl.remove t line)
+let group_drop line = Hashtbl.remove (group_st ()).tbl line
 
 (** Deferred commit lines recorded by the calling domain. *)
-let group_pending () = with_slot Hashtbl.length
+let group_pending () = Hashtbl.length (group_st ()).tbl
 
 (** Forget the calling domain's deferred lines without flushing — the
     crashed-worker path: a simulated power failure discards those lines
     anyway. *)
-let group_reset () = with_slot Hashtbl.reset
+let group_reset () = Hashtbl.reset (group_st ()).tbl
 
-(** Flush every line the calling domain deferred (each exactly once), then
-    issue one fence for the whole batch.  No-op when nothing is pending, so
-    a read-only batch costs no fence.  Returns the number of lines
+(** Flush every line the calling domain deferred (each at most once —
+    lines an eager flush already persisted are skipped), then issue one
+    fence for the whole batch.  No-op when nothing is pending, so a
+    read-only batch costs no fence.  Returns the number of lines actually
     flushed — the executor's mean-batch-coalescing metric. *)
 let group_flush ?site () =
-  with_slot (fun t ->
-      let n = Hashtbl.length t in
-      if n > 0 then begin
-        (* Reset before running thunks: a thunk may crash (injected fault),
-           and the batch is then abandoned wholesale — [group_reset] by the
-           catcher must not replay half of it. *)
-        let thunks = Hashtbl.fold (fun _ th acc -> th :: acc) t [] in
-        Hashtbl.reset t;
-        List.iter (fun th -> th ()) thunks;
-        Pmem.sfence ?site ()
-      end;
-      n)
+  let t = (group_st ()).tbl in
+  if Hashtbl.length t = 0 then 0
+  else begin
+    (* Reset before running thunks: a thunk may crash (injected fault),
+       and the batch is then abandoned wholesale — [group_reset] by the
+       catcher must not replay half of it. *)
+    let thunks = Hashtbl.fold (fun _ th acc -> th :: acc) t [] in
+    Hashtbl.reset t;
+    let n =
+      List.fold_left (fun acc th -> if th () then acc + 1 else acc) 0 thunks
+    in
+    Pmem.sfence ?site ();
+    n
+  end
 
 (* Every combinator takes an optional [?site] (an {!Obs.Site.t}: index ×
    structural location) forwarded to the flush/fence primitives, feeding the
@@ -182,11 +172,18 @@ let commit ?site w i v =
     Pmem.Sanhook.set_site site;
     Pmem.Words.set w i v;
     Pmem.Sanhook.clear_site ();
-    if not !group then Pmem.Words.sanitize_publish ?site w i
+    if not (group_st ()).on then Pmem.Words.sanitize_publish ?site w i
   end
   else Pmem.Words.set w i v;
-  if !group then
-    defer (Pmem.Words.global_line w i) (fun () -> Pmem.Words.clwb ?site w i)
+  if (group_st ()).on then
+    defer
+      (Pmem.Words.global_line w i)
+      (fun () ->
+        Pmem.Words.line_dirty w i
+        && begin
+             Pmem.Words.clwb ?site w i;
+             true
+           end)
   else begin
     Pmem.Words.clwb ?site w i;
     Pmem.sfence ?site ()
@@ -197,11 +194,18 @@ let commit_ref ?site r i v =
     Pmem.Sanhook.set_site site;
     Pmem.Refs.set r i v;
     Pmem.Sanhook.clear_site ();
-    if not !group then Pmem.Refs.sanitize_publish ?site r i
+    if not (group_st ()).on then Pmem.Refs.sanitize_publish ?site r i
   end
   else Pmem.Refs.set r i v;
-  if !group then
-    defer (Pmem.Refs.global_line r i) (fun () -> Pmem.Refs.clwb ?site r i)
+  if (group_st ()).on then
+    defer
+      (Pmem.Refs.global_line r i)
+      (fun () ->
+        Pmem.Refs.line_dirty r i
+        && begin
+             Pmem.Refs.clwb ?site r i;
+             true
+           end)
   else begin
     Pmem.Refs.clwb ?site r i;
     Pmem.sfence ?site ()
@@ -216,11 +220,18 @@ let commit_cas_ref ?site r i ~expected ~desired =
   let ok = Pmem.Refs.cas r i ~expected ~desired in
   if sanitizing () then begin
     Pmem.Sanhook.clear_site ();
-    if ok && not !group then Pmem.Refs.sanitize_publish ?site r i
+    if ok && not (group_st ()).on then Pmem.Refs.sanitize_publish ?site r i
   end;
   if ok then
-    if !group then
-      defer (Pmem.Refs.global_line r i) (fun () -> Pmem.Refs.clwb ?site r i)
+    if (group_st ()).on then
+      defer
+      (Pmem.Refs.global_line r i)
+      (fun () ->
+        Pmem.Refs.line_dirty r i
+        && begin
+             Pmem.Refs.clwb ?site r i;
+             true
+           end)
     else begin
       Pmem.Refs.clwb ?site r i;
       Pmem.sfence ?site ()
@@ -232,11 +243,18 @@ let commit_cas ?site w i ~expected ~desired =
   let ok = Pmem.Words.cas w i ~expected ~desired in
   if sanitizing () then begin
     Pmem.Sanhook.clear_site ();
-    if ok && not !group then Pmem.Words.sanitize_publish ?site w i
+    if ok && not (group_st ()).on then Pmem.Words.sanitize_publish ?site w i
   end;
   if ok then
-    if !group then
-      defer (Pmem.Words.global_line w i) (fun () -> Pmem.Words.clwb ?site w i)
+    if (group_st ()).on then
+      defer
+      (Pmem.Words.global_line w i)
+      (fun () ->
+        Pmem.Words.line_dirty w i
+        && begin
+             Pmem.Words.clwb ?site w i;
+             true
+           end)
     else begin
       Pmem.Words.clwb ?site w i;
       Pmem.sfence ?site ()
@@ -247,12 +265,12 @@ let commit_cas ?site w i ~expected ~desired =
     used before a dependent store must be ordered after it (the "previous
     state is persisted first" rule of Condition #2). *)
 let flush ?site w i =
-  if !group then group_drop (Pmem.Words.global_line w i);
+  if (group_st ()).on then group_drop (Pmem.Words.global_line w i);
   Pmem.Words.clwb ?site w i;
   Pmem.sfence ?site ()
 
 let flush_ref ?site r i =
-  if !group then group_drop (Pmem.Refs.global_line r i);
+  if (group_st ()).on then group_drop (Pmem.Refs.global_line r i);
   Pmem.Refs.clwb ?site r i;
   Pmem.sfence ?site ()
 

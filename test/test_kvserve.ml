@@ -134,6 +134,19 @@ let test_wire_max_key () =
       ignore (Wire.request_string
                 { Wire.rid = 1; ops = [ Wire.Get (String.make 65536 'x') ] }))
 
+(* A negative value would round-trip to a different positive int if the
+   encoder masked silently — it must be an encode error instead. *)
+let test_wire_negative_value () =
+  Alcotest.check_raises "negative put value rejected"
+    (Wire.Encode_error "value out of 63-bit unsigned range") (fun () ->
+      ignore
+        (Wire.request_string { Wire.rid = 1; ops = [ Wire.Put ("k", -1) ] }));
+  Alcotest.check_raises "negative found value rejected"
+    (Wire.Encode_error "value out of 63-bit unsigned range") (fun () ->
+      ignore
+        (Wire.response_string
+           { Wire.rrid = 1; status = Wire.Ok; replies = [ Wire.Found min_int ] }))
+
 let test_wire_malformed () =
   let s = Wire.request_string { Wire.rid = 3; ops = [ Wire.Get "abc" ] } in
   (* Corrupt the opcode byte (offset 4 length + 1 kind + 4 rid + 2 nops). *)
@@ -196,6 +209,40 @@ let test_group_deferral () =
       Alcotest.(check int) "empty group_flush is free" 0
         (Recipe.Persist.group_flush ());
       Recipe.Persist.set_group false)
+
+(* Group mode is domain-local: toggling it on one domain (another server
+   starting or stopping) must not drop a worker domain's deferred commit
+   lines — those lines back acknowledgements, so losing them silently
+   breaks acked-implies-durable. *)
+let test_group_domain_scoped () =
+  with_env (fun () ->
+      let w = Pmem.Words.make ~name:"kv.group.dls" 16 0 in
+      ignore (Pmem.persist_everything ());
+      let deferred = Atomic.make false and release = Atomic.make false in
+      let worker =
+        Domain.spawn (fun () ->
+            Recipe.Persist.set_group true;
+            Recipe.Persist.commit w 0 42;
+            Atomic.set deferred true;
+            while not (Atomic.get release) do
+              Domain.cpu_relax ()
+            done;
+            let pending = Recipe.Persist.group_pending () in
+            let flushed = Recipe.Persist.group_flush () in
+            (pending, flushed))
+      in
+      while not (Atomic.get deferred) do
+        Domain.cpu_relax ()
+      done;
+      (* With a process-global flag this cleared every domain's table and the
+         worker's group_flush below would have seen nothing to flush. *)
+      Recipe.Persist.set_group true;
+      Recipe.Persist.set_group false;
+      Atomic.set release true;
+      let pending, flushed = Domain.join worker in
+      Alcotest.(check int) "worker's deferred line survives" 1 pending;
+      Alcotest.(check int) "worker flushes its own line" 1 flushed;
+      Alcotest.(check int) "nothing left dirty" 0 (Pmem.dirty_count ()))
 
 (* --- in-process server through the framed transport ----------------------- *)
 
@@ -282,6 +329,50 @@ let test_server_smoke () =
             (r.Wire.status = Wire.Bad_request)
       | _ -> Alcotest.fail "no Bad_request response");
       Alcotest.(check bool) "connection poisoned" true (Server.Conn.broken conn);
+      Server.stop srv)
+
+(* Byte-at-a-time delivery: the connection must buffer silently until the
+   frame completes (the O(1) length-prefix peek path), then answer, and
+   interleaved frames in one feed must each get a response. *)
+let test_conn_trickle () =
+  with_env (fun () ->
+      let cfg =
+        { Server.shards = 1; batch = 4; queue_cap = 16; group_persist = true }
+      in
+      let srv = Server.start cfg [| Harness.Kvparts.art () |] in
+      let conn = Server.Conn.create srv in
+      let req = Wire.request_string { Wire.rid = 9; ops = [ Wire.Put (ik 1, 5) ] } in
+      String.iteri
+        (fun i ch ->
+          let out = Server.Conn.feed conn (String.make 1 ch) in
+          if i < String.length req - 1 then
+            Alcotest.(check string)
+              (Printf.sprintf "silent at byte %d" i)
+              "" out
+          else
+            match Wire.decode_response out 0 with
+            | `Ok (resp, _) ->
+                Alcotest.(check bool) "trickled put acked" true
+                  (resp.Wire.status = Wire.Ok)
+            | _ -> Alcotest.fail "no response after final byte")
+        req;
+      (* Two frames in one feed: two responses in order. *)
+      let two =
+        Wire.request_string { Wire.rid = 10; ops = [ Wire.Get (ik 1) ] }
+        ^ Wire.request_string { Wire.rid = 11; ops = [ Wire.Get (ik 2) ] }
+      in
+      let out = Server.Conn.feed conn two in
+      (match Wire.decode_response out 0 with
+      | `Ok (r1, pos) -> (
+          Alcotest.(check bool) "first response" true
+            (r1.Wire.rrid = 10 && r1.Wire.replies = [ Wire.Found 5 ]);
+          match Wire.decode_response out pos with
+          | `Ok (r2, pos') ->
+              Alcotest.(check bool) "second response" true
+                (r2.Wire.rrid = 11 && r2.Wire.replies = [ Wire.Absent ]);
+              Alcotest.(check int) "nothing extra" (String.length out) pos'
+          | _ -> Alcotest.fail "second response missing")
+      | _ -> Alcotest.fail "first response missing");
       Server.stop srv)
 
 (* Unordered partitions: scans answer [Unsupported], point ops work. *)
@@ -436,6 +527,51 @@ let check_campaign name r =
   Alcotest.(check bool) (name ^ ": recovered every state") true
     (r.Crashtest.recoveries >= servecrash_cfg.Server.shards)
 
+(* A worker that crashes mid-batch must fail-drain ops that were enqueued to
+   its shard between the batch pop and the kill — before the fix, [late]'s
+   submit below blocked forever (no other worker drains a foreign ring). *)
+let test_crash_drains_queue () =
+  with_env (fun () ->
+      let boom = "boom" in
+      let part =
+        {
+          Server.p_name = "crashy";
+          p_insert =
+            (fun k _ ->
+              if k = boom then begin
+                Unix.sleepf 0.05;
+                raise Pmem.Crash.Simulated_crash
+              end
+              else true);
+          p_lookup = (fun _ -> None);
+          p_delete = (fun _ -> false);
+          p_scan = None;
+          p_recover = ignore;
+          p_sweep = None;
+        }
+      in
+      let cfg =
+        { Server.shards = 1; batch = 1; queue_cap = 8; group_persist = false }
+      in
+      let srv = Server.start cfg [| part |] in
+      let crasher =
+        Domain.spawn (fun () ->
+            Server.submit srv { Wire.rid = 1; ops = [ Wire.Put (boom, 1) ] })
+      in
+      Unix.sleepf 0.01;
+      (* Lands in the ring while the worker is mid-crash (or is rejected with
+         [Shutdown] if the kill already landed) — either way it must resolve. *)
+      let late =
+        Server.submit srv { Wire.rid = 2; ops = [ Wire.Put ("late", 1) ] }
+      in
+      let boom_resp = Domain.join crasher in
+      Alcotest.(check bool) "crashing op not acked" true
+        (boom_resp.Wire.status = Wire.Shutdown);
+      Alcotest.(check bool) "queued op failed, not hung" true
+        (late.Wire.status = Wire.Shutdown);
+      Alcotest.(check bool) "server declared crashed" true (Server.crashed srv);
+      Server.stop srv)
+
 let test_crash_mid_serving_ordered () =
   with_env (fun () ->
       let r = run_campaign (fun _ -> Harness.Kvparts.art ()) in
@@ -455,23 +591,29 @@ let () =
         @ [
             Alcotest.test_case "empty batch" `Quick test_wire_empty_batch;
             Alcotest.test_case "max-size key" `Quick test_wire_max_key;
+            Alcotest.test_case "negative value" `Quick test_wire_negative_value;
             Alcotest.test_case "malformed frames" `Quick test_wire_malformed;
           ] );
       ( "group-persist",
         [
           Alcotest.test_case "commit deferral" `Quick test_group_deferral;
+          Alcotest.test_case "domain-scoped deferral" `Quick
+            test_group_domain_scoped;
           Alcotest.test_case "flush saving vs per-op" `Quick
             test_group_persist_saves_flushes;
         ] );
       ( "server",
         [
           Alcotest.test_case "2-shard smoke over ART" `Quick test_server_smoke;
+          Alcotest.test_case "trickled frames" `Quick test_conn_trickle;
           Alcotest.test_case "hash partitions" `Quick test_server_hash_partition;
           Alcotest.test_case "backpressure exactly-once" `Quick
             test_backpressure;
         ] );
       ( "crash",
         [
+          Alcotest.test_case "crashed shard drains its queue" `Quick
+            test_crash_drains_queue;
           Alcotest.test_case "mid-serving, ordered" `Quick
             test_crash_mid_serving_ordered;
           Alcotest.test_case "mid-serving, hash" `Quick
