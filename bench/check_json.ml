@@ -187,8 +187,70 @@ let check_recovery doc =
    group-persist and per-op-persist rows for each, every row well-formed,
    and batching must not increase flushes per operation — and must strictly
    reduce fences per operation — versus the per-op ablation on the same
-   traffic.  The batching win is part of the schema, not just a claim. *)
-let check_serve doc =
+   traffic.  The batching win is part of the schema, not just a claim.
+
+   From schema recipe-bench/2 every serve row must additionally carry the
+   [latency_breakdown] table: one entry per (shard, phase) for the
+   queue/apply/fence/ack phases, percentiles ordered, spans actually
+   sampled, and — since per span queue+apply+fence <= ack by construction —
+   the phase means must sum to at most the ack mean (within tolerance for
+   histogram bucketing).  That last inequality is what makes the breakdown
+   an *attribution* of ack latency rather than an unrelated measurement. *)
+let serve_phases = [ "queue"; "apply"; "fence"; "ack" ]
+
+let check_breakdown ix shards r =
+  let entries =
+    match J.to_list (get r "latency_breakdown") with
+    | Some l -> l
+    | None -> fail "serve.%s: latency_breakdown not a list" ix
+  in
+  let parsed =
+    List.map
+      (fun e ->
+        let ctx = "serve." ^ ix ^ ".latency_breakdown" in
+        let sid = int_of_float (num (ctx ^ ".shard") (get e "shard")) in
+        let phase =
+          match J.to_str (get e "phase") with
+          | Some p when List.mem p serve_phases -> p
+          | Some p -> fail "%s: unknown phase %S" ctx p
+          | None -> fail "%s: phase missing" ctx
+        in
+        let n k = num (Printf.sprintf "%s.%d.%s.%s" ctx sid phase k) (get e k) in
+        let count = n "count"
+        and mean = n "mean_ns"
+        and p50 = n "p50_ns"
+        and p99 = n "p99_ns" in
+        if count < 0.0 then fail "%s: negative count" ctx;
+        if count > 0.0 && p50 > p99 then
+          fail "%s: %d/%s p50 (%g) > p99 (%g)" ctx sid phase p50 p99;
+        ((sid, phase), (count, mean)))
+      entries
+  in
+  let lookup sid phase =
+    match List.assoc_opt (sid, phase) parsed with
+    | Some v -> v
+    | None -> fail "serve.%s: breakdown missing shard %d phase %s" ix sid phase
+  in
+  let total_acks = ref 0.0 in
+  for sid = 0 to shards - 1 do
+    let sum_parts =
+      List.fold_left
+        (fun a phase -> a +. snd (lookup sid phase))
+        0.0
+        [ "queue"; "apply"; "fence" ]
+    in
+    let ack_count, ack_mean = lookup sid "ack" in
+    total_acks := !total_acks +. ack_count;
+    (* 5% + 1us slack: histogram means are exact sums but the phases are
+       stamped with separate clock reads, so allow measurement noise. *)
+    if ack_count > 0.0 && sum_parts > (ack_mean *. 1.05) +. 1000.0 then
+      fail "serve.%s: shard %d phases sum %.0fns > ack mean %.0fns" ix sid
+        sum_parts ack_mean
+  done;
+  if !total_acks <= 0.0 then
+    fail "serve.%s: breakdown has no samples — spans were not enabled" ix
+
+let check_serve ~v2 doc =
   match J.member "serve" doc with
   | None -> ()
   | Some (J.List rows) ->
@@ -216,6 +278,7 @@ let check_serve doc =
               fail "serve.%s: ack p50 > p99" ix;
             if cell "mean_batch_ops" < 1.0 then
               fail "serve.%s: batches below one op" ix;
+            if v2 then check_breakdown ix (int_of_float (cell "shards")) r;
             ( int_of_float (cell "shards"),
               group,
               cell "clwb_per_op",
@@ -256,9 +319,16 @@ let run file =
     | Error e -> fail "%s does not parse: %s" file e
   in
   ignore (get doc "meta");
+  let v2 =
+    match Option.bind (J.member "schema" doc) J.to_str with
+    | Some "recipe-bench/1" -> false
+    | Some "recipe-bench/2" -> true
+    | Some s -> fail "unknown schema %S" s
+    | None -> fail "schema missing"
+  in
   check_micro_pmem doc;
   check_recovery doc;
-  check_serve doc;
+  check_serve ~v2 doc;
   let idxs =
     match J.to_list (get doc "indexes") with
     | Some l -> l

@@ -262,7 +262,9 @@ let write cfg ~smoke file =
   let doc =
     J.Obj
       [
-        ("schema", J.Str "recipe-bench/1");
+        (* /2: serve rows carry the per-shard per-phase latency_breakdown
+           table (queue/apply/fence/ack), gated by check_json. *)
+        ("schema", J.Str "recipe-bench/2");
         ( "meta",
           J.Obj
             [

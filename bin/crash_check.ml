@@ -58,9 +58,9 @@ let failed r =
   Crashtest.(r.lost_keys > 0 || r.wrong_values > 0 || r.stalled > 0)
 
 let dump_trace () =
+  Format.printf "%a@." Obs.Trace.pp_header ();
   let recent = Obs.Trace.recent 64 in
-  Printf.printf "trace: last %d events (%d dropped by the ring):\n"
-    (List.length recent) (Obs.Trace.dropped ());
+  Printf.printf "last %d events:\n" (List.length recent);
   List.iter (fun e -> Format.printf "  %a@." Obs.Trace.pp_event e) recent
 
 let main index bug states sweep faults load seed trace =

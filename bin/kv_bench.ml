@@ -24,7 +24,7 @@ let parse_shards s =
   with Failure _ -> None
 
 let main index shards_s batch workers requests opr write_pct key_space seed
-    json =
+    json trace_out =
   match (Harness.Kvparts.find index, parse_shards shards_s) with
   | None, _ ->
       Printf.eprintf "unknown index %S (one of: %s)\n" index
@@ -39,6 +39,7 @@ let main index shards_s batch workers requests opr write_pct key_space seed
         "kv_bench: %s, %d worker(s) x %d request(s) x %d op(s), %d%% writes \
          over %d keys, seed %d\n"
         index workers requests opr write_pct key_space seed;
+      if trace_out <> None then Obs.Trace.set_enabled true;
       Kvserve.Servebench.print_header ();
       let rows =
         List.concat_map
@@ -55,6 +56,8 @@ let main index shards_s batch workers requests opr write_pct key_space seed
               [ true; false ])
           shard_counts
       in
+      print_endline "latency breakdown (us):";
+      List.iter Kvserve.Servebench.print_breakdown rows;
       (* Headline: the flush coalescing factor per shard count. *)
       List.iter
         (fun shards ->
@@ -82,7 +85,7 @@ let main index shards_s batch workers requests opr write_pct key_space seed
           let doc =
             J.Obj
               [
-                ("schema", J.Str "recipe-serve-bench/1");
+                ("schema", J.Str "recipe-serve-bench/2");
                 ( "meta",
                   J.Obj
                     [
@@ -101,6 +104,14 @@ let main index shards_s batch workers requests opr write_pct key_space seed
           J.to_channel oc doc;
           close_out oc;
           Printf.printf "kv_bench: wrote %s\n" file);
+      Option.iter
+        (fun file ->
+          Obs.Traceview.write_file file;
+          Printf.printf
+            "kv_bench: wrote trace-event JSON to %s (most recent spans \
+             within the ring window)\n"
+            file)
+        trace_out;
       0
 
 let cmd =
@@ -135,11 +146,20 @@ let cmd =
       & opt (some string) None
       & info [ "json" ] ~docv:"FILE" ~doc:"Write the rows as JSON.")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event JSON file after the grid (load it \
+             in chrome://tracing or ui.perfetto.dev).")
+  in
   Cmd.v
     (Cmd.info "kv_bench"
        ~doc:"Benchmark group-persist batching in the KV service layer")
     Term.(
       const main $ index $ shards $ batch $ workers $ requests $ opr
-      $ write_pct $ key_space $ seed $ json)
+      $ write_pct $ key_space $ seed $ json $ trace_out)
 
 let () = exit (Cmd.eval' cmd)

@@ -135,7 +135,8 @@ let smoke_client port scan_supported errors () =
 
 (* --- main ----------------------------------------------------------------- *)
 
-let main index shards batch queue_cap per_op host port max_conns smoke =
+let main index shards batch queue_cap per_op host port max_conns smoke
+    trace_out =
   match Harness.Kvparts.find index with
   | None ->
       Printf.eprintf "unknown index %S (see bin/kv_bench.exe --help)\n" index;
@@ -151,6 +152,10 @@ let main index shards batch queue_cap per_op host port max_conns smoke =
       in
       let parts = Array.init cfg.Server.shards (fun _ -> make ()) in
       let scan_supported = parts.(0).Server.p_scan <> None in
+      if trace_out <> None then begin
+        Obs.Span.set_enabled true;
+        Obs.Trace.set_enabled true
+      end;
       let srv = Server.start cfg parts in
       let sock, actual_port = listen_on host (if smoke then 0 else port) in
       Printf.printf
@@ -170,6 +175,13 @@ let main index shards batch queue_cap per_op host port max_conns smoke =
       Option.iter Thread.join client;
       Unix.close sock;
       Server.stop srv;
+      Option.iter
+        (fun file ->
+          Obs.Traceview.write_file file;
+          Printf.printf "kv_server: wrote trace-event JSON to %s (open in \
+                         ui.perfetto.dev)\n%!"
+            file)
+        trace_out;
       if smoke then
         if !errors = 0 then begin
           print_endline "kv_server smoke: ok";
@@ -207,10 +219,20 @@ let cmd =
             "Self-test: bind an ephemeral port, run a loopback TCP client \
              through puts/gets/delete/scan, exit 0 iff all responses match.")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Enable request spans + event tracing and write a Chrome \
+             trace-event JSON file on exit (load it in chrome://tracing or \
+             ui.perfetto.dev).")
+  in
   Cmd.v
     (Cmd.info "kv_server" ~doc:"Serve a persistent index over TCP")
     Term.(
       const main $ index $ shards $ batch $ queue_cap $ per_op $ host $ port
-      $ max_conns $ smoke)
+      $ max_conns $ smoke $ trace_out)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,222 @@
+(* Live stats client for a running kv_server.
+
+     dune exec bin/kv_stats.exe -- --port 7700
+
+   Sends one [Stats] request over the framed binary codec and renders the
+   server's snapshot as a human-readable report: serving counters, pmem
+   flush/fence cost per acked op, ack percentiles, and the per-shard
+   queue/apply/fence/ack phase decomposition (populated when the server
+   runs with spans enabled, e.g. --trace-out).
+
+   [--smoke] is the CI loopback self-test: start an in-process server on an
+   ephemeral port, drive puts over real TCP, then query stats over the same
+   connection and exit 0 iff the snapshot is present and consistent. *)
+
+open Cmdliner
+module Wire = Kvserve.Wire
+module Server = Kvserve.Server
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd b !off (len - !off)
+  done
+
+let read_response fd pendbuf =
+  let tmp = Bytes.create 4096 in
+  let rec go () =
+    match Wire.decode_response (Buffer.contents pendbuf) 0 with
+    | `Ok (resp, consumed) ->
+        let data = Buffer.contents pendbuf in
+        Buffer.clear pendbuf;
+        Buffer.add_substring pendbuf data consumed (String.length data - consumed);
+        resp
+    | `Malformed m -> failwith ("malformed response: " ^ m)
+    | `Need_more ->
+        let n = Unix.read fd tmp 0 (Bytes.length tmp) in
+        if n = 0 then failwith "connection closed mid-response";
+        Buffer.add_subbytes pendbuf tmp 0 n;
+        go ()
+  in
+  go ()
+
+(* One stats round trip on an established connection. *)
+let query fd pend rid =
+  write_all fd (Wire.request_string { Wire.rid; ops = [ Wire.Stats ] });
+  let resp = read_response fd pend in
+  if resp.Wire.rrid <> rid then failwith "response id mismatch";
+  match (resp.Wire.status, resp.Wire.replies) with
+  | Wire.Ok, [ Wire.Stats_reply fields ] -> fields
+  | st, _ -> failwith ("stats request failed: " ^ Wire.status_name st)
+
+(* --- rendering ------------------------------------------------------------ *)
+
+let fv fields k = Option.value ~default:0 (List.assoc_opt k fields)
+let us v = float_of_int v /. 1e3
+
+let per_op fields k =
+  let ops = max 1 (fv fields "ops_acked") in
+  float_of_int (fv fields k) /. float_of_int ops
+
+let render fields =
+  let f = fv fields in
+  Printf.printf "server: %d shard(s), batch %d, queue cap %d, group persist %s%s\n"
+    (f "shards") (f "batch") (f "queue_cap")
+    (if f "group_persist" = 1 then "on" else "off")
+    (if f "crashed" = 1 then "  [CRASHED]" else "");
+  Printf.printf
+    "serving: %d ops acked in %d batches, %d overloaded rejections, %d group \
+     lines\n"
+    (f "ops_acked") (f "batches") (f "overloaded") (f "group_lines");
+  Printf.printf
+    "pmem (process totals): %d clwb (%.2f/op), %d sfence (%.2f/op)\n"
+    (f "pmem.clwb") (per_op fields "pmem.clwb") (f "pmem.sfence")
+    (per_op fields "pmem.sfence");
+  Printf.printf "ack latency: %d samples, p50 %.1f us, p99 %.1f us\n"
+    (f "ack_ns.count") (us (f "ack_ns.p50")) (us (f "ack_ns.p99"));
+  if f "spans_enabled" = 0 then
+    print_endline
+      "phase breakdown: spans disabled on the server (start it with \
+       --trace-out to populate)";
+  Printf.printf "%6s %6s %11s" "shard" "depth" "batch_mean";
+  List.iter
+    (fun phase -> Printf.printf " %17s" (phase ^ " p50/p99us"))
+    [ "queue"; "apply"; "fence"; "ack" ];
+  print_newline ();
+  for sid = 0 to f "shards" - 1 do
+    let sf k = f (Printf.sprintf "shard.%d.%s" sid k) in
+    Printf.printf "%6d %6d %11.2f" sid (sf "queue_depth")
+      (float_of_int (sf "batch_ops.mean_x1000") /. 1e3);
+    List.iter
+      (fun phase ->
+        Printf.printf " %8.1f/%8.1f"
+          (us (sf (phase ^ "_ns.p50")))
+          (us (sf (phase ^ "_ns.p99"))))
+      [ "queue"; "apply"; "fence"; "ack" ];
+    print_newline ()
+  done
+
+(* --- modes ---------------------------------------------------------------- *)
+
+let query_mode host port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+  with
+  | () ->
+      let fields = query fd (Buffer.create 256) 1 in
+      Unix.close fd;
+      render fields;
+      0
+  | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "kv_stats: cannot connect to %s:%d: %s\n" host port
+        (Unix.error_message e);
+      1
+
+(* Loopback self-test: everything kv_server's smoke does for the data path,
+   for the stats path — real TCP, real codec, assertions on the snapshot. *)
+let smoke_mode () =
+  match Harness.Kvparts.find "art" with
+  | None ->
+      prerr_endline "kv_stats smoke: art partition builder missing";
+      1
+  | Some make ->
+      Obs.Span.set_enabled true;
+      let cfg = { Server.default_config with shards = 2; batch = 8 } in
+      let parts = Array.init cfg.Server.shards (fun _ -> make ()) in
+      let srv = Server.start cfg parts in
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt sock Unix.SO_REUSEADDR true;
+      Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+      Unix.listen sock 4;
+      let port =
+        match Unix.getsockname sock with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> assert false
+      in
+      let server_thread =
+        Thread.create
+          (fun () ->
+            let fd, _ = Unix.accept sock in
+            let conn = Server.Conn.create srv in
+            let buf = Bytes.create 4096 in
+            let rec loop () =
+              match Unix.read fd buf 0 (Bytes.length buf) with
+              | 0 -> ()
+              | n ->
+                  let out = Server.Conn.feed conn (Bytes.sub_string buf 0 n) in
+                  if String.length out > 0 then write_all fd out;
+                  if not (Server.Conn.broken conn) then loop ()
+              | exception Unix.Unix_error _ -> ()
+            in
+            (try loop () with _ -> ());
+            try Unix.close fd with Unix.Unix_error _ -> ())
+          ()
+      in
+      let errors = ref 0 in
+      let check what cond =
+        if not cond then begin
+          incr errors;
+          Printf.eprintf "kv_stats smoke: FAIL %s\n%!" what
+        end
+      in
+      (try
+         let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+         Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+         let pend = Buffer.create 256 in
+         let nput = 100 in
+         let puts =
+           List.init nput (fun i -> Wire.Put (Util.Keys.encode_int i, i))
+         in
+         write_all fd (Wire.request_string { Wire.rid = 1; ops = puts });
+         let r = read_response fd pend in
+         check "puts acked" (r.Wire.status = Wire.Ok);
+         let fields = query fd pend 2 in
+         let f = fv fields in
+         check "shards reported" (f "shards" = cfg.Server.shards);
+         check "acked ops counted" (f "ops_acked" >= nput);
+         check "server healthy" (f "crashed" = 0);
+         check "queues drained"
+           (f "shard.0.queue_depth" = 0 && f "shard.1.queue_depth" = 0);
+         check "ack percentiles ordered" (f "ack_ns.p50" <= f "ack_ns.p99");
+         check "spans populate phase hists"
+           (f "shard.0.ack_ns.count" + f "shard.1.ack_ns.count" >= nput);
+         check "fence phase sampled"
+           (f "shard.0.fence_ns.count" + f "shard.1.fence_ns.count" >= nput);
+         render fields;
+         Unix.close fd
+       with e ->
+         incr errors;
+         Printf.eprintf "kv_stats smoke: FAIL %s\n%!" (Printexc.to_string e));
+      Thread.join server_thread;
+      Unix.close sock;
+      Server.stop srv;
+      Obs.Span.set_enabled false;
+      if !errors = 0 then begin
+        print_endline "kv_stats smoke: ok";
+        0
+      end
+      else 1
+
+let main host port smoke = if smoke then smoke_mode () else query_mode host port
+
+let cmd =
+  let host = Arg.(value & opt string "127.0.0.1" & info [ "host" ]) in
+  let port = Arg.(value & opt int 7700 & info [ "port" ] ~docv:"PORT") in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Self-test: start an in-process server on an ephemeral port, \
+             drive traffic over loopback TCP, and validate the stats \
+             snapshot; exit 0 iff consistent.")
+  in
+  Cmd.v
+    (Cmd.info "kv_stats"
+       ~doc:"Query a running kv_server for a live stats snapshot")
+    Term.(const main $ host $ port $ smoke)
+
+let () = exit (Cmd.eval' cmd)

@@ -88,7 +88,8 @@ let build_served_driver p name ~shards ~batch =
             scan;
           } )
 
-let main index workload keys ops threads strkeys seed shards batch sanitize =
+let main index workload keys ops threads strkeys seed shards batch sanitize
+    trace_out =
   match Ycsb.workload_of_string workload with
   | None ->
       Printf.eprintf "unknown workload %S (loada|a|b|c|e)\n" workload;
@@ -110,6 +111,10 @@ let main index workload keys ops threads strkeys seed shards batch sanitize =
           Printf.eprintf "unknown index %S\n" index;
           1
       | Some (srv, d) ->
+          if trace_out <> None then begin
+            Obs.Span.set_enabled true;
+            Obs.Trace.set_enabled true
+          end;
           if sanitize then Psan.enable ();
           let loadres = Ycsb.load p d in
           Format.printf "load: %a@." Ycsb.pp_result loadres;
@@ -123,6 +128,13 @@ let main index workload keys ops threads strkeys seed shards batch sanitize =
                   dname
           end;
           Option.iter Kvserve.Server.stop srv;
+          Option.iter
+            (fun file ->
+              Obs.Traceview.write_file file;
+              Printf.printf "ycsb_run: wrote trace-event JSON to %s (spans \
+                             only in --shards mode)\n%!"
+                file)
+            trace_out;
           if sanitize then begin
             Psan.disable ();
             let n = Psan.diagnostic_count () in
@@ -173,10 +185,20 @@ let cmd =
             "Run the whole workload under the PSan sanitizer and report its \
              diagnostics; exit 1 if any fired.")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Enable request spans + event tracing and write a Chrome \
+             trace-event JSON file after the run (load it in \
+             chrome://tracing or ui.perfetto.dev).")
+  in
   Cmd.v
     (Cmd.info "ycsb_run" ~doc:"Run one YCSB workload against one index")
     Term.(
       const main $ index $ workload $ keys $ ops $ threads $ strkeys $ seed
-      $ shards $ batch $ sanitize)
+      $ shards $ batch $ sanitize $ trace_out)
 
 let () = exit (Cmd.eval' cmd)

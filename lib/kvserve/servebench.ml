@@ -16,6 +16,16 @@
 module J = Obs.Json
 module H = Util.Histogram
 
+(* One per-shard per-phase latency line of the breakdown table. *)
+type phase_row = {
+  p_sid : int;
+  p_phase : string;  (** "queue" | "apply" | "fence" | "ack" *)
+  p_count : int;
+  p_mean_ns : float;
+  p_p50_ns : int;
+  p_p99_ns : int;
+}
+
 type row = {
   r_index : string;
   r_shards : int;
@@ -32,14 +42,38 @@ type row = {
   r_fences_per_op : float;
   r_overloaded : int;
   r_seed : int;
+  r_breakdown : phase_row list;
+      (** per-shard queue/apply/fence/ack decomposition of ack latency *)
 }
+
+let phase_names = List.map fst Obs.Span.phases
+
+let phase_hist phase sid = Obs.Hist.v (Printf.sprintf "serve.phase.%s.%d" phase sid)
+
+let collect_breakdown shards =
+  List.concat_map
+    (fun sid ->
+      List.map
+        (fun phase ->
+          let m = Obs.Hist.merged (phase_hist phase sid) in
+          {
+            p_sid = sid;
+            p_phase = phase;
+            p_count = H.count m;
+            p_mean_ns = H.mean m;
+            p_p50_ns = H.percentile m 0.50;
+            p_p99_ns = H.percentile m 0.99;
+          })
+        phase_names)
+    (List.init shards (fun sid -> sid))
 
 (* The serve metrics are process-global named histograms; zero the ones this
    run will observe so each grid cell reports only its own traffic. *)
 let reset_serve_metrics shards =
   Obs.Hist.reset (Obs.Hist.v "serve.ack_ns");
   for sid = 0 to shards - 1 do
-    Obs.Hist.reset (Obs.Hist.v (Printf.sprintf "serve.batch_ops.%d" sid))
+    Obs.Hist.reset (Obs.Hist.v (Printf.sprintf "serve.batch_ops.%d" sid));
+    List.iter (fun phase -> Obs.Hist.reset (phase_hist phase sid)) phase_names
   done
 
 let run_one ~(make : unit -> Server.partition) ~shards ~batch ~group
@@ -55,6 +89,11 @@ let run_one ~(make : unit -> Server.partition) ~shards ~batch ~group
     }
   in
   reset_serve_metrics shards;
+  (* Spans on for the duration of the run: the breakdown table is the whole
+     point of the measurement, and the stamping cost lands identically on
+     both cells of a group-on/group-off pair. *)
+  let spans_were = Obs.Span.enabled () in
+  Obs.Span.set_enabled true;
   let s0 = Pmem.Stats.snapshot () in
   let srv = Server.start cfg parts in
   let lcfg =
@@ -71,6 +110,7 @@ let run_one ~(make : unit -> Server.partition) ~shards ~batch ~group
   in
   let out = Loadgen.run srv lcfg in
   Server.stop srv;
+  Obs.Span.set_enabled spans_were;
   let d = Pmem.Stats.diff (Pmem.Stats.snapshot ()) s0 in
   let ack = Obs.Hist.merged (Server.ack_hist srv) in
   let batches = H.create () in
@@ -97,6 +137,7 @@ let run_one ~(make : unit -> Server.partition) ~shards ~batch ~group
     r_fences_per_op = float_of_int d.Pmem.Stats.s_sfence /. fops;
     r_overloaded = out.Loadgen.overloaded;
     r_seed = out.Loadgen.seed;
+    r_breakdown = collect_breakdown shards;
   }
 
 (* The standard grid: every shard count × {group on, group off}, identical
@@ -130,6 +171,20 @@ let row_json r =
       ("sfence_per_op", J.Num r.r_fences_per_op);
       ("overloaded", J.int r.r_overloaded);
       ("seed", J.int r.r_seed);
+      ( "latency_breakdown",
+        J.List
+          (List.map
+             (fun p ->
+               J.Obj
+                 [
+                   ("shard", J.int p.p_sid);
+                   ("phase", J.Str p.p_phase);
+                   ("count", J.int p.p_count);
+                   ("mean_ns", J.Num p.p_mean_ns);
+                   ("p50_ns", J.int p.p_p50_ns);
+                   ("p99_ns", J.int p.p_p99_ns);
+                 ])
+             r.r_breakdown) );
     ]
 
 let rows_json rows = J.List (List.map row_json rows)
@@ -147,3 +202,31 @@ let print_row r =
     (float_of_int r.r_ack_p50_ns /. 1e3)
     (float_of_int r.r_ack_p99_ns /. 1e3)
     r.r_mean_batch r.r_flushes_per_op r.r_fences_per_op
+
+(* Phase decomposition of one row: a sub-table of per-shard p50/p99 (µs)
+   for the queue/apply/fence/ack phases — the answer to "where does the
+   group-on ack p99 go?". *)
+let print_breakdown r =
+  Printf.printf "  %-10s group=%-3s  %-6s" r.r_index
+    (if r.r_group then "on" else "off")
+    "shard";
+  List.iter (fun phase -> Printf.printf " %16s" (phase ^ " p50/p99")) phase_names;
+  print_newline ();
+  List.iter
+    (fun sid ->
+      Printf.printf "  %-10s %10s %6d" "" "" sid;
+      List.iter
+        (fun phase ->
+          match
+            List.find_opt
+              (fun p -> p.p_sid = sid && p.p_phase = phase)
+              r.r_breakdown
+          with
+          | Some p ->
+              Printf.printf " %7.1f/%8.1f"
+                (float_of_int p.p_p50_ns /. 1e3)
+                (float_of_int p.p_p99_ns /. 1e3)
+          | None -> Printf.printf " %16s" "-")
+        phase_names;
+      print_newline ())
+    (List.init r.r_shards (fun sid -> sid))

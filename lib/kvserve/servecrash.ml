@@ -28,9 +28,11 @@ let fresh_env () =
 
 let now_ns () = Int64.to_int (Monotonic_clock.now ())
 
-(* Preload through the server; returns the acked flags. *)
+(* Preload through the server; returns the acked flags and the number of
+   acknowledged ops (every op of an [Ok] response counts: it was fenced). *)
 let preload srv load =
   let completed = Array.make (load + 1) false in
+  let acked = ref 0 in
   let chunk = 16 in
   let k = ref 1 in
   while !k <= load do
@@ -41,16 +43,18 @@ let preload srv load =
         Wire.Put (Util.Keys.encode_int i, Loadgen.value_of_key i) :: !ops
     done;
     let resp = Server.submit srv { Wire.rid = !k; ops = !ops } in
-    (if resp.Wire.status = Wire.Ok then
+    (if resp.Wire.status = Wire.Ok then begin
+       acked := !acked + List.length resp.Wire.replies;
        List.iteri
          (fun j r ->
            match r with
            | Wire.Done true -> completed.(!k + j) <- true
            | _ -> ())
-         resp.Wire.replies);
+         resp.Wire.replies
+     end);
     k := hi + 1
   done;
-  completed
+  (completed, !acked)
 
 let traffic_cfg ~workers ~ops ~load ~key_base ~seed =
   {
@@ -88,6 +92,11 @@ let campaign ~make ~(cfg : Server.config) ~states ~load ~ops ~workers ~seed ()
     max 1 ev.Faultinject.flushes
   in
   let crashes = ref 0 and lost = ref 0 and wrong = ref 0 and stalled = ref 0 in
+  (* Ops this campaign's clients have had acknowledged, across every state
+     and server generation — the floor the stats endpoint must report.  The
+     serving counters are process-global named metrics, so a restarted
+     server re-attaches to them rather than starting a fresh count. *)
+  let acked_total = ref 0 in
   let faults0 = Faultinject.fire_count () in
   let recoveries = ref 0 and recover_ns = ref 0 in
   let sweep_stats = ref Recipe.Recovery.zero in
@@ -95,7 +104,8 @@ let campaign ~make ~(cfg : Server.config) ~states ~load ~ops ~workers ~seed ()
     fresh_env ();
     let parts = mk_parts () in
     let srv = Server.start cfg parts in
-    let completed = preload srv load in
+    let completed, preload_acked = preload srv load in
+    acked_total := !acked_total + preload_acked;
     (* Phase 1: traffic under an armed fault plan. *)
     Faultinject.arm (Faultinject.random_plan rng ~max_events);
     let out1 =
@@ -129,6 +139,7 @@ let campaign ~make ~(cfg : Server.config) ~states ~load ~ops ~workers ~seed ()
         (traffic_cfg ~workers ~ops ~load ~key_base:(load + 100_001)
            ~seed:(seed + (1000 * state) + 1))
     in
+    acked_total := !acked_total + out1.Loadgen.ops_acked + out2.Loadgen.ops_acked;
     (* Verification, through the serving path. *)
     let get k =
       let resp =
@@ -136,8 +147,12 @@ let campaign ~make ~(cfg : Server.config) ~states ~load ~ops ~workers ~seed ()
           { Wire.rid = 0; ops = [ Wire.Get (Util.Keys.encode_int k) ] }
       in
       match (resp.Wire.status, resp.Wire.replies) with
-      | Wire.Ok, [ Wire.Found v ] -> Some v
-      | Wire.Ok, [ Wire.Absent ] -> None
+      | Wire.Ok, [ Wire.Found v ] ->
+          incr acked_total;
+          Some v
+      | Wire.Ok, [ Wire.Absent ] ->
+          incr acked_total;
+          None
       | _ ->
           incr stalled;
           None
@@ -176,6 +191,7 @@ let campaign ~make ~(cfg : Server.config) ~states ~load ~ops ~workers ~seed ()
         in
         (match (resp.Wire.status, resp.Wire.replies) with
         | Wire.Ok, [ Wire.Scanned items ] ->
+            incr acked_total;
             let rec sorted = function
               | (a, _) :: ((b, _) :: _ as rest) ->
                   if String.compare a b >= 0 then incr wrong;
@@ -195,6 +211,31 @@ let campaign ~make ~(cfg : Server.config) ~states ~load ~ops ~workers ~seed ()
             end
         | _ -> incr stalled)
     | _ -> ());
+    (* Stats-endpoint consistency across recovery: queried after every ack
+       above, the snapshot must never undercount acked ops (the counter add
+       happens-before the ack, see [Server.worker]), must see the restarted
+       server healthy, and — with all submits returned — empty queues.  A
+       violation is a serving-path malfunction, reported as [stalled]. *)
+    (match Server.submit srv2 { Wire.rid = 0; ops = [ Wire.Stats ] } with
+    | {
+        Wire.status = Wire.Ok;
+        replies = [ Wire.Stats_reply fields ];
+        _;
+      } ->
+        let fv k =
+          match List.assoc_opt k fields with
+          | Some v -> v
+          | None ->
+              incr stalled;
+              -1
+        in
+        if fv "ops_acked" < !acked_total then incr stalled;
+        if fv "crashed" <> 0 then incr stalled;
+        for sid = 0 to cfg.shards - 1 do
+          if fv (Printf.sprintf "shard.%d.queue_depth" sid) <> 0 then
+            incr stalled
+        done
+    | _ -> incr stalled);
     Server.stop srv2
   done;
   Pmem.Mode.set_shadow false;

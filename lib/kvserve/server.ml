@@ -79,7 +79,10 @@ type pending = {
   mutable aborted : bool;  (* a contributing worker crashed / shut down *)
 }
 
-type item = { op : Wire.op; opi : int; pend : pending }
+(* [sp] is the request-lifecycle span for this routed op: a constant [None]
+   when spans are disabled, so the hot path allocates no span state and only
+   ever pays option-pattern branches. *)
+type item = { op : Wire.op; opi : int; pend : pending; sp : Obs.Span.t option }
 
 (* --- shards -------------------------------------------------------------- *)
 
@@ -95,6 +98,12 @@ type shard = {
   mutable dead : bool;  (* crashed: fail remaining work, reject new *)
   m_depth : Obs.Hist.t;  (* queue depth sampled at enqueue *)
   m_batch : Obs.Hist.t;  (* operations per executed batch *)
+  (* Per-phase latency (ns), observed at ack time from each op's span; all
+     four stay empty while spans are disabled. *)
+  m_queue : Obs.Hist.t;
+  m_apply : Obs.Hist.t;
+  m_fence : Obs.Hist.t;
+  m_sack : Obs.Hist.t;
 }
 
 type t = {
@@ -167,6 +176,10 @@ let apply part op =
       match part.p_scan with
       | Some scan -> Wire.Scanned (scan k n)
       | None -> Wire.Unsupported)
+  | Wire.Stats ->
+      (* Stats is answered at routing time and never enqueued; a worker can
+         only see it through a future routing bug. *)
+      Wire.Unsupported
 
 let pop sh =
   match sh.ring.(sh.head) with
@@ -225,10 +238,21 @@ let worker t sh =
       done;
       Mutex.unlock sh.smu;
       Obs.Hist.observe sh.m_batch n;
+      (if Obs.Span.enabled () then
+         let ts = Obs.Span.now () in
+         for i = 0 to n - 1 do
+           match batch_buf.(i) with
+           | Some { sp = Some sp; _ } -> sp.Obs.Span.t_dequeue <- ts
+           | _ -> ()
+         done);
       match
         for i = 0 to n - 1 do
           match batch_buf.(i) with
-          | Some it -> replies.(i) <- apply sh.part it.op
+          | Some it ->
+              replies.(i) <- apply sh.part it.op;
+              (match it.sp with
+              | Some sp -> sp.Obs.Span.t_applied <- Obs.Span.now ()
+              | None -> ())
           | None -> assert false
         done;
         (* The batch fence: after this, every operation above is durable
@@ -237,15 +261,30 @@ let worker t sh =
           Obs.Counter.add t.c_group_lines (Recipe.Persist.group_flush ())
       with
       | () ->
+          (* Fence boundary: in group mode this is the group flush + sfence;
+             in per-op mode each apply already fenced itself, so the phase
+             measures the batch-tail wait before acks go out — either way it
+             is the time from "my op is applied" to "my op may be acked". *)
+          (if Obs.Span.enabled () then
+             let ts = Obs.Span.now () in
+             for i = 0 to n - 1 do
+               match batch_buf.(i) with
+               | Some { sp = Some sp; _ } -> sp.Obs.Span.t_fenced <- ts
+               | _ -> ()
+             done);
+          (* Count the batch *before* contributing: the contribute below
+             releases the submitter, and the stats endpoint promises that a
+             snapshot taken after an ack never undercounts acked ops.  The
+             counter add happens-before the submitter's wake via [pmu]. *)
+          Obs.Counter.add t.c_ops n;
+          Obs.Counter.incr t.c_batches;
           for i = 0 to n - 1 do
             match batch_buf.(i) with
             | Some it ->
                 contribute it sh.sid replies.(i);
                 batch_buf.(i) <- None
             | None -> ()
-          done;
-          Obs.Counter.add t.c_ops n;
-          Obs.Counter.incr t.c_batches
+          done
       | exception e ->
           (* Injected crash (or any fault) mid-batch: the batch is abandoned
              wholesale.  Deferred commit lines are dropped un-flushed — the
@@ -298,6 +337,10 @@ let start cfg parts =
           dead = false;
           m_depth = Obs.Hist.v (Printf.sprintf "serve.queue_depth.%d" sid);
           m_batch = Obs.Hist.v (Printf.sprintf "serve.batch_ops.%d" sid);
+          m_queue = Obs.Hist.v (Printf.sprintf "serve.phase.queue.%d" sid);
+          m_apply = Obs.Hist.v (Printf.sprintf "serve.phase.apply.%d" sid);
+          m_fence = Obs.Hist.v (Printf.sprintf "serve.phase.fence.%d" sid);
+          m_sack = Obs.Hist.v (Printf.sprintf "serve.phase.ack.%d" sid);
         })
   in
   let t =
@@ -338,6 +381,52 @@ let stop t =
 let ok_response rid replies = { Wire.rrid = rid; status = Wire.Ok; replies }
 let status_response rid status = { Wire.rrid = rid; status; replies = [] }
 
+(* --- live stats snapshot -------------------------------------------------- *)
+
+(* The serving state as flat named non-negative fields — the [Stats_reply]
+   wire shape, rendered by [bin/kv_stats].  Histogram means are fixed-point
+   (suffix [_x1000] = value × 1000) so they survive the integer-only wire.
+   Queue depths are unlocked reads: metrics-grade, not linearizable.  The
+   one ordering promise (checked by the crash campaign): a snapshot taken
+   by a client after it received an ack for N ops reports [ops_acked >= N]
+   — see the counter placement in [worker]. *)
+let stats_snapshot t =
+  let module H = Util.Histogram in
+  let fields = ref [] in
+  let add k v = fields := (k, max 0 v) :: !fields in
+  let add_hist prefix h =
+    let m = Obs.Hist.merged h in
+    add (prefix ^ ".count") (H.count m);
+    add (prefix ^ ".mean_x1000") (int_of_float (H.mean m *. 1000.));
+    add (prefix ^ ".p50") (H.percentile m 0.50);
+    add (prefix ^ ".p99") (H.percentile m 0.99)
+  in
+  add "shards" t.cfg.shards;
+  add "batch" t.cfg.batch;
+  add "queue_cap" t.cfg.queue_cap;
+  add "group_persist" (if t.cfg.group_persist then 1 else 0);
+  add "crashed" (if Atomic.get t.crashed then 1 else 0);
+  add "spans_enabled" (if Obs.Span.enabled () then 1 else 0);
+  add "ops_acked" (Obs.Counter.value t.c_ops);
+  add "batches" (Obs.Counter.value t.c_batches);
+  add "overloaded" (Obs.Counter.value t.c_overloaded);
+  add "group_lines" (Obs.Counter.value t.c_group_lines);
+  let s = Pmem.Stats.snapshot () in
+  add "pmem.clwb" s.Pmem.Stats.s_clwb;
+  add "pmem.sfence" s.Pmem.Stats.s_sfence;
+  add_hist "ack_ns" t.m_ack;
+  Array.iter
+    (fun sh ->
+      let p = Printf.sprintf "shard.%d" sh.sid in
+      add (p ^ ".queue_depth") sh.len;
+      add_hist (p ^ ".batch_ops") sh.m_batch;
+      add_hist (p ^ ".queue_ns") sh.m_queue;
+      add_hist (p ^ ".apply_ns") sh.m_apply;
+      add_hist (p ^ ".fence_ns") sh.m_fence;
+      add_hist (p ^ ".ack_ns") sh.m_sack)
+    t.shards_;
+  List.rev !fields
+
 (* Route one request's ops: returns the per-shard item lists and the
    completion cell, or [None] for an empty request. *)
 let route t (req : Wire.request) =
@@ -358,6 +447,15 @@ let route t (req : Wire.request) =
         aborted = false;
       }
     in
+    let spans_on = Obs.Span.enabled () in
+    let mk_item op opi sid =
+      {
+        op;
+        opi;
+        pend;
+        sp = (if spans_on then Some (Obs.Span.start ~sid) else None);
+      }
+    in
     for opi = nops - 1 downto 0 do
       match ops.(opi) with
       | Wire.Scan (_, want) ->
@@ -365,12 +463,16 @@ let route t (req : Wire.request) =
             Scan_parts
               { want; parts = Array.make nshards []; unsupported = false };
           for sid = 0 to nshards - 1 do
-            per_shard.(sid) <- { op = ops.(opi); opi; pend } :: per_shard.(sid)
+            per_shard.(sid) <- mk_item ops.(opi) opi sid :: per_shard.(sid)
           done;
           total := !total + nshards
+      | Wire.Stats ->
+          (* Answered at routing time from the router's own view — a stats
+             poll must not consume serving capacity or skew ack latency. *)
+          slots.(opi) <- Direct (Wire.Stats_reply (stats_snapshot t))
       | (Wire.Get k | Wire.Put (k, _) | Wire.Delete k) as op ->
           let sid = shard_of_key t.cfg k in
-          per_shard.(sid) <- { op; opi; pend } :: per_shard.(sid);
+          per_shard.(sid) <- mk_item op opi sid :: per_shard.(sid);
           incr total
     done;
     pend.remaining <- !total;
@@ -410,8 +512,14 @@ let enqueue t per_shard =
       for sid = 0 to nshards - 1 do
         if needed.(sid) > 0 then begin
           let sh = t.shards_.(sid) in
+          (* Enqueue stamp taken under [smu], so it is ordered before the
+             worker's dequeue stamp (the pop also holds [smu]). *)
+          let ts = if Obs.Span.enabled () then Obs.Span.now () else 0 in
           List.iter
             (fun it ->
+              (match it.sp with
+              | Some sp when ts > 0 -> sp.Obs.Span.t_enqueue <- ts
+              | _ -> ());
               let tail = (sh.head + sh.len) mod Array.length sh.ring in
               sh.ring.(tail) <- Some it;
               sh.len <- sh.len + 1)
@@ -450,8 +558,27 @@ let submit t (req : Wire.request) =
             Mutex.unlock pend.pmu;
             if aborted then status_response req.rid Wire.Shutdown
             else begin
-              Obs.Hist.observe t.m_ack
-                (Int64.to_int (Int64.sub (Monotonic_clock.now ()) t0));
+              (* A request of only routing-time ops (e.g. pure Stats) waited
+                 on nothing; don't let it dilute the ack histogram. *)
+              let any_routed =
+                Array.exists (function [] -> false | _ -> true) per_shard
+              in
+              if any_routed then
+                Obs.Hist.observe t.m_ack
+                  (Int64.to_int (Int64.sub (Monotonic_clock.now ()) t0));
+              if Obs.Span.enabled () then
+                Array.iter
+                  (List.iter (fun it ->
+                       match it.sp with
+                       | Some sp ->
+                           Obs.Span.finish sp;
+                           let sh = t.shards_.(sp.Obs.Span.sid) in
+                           Obs.Hist.observe sh.m_queue (Obs.Span.queue_ns sp);
+                           Obs.Hist.observe sh.m_apply (Obs.Span.apply_ns sp);
+                           Obs.Hist.observe sh.m_fence (Obs.Span.fence_ns sp);
+                           Obs.Hist.observe sh.m_sack (Obs.Span.ack_ns sp)
+                       | None -> ()))
+                  per_shard;
               ok_response req.rid
                 (Array.to_list
                    (Array.map

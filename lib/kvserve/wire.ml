@@ -14,6 +14,7 @@
          opcode 1 = put     (u64 value)
          opcode 2 = delete  (no tail)
          opcode 3 = scan    (u16 max results; key is the inclusive start)
+         opcode 4 = stats   (no key, no tail: live server snapshot)
 
    Response payload:
      u8 kind=1 | u32 rid | u8 status | u16 nreplies | nreplies × reply
@@ -23,6 +24,7 @@
              u8 tag 2 = done     (u8 applied?)
              u8 tag 3 = scanned  (u16 n | n × (u16 klen | key | u64 value))
              u8 tag 4 = unsupported  (scan sent to an unordered index)
+             u8 tag 5 = stats    (u16 n | n × (u16 klen | field name | u64 value))
    Non-[Ok] statuses carry zero replies: the request was not applied.
 
    Values are 63-bit OCaml ints carried in a u64 slot (the sign bit is
@@ -35,6 +37,7 @@ type op =
   | Put of string * int
   | Delete of string
   | Scan of string * int
+  | Stats
 
 type request = { rid : int; ops : op list }
 
@@ -46,6 +49,7 @@ type reply =
   | Done of bool
   | Scanned of (string * int) list
   | Unsupported
+  | Stats_reply of (string * int) list (* named non-negative fields *)
 
 type response = { rrid : int; status : status; replies : reply list }
 
@@ -105,6 +109,7 @@ let add_op b = function
       if n < 0 || n > u16_max then
         raise (Encode_error "scan count out of u16 range");
       add_u16 b n
+  | Stats -> add_u8 b 4
 
 let status_code = function
   | Ok -> 0
@@ -131,6 +136,16 @@ let add_reply b = function
           add_u64 b v)
         items
   | Unsupported -> add_u8 b 4
+  | Stats_reply fields ->
+      add_u8 b 5;
+      let n = List.length fields in
+      if n > u16_max then raise (Encode_error "stats reply exceeds u16 count");
+      add_u16 b n;
+      List.iter
+        (fun (k, v) ->
+          add_key b k;
+          add_u64 b v)
+        fields
 
 (* Append one framed message to [b]: payload built in a scratch buffer so
    the length prefix can go first. *)
@@ -225,6 +240,7 @@ let dec_op c =
   | 3 ->
       let k = key c in
       Scan (k, u16 c)
+  | 4 -> Stats
   | n -> raise (Bad (Printf.sprintf "unknown opcode %d" n))
 
 let dec_status = function
@@ -253,6 +269,15 @@ let dec_reply c =
       done;
       Scanned (List.rev !items)
   | 4 -> Unsupported
+  | 5 ->
+      let n = u16 c in
+      let fields = ref [] in
+      for _ = 1 to n do
+        let k = key c in
+        let v = u64 c in
+        fields := (k, v) :: !fields
+      done;
+      Stats_reply (List.rev !fields)
   | n -> raise (Bad (Printf.sprintf "unknown reply tag %d" n))
 
 (* Generic frame decode: check the length prefix, then run [payload] on a

@@ -10,7 +10,13 @@
    - {!Counter}, {!Gauge}, {!Hist}: named metrics, enumerable by exporters.
    - {!Site}: index × structural-location attribution for flushes, fences
      and crash points ("P-ART/n4/add"), plus crash-point coverage.
+   - {!Domring}: per-domain ring registry keyed by real domain id, the
+     storage under both the event trace and the span rings.
    - {!Trace}: per-domain fixed-capacity event ring, dumpable on failure.
+   - {!Span}: request-lifecycle phase timing for the served path
+     (submit/enqueue/dequeue/apply/fence/ack boundaries).
+   - {!Traceview}: Chrome/Perfetto trace-event JSON export of spans, trace
+     events and site attribution.
    - {!Json}: dependency-free JSON emit/parse for the bench exporter.
 
    [pmem] layers on top: the legacy [Pmem.Stats] block is now a façade over
@@ -20,7 +26,10 @@ module Counter = Counter
 module Gauge = Gauge
 module Hist = Hist
 module Site = Site
+module Domring = Domring
 module Trace = Trace
+module Span = Span
+module Traceview = Traceview
 module Json = Json
 module Diag = Diag
 
@@ -36,4 +45,5 @@ let reset_all () =
   Counter.reset_all ();
   Hist.reset_all ();
   Trace.clear ();
+  Span.clear ();
   Diag.clear ()

@@ -1,12 +1,15 @@
-(* Lightweight span/event trace: a fixed-capacity ring buffer per domain.
+(* Lightweight event trace: a fixed-capacity ring buffer per domain.
 
    Recording is off by default and costs one ref read when disabled.  When
    enabled, an event is a small record stamped with a global sequence number
-   (atomic fetch-add — tracing trades some contention for a total order)
-   written into the recording domain's ring; the oldest events of a full
-   ring are silently dropped, which bounds both memory and overhead.  [dump]
-   merges all rings in sequence order, typically printed when a crash
-   campaign fails. *)
+   (atomic fetch-add — tracing trades some contention for a total order) and
+   a monotonic-ns timestamp, written into the recording domain's ring (see
+   {!Domring}: rings are keyed by *real* domain id, so concurrent domains
+   never share one); the oldest events of a full ring are silently dropped,
+   which bounds both memory and overhead.  [dump] merges all rings in
+   sequence order, typically printed when a crash campaign fails; always
+   print {!pp_header} (or check {!dropped}) alongside a dump so a truncated
+   window is never read as the complete history. *)
 
 type kind =
   | Op_begin (* label = op name, arg = key/universe index *)
@@ -26,54 +29,54 @@ let kind_name = function
   | Llc_evict -> "llc_evict"
   | Note -> "note"
 
-type event = { seq : int; domain : int; kind : kind; label : string; arg : int }
+type event = {
+  seq : int;
+  ts : int; (* monotonic ns, comparable with Span stamps *)
+  domain : int;
+  kind : kind;
+  label : string;
+  arg : int;
+}
 
-let capacity = 1024 (* events per domain ring *)
+let default_capacity = 1024 (* events per domain ring *)
 
-type ring = { events : event option array; mutable next : int; mutable total : int }
+let rings : event Domring.t =
+  let cap =
+    match Sys.getenv_opt "RECIPE_TRACE_CAP" with
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n > 0 -> n
+        | _ -> default_capacity)
+    | None -> default_capacity
+  in
+  Domring.create ~capacity:cap
 
-let rings =
-  Array.init Shard.shards (fun _ ->
-      { events = Array.make capacity None; next = 0; total = 0 })
-
+let capacity () = Domring.capacity rings
+let set_capacity n = Domring.set_capacity rings n
 let enabled_flag = ref false
 let enabled () = !enabled_flag
 let set_enabled b = enabled_flag := b
-
 let seq = Atomic.make 0
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
 
 let record kind ?(arg = 0) label =
   if !enabled_flag then begin
     let did = (Domain.self () :> int) in
-    let r = rings.(did land (Shard.shards - 1)) in
     let s = Atomic.fetch_and_add seq 1 in
-    r.events.(r.next) <- Some { seq = s; domain = did; kind; label; arg };
-    r.next <- (r.next + 1) mod capacity;
-    r.total <- r.total + 1
+    Domring.record rings { seq = s; ts = now_ns (); domain = did; kind; label; arg }
   end
 
 (* Events dropped so far (ring overwrites): total recorded - retained. *)
-let dropped () =
-  Array.fold_left
-    (fun acc r -> acc + max 0 (r.total - capacity))
-    0 rings
+let dropped () = Domring.dropped rings
+let total () = Domring.total rings
 
 let clear () =
-  Array.iter
-    (fun r ->
-      Array.fill r.events 0 capacity None;
-      r.next <- 0;
-      r.total <- 0)
-    rings;
+  Domring.clear rings;
   Atomic.set seq 0
 
 (** All retained events, oldest first. *)
 let dump () =
-  let acc = ref [] in
-  Array.iter
-    (Array.iter (function Some e -> acc := e :: !acc | None -> ()))
-    (Array.map (fun r -> r.events) rings);
-  List.sort (fun a b -> compare a.seq b.seq) !acc
+  List.sort (fun a b -> compare a.seq b.seq) (Domring.dump rings)
 
 (** The [n] most recent events, oldest first. *)
 let recent n =
@@ -84,3 +87,12 @@ let recent n =
 let pp_event ppf e =
   Fmt.pf ppf "#%-6d d%-2d %-12s %s%s" e.seq e.domain (kind_name e.kind) e.label
     (if e.arg = 0 then "" else Printf.sprintf " (%d)" e.arg)
+
+(** One-line dump header: retained/dropped accounting for the window that a
+    subsequent [dump]/[recent] print actually covers. *)
+let pp_header ppf () =
+  let tot = total () in
+  let drop = dropped () in
+  Fmt.pf ppf "trace: %d recorded, %d retained, %d dropped (capacity %d/domain)%s"
+    tot (tot - drop) drop (capacity ())
+    (if drop > 0 then " — window is INCOMPLETE" else "")

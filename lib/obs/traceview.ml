@@ -1,0 +1,149 @@
+(* Chrome trace-event export: spans + trace events + site attribution.
+
+   Serializes everything the observability layer retained into the Trace
+   Event Format that chrome://tracing and https://ui.perfetto.dev load
+   directly ({"traceEvents": [...]}; timestamps in microseconds):
+
+   - each finished {!Span} becomes three complete ("X") slices — queue /
+     apply / fence — on the row of the shard that served it, plus a
+     whole-request slice on the submitting domain's row, so queue waits,
+     batch formation and fence stalls are visible as gaps and bars;
+   - each {!Trace} event becomes an instant ("i") on its domain's row;
+   - each {!Site} with any activity becomes one counter ("C") sample with
+     its cumulative clwb/sfence totals, giving the flush/fence attribution
+     a track without needing per-hit events.
+
+   Rows: shards are tid 0..n on pid 1 ("serve"); domains are tid = domain
+   id on pid 2 ("domains").  Timestamps are normalized so the view starts
+   at 0.  Ring-drop accounting goes into "otherData" — an export from
+   overwritten rings is a window, not a complete history. *)
+
+module J = Json
+
+let us_of_ns ns = float_of_int ns /. 1e3
+let pid_serve = 1
+let pid_domains = 2
+
+(* One trace-event object. *)
+let ev ~name ~cat ~ph ~ts ?dur ~pid ~tid ?(args = []) () =
+  J.Obj
+    ([
+       ("name", J.Str name);
+       ("cat", J.Str cat);
+       ("ph", J.Str ph);
+       ("ts", J.Num ts);
+     ]
+    @ (match dur with Some d -> [ ("dur", J.Num d) ] | None -> [])
+    @ [ ("pid", J.int pid); ("tid", J.int tid) ]
+    @ (match args with [] -> [] | a -> [ ("args", J.Obj a) ]))
+
+let thread_name ~pid ~tid name =
+  J.Obj
+    [
+      ("name", J.Str "thread_name");
+      ("ph", J.Str "M");
+      ("pid", J.int pid);
+      ("tid", J.int tid);
+      ("args", J.Obj [ ("name", J.Str name) ]);
+    ]
+
+let span_events ~t0 sp =
+  let open Span in
+  let rel ns = us_of_ns (ns - t0) in
+  let dur a b = us_of_ns (max 0 (b - a)) in
+  let args = [ ("shard", J.int sp.sid); ("client_domain", J.int sp.domain) ] in
+  [
+    ev ~name:"queue" ~cat:"span" ~ph:"X" ~ts:(rel sp.t_enqueue)
+      ~dur:(dur sp.t_enqueue sp.t_dequeue) ~pid:pid_serve ~tid:sp.sid ~args ();
+    ev ~name:"apply" ~cat:"span" ~ph:"X" ~ts:(rel sp.t_dequeue)
+      ~dur:(dur sp.t_dequeue sp.t_applied) ~pid:pid_serve ~tid:sp.sid ~args ();
+    ev ~name:"fence" ~cat:"span" ~ph:"X" ~ts:(rel sp.t_applied)
+      ~dur:(dur sp.t_applied sp.t_fenced) ~pid:pid_serve ~tid:sp.sid ~args ();
+    ev ~name:"request" ~cat:"span" ~ph:"X" ~ts:(rel sp.t_submit)
+      ~dur:(dur sp.t_submit sp.t_ack) ~pid:pid_domains ~tid:sp.domain ~args ();
+  ]
+
+let trace_event ~t0 e =
+  let open Trace in
+  ev
+    ~name:(kind_name e.kind ^ ": " ^ e.label)
+    ~cat:"trace" ~ph:"i"
+    ~ts:(us_of_ns (e.ts - t0))
+    ~pid:pid_domains ~tid:e.domain
+    ~args:[ ("seq", J.int e.seq); ("arg", J.int e.arg) ]
+    ()
+
+let site_counter ~end_ts s =
+  ev
+    ~name:("site/" ^ Site.name s)
+    ~cat:"site" ~ph:"C" ~ts:end_ts ~pid:pid_serve ~tid:0
+    ~args:
+      [
+        ("clwb", J.int (Site.clwb_count s));
+        ("sfence", J.int (Site.sfence_count s));
+      ]
+    ()
+
+let to_json () =
+  let spans = Span.dump () in
+  let traces = Trace.dump () in
+  (* Normalize to the earliest stamp so the viewer opens at t=0. *)
+  let t0 =
+    let m = ref max_int in
+    List.iter (fun sp -> m := min !m sp.Span.t_submit) spans;
+    List.iter (fun e -> m := min !m e.Trace.ts) traces;
+    if !m = max_int then 0 else !m
+  in
+  let t_end =
+    let m = ref 0 in
+    List.iter (fun sp -> m := max !m sp.Span.t_ack) spans;
+    List.iter (fun e -> m := max !m e.Trace.ts) traces;
+    !m
+  in
+  let sites =
+    List.filter
+      (fun s -> Site.clwb_count s > 0 || Site.sfence_count s > 0)
+      (Site.all ())
+  in
+  let shard_ids =
+    List.sort_uniq compare (List.map (fun sp -> sp.Span.sid) spans)
+  in
+  let domain_ids =
+    List.sort_uniq compare
+      (List.map (fun sp -> sp.Span.domain) spans
+      @ List.map (fun e -> e.Trace.domain) traces)
+  in
+  let meta =
+    List.map
+      (fun sid -> thread_name ~pid:pid_serve ~tid:sid (Printf.sprintf "shard %d" sid))
+      shard_ids
+    @ List.map
+        (fun d ->
+          thread_name ~pid:pid_domains ~tid:d (Printf.sprintf "domain %d" d))
+        domain_ids
+  in
+  let events =
+    meta
+    @ List.concat_map (span_events ~t0) spans
+    @ List.map (trace_event ~t0) traces
+    @ List.map (site_counter ~end_ts:(us_of_ns (max 0 (t_end - t0)))) sites
+  in
+  J.Obj
+    [
+      ("traceEvents", J.List events);
+      ("displayTimeUnit", J.Str "ms");
+      ( "otherData",
+        J.Obj
+          [
+            ("spans", J.int (List.length spans));
+            ("span_dropped", J.int (Span.dropped ()));
+            ("trace_events", J.int (List.length traces));
+            ("trace_dropped", J.int (Trace.dropped ()));
+          ] );
+    ]
+
+let write_file path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> J.to_channel oc (to_json ()))

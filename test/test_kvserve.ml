@@ -44,6 +44,7 @@ let arb_op =
         (3, map (fun v -> Wire.Put (k, v land max_int)) int);
         (2, return (Wire.Delete k));
         (2, map (fun n -> Wire.Scan (k, n land 0xFFFF)) int);
+        (1, return Wire.Stats);
       ])
 
 let arb_request =
@@ -66,6 +67,11 @@ let arb_reply =
             (list_size (int_range 0 8)
                (map2 (fun k v -> (k, v land max_int)) arb_key int))
         );
+        ( 2,
+          map
+            (fun fields -> Wire.Stats_reply fields)
+            (list_size (int_range 0 10)
+               (map2 (fun k v -> (k, v land max_int)) arb_key int)) );
         (1, return Wire.Unsupported);
       ])
 
@@ -145,7 +151,16 @@ let test_wire_negative_value () =
     (Wire.Encode_error "value out of 63-bit unsigned range") (fun () ->
       ignore
         (Wire.response_string
-           { Wire.rrid = 1; status = Wire.Ok; replies = [ Wire.Found min_int ] }))
+           { Wire.rrid = 1; status = Wire.Ok; replies = [ Wire.Found min_int ] }));
+  Alcotest.check_raises "negative stats field rejected"
+    (Wire.Encode_error "value out of 63-bit unsigned range") (fun () ->
+      ignore
+        (Wire.response_string
+           {
+             Wire.rrid = 1;
+             status = Wire.Ok;
+             replies = [ Wire.Stats_reply [ ("ops_acked", -1) ] ];
+           }))
 
 let test_wire_malformed () =
   let s = Wire.request_string { Wire.rid = 3; ops = [ Wire.Get "abc" ] } in
@@ -395,6 +410,174 @@ let test_server_hash_partition () =
         (resp.Wire.replies = [ Wire.Done true; Wire.Unsupported; Wire.Found 15 ]);
       Server.stop srv)
 
+(* --- the stats endpoint ---------------------------------------------------- *)
+
+let stats_fields conn rid =
+  match via_conn conn { Wire.rid; ops = [ Wire.Stats ] } with
+  | { Wire.status = Wire.Ok; replies = [ Wire.Stats_reply fields ]; _ } ->
+      fields
+  | _ -> Alcotest.fail "stats request did not return a snapshot"
+
+let field fields k =
+  match List.assoc_opt k fields with
+  | Some v -> v
+  | None -> Alcotest.failf "stats field %S missing" k
+
+(* Live snapshot through the framed transport, with spans enabled: config
+   echoed, acked ops counted, queues drained after the blocking submits,
+   and the per-shard phase histograms populated and internally ordered. *)
+let test_stats_endpoint () =
+  with_env (fun () ->
+      Obs.reset_all ();
+      Obs.Span.set_enabled true;
+      Fun.protect
+        ~finally:(fun () -> Obs.Span.set_enabled false)
+        (fun () ->
+          let cfg =
+            { Server.shards = 2; batch = 8; queue_cap = 64; group_persist = true }
+          in
+          let srv =
+            Server.start cfg (Array.init 2 (fun _ -> Harness.Kvparts.art ()))
+          in
+          let conn = Server.Conn.create srv in
+          let nput = 60 in
+          let resp =
+            via_conn conn
+              {
+                Wire.rid = 1;
+                ops = List.init nput (fun i -> Wire.Put (ik (i + 1), i));
+              }
+          in
+          Alcotest.(check bool) "puts acked" true (resp.Wire.status = Wire.Ok);
+          (* Stats mixed into a data request answers in slot order without
+             consuming serving capacity. *)
+          let resp =
+            via_conn conn
+              { Wire.rid = 2; ops = [ Wire.Get (ik 1); Wire.Stats ] }
+          in
+          let fields =
+            match resp.Wire.replies with
+            | [ Wire.Found _; Wire.Stats_reply fields ] -> fields
+            | _ -> Alcotest.fail "mixed request reply shape"
+          in
+          let f = field fields in
+          Alcotest.(check int) "shards echoed" cfg.Server.shards (f "shards");
+          Alcotest.(check int) "batch echoed" cfg.Server.batch (f "batch");
+          Alcotest.(check int) "group persist echoed" 1 (f "group_persist");
+          Alcotest.(check int) "healthy" 0 (f "crashed");
+          Alcotest.(check int) "spans flagged on" 1 (f "spans_enabled");
+          Alcotest.(check bool) "acked ops counted" true (f "ops_acked" >= nput);
+          Alcotest.(check bool) "batches counted" true (f "batches" >= 1);
+          for sid = 0 to cfg.Server.shards - 1 do
+            let sf k = f (Printf.sprintf "shard.%d.%s" sid k) in
+            Alcotest.(check int)
+              (Printf.sprintf "shard %d drained" sid)
+              0 (sf "queue_depth");
+            (* Every routed op passes all four phases, so the per-shard phase
+               histograms agree on the sample count. *)
+            let acks = sf "ack_ns.count" in
+            List.iter
+              (fun phase ->
+                Alcotest.(check int)
+                  (Printf.sprintf "shard %d %s samples" sid phase)
+                  acks
+                  (sf (phase ^ "_ns.count"));
+                if acks > 0 then
+                  Alcotest.(check bool)
+                    (Printf.sprintf "shard %d %s p50<=p99" sid phase)
+                    true
+                    (sf (phase ^ "_ns.p50") <= sf (phase ^ "_ns.p99")))
+              [ "queue"; "apply"; "fence"; "ack" ]
+          done;
+          Alcotest.(check bool) "every put spanned" true
+            (f "shard.0.ack_ns.count" + f "shard.1.ack_ns.count" >= nput);
+          (* A stats-only poll must not skew the serving ack histogram: two
+             consecutive polls see the same sample count. *)
+          let acks_before = field (stats_fields conn 3) "ack_ns.count" in
+          let acks_after = field (stats_fields conn 4) "ack_ns.count" in
+          Alcotest.(check int) "stats poll not measured as serving" acks_before
+            acks_after;
+          Server.stop srv))
+
+(* The serving counters are process-global named metrics: a server restarted
+   on recovered partitions re-attaches to them, so the snapshot's ops_acked
+   stays a floor of everything any generation acknowledged — the campaign's
+   no-undercount check, exercised here deterministically across a stop,
+   power failure, recovery and restart. *)
+let test_stats_across_recovery () =
+  with_env (fun () ->
+      Obs.reset_all ();
+      let cfg =
+        { Server.shards = 2; batch = 8; queue_cap = 64; group_persist = true }
+      in
+      let parts = Array.init 2 (fun _ -> Harness.Kvparts.art ()) in
+      let srv = Server.start cfg parts in
+      let conn = Server.Conn.create srv in
+      let n1 = 40 in
+      let resp =
+        via_conn conn
+          { Wire.rid = 1; ops = List.init n1 (fun i -> Wire.Put (ik (i + 1), i)) }
+      in
+      Alcotest.(check bool) "gen-1 puts acked" true (resp.Wire.status = Wire.Ok);
+      let a1 = field (stats_fields conn 2) "ops_acked" in
+      Alcotest.(check bool) "gen-1 count" true (a1 >= n1);
+      Server.stop srv;
+      Pmem.simulate_power_failure ();
+      Array.iter (fun (p : Server.partition) -> p.Server.p_recover ()) parts;
+      let srv2 = Server.start cfg parts in
+      let conn2 = Server.Conn.create srv2 in
+      let n2 = 25 in
+      let resp =
+        via_conn conn2
+          {
+            Wire.rid = 3;
+            ops = List.init n2 (fun i -> Wire.Put (ik (1000 + i), i));
+          }
+      in
+      Alcotest.(check bool) "gen-2 puts acked" true (resp.Wire.status = Wire.Ok);
+      let fields = stats_fields conn2 4 in
+      Alcotest.(check bool) "counter re-attached, no undercount" true
+        (field fields "ops_acked" >= a1 + n2);
+      Alcotest.(check int) "recovered server healthy" 0 (field fields "crashed");
+      (* And the recovered data still serves: an acked gen-1 binding. *)
+      let resp = via_conn conn2 { Wire.rid = 5; ops = [ Wire.Get (ik 1) ] } in
+      Alcotest.(check bool) "acked binding survived recovery" true
+        (resp.Wire.replies = [ Wire.Found 0 ]);
+      Server.stop srv2)
+
+(* Off-path discipline, mirroring the PSan guard: with spans disabled
+   (the default), served traffic must leave zero span state behind — no
+   finished spans, nothing in the rings, empty phase histograms.  This is
+   what keeps the always-on serving path at one ref read per request. *)
+let test_spans_off_zero_overhead () =
+  with_env (fun () ->
+      Obs.reset_all ();
+      Alcotest.(check bool) "spans off by default" false (Obs.Span.enabled ());
+      let cfg =
+        { Server.shards = 2; batch = 8; queue_cap = 64; group_persist = true }
+      in
+      let srv = Server.start cfg (Array.init 2 (fun _ -> Harness.Kvparts.art ())) in
+      let conn = Server.Conn.create srv in
+      let resp =
+        via_conn conn
+          { Wire.rid = 1; ops = List.init 50 (fun i -> Wire.Put (ik i, i)) }
+      in
+      Alcotest.(check bool) "traffic served" true (resp.Wire.status = Wire.Ok);
+      let fields = stats_fields conn 2 in
+      Server.stop srv;
+      Alcotest.(check int) "no span ever finished" 0 (Obs.Span.count ());
+      Alcotest.(check int) "span rings untouched" 0
+        (List.length (Obs.Span.dump ()));
+      Alcotest.(check int) "snapshot reports spans off" 0
+        (field fields "spans_enabled");
+      List.iter
+        (fun phase ->
+          Alcotest.(check int)
+            (phase ^ " histogram empty")
+            0
+            (field fields (Printf.sprintf "shard.0.%s_ns.count" phase)))
+        [ "queue"; "apply"; "fence" ])
+
 (* --- backpressure: all-or-nothing, exactly-once --------------------------- *)
 
 let test_backpressure () =
@@ -609,6 +792,15 @@ let () =
           Alcotest.test_case "hash partitions" `Quick test_server_hash_partition;
           Alcotest.test_case "backpressure exactly-once" `Quick
             test_backpressure;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "live endpoint with spans" `Quick
+            test_stats_endpoint;
+          Alcotest.test_case "consistent across recovery" `Quick
+            test_stats_across_recovery;
+          Alcotest.test_case "zero overhead when off" `Quick
+            test_spans_off_zero_overhead;
         ] );
       ( "crash",
         [

@@ -111,18 +111,17 @@ let test_site_totals_multi () =
 let test_trace_wraparound () =
   reset ();
   Obs.Trace.set_enabled true;
-  let n = (Obs.Trace.capacity * 2) + 37 in
+  let cap = Obs.Trace.capacity () in
+  let n = (cap * 2) + 37 in
   for i = 1 to n do
     Obs.Trace.record Obs.Trace.Note ~arg:i "wrap"
   done;
   Obs.Trace.set_enabled false;
   let events = Obs.Trace.dump () in
   Alcotest.(check int)
-    "ring retains exactly its capacity" Obs.Trace.capacity
-    (List.length events);
+    "ring retains exactly its capacity" cap (List.length events);
   Alcotest.(check int)
-    "older events dropped, not lost count"
-    (n - Obs.Trace.capacity) (Obs.Trace.dropped ());
+    "older events dropped, not lost count" (n - cap) (Obs.Trace.dropped ());
   (* The retained window is the most recent events, in sequence order. *)
   let seqs = List.map (fun e -> e.Obs.Trace.seq) events in
   Alcotest.(check bool)
@@ -142,6 +141,127 @@ let test_trace_disabled_records_nothing () =
   Obs.Trace.record Obs.Trace.Note "dropped";
   Alcotest.(check int) "disabled ring stays empty" 0
     (List.length (Obs.Trace.dump ()))
+
+(* Regression for the ring-collision race: the old trace ring picked its
+   slot as [did land (Shard.shards - 1)], so two live domains whose ids
+   collide modulo 128 shared one ring and clobbered each other's events
+   unsynchronized.  Hunt for a spawned domain whose id collides with the
+   main domain's modulo 128 (ids are sequential and never reused, so at
+   most ~128 spawns), record from both concurrently, and require every
+   event from both domains to be retained. *)
+let test_trace_domain_collision () =
+  reset ();
+  Obs.Trace.set_capacity 16_384;
+  Obs.Trace.set_enabled true;
+  let per = 1_000 in
+  let d0 = (Domain.self () :> int) in
+  let rec hunt budget =
+    if budget = 0 then Alcotest.fail "no colliding domain id within budget"
+    else begin
+      let id = Atomic.make (-1) in
+      let go = Atomic.make false in
+      let d =
+        Domain.spawn (fun () ->
+            let self = (Domain.self () :> int) in
+            Atomic.set id self;
+            while not (Atomic.get go) do
+              Domain.cpu_relax ()
+            done;
+            if (self - d0) mod 128 = 0 then
+              for i = 1 to per do
+                Obs.Trace.record Obs.Trace.Note ~arg:i "spawned"
+              done)
+      in
+      while Atomic.get id < 0 do
+        Domain.cpu_relax ()
+      done;
+      let collide = (Atomic.get id - d0) mod 128 = 0 in
+      Atomic.set go true;
+      if collide then
+        for i = 1 to per do
+          Obs.Trace.record Obs.Trace.Note ~arg:i "main"
+        done;
+      Domain.join d;
+      if not collide then hunt (budget - 1)
+    end
+  in
+  hunt 300;
+  Obs.Trace.set_enabled false;
+  let events = Obs.Trace.dump () in
+  let by label =
+    List.length (List.filter (fun e -> e.Obs.Trace.label = label) events)
+  in
+  Alcotest.(check int) "no event lost to a shared ring" (2 * per)
+    (List.length events);
+  Alcotest.(check int) "main domain's events all retained" per (by "main");
+  Alcotest.(check int) "colliding domain's events all retained" per
+    (by "spawned");
+  Alcotest.(check int) "nothing overwritten" 0 (Obs.Trace.dropped ());
+  Obs.Trace.set_capacity Obs.Trace.default_capacity
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_trace_set_capacity () =
+  reset ();
+  Obs.Trace.set_capacity 8;
+  Obs.Trace.set_enabled true;
+  for i = 1 to 20 do
+    Obs.Trace.record Obs.Trace.Note ~arg:i "cap"
+  done;
+  Obs.Trace.set_enabled false;
+  Alcotest.(check int) "configured capacity applies" 8
+    (List.length (Obs.Trace.dump ()));
+  Alcotest.(check int) "overwrites counted as dropped" 12
+    (Obs.Trace.dropped ());
+  let header = Format.asprintf "%a" Obs.Trace.pp_header () in
+  Alcotest.(check bool) "header reports the drop count" true
+    (contains header "12 dropped");
+  Alcotest.(check bool) "header flags the truncated window" true
+    (contains header "INCOMPLETE");
+  Obs.Trace.set_capacity Obs.Trace.default_capacity;
+  Alcotest.(check int) "set_capacity discards retained events" 0
+    (List.length (Obs.Trace.dump ()))
+
+(* --- trace-event export -------------------------------------------------- *)
+
+let test_traceview_export () =
+  reset ();
+  Obs.Trace.set_enabled true;
+  Obs.Span.set_enabled true;
+  Obs.Trace.record Obs.Trace.Note ~arg:7 "export";
+  let sp = Obs.Span.start ~sid:3 in
+  Obs.Span.finish sp;
+  Obs.Trace.set_enabled false;
+  Obs.Span.set_enabled false;
+  let doc = Obs.Traceview.to_json () in
+  let get k = Option.get (Obs.Json.member k doc) in
+  let events =
+    match get "traceEvents" with
+    | Obs.Json.List l -> l
+    | _ -> Alcotest.fail "traceEvents not a list"
+  in
+  let named name e =
+    match Option.bind (Obs.Json.member "name" e) Obs.Json.to_str with
+    | Some n -> n = name
+    | None -> false
+  in
+  (* One span -> queue/apply/fence slices + the whole-request slice; the
+     instant event and the thread-name metadata ride along. *)
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) ("slice " ^ n) true (List.exists (named n) events))
+    [ "queue"; "apply"; "fence"; "request"; "note: export"; "thread_name" ];
+  (match Obs.Json.member "spans" (get "otherData") with
+  | Some (Obs.Json.Num n) -> Alcotest.(check int) "span count" 1 (int_of_float n)
+  | _ -> Alcotest.fail "otherData.spans missing");
+  (* The export must survive its own parser (it is written to disk for
+     Perfetto, which is strict about JSON). *)
+  match Obs.Json.parse (Obs.Json.to_string doc) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "export does not reparse: %s" e
 
 (* --- JSON --------------------------------------------------------------- *)
 
@@ -204,6 +324,11 @@ let () =
           Alcotest.test_case "ring wraparound" `Quick test_trace_wraparound;
           Alcotest.test_case "disabled is free" `Quick
             test_trace_disabled_records_nothing;
+          Alcotest.test_case "no ring sharing across colliding domain ids"
+            `Quick test_trace_domain_collision;
+          Alcotest.test_case "configurable capacity + drop accounting" `Quick
+            test_trace_set_capacity;
+          Alcotest.test_case "trace-event export" `Quick test_traceview_export;
         ] );
       ( "json",
         [
