@@ -190,15 +190,26 @@ let check_recovery doc =
    traffic.  The batching win is part of the schema, not just a claim.
 
    From schema recipe-bench/2 every serve row must additionally carry the
-   [latency_breakdown] table: one entry per (shard, phase) for the
-   queue/apply/fence/ack phases, percentiles ordered, spans actually
-   sampled, and — since per span queue+apply+fence <= ack by construction —
-   the phase means must sum to at most the ack mean (within tolerance for
-   histogram bucketing).  That last inequality is what makes the breakdown
-   an *attribution* of ack latency rather than an unrelated measurement. *)
-let serve_phases = [ "queue"; "apply"; "fence"; "ack" ]
+   [latency_breakdown] table: one entry per (shard, phase), percentiles
+   ordered, spans actually sampled, and — since per span the pipeline
+   phases sum to at most ack by construction — the phase means must sum to
+   at most the ack mean (within tolerance for histogram bucketing).  That
+   last inequality is what makes the breakdown an *attribution* of ack
+   latency rather than an unrelated measurement.
 
-let check_breakdown ix shards r =
+   From schema recipe-bench/3 rows carry [persist_mode]
+   ("per_op"|"group"|"epoch") instead of the [group_persist] bool, the
+   breakdown gains the epoch_wait phase (parked / batch-tail wait, split
+   out of fence), every shard count must sweep all three modes, and —
+   unless perf gates are waived for freshly generated smoke reports — the
+   epoch mode must never be a loss: sfence/op at or below group mode's,
+   throughput at or above per-op mode's, ack p99 within 2x per-op mode's.
+   Committed BENCH_pr7+.json reports are validated with the gates on. *)
+let serve_phases ~version =
+  if version >= 3 then [ "queue"; "apply"; "epoch_wait"; "fence"; "ack" ]
+  else [ "queue"; "apply"; "fence"; "ack" ]
+
+let check_breakdown ~version ix shards r =
   let entries =
     match J.to_list (get r "latency_breakdown") with
     | Some l -> l
@@ -211,7 +222,7 @@ let check_breakdown ix shards r =
         let sid = int_of_float (num (ctx ^ ".shard") (get e "shard")) in
         let phase =
           match J.to_str (get e "phase") with
-          | Some p when List.mem p serve_phases -> p
+          | Some p when List.mem p (serve_phases ~version) -> p
           | Some p -> fail "%s: unknown phase %S" ctx p
           | None -> fail "%s: phase missing" ctx
         in
@@ -237,7 +248,7 @@ let check_breakdown ix shards r =
       List.fold_left
         (fun a phase -> a +. snd (lookup sid phase))
         0.0
-        [ "queue"; "apply"; "fence" ]
+        (List.filter (fun p -> p <> "ack") (serve_phases ~version))
     in
     let ack_count, ack_mean = lookup sid "ack" in
     total_acks := !total_acks +. ack_count;
@@ -250,7 +261,17 @@ let check_breakdown ix shards r =
   if !total_acks <= 0.0 then
     fail "serve.%s: breakdown has no samples — spans were not enabled" ix
 
-let check_serve ~v2 doc =
+(* One parsed serve row: the fields the cross-mode gates compare. *)
+type serve_row = {
+  sr_shards : int;
+  sr_mode : string;  (* "per_op" | "group" | "epoch" *)
+  sr_clwb : float;
+  sr_sfence : float;
+  sr_kops : float;
+  sr_ack_p99 : float;
+}
+
+let check_serve ~version ~perf_gates doc =
   match J.member "serve" doc with
   | None -> ()
   | Some (J.List rows) ->
@@ -263,10 +284,16 @@ let check_serve ~v2 doc =
               | None -> fail "serve: row without an index name"
             in
             let cell k = num ("serve." ^ ix ^ "." ^ k) (get r k) in
-            let group =
-              match J.member "group_persist" r with
-              | Some (J.Bool b) -> b
-              | _ -> fail "serve.%s: group_persist missing" ix
+            let mode =
+              if version >= 3 then
+                match J.to_str (get r "persist_mode") with
+                | Some (("per_op" | "group" | "epoch") as m) -> m
+                | Some m -> fail "serve.%s: unknown persist_mode %S" ix m
+                | None -> fail "serve.%s: persist_mode missing" ix
+              else
+                match J.member "group_persist" r with
+                | Some (J.Bool b) -> if b then "group" else "per_op"
+                | _ -> fail "serve.%s: group_persist missing" ix
             in
             if cell "batch" < 1.0 then fail "serve.%s: batch < 1" ix;
             if cell "ops_acked" <= 0.0 then fail "serve.%s: no acked ops" ix;
@@ -278,40 +305,75 @@ let check_serve ~v2 doc =
               fail "serve.%s: ack p50 > p99" ix;
             if cell "mean_batch_ops" < 1.0 then
               fail "serve.%s: batches below one op" ix;
-            if v2 then check_breakdown ix (int_of_float (cell "shards")) r;
-            ( int_of_float (cell "shards"),
-              group,
-              cell "clwb_per_op",
-              cell "sfence_per_op" ))
+            if version >= 2 then
+              check_breakdown ~version ix (int_of_float (cell "shards")) r;
+            {
+              sr_shards = int_of_float (cell "shards");
+              sr_mode = mode;
+              sr_clwb = cell "clwb_per_op";
+              sr_sfence = cell "sfence_per_op";
+              sr_kops = kops;
+              sr_ack_p99 = cell "ack_p99_ns";
+            })
           rows
       in
       let shard_counts =
-        List.sort_uniq compare (List.map (fun (s, _, _, _) -> s) parsed)
+        List.sort_uniq compare (List.map (fun r -> r.sr_shards) parsed)
       in
       if List.length shard_counts < 2 then
         fail "serve: %d shard count(s) measured, need >= 2"
           (List.length shard_counts);
       List.iter
         (fun sc ->
-          let cell g =
+          let cell m =
             match
-              List.find_opt (fun (s, g', _, _) -> s = sc && g' = g) parsed
+              List.find_opt
+                (fun r -> r.sr_shards = sc && r.sr_mode = m)
+                parsed
             with
             | Some r -> r
-            | None -> fail "serve: shard count %d missing group=%b row" sc g
+            | None -> fail "serve: shard count %d missing %s row" sc m
           in
-          let _, _, clwb_on, sf_on = cell true in
-          let _, _, clwb_off, sf_off = cell false in
-          if clwb_on > clwb_off then
+          let group = cell "group" and per_op = cell "per_op" in
+          if group.sr_clwb > per_op.sr_clwb then
             fail "serve: %d shards: batching RAISED clwb/op (%g > %g)" sc
-              clwb_on clwb_off;
-          if sf_on >= sf_off then
+              group.sr_clwb per_op.sr_clwb;
+          if group.sr_sfence >= per_op.sr_sfence then
             fail "serve: %d shards: batching did not reduce sfence/op (%g >= %g)"
-              sc sf_on sf_off)
+              sc group.sr_sfence per_op.sr_sfence;
+          if version >= 3 then begin
+            let epoch = cell "epoch" in
+            if epoch.sr_clwb > per_op.sr_clwb then
+              fail "serve: %d shards: epoch mode RAISED clwb/op (%g > %g)" sc
+                epoch.sr_clwb per_op.sr_clwb;
+            (* Batching-is-never-a-loss: these compare timing-dependent
+               numbers across cells, so freshly generated smoke reports may
+               waive them (--no-perf-gates); committed campaign reports are
+               validated with them on. *)
+            if perf_gates then begin
+              if epoch.sr_sfence > group.sr_sfence then
+                fail
+                  "serve: %d shards: epoch sfence/op %g above group mode's %g"
+                  sc epoch.sr_sfence group.sr_sfence;
+              (* 5% noise floor: with the simulator's near-free flushes the
+                 epoch win over per-op is small, and closed-loop throughput
+                 jitters a few percent run to run — the gate catches a real
+                 regression, not an unlucky draw. *)
+              if epoch.sr_kops < 0.95 *. per_op.sr_kops then
+                fail
+                  "serve: %d shards: epoch throughput %g kops below 0.95x \
+                   per-op's %g"
+                  sc epoch.sr_kops per_op.sr_kops;
+              if epoch.sr_ack_p99 > 2.0 *. per_op.sr_ack_p99 then
+                fail
+                  "serve: %d shards: epoch ack p99 %gns above 2x per-op's %gns"
+                  sc epoch.sr_ack_p99 per_op.sr_ack_p99
+            end
+          end)
         shard_counts
   | Some _ -> fail "serve: not a list"
 
-let run file =
+let run ~perf_gates file =
   let s = In_channel.with_open_text file In_channel.input_all in
   let doc =
     match J.parse s with
@@ -319,16 +381,17 @@ let run file =
     | Error e -> fail "%s does not parse: %s" file e
   in
   ignore (get doc "meta");
-  let v2 =
+  let version =
     match Option.bind (J.member "schema" doc) J.to_str with
-    | Some "recipe-bench/1" -> false
-    | Some "recipe-bench/2" -> true
+    | Some "recipe-bench/1" -> 1
+    | Some "recipe-bench/2" -> 2
+    | Some "recipe-bench/3" -> 3
     | Some s -> fail "unknown schema %S" s
     | None -> fail "schema missing"
   in
   check_micro_pmem doc;
   check_recovery doc;
-  check_serve ~v2 doc;
+  check_serve ~version ~perf_gates doc;
   let idxs =
     match J.to_list (get doc "indexes") with
     | Some l -> l
@@ -339,14 +402,18 @@ let run file =
     (fun r ->
       if not (List.mem r names) then fail "required index %S missing" r)
     required_indexes;
-  Printf.printf "check_json: %s OK (%d indexes)\n" file (List.length names)
+  Printf.printf "check_json: %s OK (%d indexes%s)\n" file (List.length names)
+    (if perf_gates then "" else ", perf gates waived")
 
 let () =
-  if Array.length Sys.argv < 2 then begin
-    prerr_endline "usage: check_json FILE.json";
-    exit 2
-  end;
-  try run Sys.argv.(1)
-  with Failure m ->
-    prerr_endline ("check_json: " ^ m);
-    exit 1
+  let args = List.tl (Array.to_list Sys.argv) in
+  let perf_gates = not (List.mem "--no-perf-gates" args) in
+  match List.filter (fun a -> a <> "--no-perf-gates") args with
+  | [ file ] -> (
+      try run ~perf_gates file
+      with Failure m ->
+        prerr_endline ("check_json: " ^ m);
+        exit 1)
+  | _ ->
+      prerr_endline "usage: check_json [--no-perf-gates] FILE.json";
+      exit 2

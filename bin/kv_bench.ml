@@ -1,14 +1,15 @@
-(* Group-persist batching benchmark CLI.
+(* Batched-durability benchmark CLI.
 
      dune exec bin/kv_bench.exe -- --index art --shards 2,4 --batch 32
 
    Runs the closed-loop load generator against the sharded KV service for
-   every requested shard count, group persist on and off (the per-op-flush
-   ablation), over write-heavy overwrite traffic, and prints the batching
-   table: throughput, p50/p99 ack latency, realized batch size, and
-   flushes/fences per acknowledged operation.  [--json FILE] writes the
-   same rows as the machine-readable [serve] table (the schema the bench
-   export and bench/check_json.ml share). *)
+   every requested shard count in all three persist modes — per_op (the
+   ablation), group (fence per batch), epoch (adaptive buffered
+   durability) — over write-heavy overwrite traffic, and prints the
+   batching table: throughput, p50/p99 ack latency, realized batch size,
+   and flushes/fences per acknowledged operation.  [--json FILE] writes
+   the same rows as the machine-readable [serve] table (the schema the
+   bench export and bench/check_json.ml share). *)
 
 open Cmdliner
 module J = Obs.Json
@@ -45,39 +46,41 @@ let main index shards_s batch workers requests opr write_pct key_space seed
         List.concat_map
           (fun shards ->
             List.map
-              (fun group ->
+              (fun mode ->
                 let r =
-                  Kvserve.Servebench.run_one ~make ~shards ~batch ~group
+                  Kvserve.Servebench.run_one ~make ~shards ~batch ~mode
                     ~workers ~requests ~ops_per_request:opr ~write_pct
                     ~key_space ~seed ()
                 in
                 Kvserve.Servebench.print_row r;
                 r)
-              [ true; false ])
+              Kvserve.Servebench.default_modes)
           shard_counts
       in
       print_endline "latency breakdown (us):";
       List.iter Kvserve.Servebench.print_breakdown rows;
-      (* Headline: the flush coalescing factor per shard count. *)
+      (* Headline: fence amortization and the p99 cost of each batched mode
+         vs the per-op ablation, per shard count. *)
       List.iter
         (fun shards ->
-          let cell g =
+          let cell m =
             List.find
               (fun r ->
                 r.Kvserve.Servebench.r_shards = shards
-                && r.Kvserve.Servebench.r_group = g)
+                && Kvserve.Server.mode_name r.Kvserve.Servebench.r_mode = m)
               rows
           in
-          let on = cell true and off = cell false in
+          let per_op = cell "per_op"
+          and group = cell "group"
+          and epoch = cell "epoch" in
+          let p99 r = float_of_int r.Kvserve.Servebench.r_ack_p99_ns /. 1e3 in
           Printf.printf
-            "%d shard(s): group persist %.2f clwb/op vs %.2f per-op (%.1fx), \
-             %.2f vs %.2f sfence/op\n"
-            shards on.Kvserve.Servebench.r_flushes_per_op
-            off.Kvserve.Servebench.r_flushes_per_op
-            (off.Kvserve.Servebench.r_flushes_per_op
-            /. Float.max 1e-9 on.Kvserve.Servebench.r_flushes_per_op)
-            on.Kvserve.Servebench.r_fences_per_op
-            off.Kvserve.Servebench.r_fences_per_op)
+            "%d shard(s): sfence/op per_op %.2f, group %.2f, epoch %.2f; \
+             ack p99 (us) per_op %.1f, group %.1f, epoch %.1f\n"
+            shards per_op.Kvserve.Servebench.r_fences_per_op
+            group.Kvserve.Servebench.r_fences_per_op
+            epoch.Kvserve.Servebench.r_fences_per_op (p99 per_op) (p99 group)
+            (p99 epoch))
         shard_counts;
       (match json with
       | None -> ()
@@ -85,7 +88,7 @@ let main index shards_s batch workers requests opr write_pct key_space seed
           let doc =
             J.Obj
               [
-                ("schema", J.Str "recipe-serve-bench/2");
+                ("schema", J.Str "recipe-serve-bench/3");
                 ( "meta",
                   J.Obj
                     [
@@ -157,7 +160,7 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "kv_bench"
-       ~doc:"Benchmark group-persist batching in the KV service layer")
+       ~doc:"Benchmark per-op/group/epoch durability in the KV service layer")
     Term.(
       const main $ index $ shards $ batch $ workers $ requests $ opr
       $ write_pct $ key_space $ seed $ json $ trace_out)

@@ -135,20 +135,21 @@ let smoke_client port scan_supported errors () =
 
 (* --- main ----------------------------------------------------------------- *)
 
-let main index shards batch queue_cap per_op host port max_conns smoke
+let main index shards batch queue_cap mode_sel host port max_conns smoke
     trace_out =
   match Harness.Kvparts.find index with
   | None ->
       Printf.eprintf "unknown index %S (see bin/kv_bench.exe --help)\n" index;
       1
   | Some make ->
+      let mode =
+        match mode_sel with
+        | `Per_op -> Server.Per_op
+        | `Group -> Server.Group
+        | `Epoch -> Server.Epoch Kvserve.Epoch_ctl.default_cfg
+      in
       let cfg =
-        {
-          Server.shards;
-          batch;
-          queue_cap = max queue_cap batch;
-          group_persist = not per_op;
-        }
+        { Server.shards; batch; queue_cap = max queue_cap batch; mode }
       in
       let parts = Array.init cfg.Server.shards (fun _ -> make ()) in
       let scan_supported = parts.(0).Server.p_scan <> None in
@@ -159,11 +160,11 @@ let main index shards batch queue_cap per_op host port max_conns smoke
       let srv = Server.start cfg parts in
       let sock, actual_port = listen_on host (if smoke then 0 else port) in
       Printf.printf
-        "kv_server: %s, %d shard(s), batch %d (group persist %s), listening \
+        "kv_server: %s, %d shard(s), batch %d (persist mode %s), listening \
          on %s:%d\n\
          %!"
         parts.(0).Server.p_name cfg.Server.shards cfg.Server.batch
-        (if cfg.Server.group_persist then "on" else "off")
+        (Server.mode_name cfg.Server.mode)
         host actual_port;
       let errors = ref 0 in
       let client =
@@ -197,11 +198,17 @@ let cmd =
   let shards = Arg.(value & opt int 2 & info [ "shards" ] ~docv:"N") in
   let batch = Arg.(value & opt int 32 & info [ "batch" ] ~docv:"N") in
   let queue_cap = Arg.(value & opt int 256 & info [ "queue-cap" ] ~docv:"N") in
-  let per_op =
+  let mode_sel =
     Arg.(
-      value & flag
-      & info [ "per-op-persist" ]
-          ~doc:"Disable group persist: flush+fence each operation (ablation).")
+      value
+      & opt
+          (enum [ ("per_op", `Per_op); ("group", `Group); ("epoch", `Epoch) ])
+          `Epoch
+      & info [ "persist-mode" ] ~docv:"MODE"
+          ~doc:
+            "Durability mode: $(b,per_op) flushes+fences each operation, \
+             $(b,group) fences once per dequeued batch, $(b,epoch) (default) \
+             runs fence-free applies with adaptive epoch advances.")
   in
   let host = Arg.(value & opt string "127.0.0.1" & info [ "host" ]) in
   let port = Arg.(value & opt int 7700 & info [ "port" ] ~docv:"PORT") in
@@ -232,7 +239,7 @@ let cmd =
   Cmd.v
     (Cmd.info "kv_server" ~doc:"Serve a persistent index over TCP")
     Term.(
-      const main $ index $ shards $ batch $ queue_cap $ per_op $ host $ port
+      const main $ index $ shards $ batch $ queue_cap $ mode_sel $ host $ port
       $ max_conns $ smoke $ trace_out)
 
 let () = exit (Cmd.eval' cmd)

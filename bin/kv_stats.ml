@@ -3,10 +3,11 @@
      dune exec bin/kv_stats.exe -- --port 7700
 
    Sends one [Stats] request over the framed binary codec and renders the
-   server's snapshot as a human-readable report: serving counters, pmem
-   flush/fence cost per acked op, ack percentiles, and the per-shard
-   queue/apply/fence/ack phase decomposition (populated when the server
-   runs with spans enabled, e.g. --trace-out).
+   server's snapshot as a human-readable report: serving counters, epoch
+   progress (advances, ops/epoch, parked acks) when the server runs in
+   epoch mode, pmem flush/fence cost per acked op, ack percentiles, and
+   the per-shard queue/apply/epoch_wait/fence/ack phase decomposition
+   (populated when the server runs with spans enabled, e.g. --trace-out).
 
    [--smoke] is the CI loopback self-test: start an in-process server on an
    ephemeral port, drive puts over real TCP, then query stats over the same
@@ -60,16 +61,40 @@ let per_op fields k =
   let ops = max 1 (fv fields "ops_acked") in
   float_of_int (fv fields k) /. float_of_int ops
 
+let mode_label = function
+  | 0 -> "per_op"
+  | 1 -> "group"
+  | 2 -> "epoch"
+  | _ -> "?"
+
 let render fields =
   let f = fv fields in
-  Printf.printf "server: %d shard(s), batch %d, queue cap %d, group persist %s%s\n"
+  let epoch_mode = f "persist_mode" = 2 in
+  Printf.printf "server: %d shard(s), batch %d, queue cap %d, persist mode %s%s\n"
     (f "shards") (f "batch") (f "queue_cap")
-    (if f "group_persist" = 1 then "on" else "off")
+    (mode_label (f "persist_mode"))
     (if f "crashed" = 1 then "  [CRASHED]" else "");
   Printf.printf
     "serving: %d ops acked in %d batches, %d overloaded rejections, %d group \
      lines\n"
     (f "ops_acked") (f "batches") (f "overloaded") (f "group_lines");
+  if epoch_mode then begin
+    let epochs = f "epochs" in
+    let pending =
+      let s = ref 0 in
+      for sid = 0 to f "shards" - 1 do
+        s := !s + f (Printf.sprintf "shard.%d.pending_acks" sid)
+      done;
+      !s
+    in
+    Printf.printf
+      "epochs: %d advance(s), %.2f ops/epoch mean, %d ack(s) pending (cfg: \
+       max_ops %d, max_lines %d, max_delay %.0f us)\n"
+      epochs
+      (float_of_int (f "ops_acked") /. float_of_int (max 1 epochs))
+      pending (f "epoch.max_ops") (f "epoch.max_lines")
+      (us (f "epoch.max_delay_ns"))
+  end;
   Printf.printf
     "pmem (process totals): %d clwb (%.2f/op), %d sfence (%.2f/op)\n"
     (f "pmem.clwb") (per_op fields "pmem.clwb") (f "pmem.sfence")
@@ -80,21 +105,24 @@ let render fields =
     print_endline
       "phase breakdown: spans disabled on the server (start it with \
        --trace-out to populate)";
-  Printf.printf "%6s %6s %11s" "shard" "depth" "batch_mean";
+  let phases = [ "queue"; "apply"; "epoch_wait"; "fence"; "ack" ] in
+  Printf.printf "%6s %6s %5s %6s %11s" "shard" "depth" "pend" "epoch"
+    "batch_mean";
   List.iter
-    (fun phase -> Printf.printf " %17s" (phase ^ " p50/p99us"))
-    [ "queue"; "apply"; "fence"; "ack" ];
+    (fun phase -> Printf.printf " %19s" (phase ^ " p50/p99us"))
+    phases;
   print_newline ();
   for sid = 0 to f "shards" - 1 do
     let sf k = f (Printf.sprintf "shard.%d.%s" sid k) in
-    Printf.printf "%6d %6d %11.2f" sid (sf "queue_depth")
+    Printf.printf "%6d %6d %5d %6d %11.2f" sid (sf "queue_depth")
+      (sf "pending_acks") (sf "last_epoch")
       (float_of_int (sf "batch_ops.mean_x1000") /. 1e3);
     List.iter
       (fun phase ->
-        Printf.printf " %8.1f/%8.1f"
+        Printf.printf " %9.1f/%9.1f"
           (us (sf (phase ^ "_ns.p50")))
           (us (sf (phase ^ "_ns.p99"))))
-      [ "queue"; "apply"; "fence"; "ack" ];
+      phases;
     print_newline ()
   done
 
@@ -185,6 +213,19 @@ let smoke_mode () =
            (f "shard.0.ack_ns.count" + f "shard.1.ack_ns.count" >= nput);
          check "fence phase sampled"
            (f "shard.0.fence_ns.count" + f "shard.1.fence_ns.count" >= nput);
+         (* default_config serves in epoch mode: the snapshot must carry the
+            epoch story — mode tag, at least one advance behind the acks,
+            the epoch_wait phase sampled, and nothing left parked once every
+            submit has returned. *)
+         check "epoch mode reported" (f "persist_mode" = 2);
+         check "epoch advances counted" (f "epochs" >= 1);
+         check "epoch_wait phase sampled"
+           (f "shard.0.epoch_wait_ns.count" + f "shard.1.epoch_wait_ns.count"
+           >= nput);
+         check "no acks parked after drain"
+           (f "shard.0.pending_acks" = 0 && f "shard.1.pending_acks" = 0);
+         check "epoch ops accounted"
+           (f "shard.0.epoch_ops.count" + f "shard.1.epoch_ops.count" >= 1);
          render fields;
          Unix.close fd
        with e ->

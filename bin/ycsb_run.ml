@@ -52,7 +52,7 @@ let build_served_driver p name ~shards ~batch =
           Kvserve.Server.shards;
           batch;
           queue_cap = max 256 batch;
-          group_persist = batch > 1;
+          mode = (if batch > 1 then Kvserve.Server.Group else Kvserve.Server.Per_op);
         }
       in
       let srv = Kvserve.Server.start cfg parts in

@@ -1,0 +1,69 @@
+(* Adaptive epoch controller: decide when a shard worker should close its
+   open durability epoch (flush deferred lines + one fence, then release
+   the epoch's parked acks).
+
+   The controller is pure state over an injected clock — no syscalls, no
+   globals — so the QCheck suite can drive it under a fake clock and prove
+   the three properties the serving path relies on:
+
+   - an *empty queue* advances immediately: with nothing left to coalesce,
+     holding acks buys no amortization, so low load degenerates to per-op
+     persistence and pays no p99 penalty;
+   - epoch size is *capped*: [max_ops] applied-but-unacked operations (or
+     [max_lines] deferred commit lines) force an advance, bounding both the
+     ack debt a crash can shed and the fence's flush burst;
+   - the *deadline* never overshoots: once [max_delay_ns] has elapsed since
+     the epoch opened, the very next decision closes it, whatever the load.
+
+   E22 (EXPERIMENTS.md) located the group-mode p99 inflation in
+   batch-formation delay, not the fence — so every signal here targets how
+   long an applied op can sit parked, not how big the flush gets. *)
+
+type cfg = {
+  max_ops : int;  (** close after this many applied ops are parked *)
+  max_lines : int;  (** ... or this many deferred commit lines *)
+  max_delay_ns : int;  (** ... or this long since the epoch opened *)
+}
+
+(* Defaults: the fence amortization saturates quickly (a 16-32 op epoch
+   already coalesces most line reuse), while every extra microsecond of
+   parking is a direct ack-latency cost for closed-loop clients — so the
+   caps sit low: epochs still span several batches under load, and the
+   delay ceiling stays well under a typical request round trip. *)
+let default_cfg = { max_ops = 32; max_lines = 256; max_delay_ns = 50_000 }
+
+let validate c =
+  if c.max_ops <= 0 then invalid_arg "Epoch_ctl: max_ops must be positive";
+  if c.max_lines <= 0 then invalid_arg "Epoch_ctl: max_lines must be positive";
+  if c.max_delay_ns <= 0 then
+    invalid_arg "Epoch_ctl: max_delay_ns must be positive"
+
+type t = {
+  cfg : cfg;
+  mutable open_ops : int;  (* ops applied into the open epoch *)
+  mutable opened_at : int;  (* clock at the first op of the open epoch *)
+}
+
+let create cfg =
+  validate cfg;
+  { cfg; open_ops = 0; opened_at = 0 }
+
+let open_ops st = st.open_ops
+
+(** Record [n] freshly-applied ops; the first op of an epoch starts its
+    delay clock. *)
+let note st ~now n =
+  if st.open_ops = 0 then st.opened_at <- now;
+  st.open_ops <- st.open_ops + n
+
+(** Should the open epoch close now?  Never fires on an empty epoch (an
+    advance with nothing parked would fence for nobody). *)
+let decide st ~now ~pending_lines ~queue_depth =
+  st.open_ops > 0
+  && (queue_depth = 0
+     || st.open_ops >= st.cfg.max_ops
+     || pending_lines >= st.cfg.max_lines
+     || now - st.opened_at >= st.cfg.max_delay_ns)
+
+(** The epoch was advanced; start the next one empty. *)
+let advanced st = st.open_ops <- 0

@@ -1,14 +1,20 @@
-(* Group-persist batching benchmark: drive the closed-loop load generator
-   against a server over a grid of (shard count × batching on/off)
+(* Batched-durability benchmark: drive the closed-loop load generator
+   against a server over a grid of (shard count × persist mode)
    configurations, reporting throughput, ack-latency percentiles, realized
    batch size, and flushes/fences per acknowledged operation.
 
-   The flushes/op column is the experiment's point: with group persist on,
-   a batch's commits coalesce — every distinct cache line flushed once, one
-   fence for the whole batch — so write-heavy overwrite traffic should show
-   clwb/op and sfence/op well below the per-op-persist ablation (group off,
-   same traffic).  Throughput and p50/p99 ack latency quantify what the
-   coalescing costs or buys end-to-end.
+   The three-mode comparison is the experiment's point: group mode should
+   show clwb/op and sfence/op well below the per-op ablation (commit
+   coalescing), and epoch mode must keep that fence amortization *without*
+   group mode's ack p99 inflation — the adaptive controller closes epochs
+   as soon as the queue runs dry, so batching is never a loss (checked by
+   bench/check_json on committed reports).
+
+   Each cell runs a short deterministic warmup (same traffic shape,
+   distinct seed) that is excluded from the histograms and the
+   flush/fence accounting, so cold-start epochs don't pollute p99 —
+   measured runs are >= tens of thousands of acked ops at the committed
+   campaign sizes, enough to make a p99 a population, not 2-3 samples.
 
    Shared by [bin/kv_bench.exe] (human table) and the bench JSON export's
    [serve] section, so both always report the same measurement. *)
@@ -19,7 +25,7 @@ module H = Util.Histogram
 (* One per-shard per-phase latency line of the breakdown table. *)
 type phase_row = {
   p_sid : int;
-  p_phase : string;  (** "queue" | "apply" | "fence" | "ack" *)
+  p_phase : string;  (** "queue" | "apply" | "epoch_wait" | "fence" | "ack" *)
   p_count : int;
   p_mean_ns : float;
   p_p50_ns : int;
@@ -30,7 +36,7 @@ type row = {
   r_index : string;
   r_shards : int;
   r_batch : int;
-  r_group : bool;  (** group persist on ([false] = per-op flush ablation) *)
+  r_mode : Server.persist_mode;
   r_workers : int;
   r_ops : int;  (** operations acknowledged *)
   r_elapsed_ns : int;
@@ -43,7 +49,7 @@ type row = {
   r_overloaded : int;
   r_seed : int;
   r_breakdown : phase_row list;
-      (** per-shard queue/apply/fence/ack decomposition of ack latency *)
+      (** per-shard queue/apply/epoch_wait/fence/ack decomposition *)
 }
 
 let phase_names = List.map fst Obs.Span.phases
@@ -73,30 +79,30 @@ let reset_serve_metrics shards =
   Obs.Hist.reset (Obs.Hist.v "serve.ack_ns");
   for sid = 0 to shards - 1 do
     Obs.Hist.reset (Obs.Hist.v (Printf.sprintf "serve.batch_ops.%d" sid));
+    Obs.Hist.reset (Obs.Hist.v (Printf.sprintf "serve.epoch_ops.%d" sid));
     List.iter (fun phase -> Obs.Hist.reset (phase_hist phase sid)) phase_names
   done
 
-let run_one ~(make : unit -> Server.partition) ~shards ~batch ~group
-    ?(workers = 2) ?(requests = 100) ?(ops_per_request = 16)
-    ?(write_pct = 100) ?(key_space = 64) ?(seed = 42) () =
+let run_one ~(make : unit -> Server.partition) ~shards ~batch
+    ~(mode : Server.persist_mode) ?(workers = 2) ?(requests = 800)
+    ?(ops_per_request = 16) ?(warmup_requests = 50) ?(write_pct = 100)
+    ?(key_space = 64) ?(seed = 42) () =
   let parts = Array.init shards (fun _ -> make ()) in
   let cfg =
     {
       Server.shards;
       batch;
       queue_cap = max (4 * batch) (workers * ops_per_request);
-      group_persist = group;
+      mode;
     }
   in
-  reset_serve_metrics shards;
   (* Spans on for the duration of the run: the breakdown table is the whole
      point of the measurement, and the stamping cost lands identically on
-     both cells of a group-on/group-off pair. *)
+     every cell of the mode comparison. *)
   let spans_were = Obs.Span.enabled () in
   Obs.Span.set_enabled true;
-  let s0 = Pmem.Stats.snapshot () in
   let srv = Server.start cfg parts in
-  let lcfg =
+  let lcfg ~seed ~requests =
     {
       Loadgen.default_cfg with
       workers;
@@ -108,7 +114,15 @@ let run_one ~(make : unit -> Server.partition) ~shards ~batch ~group
       seed;
     }
   in
-  let out = Loadgen.run srv lcfg in
+  (* Deterministic warmup (distinct seed, same traffic shape): exercises the
+     whole pipeline — allocators, first-touch index paths, cold epochs —
+     then every histogram and the flush/fence baseline is reset, so the
+     measured run reports steady-state behaviour only. *)
+  if warmup_requests > 0 then
+    ignore (Loadgen.run srv (lcfg ~seed:(seed + 7919) ~requests:warmup_requests));
+  reset_serve_metrics shards;
+  let s0 = Pmem.Stats.snapshot () in
+  let out = Loadgen.run srv (lcfg ~seed ~requests) in
   Server.stop srv;
   Obs.Span.set_enabled spans_were;
   let d = Pmem.Stats.diff (Pmem.Stats.snapshot ()) s0 in
@@ -124,7 +138,7 @@ let run_one ~(make : unit -> Server.partition) ~shards ~batch ~group
     r_index = parts.(0).Server.p_name;
     r_shards = shards;
     r_batch = batch;
-    r_group = group;
+    r_mode = mode;
     r_workers = workers;
     r_ops = ops;
     r_elapsed_ns = out.Loadgen.elapsed_ns;
@@ -140,17 +154,21 @@ let run_one ~(make : unit -> Server.partition) ~shards ~batch ~group
     r_breakdown = collect_breakdown shards;
   }
 
-(* The standard grid: every shard count × {group on, group off}, identical
-   traffic (same seed) in each cell. *)
-let run_grid ~make ~shard_counts ~batch ?workers ?requests ?ops_per_request
-    ?write_pct ?key_space ?seed () =
+(* The standard grid: every shard count × persist mode, identical traffic
+   (same seed) in each cell. *)
+let default_modes =
+  [ Server.Per_op; Server.Group; Server.Epoch Epoch_ctl.default_cfg ]
+
+let run_grid ~make ~shard_counts ~batch ?(modes = default_modes) ?workers
+    ?requests ?ops_per_request ?warmup_requests ?write_pct ?key_space ?seed
+    () =
   List.concat_map
     (fun shards ->
       List.map
-        (fun group ->
-          run_one ~make ~shards ~batch ~group ?workers ?requests
-            ?ops_per_request ?write_pct ?key_space ?seed ())
-        [ true; false ])
+        (fun mode ->
+          run_one ~make ~shards ~batch ~mode ?workers ?requests
+            ?ops_per_request ?warmup_requests ?write_pct ?key_space ?seed ())
+        modes)
     shard_counts
 
 let row_json r =
@@ -159,7 +177,7 @@ let row_json r =
       ("index", J.Str r.r_index);
       ("shards", J.int r.r_shards);
       ("batch", J.int r.r_batch);
-      ("group_persist", J.Bool r.r_group);
+      ("persist_mode", J.Str (Server.mode_name r.r_mode));
       ("workers", J.int r.r_workers);
       ("ops_acked", J.int r.r_ops);
       ("elapsed_ns", J.int r.r_elapsed_ns);
@@ -190,25 +208,26 @@ let row_json r =
 let rows_json rows = J.List (List.map row_json rows)
 
 let print_header () =
-  Printf.printf "%-10s %6s %6s %6s %10s %9s %11s %11s %10s %10s %10s\n"
-    "index" "shards" "batch" "group" "ops" "kops/s" "p50_ack_us" "p99_ack_us"
+  Printf.printf "%-10s %6s %6s %7s %10s %9s %11s %11s %10s %10s %10s\n"
+    "index" "shards" "batch" "mode" "ops" "kops/s" "p50_ack_us" "p99_ack_us"
     "mean_batch" "clwb/op" "sfence/op"
 
 let print_row r =
-  Printf.printf "%-10s %6d %6d %6s %10d %9.1f %11.1f %11.1f %10.2f %10.2f %10.2f\n"
+  Printf.printf
+    "%-10s %6d %6d %7s %10d %9.1f %11.1f %11.1f %10.2f %10.2f %10.2f\n"
     r.r_index r.r_shards r.r_batch
-    (if r.r_group then "on" else "off")
+    (Server.mode_name r.r_mode)
     r.r_ops r.r_kops
     (float_of_int r.r_ack_p50_ns /. 1e3)
     (float_of_int r.r_ack_p99_ns /. 1e3)
     r.r_mean_batch r.r_flushes_per_op r.r_fences_per_op
 
 (* Phase decomposition of one row: a sub-table of per-shard p50/p99 (µs)
-   for the queue/apply/fence/ack phases — the answer to "where does the
-   group-on ack p99 go?". *)
+   for the queue/apply/epoch_wait/fence/ack phases — the answer to "where
+   does a mode's ack p99 go?". *)
 let print_breakdown r =
-  Printf.printf "  %-10s group=%-3s  %-6s" r.r_index
-    (if r.r_group then "on" else "off")
+  Printf.printf "  %-10s mode=%-6s %-6s" r.r_index
+    (Server.mode_name r.r_mode)
     "shard";
   List.iter (fun phase -> Printf.printf " %16s" (phase ^ " p50/p99")) phase_names;
   print_newline ();

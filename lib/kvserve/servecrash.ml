@@ -5,10 +5,18 @@
 
    1. preload [load] keys *through the server* (submit blocks until the
       batch fence, so every reply is an acknowledgement);
-   2. arm a seed-deterministic {!Faultinject.random_plan} and run
-      closed-loop client traffic; some shard worker crashes mid-batch, the
-      server declares itself dead, in-flight and queued requests fail with
-      [Shutdown] (never acknowledged);
+   2. arm a seed-deterministic fault plan and run closed-loop client
+      traffic; some shard worker crashes mid-batch, the server declares
+      itself dead, in-flight and queued requests fail with [Shutdown]
+      (never acknowledged).  The [plan] selector aims the crash:
+      [`Random] draws any plan kind ({!Faultinject.random_plan});
+      [`Mid_epoch] crashes at a random persistent *store* — in epoch mode
+      that is inside the fence-free apply window, with applied-but-unacked
+      ops parked in the open epoch; [`Boundary] crashes at a random flush
+      or fence — in epoch/group mode commit flushes only run inside
+      {!Recipe.Persist.epoch_advance}/[group_flush], so the crash lands at
+      the durability boundary itself (eager ordering flushes can also
+      catch it mid-apply, which only widens coverage);
    3. power-fail (every unflushed line discarded — including the crashed
       batch's deferred commit lines), run each partition's timed recovery
       and reclaiming leak sweep;
@@ -17,8 +25,9 @@
       served gets, plus a served scan's global order (ordered partitions).
 
    Zero lost acknowledged operations ([base.lost_keys = 0]) is the
-   acceptance invariant: an acked put was group-fenced before its reply was
-   sent, so it must survive the crash. *)
+   acceptance invariant: an acked put was fenced (group or epoch) before
+   its reply was sent, so it must survive the crash — a mid-epoch fault
+   may lose unacked ops of the open epoch, never an acked one. *)
 
 let fresh_env () =
   Pmem.Crash.disarm ();
@@ -70,13 +79,13 @@ let traffic_cfg ~workers ~ops ~load ~key_base ~seed =
     seed;
   }
 
-let campaign ~make ~(cfg : Server.config) ~states ~load ~ops ~workers ~seed ()
-    : Crashtest.load_report =
+let campaign ~make ~(cfg : Server.config) ?(plan = `Random) ~states ~load ~ops
+    ~workers ~seed () : Crashtest.load_report =
   let rng = Util.Rng.create seed in
   let mk_parts () = Array.init cfg.shards make in
-  (* Preview: measure the traffic phase's substrate event count so random
-     plans land inside it. *)
-  let max_events =
+  (* Preview: measure the traffic phase's substrate event counts so plans
+     land inside it. *)
+  let ev =
     fresh_env ();
     let parts = mk_parts () in
     let srv = Server.start cfg parts in
@@ -89,7 +98,22 @@ let campaign ~make ~(cfg : Server.config) ~states ~load ~ops ~workers ~seed ()
                   ~seed)))
     in
     Server.stop srv;
-    max 1 ev.Faultinject.flushes
+    ev
+  in
+  let draw_plan () =
+    match plan with
+    | `Random ->
+        Faultinject.random_plan rng ~max_events:(max 1 ev.Faultinject.flushes)
+    | `Mid_epoch ->
+        Faultinject.Crash_at_store
+          { k = 1 + Util.Rng.below rng (max 1 ev.Faultinject.stores) }
+    | `Boundary ->
+        if Util.Rng.below rng 2 = 0 then
+          Faultinject.Crash_at_flush
+            { site = None; k = 1 + Util.Rng.below rng (max 1 ev.Faultinject.flushes) }
+        else
+          Faultinject.Crash_at_fence
+            { site = None; k = 1 + Util.Rng.below rng (max 1 ev.Faultinject.fences) }
   in
   let crashes = ref 0 and lost = ref 0 and wrong = ref 0 and stalled = ref 0 in
   (* Ops this campaign's clients have had acknowledged, across every state
@@ -107,7 +131,7 @@ let campaign ~make ~(cfg : Server.config) ~states ~load ~ops ~workers ~seed ()
     let completed, preload_acked = preload srv load in
     acked_total := !acked_total + preload_acked;
     (* Phase 1: traffic under an armed fault plan. *)
-    Faultinject.arm (Faultinject.random_plan rng ~max_events);
+    Faultinject.arm (draw_plan ());
     let out1 =
       Loadgen.run srv
         (traffic_cfg ~workers ~ops ~load ~key_base:(load + 1)
@@ -234,7 +258,19 @@ let campaign ~make ~(cfg : Server.config) ~states ~load ~ops ~workers ~seed ()
         for sid = 0 to cfg.shards - 1 do
           if fv (Printf.sprintf "shard.%d.queue_depth" sid) <> 0 then
             incr stalled
-        done
+        done;
+        (* Epoch mode: every submit above has returned, so no ack may
+           still be parked, and traffic must have advanced at least one
+           epoch (the counters are process-global, so >= 1 holds across
+           restarts too). *)
+        (match cfg.mode with
+        | Server.Epoch _ ->
+            if fv "epochs" < 1 then incr stalled;
+            for sid = 0 to cfg.shards - 1 do
+              if fv (Printf.sprintf "shard.%d.pending_acks" sid) <> 0 then
+                incr stalled
+            done
+        | _ -> ())
     | _ -> incr stalled);
     Server.stop srv2
   done;

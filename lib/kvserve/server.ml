@@ -1,14 +1,25 @@
-(* Sharded request router with group-persist batching.
+(* Sharded request router with batched durability (group or epoch mode).
 
    Keys are hash-partitioned across [shards] partitions, each owned by one
    worker domain draining a bounded MPSC queue.  A worker dequeues up to
-   [batch] operations, applies them against its partition, and — in
-   group-persist mode — issues one {!Recipe.Persist.group_flush} for the
-   whole batch (every deferred commit line flushed once, one fence) before
-   acknowledging any of the batch's clients.  Acknowledged writes are
-   therefore durable exactly as in per-operation mode; an unacknowledged
-   write may be lost wholesale by a crash, which is the group-commit
-   contract (DESIGN.md §10 gives the persistence argument).
+   [batch] operations and applies them against its partition; durability
+   then depends on the configured {!persist_mode}:
+
+   - [Per_op]: every commit flushes and fences inline (the ablation);
+   - [Group]: one {!Recipe.Persist.group_flush} per dequeued batch (every
+     deferred commit line flushed once, one fence) before any of the
+     batch's clients is acknowledged — DESIGN.md §10;
+   - [Epoch _]: buffered durable linearizability (DESIGN.md §12).  Applies
+     are fence-free; applied-but-unacked operations are *parked* tagged
+     with the worker's open epoch, and an adaptive {!Epoch_ctl} decides
+     when to {!Recipe.Persist.epoch_advance} (each dirty line flushed
+     once + one fence), after which every parked ack releases.  The
+     controller closes an epoch the moment the queue is empty, so at low
+     load the mode degenerates to per-op persistence; under load epochs
+     grow to a cap, preserving fence amortization.
+
+   In every mode an acknowledged write is durable; an unacknowledged write
+   may be lost wholesale by a crash, which is the group-commit contract.
 
    Partition exclusivity is the concurrency keystone: a partition is only
    ever touched by its shard worker, so index operations never contend
@@ -36,15 +47,28 @@ type partition = {
   p_sweep : (unit -> Recipe.Recovery.stats) option;
 }
 
+(** How applied operations become durable (and thus ackable). *)
+type persist_mode =
+  | Per_op  (** every commit flushes + fences inline (the ablation) *)
+  | Group  (** one flush+fence per dequeued batch, ack after *)
+  | Epoch of Epoch_ctl.cfg
+      (** fence-free applies; acks parked until the adaptive controller
+          advances the epoch (flush deferred lines + one fence) *)
+
+let mode_name = function
+  | Per_op -> "per_op"
+  | Group -> "group"
+  | Epoch _ -> "epoch"
+
 type config = {
   shards : int;
-  batch : int;  (** max operations coalesced into one group persist *)
+  batch : int;  (** max operations dequeued (and applied) together *)
   queue_cap : int;  (** per-shard queue bound, in operations *)
-  group_persist : bool;  (** [false]: per-op flush+fence (the ablation) *)
+  mode : persist_mode;
 }
 
 let default_config =
-  { shards = 2; batch = 32; queue_cap = 256; group_persist = true }
+  { shards = 2; batch = 32; queue_cap = 256; mode = Epoch Epoch_ctl.default_cfg }
 
 (* FNV-1a, folded to 62 bits so shard selection stays positive. *)
 let hash_key k =
@@ -98,10 +122,15 @@ type shard = {
   mutable dead : bool;  (* crashed: fail remaining work, reject new *)
   m_depth : Obs.Hist.t;  (* queue depth sampled at enqueue *)
   m_batch : Obs.Hist.t;  (* operations per executed batch *)
+  m_eops : Obs.Hist.t;  (* operations released per epoch advance *)
+  (* Worker-only writes, unlocked metric-grade reads (stats endpoint). *)
+  mutable pending_acks : int;  (* applied-but-unacked ops parked right now *)
+  mutable last_epoch : int;  (* highest persisted epoch on this shard *)
   (* Per-phase latency (ns), observed at ack time from each op's span; all
-     four stay empty while spans are disabled. *)
+     five stay empty while spans are disabled. *)
   m_queue : Obs.Hist.t;
   m_apply : Obs.Hist.t;
+  m_epoch : Obs.Hist.t;  (* epoch_wait: parked / batch-tail wait *)
   m_fence : Obs.Hist.t;
   m_sack : Obs.Hist.t;
 }
@@ -115,6 +144,7 @@ type t = {
   c_batches : Obs.Counter.t;
   c_overloaded : Obs.Counter.t;
   c_group_lines : Obs.Counter.t;
+  c_epochs : Obs.Counter.t;  (* epoch advances that released >= 1 ack *)
   m_ack : Obs.Hist.t;  (* submit-to-ack latency, successful requests *)
 }
 
@@ -203,17 +233,102 @@ let kill t =
     t.shards_
 
 let worker t sh =
-  (* Group mode is domain-local: each worker opts in for itself, so other
-     servers' workers (group or per-op) are unaffected, and the flag dies
+  (* Group/epoch deferral is domain-local: each worker opts in for itself,
+     so other servers' workers (any mode) are unaffected, and the flag dies
      with the domain. *)
-  if t.cfg.group_persist then Recipe.Persist.set_group true;
+  (match t.cfg.mode with
+  | Per_op -> ()
+  | Group | Epoch _ -> Recipe.Persist.set_group true);
+  let ctl =
+    match t.cfg.mode with Epoch c -> Some (Epoch_ctl.create c) | _ -> None
+  in
   let batch_buf = Array.make t.cfg.batch None in
   let replies = Array.make t.cfg.batch Wire.Absent in
+  (* Epoch mode: applied-but-unacked (item, reply) pairs parked until their
+     epoch's fence, newest first; [sh.pending_acks] mirrors the length for
+     the stats endpoint. *)
+  let parked = ref [] in
+  let parked_n = ref 0 in
+  (* Crash path: parked ops were applied but never fenced — they are
+     unacked, so aborting them is exactly the open-epoch loss the crash
+     contract allows. *)
+  let abort_parked () =
+    if !parked_n > 0 then begin
+      let ps = List.rev !parked in
+      parked := [];
+      parked_n := 0;
+      sh.pending_acks <- 0;
+      List.iter (fun (it, _) -> abort_item it) ps
+    end
+  in
+  (* Close the open epoch: flush each deferred line once, one fence, then
+     release every parked ack.  The count add happens *before* the
+     contributes so a stats snapshot taken after an ack never undercounts
+     acked ops (same ordering promise as the batch path).  Self-contained
+     against injected crashes — it is called outside the batch exception
+     guard (advance-before-wait, stop drain), and a crash escaping the
+     worker would strand submitters. *)
+  let release_parked () =
+    if !parked_n > 0 then begin
+      let ps = List.rev !parked in
+      let n = !parked_n in
+      (* Epoch close: parked wait ends here, flush work begins. *)
+      (if Obs.Span.enabled () then
+         let ts = Obs.Span.now () in
+         List.iter
+           (fun (it, _) ->
+             match it.sp with
+             | Some sp -> sp.Obs.Span.t_epoch <- ts
+             | None -> ())
+           ps);
+      match Recipe.Persist.epoch_advance () with
+      | epoch, lines ->
+          parked := [];
+          parked_n := 0;
+          sh.pending_acks <- 0;
+          sh.last_epoch <- epoch;
+          Obs.Counter.add t.c_group_lines lines;
+          Obs.Counter.incr t.c_epochs;
+          (if Obs.Span.enabled () then
+             let ts = Obs.Span.now () in
+             List.iter
+               (fun (it, _) ->
+                 match it.sp with
+                 | Some sp -> sp.Obs.Span.t_fenced <- ts
+                 | None -> ())
+               ps);
+          Obs.Hist.observe sh.m_eops n;
+          Obs.Counter.add t.c_ops n;
+          (match ctl with Some c -> Epoch_ctl.advanced c | None -> ());
+          List.iter (fun (it, r) -> contribute it sh.sid r) ps
+      | exception e ->
+          (* Injected crash at the epoch fence: the whole open epoch is
+             abandoned — no parked op was acked, so the crash contract
+             holds.  Same cleanup as the mid-batch crash path; the loop
+             re-enters, sees [dead], and fail-drains the ring. *)
+          (match e with
+          | Pmem.Crash.Simulated_crash | Pmem.Fault.Alloc_failed _ -> ()
+          | e ->
+              Printf.eprintf "kvserve worker %d (epoch fence): %s\n%!" sh.sid
+                (Printexc.to_string e));
+          Recipe.Persist.group_reset ();
+          kill t;
+          abort_parked ()
+    end
+  in
   let running = ref true in
   while !running do
     Mutex.lock sh.smu;
     while sh.len = 0 && not sh.stopping && not sh.dead do
-      Condition.wait sh.nonempty sh.smu
+      if !parked_n > 0 then begin
+        (* Advance-before-wait: an empty queue with parked acks closes the
+           epoch immediately (the controller's empty-queue rule) — never
+           sleep on someone's unacknowledged write. *)
+        Mutex.unlock sh.smu;
+        release_parked ();
+        Mutex.lock sh.smu
+      end
+      else Condition.wait sh.nonempty sh.smu
     done;
     if sh.dead then begin
       (* Fail-drain: every queued op gets an aborted completion so no
@@ -225,10 +340,14 @@ let worker t sh =
         Mutex.lock sh.smu
       done;
       Mutex.unlock sh.smu;
+      abort_parked ();
       running := false
     end
     else if sh.len = 0 (* && stopping *) then begin
       Mutex.unlock sh.smu;
+      (* Drain the open epoch before exiting so stop => all applied ops
+         acked and durable (campaigns power-fail only after [stop]). *)
+      release_parked ();
       running := false
     end
     else begin
@@ -255,41 +374,88 @@ let worker t sh =
               | None -> ())
           | None -> assert false
         done;
-        (* The batch fence: after this, every operation above is durable
-           and may be acknowledged. *)
-        if t.cfg.group_persist then
-          Obs.Counter.add t.c_group_lines (Recipe.Persist.group_flush ())
+        (match t.cfg.mode with
+        | Per_op | Group ->
+            (* The batch fence: in group mode the group flush + sfence
+               makes every operation above durable; in per-op mode each
+               apply already fenced itself.  [t_epoch] closes the
+               batch-tail wait (epoch_wait phase) so the fence phase is
+               the pure flush+fence cost.  The flush stays inside this
+               guarded expression: an injected crash during it must take
+               the exception path below, not escape the worker. *)
+            (if Obs.Span.enabled () then
+               let ts = Obs.Span.now () in
+               for i = 0 to n - 1 do
+                 match batch_buf.(i) with
+                 | Some { sp = Some sp; _ } -> sp.Obs.Span.t_epoch <- ts
+                 | _ -> ()
+               done);
+            if t.cfg.mode = Group then
+              Obs.Counter.add t.c_group_lines (Recipe.Persist.group_flush ())
+        | Epoch _ -> ())
       with
-      | () ->
-          (* Fence boundary: in group mode this is the group flush + sfence;
-             in per-op mode each apply already fenced itself, so the phase
-             measures the batch-tail wait before acks go out — either way it
-             is the time from "my op is applied" to "my op may be acked". *)
-          (if Obs.Span.enabled () then
-             let ts = Obs.Span.now () in
-             for i = 0 to n - 1 do
-               match batch_buf.(i) with
-               | Some { sp = Some sp; _ } -> sp.Obs.Span.t_fenced <- ts
-               | _ -> ()
-             done);
-          (* Count the batch *before* contributing: the contribute below
-             releases the submitter, and the stats endpoint promises that a
-             snapshot taken after an ack never undercounts acked ops.  The
-             counter add happens-before the submitter's wake via [pmu]. *)
-          Obs.Counter.add t.c_ops n;
-          Obs.Counter.incr t.c_batches;
-          for i = 0 to n - 1 do
-            match batch_buf.(i) with
-            | Some it ->
-                contribute it sh.sid replies.(i);
-                batch_buf.(i) <- None
-            | None -> ()
-          done
+      | () -> (
+          match t.cfg.mode with
+          | Per_op | Group ->
+              (if Obs.Span.enabled () then
+                 let ts = Obs.Span.now () in
+                 for i = 0 to n - 1 do
+                   match batch_buf.(i) with
+                   | Some { sp = Some sp; _ } -> sp.Obs.Span.t_fenced <- ts
+                   | _ -> ()
+                 done);
+              (* Count the batch *before* contributing: the contribute below
+                 releases the submitter, and the stats endpoint promises that
+                 a snapshot taken after an ack never undercounts acked ops.
+                 The counter add happens-before the submitter's wake via
+                 [pmu]. *)
+              Obs.Counter.add t.c_ops n;
+              Obs.Counter.incr t.c_batches;
+              for i = 0 to n - 1 do
+                match batch_buf.(i) with
+                | Some it ->
+                    contribute it sh.sid replies.(i);
+                    batch_buf.(i) <- None
+                | None -> ()
+              done
+          | Epoch _ ->
+              (* Fence-free: park the batch in the open epoch and ask the
+                 controller whether to close it now.  Acks release only at
+                 the epoch fence (possibly several batches later). *)
+              Obs.Counter.incr t.c_batches;
+              for i = 0 to n - 1 do
+                match batch_buf.(i) with
+                | Some it ->
+                    parked := (it, replies.(i)) :: !parked;
+                    batch_buf.(i) <- None
+                | None -> ()
+              done;
+              parked_n := !parked_n + n;
+              sh.pending_acks <- !parked_n;
+              let now = Obs.Span.now () in
+              let c = match ctl with Some c -> c | None -> assert false in
+              Epoch_ctl.note c ~now n;
+              (* Re-sample the queue depth *after* the apply, not at pop
+                 time: ops that arrived while this batch applied should
+                 join the open epoch rather than trigger a premature
+                 advance — the empty-queue rule means "the shard is going
+                 idle", and a pop-time snapshot can't see that. *)
+              let depth_now =
+                Mutex.lock sh.smu;
+                let d = sh.len in
+                Mutex.unlock sh.smu;
+                d
+              in
+              if
+                Epoch_ctl.decide c ~now
+                  ~pending_lines:(Recipe.Persist.group_pending ())
+                  ~queue_depth:depth_now
+              then release_parked ())
       | exception e ->
           (* Injected crash (or any fault) mid-batch: the batch is abandoned
              wholesale.  Deferred commit lines are dropped un-flushed — the
              power failure that follows a crash discards them anyway, and
-             none of these ops was acknowledged. *)
+             none of these ops (nor any parked op) was acknowledged. *)
           (match e with
           | Pmem.Crash.Simulated_crash | Pmem.Fault.Alloc_failed _ -> ()
           | e ->
@@ -305,7 +471,8 @@ let worker t sh =
                 abort_item it;
                 batch_buf.(i) <- None
             | None -> ()
-          done
+          done;
+          abort_parked ()
           (* Keep running: ops may have been enqueued to this shard between
              the batch pop (smu released) and [kill] marking it dead, and no
              other worker drains a foreign ring.  The loop re-enters, takes
@@ -319,6 +486,7 @@ let worker t sh =
 let start cfg parts =
   if cfg.shards <= 0 then invalid_arg "Server.start: shards must be positive";
   if cfg.batch <= 0 then invalid_arg "Server.start: batch must be positive";
+  (match cfg.mode with Epoch c -> Epoch_ctl.validate c | _ -> ());
   if cfg.queue_cap < cfg.batch then
     invalid_arg "Server.start: queue_cap must be >= batch";
   if Array.length parts <> cfg.shards then
@@ -337,8 +505,12 @@ let start cfg parts =
           dead = false;
           m_depth = Obs.Hist.v (Printf.sprintf "serve.queue_depth.%d" sid);
           m_batch = Obs.Hist.v (Printf.sprintf "serve.batch_ops.%d" sid);
+          m_eops = Obs.Hist.v (Printf.sprintf "serve.epoch_ops.%d" sid);
+          pending_acks = 0;
+          last_epoch = 0;
           m_queue = Obs.Hist.v (Printf.sprintf "serve.phase.queue.%d" sid);
           m_apply = Obs.Hist.v (Printf.sprintf "serve.phase.apply.%d" sid);
+          m_epoch = Obs.Hist.v (Printf.sprintf "serve.phase.epoch_wait.%d" sid);
           m_fence = Obs.Hist.v (Printf.sprintf "serve.phase.fence.%d" sid);
           m_sack = Obs.Hist.v (Printf.sprintf "serve.phase.ack.%d" sid);
         })
@@ -353,6 +525,7 @@ let start cfg parts =
       c_batches = Obs.Counter.v "serve.batches";
       c_overloaded = Obs.Counter.v "serve.overloaded";
       c_group_lines = Obs.Counter.v "serve.group_lines";
+      c_epochs = Obs.Counter.v "serve.epochs";
       m_ack = Obs.Hist.v "serve.ack_ns";
     }
   in
@@ -404,13 +577,24 @@ let stats_snapshot t =
   add "shards" t.cfg.shards;
   add "batch" t.cfg.batch;
   add "queue_cap" t.cfg.queue_cap;
-  add "group_persist" (if t.cfg.group_persist then 1 else 0);
+  (* [group_persist] keeps its pre-epoch meaning (per-batch group mode) for
+     old readers; [persist_mode] is the full story. *)
+  add "group_persist" (match t.cfg.mode with Group -> 1 | _ -> 0);
+  add "persist_mode"
+    (match t.cfg.mode with Per_op -> 0 | Group -> 1 | Epoch _ -> 2);
+  (match t.cfg.mode with
+  | Epoch c ->
+      add "epoch.max_ops" c.Epoch_ctl.max_ops;
+      add "epoch.max_lines" c.Epoch_ctl.max_lines;
+      add "epoch.max_delay_ns" c.Epoch_ctl.max_delay_ns
+  | _ -> ());
   add "crashed" (if Atomic.get t.crashed then 1 else 0);
   add "spans_enabled" (if Obs.Span.enabled () then 1 else 0);
   add "ops_acked" (Obs.Counter.value t.c_ops);
   add "batches" (Obs.Counter.value t.c_batches);
   add "overloaded" (Obs.Counter.value t.c_overloaded);
   add "group_lines" (Obs.Counter.value t.c_group_lines);
+  add "epochs" (Obs.Counter.value t.c_epochs);
   let s = Pmem.Stats.snapshot () in
   add "pmem.clwb" s.Pmem.Stats.s_clwb;
   add "pmem.sfence" s.Pmem.Stats.s_sfence;
@@ -419,9 +603,13 @@ let stats_snapshot t =
     (fun sh ->
       let p = Printf.sprintf "shard.%d" sh.sid in
       add (p ^ ".queue_depth") sh.len;
+      add (p ^ ".pending_acks") sh.pending_acks;
+      add (p ^ ".last_epoch") sh.last_epoch;
       add_hist (p ^ ".batch_ops") sh.m_batch;
+      add_hist (p ^ ".epoch_ops") sh.m_eops;
       add_hist (p ^ ".queue_ns") sh.m_queue;
       add_hist (p ^ ".apply_ns") sh.m_apply;
+      add_hist (p ^ ".epoch_wait_ns") sh.m_epoch;
       add_hist (p ^ ".fence_ns") sh.m_fence;
       add_hist (p ^ ".ack_ns") sh.m_sack)
     t.shards_;
@@ -575,6 +763,7 @@ let submit t (req : Wire.request) =
                            let sh = t.shards_.(sp.Obs.Span.sid) in
                            Obs.Hist.observe sh.m_queue (Obs.Span.queue_ns sp);
                            Obs.Hist.observe sh.m_apply (Obs.Span.apply_ns sp);
+                           Obs.Hist.observe sh.m_epoch (Obs.Span.epoch_ns sp);
                            Obs.Hist.observe sh.m_fence (Obs.Span.fence_ns sp);
                            Obs.Hist.observe sh.m_sack (Obs.Span.ack_ns sp)
                        | None -> ()))

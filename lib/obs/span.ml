@@ -4,14 +4,21 @@
    stamped with monotonic-ns phase boundaries:
 
      submit --route--> enqueue --queue wait--> dequeue --apply--> applied
-            --group-flush / fence wait--> fenced --wake + contribute--> ack
+            --parked until epoch close--> epoch --flush+fence--> fenced
+            --wake + contribute--> ack
 
    so the derived phases decompose ack latency:
 
-     queue = dequeue - enqueue     (waiting in the shard ring)
-     apply = applied - dequeue     (index mutation, within the batch)
-     fence = fenced  - applied     (batch-tail wait + group flush + sfence)
-     ack   = ack     - submit      (client-observed; >= queue+apply+fence)
+     queue      = dequeue - enqueue  (waiting in the shard ring)
+     apply      = applied - dequeue  (index mutation, within the batch)
+     epoch_wait = epoch   - applied  (parked: batch-tail / epoch-close wait)
+     fence      = fenced  - epoch    (deferred line flushes + one sfence)
+     ack        = ack     - submit   (client-observed; >= sum of the above)
+
+   Per-op and per-batch group modes stamp [t_epoch] immediately before the
+   flush work, so for them epoch_wait is the old batch-tail wait and fence
+   is the pure flush+fence cost; epoch mode additionally accrues the
+   controller's deliberate deferral into epoch_wait.
 
    Off-path discipline mirrors the PSan guard: when disabled, the serving
    hot path pays one ref read per request and allocates nothing (items
@@ -26,6 +33,7 @@ type t = {
   mutable t_enqueue : int;
   mutable t_dequeue : int;
   mutable t_applied : int;
+  mutable t_epoch : int; (* epoch close: parked wait ends, flush work begins *)
   mutable t_fenced : int;
   mutable t_ack : int;
 }
@@ -51,6 +59,7 @@ let start ~sid =
     t_enqueue = ts;
     t_dequeue = ts;
     t_applied = ts;
+    t_epoch = ts;
     t_fenced = ts;
     t_ack = ts;
   }
@@ -64,13 +73,20 @@ let finish sp =
 
 let queue_ns sp = max 0 (sp.t_dequeue - sp.t_enqueue)
 let apply_ns sp = max 0 (sp.t_applied - sp.t_dequeue)
-let fence_ns sp = max 0 (sp.t_fenced - sp.t_applied)
+let epoch_ns sp = max 0 (sp.t_epoch - sp.t_applied)
+let fence_ns sp = max 0 (sp.t_fenced - sp.t_epoch)
 let ack_ns sp = max 0 (sp.t_ack - sp.t_submit)
 
 (** Phase name/extractor pairs, in pipeline order — the shared vocabulary
     for histograms, bench JSON and the trace export. *)
 let phases =
-  [ ("queue", queue_ns); ("apply", apply_ns); ("fence", fence_ns); ("ack", ack_ns) ]
+  [
+    ("queue", queue_ns);
+    ("apply", apply_ns);
+    ("epoch_wait", epoch_ns);
+    ("fence", fence_ns);
+    ("ack", ack_ns);
+  ]
 
 let count () = Atomic.get finished
 

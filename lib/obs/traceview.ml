@@ -4,8 +4,8 @@
    Event Format that chrome://tracing and https://ui.perfetto.dev load
    directly ({"traceEvents": [...]}; timestamps in microseconds):
 
-   - each finished {!Span} becomes three complete ("X") slices — queue /
-     apply / fence — on the row of the shard that served it, plus a
+   - each finished {!Span} becomes four complete ("X") slices — queue /
+     apply / epoch_wait / fence — on the row of the shard that served it, plus a
      whole-request slice on the submitting domain's row, so queue waits,
      batch formation and fence stalls are visible as gaps and bars;
    - each {!Trace} event becomes an instant ("i") on its domain's row;
@@ -57,8 +57,10 @@ let span_events ~t0 sp =
       ~dur:(dur sp.t_enqueue sp.t_dequeue) ~pid:pid_serve ~tid:sp.sid ~args ();
     ev ~name:"apply" ~cat:"span" ~ph:"X" ~ts:(rel sp.t_dequeue)
       ~dur:(dur sp.t_dequeue sp.t_applied) ~pid:pid_serve ~tid:sp.sid ~args ();
-    ev ~name:"fence" ~cat:"span" ~ph:"X" ~ts:(rel sp.t_applied)
-      ~dur:(dur sp.t_applied sp.t_fenced) ~pid:pid_serve ~tid:sp.sid ~args ();
+    ev ~name:"epoch_wait" ~cat:"span" ~ph:"X" ~ts:(rel sp.t_applied)
+      ~dur:(dur sp.t_applied sp.t_epoch) ~pid:pid_serve ~tid:sp.sid ~args ();
+    ev ~name:"fence" ~cat:"span" ~ph:"X" ~ts:(rel sp.t_epoch)
+      ~dur:(dur sp.t_epoch sp.t_fenced) ~pid:pid_serve ~tid:sp.sid ~args ();
     ev ~name:"request" ~cat:"span" ~ph:"X" ~ts:(rel sp.t_submit)
       ~dur:(dur sp.t_submit sp.t_ack) ~pid:pid_domains ~tid:sp.domain ~args ();
   ]

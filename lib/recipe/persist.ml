@@ -56,31 +56,69 @@ let set_naive b = naive := b
    disturb each other's pending lines.  In particular, starting or stopping
    one server never drops another server's deferred commits (which would
    let its workers ack writes whose commit lines were never flushed).  No
-   locking is needed: a domain's table is touched by that domain alone. *)
+   locking is needed: a domain's table is touched by that domain alone.
+
+   --- epochs (buffered durable linearizability) ---------------------------
+
+   The epoch generalization (DESIGN.md §12) keeps the same deferral table
+   but decouples the fence from the batch: the domain counts *epochs* — a
+   monotonically increasing number naming "everything deferred since the
+   last fence" — and {!epoch_advance} is the only place the fence happens:
+   it flushes each dirty line once, issues one fence, marks the open epoch
+   persisted and opens the next.  An executor that acks only operations
+   whose epoch is persisted provides buffered durable linearizability in
+   the sense of Ben-David et al. (Delay-Free Concurrency on Faulty
+   Persistent Memory): the critical path runs fence-free, durability
+   advances at epoch boundaries, and a crash loses at most the *unacked*
+   suffix — the open epoch — never an acked operation.
+
+   Under sanitize mode the commit combinators no longer skip their
+   publication check while deferral is on — they *defer* it: the check runs
+   at the epoch fence ({!group_flush}/{!epoch_advance}), after the sfence,
+   which is exactly when the buffered contract first allows the commit to
+   be acknowledged.  A store the operation relied on that never got flushed
+   (neither eagerly nor by the epoch flush) is reported there as an
+   unpersisted publish, so moving the fence cannot silently weaken RECIPE
+   Condition #1/#2 — the sanitizer follows the fence. *)
 
 type group_state = {
   mutable on : bool;
+  mutable epoch : int;  (* the open (accumulating) epoch, starts at 1 *)
+  mutable persisted : int;  (* highest epoch whose fence has run *)
   tbl : (int, unit -> bool) Hashtbl.t;
       (* line id -> the flush thunk that persists it (first recording wins;
          any thunk for the line flushes the same bytes).  A thunk returns
          [false] when it found the line already persisted — an eager flush
          (combinator or raw index clwb) superseded the deferred one — and
          skips the clwb, which the sanitizer would report as redundant. *)
+  mutable pubs : (unit -> unit) list;
+      (* deferred sanitizer publication checks of the open epoch, run after
+         the epoch fence; only populated under sanitize mode. *)
 }
 
 let group_key =
-  Domain.DLS.new_key (fun () -> { on = false; tbl = Hashtbl.create 64 })
+  Domain.DLS.new_key (fun () ->
+      { on = false; epoch = 1; persisted = 0; tbl = Hashtbl.create 64;
+        pubs = [] })
 
 let[@inline] group_st () = Domain.DLS.get group_key
 
 (** Enable/disable group-commit deferral for the *calling domain* (each
-    shard worker opts in for itself).  Disabling clears the domain's own
-    pending table — a worker stopping mid-batch must not leak deferred
+    shard worker opts in for itself).  Enabling (re)starts the epoch
+    numbering at 1 with nothing persisted; disabling clears the domain's
+    own pending table — a worker stopping mid-batch must not leak deferred
     lines into the next phase — and cannot affect any other domain. *)
 let set_group b =
   let st = group_st () in
   st.on <- b;
-  if not b then Hashtbl.reset st.tbl
+  if b then begin
+    st.epoch <- 1;
+    st.persisted <- 0
+  end;
+  if not b then begin
+    Hashtbl.reset st.tbl;
+    st.pubs <- []
+  end
 
 let group_enabled () = (group_st ()).on
 
@@ -95,31 +133,81 @@ let group_drop line = Hashtbl.remove (group_st ()).tbl line
 (** Deferred commit lines recorded by the calling domain. *)
 let group_pending () = Hashtbl.length (group_st ()).tbl
 
-(** Forget the calling domain's deferred lines without flushing — the
-    crashed-worker path: a simulated power failure discards those lines
-    anyway. *)
-let group_reset () = Hashtbl.reset (group_st ()).tbl
+(** Forget the calling domain's deferred lines (and deferred publication
+    checks) without flushing — the crashed-worker path: a simulated power
+    failure discards those lines anyway. *)
+let group_reset () =
+  let st = group_st () in
+  Hashtbl.reset st.tbl;
+  st.pubs <- []
 
 (** Flush every line the calling domain deferred (each at most once —
     lines an eager flush already persisted are skipped), then issue one
     fence for the whole batch.  No-op when nothing is pending, so a
     read-only batch costs no fence.  Returns the number of lines actually
-    flushed — the executor's mean-batch-coalescing metric. *)
+    flushed — the executor's mean-batch-coalescing metric.
+
+    Under sanitize mode, the deferred publication checks of everything
+    committed since the last flush run here, after the fence — the point
+    where the buffered-durability contract first permits an ack. *)
 let group_flush ?site () =
-  let t = (group_st ()).tbl in
-  if Hashtbl.length t = 0 then 0
-  else begin
-    (* Reset before running thunks: a thunk may crash (injected fault),
-       and the batch is then abandoned wholesale — [group_reset] by the
-       catcher must not replay half of it. *)
-    let thunks = Hashtbl.fold (fun _ th acc -> th :: acc) t [] in
-    Hashtbl.reset t;
-    let n =
-      List.fold_left (fun acc th -> if th () then acc + 1 else acc) 0 thunks
-    in
-    Pmem.sfence ?site ();
-    n
-  end
+  let st = group_st () in
+  let n =
+    if Hashtbl.length st.tbl = 0 then 0
+    else begin
+      (* Reset before running thunks: a thunk may crash (injected fault),
+         and the batch is then abandoned wholesale — [group_reset] by the
+         catcher must not replay half of it. *)
+      let thunks = Hashtbl.fold (fun _ th acc -> th :: acc) st.tbl [] in
+      Hashtbl.reset st.tbl;
+      let n =
+        List.fold_left (fun acc th -> if th () then acc + 1 else acc) 0 thunks
+      in
+      Pmem.sfence ?site ();
+      n
+    end
+  in
+  (match st.pubs with
+  | [] -> ()
+  | ps ->
+      st.pubs <- [];
+      (* Commit order: the list was consed, so reverse before checking. *)
+      List.iter (fun check -> check ()) (List.rev ps));
+  n
+
+(* --- epochs --------------------------------------------------------------- *)
+
+(** Test-only mutation: "delete" the epoch fence.  When set, an
+    {!epoch_advance} drops the open epoch's deferred lines without flushing
+    or fencing but still reports the epoch as persisted — the bug class the
+    epoch crash campaign must catch as lost acknowledged operations. *)
+let mutate_drop_epoch_flush = ref false
+
+(** The calling domain's open (accumulating) epoch number. *)
+let epoch_current () = (group_st ()).epoch
+
+(** The highest epoch the calling domain has persisted. *)
+let epoch_persisted () = (group_st ()).persisted
+
+(** Close the calling domain's open epoch: flush each deferred commit line
+    once, issue one fence for all of them (none when nothing was deferred —
+    an empty epoch advances for free), mark the epoch persisted, and open
+    the next.  Returns [(e, lines)]: the newly persisted epoch number and
+    the count of lines actually flushed.  After this returns, every commit
+    tagged with an epoch [<= e] is durable and may be acknowledged. *)
+let epoch_advance ?site () =
+  let st = group_st () in
+  let lines =
+    if !mutate_drop_epoch_flush then begin
+      Hashtbl.reset st.tbl;
+      st.pubs <- [];
+      0
+    end
+    else group_flush ?site ()
+  in
+  st.persisted <- st.epoch;
+  st.epoch <- st.epoch + 1;
+  (st.persisted, lines)
 
 (* Every combinator takes an optional [?site] (an {!Obs.Site.t}: index ×
    structural location) forwarded to the flush/fence primitives, feeding the
@@ -163,16 +251,24 @@ let store_ref ?site r i v =
     Pmem.sfence ?site ()
   end
 
+(* Run the publication check now (per-op persistence) or park it on the
+   calling domain's deferred list to run after the epoch/batch fence —
+   the line is intentionally unpersisted until that fence, and the executor
+   acks only after it, so the fence is where the check belongs. *)
+let[@inline] publish_now_or_deferred check =
+  let st = group_st () in
+  if st.on then st.pubs <- check :: st.pubs else check ()
+
 (** Commit store: make the operation visible and durable.  Flush + fence
-    always — or, in group mode, deferred to the batch's {!group_flush} (the
-    publication check is skipped too: the line is intentionally unpersisted
-    until the batch fence, and the executor acks only after it). *)
+    always — or, in group mode, deferred to the batch's {!group_flush} /
+    the epoch's {!epoch_advance} (the publication check moves to the same
+    fence: see [publish_now_or_deferred]). *)
 let commit ?site w i v =
   if sanitizing () then begin
     Pmem.Sanhook.set_site site;
     Pmem.Words.set w i v;
     Pmem.Sanhook.clear_site ();
-    if not (group_st ()).on then Pmem.Words.sanitize_publish ?site w i
+    publish_now_or_deferred (fun () -> Pmem.Words.sanitize_publish ?site w i)
   end
   else Pmem.Words.set w i v;
   if (group_st ()).on then
@@ -194,7 +290,7 @@ let commit_ref ?site r i v =
     Pmem.Sanhook.set_site site;
     Pmem.Refs.set r i v;
     Pmem.Sanhook.clear_site ();
-    if not (group_st ()).on then Pmem.Refs.sanitize_publish ?site r i
+    publish_now_or_deferred (fun () -> Pmem.Refs.sanitize_publish ?site r i)
   end
   else Pmem.Refs.set r i v;
   if (group_st ()).on then
@@ -220,7 +316,8 @@ let commit_cas_ref ?site r i ~expected ~desired =
   let ok = Pmem.Refs.cas r i ~expected ~desired in
   if sanitizing () then begin
     Pmem.Sanhook.clear_site ();
-    if ok && not (group_st ()).on then Pmem.Refs.sanitize_publish ?site r i
+    if ok then
+      publish_now_or_deferred (fun () -> Pmem.Refs.sanitize_publish ?site r i)
   end;
   if ok then
     if (group_st ()).on then
@@ -243,7 +340,8 @@ let commit_cas ?site w i ~expected ~desired =
   let ok = Pmem.Words.cas w i ~expected ~desired in
   if sanitizing () then begin
     Pmem.Sanhook.clear_site ();
-    if ok && not (group_st ()).on then Pmem.Words.sanitize_publish ?site w i
+    if ok then
+      publish_now_or_deferred (fun () -> Pmem.Words.sanitize_publish ?site w i)
   end;
   if ok then
     if (group_st ()).on then

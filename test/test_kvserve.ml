@@ -121,6 +121,48 @@ let request_prefix_needs_more =
       done;
       !ok)
 
+(* Response frames have the same incremental-read contract; this is the
+   path the extended (epoch-field) stats snapshot travels. *)
+let response_prefix_needs_more =
+  QCheck.Test.make ~count:100 ~name:"truncated response decodes Need_more"
+    (QCheck.make arb_response) (fun resp ->
+      let s = Wire.response_string resp in
+      let ok = ref true in
+      for cut = 0 to String.length s - 1 do
+        match Wire.decode_response (String.sub s 0 cut) 0 with
+        | `Need_more -> ()
+        | _ -> ok := false
+      done;
+      !ok)
+
+(* The epoch extension adds fields to [Stats_reply], not opcodes: a snapshot
+   with every new key must survive the codec bit-exactly. *)
+let test_wire_epoch_stats_reply () =
+  let fields =
+    [
+      ("persist_mode", 2);
+      ("epochs", 12345);
+      ("epoch.max_ops", 64);
+      ("epoch.max_lines", 256);
+      ("epoch.max_delay_ns", 200_000);
+      ("shard.0.pending_acks", 0);
+      ("shard.0.last_epoch", 41);
+      ("shard.0.epoch_ops.count", 17);
+      ("shard.0.epoch_wait_ns.p99", 123_456);
+    ]
+  in
+  let resp =
+    {
+      Wire.rrid = 9;
+      status = Wire.Ok;
+      replies = [ Wire.Stats_reply fields ];
+    }
+  in
+  match Wire.decode_response (Wire.response_string resp) 0 with
+  | `Ok (resp', _) ->
+      Alcotest.(check bool) "epoch stats reply round-trips" true (resp' = resp)
+  | _ -> Alcotest.fail "epoch stats reply did not decode"
+
 let test_wire_empty_batch () =
   let req = { Wire.rid = 7; ops = [] } in
   match Wire.decode_request (Wire.request_string req) 0 with
@@ -259,6 +301,126 @@ let test_group_domain_scoped () =
       Alcotest.(check int) "worker flushes its own line" 1 flushed;
       Alcotest.(check int) "nothing left dirty" 0 (Pmem.dirty_count ()))
 
+(* --- the epoch substrate --------------------------------------------------- *)
+
+(* Epoch numbering and cost: commits defer, one advance = one fence for the
+   whole epoch, the persisted watermark trails the open epoch by exactly
+   one, and an empty advance is free (no flush, no fence) but still
+   renumbers — the degenerate idle case the controller relies on. *)
+let test_epoch_substrate () =
+  with_env (fun () ->
+      let w = Pmem.Words.make ~name:"kv.epoch" 64 0 in
+      ignore (Pmem.persist_everything ());
+      Recipe.Persist.set_group true;
+      Fun.protect
+        ~finally:(fun () -> Recipe.Persist.set_group false)
+        (fun () ->
+          Alcotest.(check int) "epoch opens at 1" 1
+            (Recipe.Persist.epoch_current ());
+          Alcotest.(check int) "nothing persisted yet" 0
+            (Recipe.Persist.epoch_persisted ());
+          for i = 0 to 7 do
+            Recipe.Persist.commit w i (i + 1)
+          done;
+          let before = Pmem.Stats.snapshot () in
+          let e, lines = Recipe.Persist.epoch_advance () in
+          let after = Pmem.Stats.snapshot () in
+          Alcotest.(check int) "epoch 1 persisted" 1 e;
+          Alcotest.(check int) "one line flushed" 1 lines;
+          Alcotest.(check int) "one clwb for the epoch" 1
+            (after.Pmem.Stats.s_clwb - before.Pmem.Stats.s_clwb);
+          Alcotest.(check int) "one sfence for the epoch" 1
+            (after.Pmem.Stats.s_sfence - before.Pmem.Stats.s_sfence);
+          Alcotest.(check int) "next epoch open" 2
+            (Recipe.Persist.epoch_current ());
+          Alcotest.(check int) "persisted watermark" 1
+            (Recipe.Persist.epoch_persisted ());
+          Alcotest.(check int) "deferral table drained" 0
+            (Recipe.Persist.group_pending ());
+          let b2 = Pmem.Stats.snapshot () in
+          let e2, l2 = Recipe.Persist.epoch_advance () in
+          let a2 = Pmem.Stats.snapshot () in
+          Alcotest.(check int) "empty epoch still renumbers" 2 e2;
+          Alcotest.(check int) "empty epoch flushes nothing" 0 l2;
+          Alcotest.(check int) "empty epoch costs no fence" 0
+            (a2.Pmem.Stats.s_sfence - b2.Pmem.Stats.s_sfence)))
+
+(* --- the epoch controller (pure, fake clock) ------------------------------- *)
+
+module EC = Kvserve.Epoch_ctl
+
+let arb_ctl_trace =
+  QCheck.Gen.(
+    let cfg =
+      map3
+        (fun ops lines delay ->
+          { EC.max_ops = ops; max_lines = lines; max_delay_ns = delay })
+        (int_range 1 48) (int_range 1 48) (int_range 1 2_000)
+    in
+    let step =
+      map3
+        (fun dt n (q, l) -> (dt, n, q, l))
+        (int_range 0 500) (int_range 1 8)
+        (pair (int_range 0 4) (int_range 0 64))
+    in
+    pair cfg (list_size (int_range 1 60) step))
+
+(* Drive a random trace through the controller under a fake clock and check
+   the closure contract at every decision point.  The three advertised
+   properties are the contrapositive of the "keep the epoch open" case:
+   whenever [decide] says *stay open*, the epoch must be under the size cap,
+   under the line cap, inside the deadline, and the queue non-empty — so a
+   full epoch always closes, a deadline never overshoots by a full decision
+   round, and an empty queue drains immediately. *)
+let epoch_ctl_props =
+  QCheck.Test.make ~count:500 ~name:"epoch controller closure contract"
+    (QCheck.make arb_ctl_trace) (fun (cfg, trace) ->
+      let st = EC.create cfg in
+      let now = ref 0 in
+      let ok = ref true in
+      let opened_at = ref 0 in
+      (* An empty epoch never fires: an advance would fence for nobody. *)
+      if EC.decide st ~now:!now ~pending_lines:64 ~queue_depth:0 then
+        ok := false;
+      List.iter
+        (fun (dt, n, queue_depth, pending_lines) ->
+          now := !now + dt;
+          if EC.open_ops st = 0 then opened_at := !now;
+          EC.note st ~now:!now n;
+          let fired = EC.decide st ~now:!now ~pending_lines ~queue_depth in
+          if fired then EC.advanced st
+          else begin
+            (* Stay-open is only legal strictly inside every bound. *)
+            if EC.open_ops st >= cfg.EC.max_ops then ok := false;
+            if pending_lines >= cfg.EC.max_lines then ok := false;
+            if !now - !opened_at >= cfg.EC.max_delay_ns then ok := false;
+            if queue_depth = 0 then ok := false
+          end;
+          if fired && EC.open_ops st <> 0 then ok := false)
+        trace;
+      !ok)
+
+(* The configuration gate: a controller with a zero or negative bound would
+   either never close (unbounded ack debt) or spin — reject at start. *)
+let test_epoch_ctl_validate () =
+  let bad cfg =
+    match EC.create cfg with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "invalid epoch cfg accepted"
+  in
+  bad { EC.default_cfg with EC.max_ops = 0 };
+  bad { EC.default_cfg with EC.max_lines = -1 };
+  bad { EC.default_cfg with EC.max_delay_ns = 0 };
+  match Server.start
+          { Server.shards = 1; batch = 4; queue_cap = 16;
+            mode = Server.Epoch { EC.default_cfg with EC.max_ops = 0 } }
+          [||]
+  with
+  | exception Invalid_argument _ -> ()
+  | srv ->
+      Server.stop srv;
+      Alcotest.fail "server accepted an invalid epoch config"
+
 (* --- in-process server through the framed transport ----------------------- *)
 
 let ik = Util.Keys.encode_int
@@ -274,7 +436,7 @@ let via_conn conn req =
 let test_server_smoke () =
   with_env (fun () ->
       let cfg =
-        { Server.shards = 2; batch = 8; queue_cap = 64; group_persist = true }
+        { Server.shards = 2; batch = 8; queue_cap = 64; mode = Server.Group }
       in
       let srv = Server.start cfg (Array.init 2 (fun _ -> Harness.Kvparts.art ())) in
       let conn = Server.Conn.create srv in
@@ -352,7 +514,7 @@ let test_server_smoke () =
 let test_conn_trickle () =
   with_env (fun () ->
       let cfg =
-        { Server.shards = 1; batch = 4; queue_cap = 16; group_persist = true }
+        { Server.shards = 1; batch = 4; queue_cap = 16; mode = Server.Group }
       in
       let srv = Server.start cfg [| Harness.Kvparts.art () |] in
       let conn = Server.Conn.create srv in
@@ -394,7 +556,7 @@ let test_conn_trickle () =
 let test_server_hash_partition () =
   with_env (fun () ->
       let cfg =
-        { Server.shards = 2; batch = 4; queue_cap = 64; group_persist = true }
+        { Server.shards = 2; batch = 4; queue_cap = 64; mode = Server.Group }
       in
       let srv =
         Server.start cfg (Array.init 2 (fun _ -> Harness.Kvparts.clht ()))
@@ -434,7 +596,7 @@ let test_stats_endpoint () =
         ~finally:(fun () -> Obs.Span.set_enabled false)
         (fun () ->
           let cfg =
-            { Server.shards = 2; batch = 8; queue_cap = 64; group_persist = true }
+            { Server.shards = 2; batch = 8; queue_cap = 64; mode = Server.Group }
           in
           let srv =
             Server.start cfg (Array.init 2 (fun _ -> Harness.Kvparts.art ()))
@@ -508,7 +670,7 @@ let test_stats_across_recovery () =
   with_env (fun () ->
       Obs.reset_all ();
       let cfg =
-        { Server.shards = 2; batch = 8; queue_cap = 64; group_persist = true }
+        { Server.shards = 2; batch = 8; queue_cap = 64; mode = Server.Group }
       in
       let parts = Array.init 2 (fun _ -> Harness.Kvparts.art ()) in
       let srv = Server.start cfg parts in
@@ -554,7 +716,7 @@ let test_spans_off_zero_overhead () =
       Obs.reset_all ();
       Alcotest.(check bool) "spans off by default" false (Obs.Span.enabled ());
       let cfg =
-        { Server.shards = 2; batch = 8; queue_cap = 64; group_persist = true }
+        { Server.shards = 2; batch = 8; queue_cap = 64; mode = Server.Group }
       in
       let srv = Server.start cfg (Array.init 2 (fun _ -> Harness.Kvparts.art ())) in
       let conn = Server.Conn.create srv in
@@ -605,7 +767,7 @@ let test_backpressure () =
         }
       in
       let cfg =
-        { Server.shards = 1; batch = 2; queue_cap = 4; group_persist = false }
+        { Server.shards = 1; batch = 2; queue_cap = 4; mode = Server.Per_op }
       in
       let srv = Server.start cfg [| slow_part |] in
       let nclients = 4 and per_client = 12 in
@@ -652,14 +814,119 @@ let test_backpressure () =
             Alcotest.fail (Printf.sprintf "key applied %d times" n))
         applied)
 
+(* --- epoch-mode serving ---------------------------------------------------- *)
+
+(* The buffered-durability serving path end to end: epoch mode acks only at
+   epoch boundaries, leaves nothing parked once every submit has returned,
+   nothing dirty once acked, and the snapshot tells the whole epoch story
+   (mode tag, cfg echo, advances, per-shard watermarks). *)
+let test_server_epoch_mode () =
+  with_env (fun () ->
+      Obs.reset_all ();
+      let ecfg = { EC.max_ops = 8; max_lines = 64; max_delay_ns = 50_000 } in
+      let cfg =
+        { Server.shards = 2; batch = 8; queue_cap = 64;
+          mode = Server.Epoch ecfg }
+      in
+      let srv =
+        Server.start cfg (Array.init 2 (fun _ -> Harness.Kvparts.art ()))
+      in
+      let conn = Server.Conn.create srv in
+      let nput = 120 in
+      let resp =
+        via_conn conn
+          {
+            Wire.rid = 1;
+            ops = List.init nput (fun i -> Wire.Put (ik (i + 1), i * 7));
+          }
+      in
+      Alcotest.(check bool) "puts acked" true (resp.Wire.status = Wire.Ok);
+      (* Acked implies the epoch fence ran: no line backing an ack is dirty. *)
+      Alcotest.(check int) "nothing dirty after acked epoch" 0
+        (Pmem.dirty_count ());
+      let resp =
+        via_conn conn
+          { Wire.rid = 2; ops = List.init nput (fun i -> Wire.Get (ik (i + 1))) }
+      in
+      List.iteri
+        (fun i r ->
+          match r with
+          | Wire.Found v when v = i * 7 -> ()
+          | _ -> Alcotest.fail (Printf.sprintf "get %d wrong" (i + 1)))
+        resp.Wire.replies;
+      let f = field (stats_fields conn 3) in
+      Alcotest.(check int) "epoch mode tagged" 2 (f "persist_mode");
+      Alcotest.(check int) "group persist not claimed" 0 (f "group_persist");
+      Alcotest.(check int) "max_ops echoed" ecfg.EC.max_ops (f "epoch.max_ops");
+      Alcotest.(check int) "max_lines echoed" ecfg.EC.max_lines
+        (f "epoch.max_lines");
+      Alcotest.(check int) "max_delay echoed" ecfg.EC.max_delay_ns
+        (f "epoch.max_delay_ns");
+      Alcotest.(check bool) "epochs advanced" true (f "epochs" >= 1);
+      for sid = 0 to cfg.Server.shards - 1 do
+        let sf k = f (Printf.sprintf "shard.%d.%s" sid k) in
+        Alcotest.(check int)
+          (Printf.sprintf "shard %d nothing parked" sid)
+          0 (sf "pending_acks");
+        Alcotest.(check bool)
+          (Printf.sprintf "shard %d epoch watermark moved" sid)
+          true
+          (sf "last_epoch" >= 1)
+      done;
+      Server.stop srv)
+
+(* Acked epoch-mode bindings survive stop -> power failure -> recovery:
+   the buffered-durability contract at the coarsest grain. *)
+let test_epoch_acked_survive_power_failure () =
+  with_env (fun () ->
+      let cfg =
+        {
+          Server.shards = 2;
+          batch = 8;
+          queue_cap = 64;
+          mode = Server.Epoch { EC.max_ops = 8; max_lines = 64;
+                                max_delay_ns = 50_000 };
+        }
+      in
+      let parts = Array.init 2 (fun _ -> Harness.Kvparts.art ()) in
+      let srv = Server.start cfg parts in
+      let conn = Server.Conn.create srv in
+      let nput = 80 in
+      let resp =
+        via_conn conn
+          {
+            Wire.rid = 1;
+            ops = List.init nput (fun i -> Wire.Put (ik (i + 1), i + 100));
+          }
+      in
+      Alcotest.(check bool) "puts acked" true (resp.Wire.status = Wire.Ok);
+      Server.stop srv;
+      Pmem.simulate_power_failure ();
+      Array.iter (fun (p : Server.partition) -> p.Server.p_recover ()) parts;
+      let srv2 = Server.start cfg parts in
+      let conn2 = Server.Conn.create srv2 in
+      let resp =
+        via_conn conn2
+          { Wire.rid = 2; ops = List.init nput (fun i -> Wire.Get (ik (i + 1))) }
+      in
+      List.iteri
+        (fun i r ->
+          match r with
+          | Wire.Found v when v = i + 100 -> ()
+          | _ ->
+              Alcotest.fail
+                (Printf.sprintf "acked key %d lost across power failure" (i + 1)))
+        resp.Wire.replies;
+      Server.stop srv2)
+
 (* --- the batching win ----------------------------------------------------- *)
 
 (* Write-heavy overwrite traffic over a small key space: group persist must
    spend strictly fewer flushes and fences than per-op persist for the
-   same operation stream. *)
-let flushes_for ~group () =
+   same operation stream — and epoch mode must never be worse than group. *)
+let flushes_for ~mode () =
   fresh_env ();
-  let cfg = { Server.shards = 2; batch = 32; queue_cap = 256; group_persist = group } in
+  let cfg = { Server.shards = 2; batch = 32; queue_cap = 256; mode } in
   let srv = Server.start cfg (Array.init 2 (fun _ -> Harness.Kvparts.art ())) in
   let lg =
     {
@@ -682,8 +949,8 @@ let flushes_for ~group () =
 
 let test_group_persist_saves_flushes () =
   with_env (fun () ->
-      let clwb_on, sfence_on = flushes_for ~group:true () in
-      let clwb_off, sfence_off = flushes_for ~group:false () in
+      let clwb_on, sfence_on = flushes_for ~mode:Server.Group () in
+      let clwb_off, sfence_off = flushes_for ~mode:Server.Per_op () in
       if not (clwb_on < clwb_off) then
         Alcotest.fail
           (Printf.sprintf "flushes not reduced: %d (group) vs %d (per-op)"
@@ -693,10 +960,34 @@ let test_group_persist_saves_flushes () =
           (Printf.sprintf "fences not amortized: %d (group) vs %d (per-op)"
              sfence_on sfence_off))
 
+(* The tentpole's "never a loss" cost side: epoch persistence must spend no
+   more flushes than per-op and no more fences than group — the epoch fence
+   covers at least one whole batch, usually several. *)
+let test_epoch_persist_saves_fences () =
+  with_env (fun () ->
+      let clwb_e, sfence_e =
+        flushes_for ~mode:(Server.Epoch EC.default_cfg) ()
+      in
+      let clwb_g, sfence_g = flushes_for ~mode:Server.Group () in
+      let clwb_p, sfence_p = flushes_for ~mode:Server.Per_op () in
+      if not (clwb_e <= clwb_p) then
+        Alcotest.fail
+          (Printf.sprintf "epoch flushed more than per-op: %d vs %d" clwb_e
+             clwb_p);
+      if not (sfence_e <= sfence_g) then
+        Alcotest.fail
+          (Printf.sprintf "epoch fenced more than group: %d vs %d" sfence_e
+             sfence_g);
+      if not (sfence_e < sfence_p / 4) then
+        Alcotest.fail
+          (Printf.sprintf "epoch fences not amortized: %d vs %d (per-op)"
+             sfence_e sfence_p);
+      ignore clwb_g)
+
 (* --- crash mid-serving ----------------------------------------------------- *)
 
 let servecrash_cfg =
-  { Server.shards = 2; batch = 8; queue_cap = 64; group_persist = true }
+  { Server.shards = 2; batch = 8; queue_cap = 64; mode = Server.Group }
 
 let run_campaign make =
   Servecrash.campaign ~make ~cfg:servecrash_cfg ~states:3 ~load:60 ~ops:160
@@ -734,7 +1025,7 @@ let test_crash_drains_queue () =
         }
       in
       let cfg =
-        { Server.shards = 1; batch = 1; queue_cap = 8; group_persist = false }
+        { Server.shards = 1; batch = 1; queue_cap = 8; mode = Server.Per_op }
       in
       let srv = Server.start cfg [| part |] in
       let crasher =
@@ -765,17 +1056,93 @@ let test_crash_mid_serving_hash () =
       let r = run_campaign (fun _ -> Harness.Kvparts.clht ()) in
       check_campaign "clht" r)
 
+(* --- crash mid-serving, epoch mode ----------------------------------------- *)
+
+(* The tentpole's durability gate.  [`Mid_epoch] aims the crash at a random
+   persistent store — inside the fence-free apply window, with
+   applied-but-unacked ops parked in the open epoch; [`Boundary] aims it at
+   a random flush or fence — the epoch advance itself.  Either way the
+   campaign must report zero lost acknowledged operations: a mid-epoch
+   fault may shed the open epoch's unacked suffix, never an acked op. *)
+let epoch_crash_cfg =
+  {
+    Server.shards = 2;
+    batch = 8;
+    queue_cap = 64;
+    mode =
+      Server.Epoch { EC.max_ops = 16; max_lines = 128; max_delay_ns = 100_000 };
+  }
+
+let run_epoch_campaign ~plan make =
+  Servecrash.campaign ~make ~cfg:epoch_crash_cfg ~plan ~states:3 ~load:60
+    ~ops:160 ~workers:2 ~seed:13 ()
+
+let check_epoch_campaign name r =
+  let b = r.Crashtest.base in
+  Alcotest.(check int) (name ^ ": lost acked") 0 b.Crashtest.lost_keys;
+  Alcotest.(check int) (name ^ ": wrong values") 0 b.Crashtest.wrong_values;
+  Alcotest.(check int) (name ^ ": stalled") 0 b.Crashtest.stalled;
+  Alcotest.(check bool) (name ^ ": recovered every state") true
+    (r.Crashtest.recoveries >= epoch_crash_cfg.Server.shards)
+
+let test_epoch_crash_mid_epoch_art () =
+  with_env (fun () ->
+      check_epoch_campaign "art mid-epoch"
+        (run_epoch_campaign ~plan:`Mid_epoch (fun _ -> Harness.Kvparts.art ())))
+
+let test_epoch_crash_boundary_art () =
+  with_env (fun () ->
+      check_epoch_campaign "art boundary"
+        (run_epoch_campaign ~plan:`Boundary (fun _ -> Harness.Kvparts.art ())))
+
+let test_epoch_crash_mid_epoch_clht () =
+  with_env (fun () ->
+      check_epoch_campaign "clht mid-epoch"
+        (run_epoch_campaign ~plan:`Mid_epoch (fun _ -> Harness.Kvparts.clht ())))
+
+let test_epoch_crash_boundary_clht () =
+  with_env (fun () ->
+      check_epoch_campaign "clht boundary"
+        (run_epoch_campaign ~plan:`Boundary (fun _ -> Harness.Kvparts.clht ())))
+
+(* Mutation adequacy: delete the epoch fence (advance drops the open
+   epoch's deferred lines without flushing, still reports it persisted) and
+   the campaign MUST see lost acknowledged operations — otherwise the
+   zero-loss verdict above is vacuous. *)
+let test_epoch_mutation_caught () =
+  with_env (fun () ->
+      Recipe.Persist.mutate_drop_epoch_flush := true;
+      let r =
+        Fun.protect
+          ~finally:(fun () -> Recipe.Persist.mutate_drop_epoch_flush := false)
+          (fun () ->
+            Servecrash.campaign
+              ~make:(fun _ -> Harness.Kvparts.art ())
+              ~cfg:epoch_crash_cfg ~plan:`Mid_epoch ~states:2 ~load:60 ~ops:120
+              ~workers:2 ~seed:17 ())
+      in
+      Alcotest.(check bool) "dropped epoch fence detected as loss" true
+        (r.Crashtest.base.Crashtest.lost_keys > 0))
+
 let () =
   let q = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "kvserve"
     [
       ( "wire",
-        q [ request_roundtrip; response_roundtrip; request_prefix_needs_more ]
+        q
+          [
+            request_roundtrip;
+            response_roundtrip;
+            request_prefix_needs_more;
+            response_prefix_needs_more;
+          ]
         @ [
             Alcotest.test_case "empty batch" `Quick test_wire_empty_batch;
             Alcotest.test_case "max-size key" `Quick test_wire_max_key;
             Alcotest.test_case "negative value" `Quick test_wire_negative_value;
             Alcotest.test_case "malformed frames" `Quick test_wire_malformed;
+            Alcotest.test_case "epoch stats reply" `Quick
+              test_wire_epoch_stats_reply;
           ] );
       ( "group-persist",
         [
@@ -785,6 +1152,20 @@ let () =
           Alcotest.test_case "flush saving vs per-op" `Quick
             test_group_persist_saves_flushes;
         ] );
+      ( "epoch",
+        q [ epoch_ctl_props ]
+        @ [
+            Alcotest.test_case "substrate numbering and cost" `Quick
+              test_epoch_substrate;
+            Alcotest.test_case "controller config gate" `Quick
+              test_epoch_ctl_validate;
+            Alcotest.test_case "epoch-mode serving over ART" `Quick
+              test_server_epoch_mode;
+            Alcotest.test_case "acked ops survive power failure" `Quick
+              test_epoch_acked_survive_power_failure;
+            Alcotest.test_case "fence saving vs group and per-op" `Quick
+              test_epoch_persist_saves_fences;
+          ] );
       ( "server",
         [
           Alcotest.test_case "2-shard smoke over ART" `Quick test_server_smoke;
@@ -810,5 +1191,15 @@ let () =
             test_crash_mid_serving_ordered;
           Alcotest.test_case "mid-serving, hash" `Quick
             test_crash_mid_serving_hash;
+          Alcotest.test_case "epoch mid-epoch, ordered" `Quick
+            test_epoch_crash_mid_epoch_art;
+          Alcotest.test_case "epoch boundary, ordered" `Quick
+            test_epoch_crash_boundary_art;
+          Alcotest.test_case "epoch mid-epoch, hash" `Quick
+            test_epoch_crash_mid_epoch_clht;
+          Alcotest.test_case "epoch boundary, hash" `Quick
+            test_epoch_crash_boundary_clht;
+          Alcotest.test_case "dropped epoch fence is caught" `Quick
+            test_epoch_mutation_caught;
         ] );
     ]
