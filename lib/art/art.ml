@@ -263,7 +263,7 @@ let add_child n b child =
          the single atomic commit (§6.4 "atomically made visible by
          increasing counter value"). *)
       set_key_byte n j b;
-      P.commit ~site:s_add_child n.header 0 (j + 1)
+      P.commit ~site:s_add_child n.header 0 (j + 1) [@pm.deferred]
   | N48 ->
       let j = count n in
       P.store_ref ~site:s_add_child n.children j child;
@@ -475,8 +475,8 @@ let fix_prefix t n depth =
     | Some _ | None -> 0
   in
   W.set n.header 3 word;
-  P.commit ~site:s_fix_prefix n.header 1 epl;
-  Atomic.incr t.fixes
+  P.commit ~site:s_fix_prefix n.header 1 epl [@pm.deferred];
+  Atomic.incr t.fixes [@pm.volatile]
 
 (* --- insert ------------------------------------------------------------------------ *)
 
@@ -684,7 +684,7 @@ and split_prefix t parent n depth prefix matched key value =
       let new_pl = epl - matched - 1 in
       W.set n.header 3
         (pack_string prefix (matched + 1) new_pl);
-      P.commit ~site:s_split n.header 1 new_pl;
+      P.commit ~site:s_split n.header 1 new_pl [@pm.deferred];
       Lock.unlock n.lock;
       Lock.unlock p.lock;
       true
@@ -756,18 +756,18 @@ and try_shrink t key parent n =
           | 0, _ ->
               Pmem.Crash.point ~site:s_shrink ();
               ignore (remove_child p pb);
-              Atomic.incr t.shrinks
+              Atomic.incr t.shrinks [@pm.volatile]
           | 1, [ (_, (CLeaf _ as lf)) ] ->
               (* A lone leaf needs no inner node: its full key re-verifies. *)
               Pmem.Crash.point ~site:s_shrink ();
               replace_child p pb lf;
-              Atomic.incr t.shrinks
+              Atomic.incr t.shrinks [@pm.volatile]
           | nlive, _ when shrinkable n.kind nlive ->
               let g = shrink_to live n in
               persist_node ~site:s_shrink g;
               Pmem.Crash.point ~site:s_shrink ();
               replace_child p pb (CInner g);
-              Atomic.incr t.shrinks
+              Atomic.incr t.shrinks [@pm.volatile]
           | _ -> ())
         end;
         Lock.unlock n.lock;
@@ -880,7 +880,7 @@ let recover t =
         fix_prefix t n depth;
         incr repaired
       end);
-  Atomic.set t.repairs !repaired
+  Atomic.set t.repairs !repaired [@pm.volatile]
 
 (* Reachability sweep for crash-orphaned child slots:
    - Node4/16: [add_child] stores the child pointer at slot [count] and the

@@ -71,7 +71,7 @@ let node_leaf = function NBase b -> b.leaf | NDelta d -> d.dleaf
 
 (* --- mapping table ------------------------------------------------------------ *)
 
-let dummy_base () =
+let[@pm.deferred] dummy_base () =
   let b =
     {
       leaf = true;
@@ -103,7 +103,7 @@ let rec segment t s =
         in
         R.clwb_all ~site:s_alloc seg;
         Pmem.sfence ~site:s_alloc ();
-        Atomic.set t.segments.(s) (Some seg)
+        Atomic.set t.segments.(s) (Some seg) [@pm.volatile]
       end;
       Mutex.unlock t.grow_lock;
       segment t s
@@ -124,7 +124,7 @@ let mapping_set ?(site = s_split) t pid node =
   R.clwb ~site seg (pid mod mapping_segment);
   Pmem.sfence ~site ()
 
-let alloc_pid t = Atomic.fetch_and_add t.next_pid 1
+let alloc_pid t = Atomic.fetch_and_add t.next_pid 1 [@pm.volatile]
 
 (* --- constructing records -------------------------------------------------------- *)
 
@@ -353,7 +353,7 @@ let rec add_index t parent_pid sep child_pid =
         let d = make_delta ~site:s_index ~leaf:false (DIndex (sep, child_pid)) node in
         Pmem.Crash.point ~site:s_index ();
         if mapping_cas ~site:s_index t parent_pid ~expected:node ~desired:(NDelta d) then begin
-          Atomic.incr t.helps;
+          Atomic.incr t.helps [@pm.volatile];
           maybe_consolidate t parent_pid None
         end
         else add_index t parent_pid sep child_pid
@@ -378,7 +378,7 @@ and consolidate t pid parent node =
       in
       Pmem.Crash.point ~site:s_consol ();
       if mapping_cas ~site:s_consol t pid ~expected:node ~desired:(NBase nb) then
-        Atomic.incr t.consolidations
+        Atomic.incr t.consolidations [@pm.volatile]
     end
     else split_leaf t pid parent node entries ~has_high ~high ~next_pid
   end
@@ -396,7 +396,7 @@ and consolidate t pid parent node =
       in
       Pmem.Crash.point ~site:s_consol ();
       if mapping_cas ~site:s_consol t pid ~expected:node ~desired:(NBase nb) then
-        Atomic.incr t.consolidations
+        Atomic.incr t.consolidations [@pm.volatile]
     end
     else split_internal t pid parent node leftmost seps ~has_high ~high ~next_pid
   end
@@ -433,7 +433,7 @@ and split_leaf t pid parent node entries ~has_high ~high ~next_pid =
         done)
   in
   if mapping_cas ~site:s_split t pid ~expected:node ~desired:(NBase lower) then begin
-    Atomic.incr t.consolidations;
+    Atomic.incr t.consolidations [@pm.volatile];
     Pmem.Crash.point ~site:s_split ();
     finish_split t pid parent sep sib_pid
   end
@@ -470,7 +470,7 @@ and split_internal t pid parent node leftmost seps ~has_high ~high ~next_pid =
         done)
   in
   if mapping_cas ~site:s_split t pid ~expected:node ~desired:(NBase lower) then begin
-    Atomic.incr t.consolidations;
+    Atomic.incr t.consolidations [@pm.volatile];
     Pmem.Crash.point ~site:s_split ();
     finish_split t pid parent sep sib_pid
   end
@@ -704,7 +704,7 @@ let recover t =
             if live_node (R.get seg j) then hi := max !hi ((s * mapping_segment) + j)
           done)
     t.segments;
-  Atomic.set t.next_pid (!hi + 1);
+  Atomic.set t.next_pid (!hi + 1) [@pm.volatile];
   let helps0 = Atomic.get t.helps and cons0 = Atomic.get t.consolidations in
   let root_completed = ref 0 in
   (let root = mapping_get t 0 in
@@ -726,6 +726,7 @@ let recover t =
     (!root_completed
     + (Atomic.get t.helps - helps0)
     + (Atomic.get t.consolidations - cons0))
+  [@pm.volatile]
 
 (* Sweep live mapping slots unreachable from the root: a split sibling (or a
    root split's demoted lower half) published at a fresh page id whose

@@ -89,7 +89,7 @@ let make_segment ~local_depth =
     lock = Lock.create ();
   }
 
-let persist_segment ?(site = s_alloc) s =
+let[@pm.deferred] persist_segment ?(site = s_alloc) s =
   W.clwb_all ~site s.slots;
   W.clwb_all ~site s.meta
 
@@ -100,7 +100,7 @@ let make_dir ~depth ~init =
      lock-free probes. *)
   { segs = R.make ~name:"cceh.dir" ~atomic:true (1 lsl depth) init; depth; meta }
 
-let persist_dir ?(site = s_alloc) d =
+let[@pm.deferred] persist_dir ?(site = s_alloc) d =
   R.clwb_all ~site d.segs;
   W.clwb_all ~site d.meta
 
@@ -262,7 +262,7 @@ let split t d idx seg =
   for j = start to start + half - 1 do
     P.commit_ref ~site:s_split d.segs j s0
   done;
-  Atomic.incr t.splits
+  Atomic.incr t.splits [@pm.volatile]
 
 (* Double the directory (caller saw [seen_depth]); atomic-record swap in the
    fixed version, split stores with a crash window in buggy mode. *)
@@ -332,7 +332,7 @@ let rec insert t k v =
          cache line, so one flush suffices. *)
       P.store ~site:s_insert seg.slots (i + 1) v;
       Pmem.Crash.point ~site:s_insert ();
-      P.commit ~site:s_insert seg.slots i k;
+      P.commit ~site:s_insert seg.slots i k [@pm.deferred];
       Lock.unlock seg.lock;
       true
     end
@@ -388,7 +388,7 @@ let recover t =
   iter_denormalized t (fun d j s ->
       P.commit_ref ~site:s_recover d.segs j s;
       incr repaired);
-  Atomic.set t.repairs !repaired
+  Atomic.set t.repairs !repaired [@pm.volatile]
 
 (* Sweep = the same denormalized-pointer scan, reported instead of (or, with
    [~reclaim:true], in addition to) being repaired.  The segment halves a

@@ -81,7 +81,7 @@ let new_obucket () =
    modes (shadow, sanitize), where the crash/durability machinery and the
    sanitizer's allocation tracking need every allocated line written back
    explicitly. *)
-let persist_obucket ?(site = s_alloc) b =
+let[@pm.deferred] persist_obucket ?(site = s_alloc) b =
   W.clwb_all ~site b.words;
   if Pmem.Mode.tracked () || R.get b.next 0 <> None then
     R.clwb_all ~site b.next
@@ -228,7 +228,7 @@ let rec lock_head t k =
    per copied binding keeps every flush on a just-dirtied line, and makes
    the roll-forward flush exactly the bindings it actually re-copies.  The
    caller fences once after the whole copy. *)
-let copy_insert ~site tbl k v =
+let[@pm.deferred] copy_insert ~site tbl k v =
   let h = bucket_for tbl k in
   let base = h * words_per_bucket in
   let fill_ob nb =
@@ -351,14 +351,14 @@ let insert t k v =
          let s = !arena_free in
          P.store ~site:s_insert tbl.arena (s + entries_per_bucket) v;
          Pmem.Crash.point ~site:s_insert ();
-         P.commit ~site:s_insert tbl.arena s k
+         P.commit ~site:s_insert tbl.arena s k [@pm.deferred]
        end
        else
          match !chain_free with
          | Some (ob, i) ->
              P.store ~site:s_insert ob.words (i + entries_per_bucket) v;
              Pmem.Crash.point ~site:s_insert ();
-             P.commit ~site:s_insert ob.words i k
+             P.commit ~site:s_insert ob.words i k [@pm.deferred]
          | None ->
              (* Chain overflow: build the new bucket, persist it, then commit
                 by atomically linking it. *)
@@ -376,7 +376,7 @@ let insert t k v =
   in
   Lock.unlock tbl.locks.(h);
   if inserted then begin
-    Atomic.incr t.count;
+    Atomic.incr t.count [@pm.volatile];
     maybe_resize t
   end;
   inserted
@@ -410,7 +410,7 @@ let delete t k =
     slot 0
   in
   Lock.unlock tbl.locks.(h);
-  if deleted then Atomic.decr t.count;
+  if deleted then Atomic.decr t.count [@pm.volatile];
   deleted
 
 (* --- recovery ----------------------------------------------------------- *)
@@ -437,7 +437,7 @@ let find_in_table tbl k =
    rebuilt by iteration. *)
 let recover t =
   Lock.new_epoch ();
-  Atomic.set t.repairs 0;
+  Atomic.set t.repairs 0 [@pm.volatile];
   (match R.get t.pending 0 with
   | None -> ()
   | Some fresh ->
@@ -445,7 +445,7 @@ let recover t =
       if fresh == cur then begin
         (* Crashed between the table swap and the pending-clear: the resize
            completed; just retire the intent. *)
-        Atomic.incr t.repairs;
+        Atomic.incr t.repairs [@pm.volatile];
         P.commit_ref ~site:s_recover t.pending 0 None
       end
       else begin
@@ -457,7 +457,7 @@ let recover t =
         iter_table cur (fun k v ->
             if find_in_table fresh k = None then begin
               copy_insert ~site:s_recover fresh k v;
-              Atomic.incr t.repairs
+              Atomic.incr t.repairs [@pm.volatile]
             end);
         if Atomic.get t.repairs > before then
           Pmem.sfence ~site:s_recover ();
@@ -468,7 +468,7 @@ let recover t =
       end);
   let n = ref 0 in
   iter t (fun _ _ -> incr n);
-  Atomic.set t.count !n
+  Atomic.set t.count !n [@pm.volatile]
 
 (* Reachability-based leak sweep: with an interrupted resize pending, every
    binding already copied into the unpublished table is unreachable from the

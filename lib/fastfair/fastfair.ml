@@ -122,8 +122,8 @@ let height t = (R.get t.root 0).level
 
 (* --- seqlock ------------------------------------------------------------- *)
 
-let seq_begin n = Atomic.incr n.seq
-let seq_end n = Atomic.incr n.seq
+let seq_begin n = Atomic.incr n.seq [@pm.volatile]
+let seq_end n = Atomic.incr n.seq [@pm.volatile]
 
 (* The body of [f] intentionally reads words a concurrent writer may be
    mutating; the version recheck discards any torn result.  Under sanitize
@@ -279,7 +279,7 @@ let remove_slot n pos count =
   if count - 2 >= pos && (count - 1) mod slots_per_line <> 0 then
     flush_slot_lines ~site:s_remove n (count - 2);
   Pmem.Crash.point ~site:s_remove ();
-  P.commit_ref ~site:s_remove n.ptrs (count - 1) Null;
+  P.commit_ref ~site:s_remove n.ptrs (count - 1) Null [@pm.deferred];
   seq_end n
 
 (* Writer-side fix of crash leftovers (§3: "writes detect inconsistencies
@@ -554,16 +554,16 @@ let iter_nodes t f =
 
 let recover t =
   Lock.new_epoch ();
-  Atomic.set t.repairs 0;
+  Atomic.set t.repairs 0 [@pm.volatile];
   (* Reset the volatile per-node versions and eagerly run the writer-side
      leftover repair on every node: remove the duplicates a crashed FAST
      shift left behind and complete interrupted splits by retracting the
      Null terminator over the invalid-by-bound suffix (§3's lazy fixes,
      run once at restart so the post-crash tree starts clean). *)
   iter_nodes t (fun m ->
-      Atomic.set m.seq 0;
+      Atomic.set m.seq 0 [@pm.volatile];
       let r = fix_node t m in
-      if r > 0 then ignore (Atomic.fetch_and_add t.repairs r))
+      if r > 0 then ignore (Atomic.fetch_and_add t.repairs r [@pm.volatile]))
 
 (* Leak sweep: entries of a node that a reader would already skip — adjacent
    duplicates from an interrupted shift and the invalid-by-bound suffix of a

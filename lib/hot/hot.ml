@@ -81,7 +81,7 @@ let first_diff_bit a b =
 
 (* --- leaves ------------------------------------------------------------------ *)
 
-let make_leaf key value =
+let[@pm.deferred] make_leaf key value =
   let cells = W.make ~name:"hot.leaf" (1 + ((String.length key + 7) / 8)) 0 in
   W.set cells 0 value;
   String.iteri
@@ -150,6 +150,7 @@ and make_node at =
   W.clwb_all ~site:s_pack bits;
   R.clwb_all ~site:s_pack children;
   { bits; children; shape; lock = Lock.create () }
+[@@pm.deferred]
 
 let create () =
   (* Atomic: the root slot is a publish commit point. *)

@@ -127,7 +127,7 @@ let slot_val arr b j = W.get arr ((b * 8) + (2 * j) + 1)
 let write_slot ?(site = s_insert) arr b j k v =
   P.store ~site arr ((b * 8) + (2 * j) + 1) v;
   Pmem.Crash.point ~site ();
-  P.commit ~site arr ((b * 8) + (2 * j)) k
+  P.commit ~site arr ((b * 8) + (2 * j)) k [@pm.deferred]
 
 let clear_slot ?(site = s_delete) arr b j = P.commit ~site arr ((b * 8) + (2 * j)) 0
 
@@ -218,7 +218,7 @@ let delete t k =
       | None -> ())
     (candidates tb k);
   unlock_stripes t ids;
-  if !deleted then Atomic.decr t.count;
+  if !deleted then Atomic.decr t.count [@pm.volatile];
   !deleted
 
 (* Try to place (k, v) in one of the four candidate buckets via [write].
@@ -266,7 +266,7 @@ let try_movement t tb k =
                   write_slot ~site:s_move tb.top alt j' vk vv;
                   Pmem.Crash.point ~site:s_move ();
                   clear_slot ~site:s_move tb.top b j;
-                  Atomic.incr t.moves;
+                  Atomic.incr t.moves [@pm.volatile];
                   moved := true
               | None -> ()
           end
@@ -308,7 +308,7 @@ let resize t tb pending =
   persist_table ~site:s_resize fresh;
   Pmem.Crash.point ~site:s_resize ();
   P.commit_ref ~site:s_resize t.table 0 fresh;
-  Atomic.incr t.resizes
+  Atomic.incr t.resizes [@pm.volatile]
 
 (* Escalation path: all four candidate buckets were full.  Take the
    structure lock, then *every* stripe in order — movement and resize may
@@ -346,13 +346,13 @@ let insert t k v =
   end
   else if try_place tb k v then begin
     unlock_stripes t ids;
-    Atomic.incr t.count;
+    Atomic.incr t.count [@pm.volatile];
     true
   end
   else begin
     unlock_stripes t ids;
     let inserted = insert_escalated t k v in
-    if inserted then Atomic.incr t.count;
+    if inserted then Atomic.incr t.count [@pm.volatile];
     inserted
   end
 
@@ -412,8 +412,8 @@ let recover t =
                 incr repaired)
               dups
       end);
-  Atomic.set t.count (Hashtbl.length seen);
-  Atomic.set t.repairs !repaired
+  Atomic.set t.count (Hashtbl.length seen) [@pm.volatile];
+  Atomic.set t.repairs !repaired [@pm.volatile]
 
 (* Count (and with [~reclaim:true] clear) duplicate replicas: slots beyond a
    key's first candidate position in probe order.  Readers never see them

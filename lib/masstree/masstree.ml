@@ -272,7 +272,7 @@ let fix_node t n =
       let cut = first_out 0 in
       if cut < c then begin
         P.commit ~site:s_fix n.header 0 (ptruncate p cut);
-        Atomic.incr t.fixes
+        Atomic.incr t.fixes [@pm.volatile]
       end
 
 let rec lock_covering n s =
@@ -304,7 +304,7 @@ let append_entry n s e =
     else rank (r + 1)
   in
   P.store ~site:s_append n.header 1 (slot + 1);
-  P.commit ~site:s_append n.header 0 (pinsert p (rank 0) slot)
+  P.commit ~site:s_append n.header 0 (pinsert p (rank 0) slot) [@pm.deferred]
 
 (* --- splits (the two-step atomic SMO) -------------------------------------------------- *)
 
@@ -705,7 +705,7 @@ let recover t =
   Lock.new_epoch ();
   let before = Atomic.get t.fixes in
   iter_layer_nodes t.top (fun n -> fix_node t n);
-  Atomic.set t.repairs (Atomic.get t.fixes - before)
+  Atomic.set t.repairs (Atomic.get t.fixes - before) [@pm.volatile]
 
 (* Sweep slots allocated ([< nalloc]) but absent from the permutation: a
    crash between [append_entry]'s slot write and its permutation commit

@@ -25,28 +25,62 @@ type t = {
 let registry : (string, t) Hashtbl.t = Hashtbl.create 64
 let registry_mu = Mutex.create ()
 
+let create ~index ~crash label name =
+  let t =
+    {
+      index;
+      label;
+      name;
+      clwb = Counter.v ("site." ^ name ^ ".clwb");
+      sfence = Counter.v ("site." ^ name ^ ".sfence");
+      crash_site = crash;
+      crash_visits = Counter.v ("site." ^ name ^ ".crash_visits");
+      crash_fires = Counter.v ("site." ^ name ^ ".crash_fires");
+    }
+  in
+  Hashtbl.add registry name t;
+  t
+
+(* Registration is strict: a tag names one structural location, and two
+   [v] calls for the same tag would silently share (or, typo'd, split)
+   attribution between unrelated call sites.  Callers that legitimately
+   re-derive a site from a tag they did not register (dynamic labels,
+   test probes) use [find_or_create]/[find]. *)
 let v ~index ?(crash = false) label =
+  let name = index ^ "/" ^ label in
+  Mutex.lock registry_mu;
+  match Hashtbl.find_opt registry name with
+  | Some _ ->
+      Mutex.unlock registry_mu;
+      invalid_arg
+        (Printf.sprintf
+           "Obs.Site.v: duplicate registration of site %S — each tag is \
+            registered exactly once (use Obs.Site.find_or_create to look up \
+            a site registered elsewhere)"
+           name)
+  | None ->
+      let t = create ~index ~crash label name in
+      Mutex.unlock registry_mu;
+      t
+
+(** Memoizing lookup: returns the already-registered site for this tag, or
+    registers it.  For dynamic tags (the sanitizer's per-allocation
+    "alloc/<name>" sites) and probes that want an index's site without
+    owning its registration. *)
+let find_or_create ~index ?(crash = false) label =
   let name = index ^ "/" ^ label in
   Mutex.lock registry_mu;
   let t =
     match Hashtbl.find_opt registry name with
     | Some t -> t
-    | None ->
-        let t =
-          {
-            index;
-            label;
-            name;
-            clwb = Counter.v ("site." ^ name ^ ".clwb");
-            sfence = Counter.v ("site." ^ name ^ ".sfence");
-            crash_site = crash;
-            crash_visits = Counter.v ("site." ^ name ^ ".crash_visits");
-            crash_fires = Counter.v ("site." ^ name ^ ".crash_fires");
-          }
-        in
-        Hashtbl.add registry name t;
-        t
+    | None -> create ~index ~crash label name
   in
+  Mutex.unlock registry_mu;
+  t
+
+let find name =
+  Mutex.lock registry_mu;
+  let t = Hashtbl.find_opt registry name in
   Mutex.unlock registry_mu;
   t
 

@@ -205,7 +205,7 @@ let on_alloc name base n_lines =
      pending lines to a synthetic "alloc/<object>" site so an unflushed
      allocation (the §7.5 FAST&FAIR / CCEH root bugs) is reported with a
      name, not as an anonymous store. *)
-  let site = Some (Obs.Site.v ~index:"alloc" name) in
+  let site = Some (Obs.Site.find_or_create ~index:"alloc" name) in
   for l = base to base + n_lines - 1 do
     Tbl.with_key lines l
       (fun () ->

@@ -1,0 +1,75 @@
+(** PSan — the persistency sanitizer over the simulated-PM substrate.
+
+    Installs hooks on every substrate event (store, load, RMW, clwb,
+    sfence, publish, crash, quiesce) and checks the RECIPE persistency
+    conditions dynamically: publications must not expose unpersisted
+    lines, flushes and fences must not be redundant, and cross-domain
+    accesses must be ordered.  Findings land in {!Obs.Diag}; the
+    passthroughs below expose them without making callers depend on the
+    sink module.
+
+    Everything else in the implementation — the line/word shadow tables,
+    vector clocks, per-domain state, and the individual [on_*] hooks — is
+    internal: the only supported way to drive the sanitizer is
+    {!enable} / {!disable} / {!with_sanitizer}. *)
+
+(** {1 Diagnostic kinds}
+
+    The [kind] strings carried by {!Obs.Diag.t} records, for use with
+    {!count_kind}. *)
+
+val k_publish : string
+(** An atomic publication exposed a line that was never persisted. *)
+
+val k_flush : string
+(** A clwb on a line that was already clean (flushed or persisted). *)
+
+val k_fence : string
+(** An sfence with no flushed-but-unpersisted line to order. *)
+
+val k_race : string
+(** An unordered cross-domain access to the same word. *)
+
+(** {1 Lifecycle} *)
+
+val enabled : unit -> bool
+(** Whether the sanitizer is currently installed and checking. *)
+
+val enable : ?races:bool -> unit -> unit
+(** Turn the sanitizer on.  [races:false] keeps the persistency-ordering
+    checks but disables the cross-domain race check.  Call at a quiescent
+    point (no concurrent index operations); objects allocated before
+    enabling are tracked lazily from their first sanitized event.
+
+    @raise Invalid_argument under DRAM mode, where persistency checking
+    is meaningless. *)
+
+val disable : unit -> unit
+(** Uninstall all hooks and stop checking.  Recorded diagnostics are
+    kept; clear them separately with {!clear_diagnostics}. *)
+
+val with_sanitizer : ?races:bool -> (unit -> 'a) -> 'a
+(** [with_sanitizer f] runs [f] under the sanitizer, restoring the
+    previous (off) state whatever happens.  Diagnostics are left in
+    {!Obs.Diag} for the caller to inspect. *)
+
+val events_seen : unit -> int
+(** Total substrate events processed since the last {!enable} — a cheap
+    liveness check that the hooks really were installed. *)
+
+(** {1 Diagnostics} *)
+
+val diagnostics : unit -> (Obs.Diag.t * int) list
+(** Every distinct finding with its occurrence count, oldest first. *)
+
+val diagnostic_count : unit -> int
+(** Number of distinct findings (not occurrences). *)
+
+val count_kind : string -> int
+(** Distinct findings of one {{!section-diagnostic_kinds} kind}. *)
+
+val clear_diagnostics : unit -> unit
+
+val print_report : Format.formatter -> unit
+(** Render every finding, grouped and counted, for test logs and the
+    [psan_check] binary. *)

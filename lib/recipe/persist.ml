@@ -23,7 +23,7 @@ let naive = ref false
 
 (** Select the literal flush-after-every-store conversion (for the ablation
     bench); [false] restores coalesced flushing. *)
-let set_naive b = naive := b
+let[@pm.volatile] set_naive b = naive := b
 
 (* --- group-commit deferral (the kvserve batch executor's mode) -----------
 
@@ -108,7 +108,7 @@ let[@inline] group_st () = Domain.DLS.get group_key
     numbering at 1 with nothing persisted; disabling clears the domain's
     own pending table — a worker stopping mid-batch must not leak deferred
     lines into the next phase — and cannot affect any other domain. *)
-let set_group b =
+let[@pm.volatile] set_group b =
   let st = group_st () in
   st.on <- b;
   if b then begin
@@ -136,7 +136,7 @@ let group_pending () = Hashtbl.length (group_st ()).tbl
 (** Forget the calling domain's deferred lines (and deferred publication
     checks) without flushing — the crashed-worker path: a simulated power
     failure discards those lines anyway. *)
-let group_reset () =
+let[@pm.volatile] group_reset () =
   let st = group_st () in
   Hashtbl.reset st.tbl;
   st.pubs <- []
@@ -150,7 +150,7 @@ let group_reset () =
     Under sanitize mode, the deferred publication checks of everything
     committed since the last flush run here, after the fence — the point
     where the buffered-durability contract first permits an ack. *)
-let group_flush ?site () =
+let[@pm.volatile] group_flush ?site () =
   let st = group_st () in
   let n =
     if Hashtbl.length st.tbl = 0 then 0
@@ -195,7 +195,7 @@ let epoch_persisted () = (group_st ()).persisted
     the next.  Returns [(e, lines)]: the newly persisted epoch number and
     the count of lines actually flushed.  After this returns, every commit
     tagged with an epoch [<= e] is durable and may be acknowledged. *)
-let epoch_advance ?site () =
+let[@pm.volatile] epoch_advance ?site () =
   let st = group_st () in
   let lines =
     if !mutate_drop_epoch_flush then begin
@@ -255,7 +255,7 @@ let store_ref ?site r i v =
    calling domain's deferred list to run after the epoch/batch fence —
    the line is intentionally unpersisted until that fence, and the executor
    acks only after it, so the fence is where the check belongs. *)
-let[@inline] publish_now_or_deferred check =
+let[@inline] [@pm.volatile] publish_now_or_deferred check =
   let st = group_st () in
   if st.on then st.pubs <- check :: st.pubs else check ()
 
@@ -263,7 +263,7 @@ let[@inline] publish_now_or_deferred check =
     always — or, in group mode, deferred to the batch's {!group_flush} /
     the epoch's {!epoch_advance} (the publication check moves to the same
     fence: see [publish_now_or_deferred]). *)
-let commit ?site w i v =
+let[@pm.deferred] commit ?site w i v =
   if sanitizing () then begin
     Pmem.Sanhook.set_site site;
     Pmem.Words.set w i v;
@@ -285,7 +285,7 @@ let commit ?site w i v =
     Pmem.sfence ?site ()
   end
 
-let commit_ref ?site r i v =
+let[@pm.deferred] commit_ref ?site r i v =
   if sanitizing () then begin
     Pmem.Sanhook.set_site site;
     Pmem.Refs.set r i v;
@@ -311,7 +311,7 @@ let commit_ref ?site r i v =
     (BwTree mapping-table install, pointer swaps).  Flushes only when the CAS
     succeeds — P-BwTree's optimization from §6.3: the first flush of an
     indirect pointer persists the most recent successful CAS. *)
-let commit_cas_ref ?site r i ~expected ~desired =
+let[@pm.deferred] commit_cas_ref ?site r i ~expected ~desired =
   if sanitizing () then Pmem.Sanhook.set_site site;
   let ok = Pmem.Refs.cas r i ~expected ~desired in
   if sanitizing () then begin
@@ -335,7 +335,7 @@ let commit_cas_ref ?site r i ~expected ~desired =
     end;
   ok
 
-let commit_cas ?site w i ~expected ~desired =
+let[@pm.deferred] commit_cas ?site w i ~expected ~desired =
   if sanitizing () then Pmem.Sanhook.set_site site;
   let ok = Pmem.Words.cas w i ~expected ~desired in
   if sanitizing () then begin

@@ -72,13 +72,13 @@ let rec pool_segment p s =
            be published (Condition #1 — same as every node allocation). *)
         Pmem.Refs.clwb_all seg;
         Pmem.sfence ();
-        Atomic.set p.segments.(s) (Some seg)
+        Atomic.set p.segments.(s) (Some seg) [@pm.volatile]
       end;
       Mutex.unlock p.grow;
       pool_segment p s
 
 let pool_add p key =
-  let idx = Atomic.fetch_and_add p.cursor 1 in
+  let idx = Atomic.fetch_and_add p.cursor 1 [@pm.volatile] in
   let seg = pool_segment p (idx / pool_segment_size) in
   let off = idx mod pool_segment_size in
   Pmem.Refs.set seg off key;

@@ -1,0 +1,55 @@
+(* Baseline burn-down.
+
+   The committed [lint_baseline] is the set of findings the tree is
+   *allowed* to have: one {!Finding.render} line per entry, '#' comments
+   and blank lines ignored.  pmlint fails on a finding not in the baseline
+   (the tree got worse) AND on a baseline entry with no matching finding
+   (the entry went stale — fixing a finding must also delete its line, so
+   the baseline only ever burns down, never silently pads). *)
+
+let load path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | line ->
+              let line = String.trim line in
+              let acc =
+                if line = "" || String.length line > 0 && line.[0] = '#' then
+                  acc
+                else line :: acc
+              in
+              go acc
+          | exception End_of_file -> List.rev acc
+        in
+        go [])
+  end
+
+type diff = { fresh : string list; stale : string list }
+
+let diff ~baseline ~found =
+  let mem xs x = List.mem x xs in
+  {
+    fresh = List.filter (fun f -> not (mem baseline f)) found;
+    stale = List.filter (fun b -> not (mem found b)) baseline;
+  }
+
+let save path ~found =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc
+        "# pmlint baseline — one finding per line, burn-down only.\n\
+         # Fixing a finding must also delete its line here; pmlint fails on\n\
+         # stale entries as well as on new findings.  Regenerate with\n\
+         #   dune exec bin/pmlint.exe -- --update-baseline\n";
+      List.iter
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n')
+        (List.sort_uniq String.compare found))

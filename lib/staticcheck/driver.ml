@@ -1,0 +1,272 @@
+(* The pmlint driver: tree walk, per-file rules, cross-file R4, baseline
+   comparison, the mutation self-check, and the CLI entry used by
+   [bin/pmlint.exe].  Kept in the library so the test suite can lint
+   in-memory strings and fixture files without shelling out. *)
+
+(* --- linting one unit ------------------------------------------------------ *)
+
+type file_result = {
+  fr_findings : Finding.t list;
+  fr_defs : Rules.site_def list;
+  fr_stats : Rules.stats option;  (* None when the file failed to parse *)
+}
+
+let lint_structure ~file ~scope structure =
+  let findings = ref [] in
+  let emit f = findings := f :: !findings in
+  let defs, stats = Rules.lint_structure ~file ~scope ~emit structure in
+  { fr_findings = List.rev !findings; fr_defs = defs; fr_stats = Some stats }
+
+let lint_string ~file ~scope src =
+  match Srcparse.structure_of_string ~filename:file src with
+  | Srcparse.Ok s -> lint_structure ~file ~scope s
+  | Srcparse.Error f -> { fr_findings = [ f ]; fr_defs = []; fr_stats = None }
+
+let lint_file ~scope path =
+  lint_string ~file:path ~scope (Srcparse.read_file path)
+
+(* --- tree walk ------------------------------------------------------------- *)
+
+let is_ml name =
+  Filename.check_suffix name ".ml" && not (Filename.check_suffix name ".pp.ml")
+
+let skip_dir name =
+  String.length name > 0 && (name.[0] = '.' || name.[0] = '_')
+
+let rec collect_ml acc path =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry ->
+        if skip_dir entry then acc
+        else collect_ml acc (Filename.concat path entry))
+      acc
+      (let entries = Sys.readdir path in
+       Array.sort String.compare entries;
+       entries)
+  else if is_ml path then path :: acc
+  else acc
+
+let ml_files roots =
+  List.rev (List.fold_left collect_ml [] roots)
+
+(* --- whole-tree lint ------------------------------------------------------- *)
+
+type tree_result = {
+  findings : Finding.t list;  (* sorted *)
+  per_lib : (string * Rules.stats) list;  (* aggregated, for --stats *)
+  files_linted : int;
+}
+
+let merge_stats (a : Rules.stats) (b : Rules.stats) =
+  a.Rules.s_functions <- a.Rules.s_functions + b.Rules.s_functions;
+  a.s_stores <- a.s_stores + b.s_stores;
+  a.s_flushes <- a.s_flushes + b.s_flushes;
+  a.s_fences <- a.s_fences + b.s_fences;
+  a.s_publishes <- a.s_publishes + b.s_publishes;
+  a.s_mutations <- a.s_mutations + b.s_mutations;
+  a.s_sites <- a.s_sites + b.s_sites
+
+let lint_tree ?(scope_of = Scope.of_path) roots =
+  let files = ml_files roots in
+  let findings = ref [] in
+  let defs = ref [] in
+  let per_lib : (string, Rules.stats) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun file ->
+      let scope = scope_of file in
+      let r = lint_file ~scope file in
+      findings := List.rev_append r.fr_findings !findings;
+      defs := List.rev_append r.fr_defs !defs;
+      match (r.fr_stats, Scope.lib_of_path file) with
+      | Some s, Some lib ->
+          let acc =
+            match Hashtbl.find_opt per_lib lib with
+            | Some acc -> acc
+            | None ->
+                let z = Rules.stats_zero () in
+                Hashtbl.add per_lib lib z;
+                z
+          in
+          merge_stats acc s
+      | _ -> ())
+    files;
+  Rules.check_duplicate_tags
+    ~emit:(fun f -> findings := f :: !findings)
+    !defs;
+  {
+    findings = List.sort Finding.compare !findings;
+    per_lib =
+      List.sort
+        (fun (a, _) (b, _) -> String.compare a b)
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) per_lib []);
+    files_linted = List.length files;
+  }
+
+(* --- mutation self-check --------------------------------------------------- *)
+
+(* The static analogue of the fault-injection harness's sanity check: if we
+   delete the clwb on the FAST&FAIR split path, does pmlint notice without
+   running anything?  Two mutations, each line-preserving (the matched line
+   is replaced by "();" at the same indentation, so every other finding
+   keeps its line number and set-difference isolates the mutation):
+
+     A. drop the [persist_node ~site:s_split sib] call — the freshly built
+        sibling is published by [P.commit_ref] with its cache lines dirty;
+     B. drop the [clwb_all ~site n.*] lines inside [persist_node] itself —
+        the helper keeps its fence but loses its flushes, so it no longer
+        clears [pending] and every publish after it goes unflushed. *)
+
+type mutation = { mut_name : string; mut_match : string }
+
+let ff_mutations =
+  [
+    { mut_name = "drop persist_node on split path"; mut_match = "persist_node ~site:s_split" };
+    { mut_name = "drop clwb_all inside persist_node"; mut_match = "clwb_all ~site n." };
+  ]
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let mutate_lines src ~mut =
+  let lines = String.split_on_char '\n' src in
+  let hits = ref 0 in
+  let lines =
+    List.map
+      (fun line ->
+        if contains ~sub:mut.mut_match line then begin
+          incr hits;
+          let indent =
+            let rec go i =
+              if i < String.length line && line.[i] = ' ' then go (i + 1)
+              else i
+            in
+            go 0
+          in
+          String.make indent ' ' ^ "();"
+        end
+        else line)
+      lines
+  in
+  (String.concat "\n" lines, !hits)
+
+type mutation_outcome = {
+  mo_name : string;
+  mo_hits : int;  (* source lines the mutation touched *)
+  mo_new : string list;  (* findings present only in the mutated lint *)
+  mo_caught : bool;
+}
+
+let mutation_check ~file =
+  let src = Srcparse.read_file file in
+  let scope = Scope.of_path file in
+  let rendered r = List.map Finding.render r.fr_findings in
+  let pristine = rendered (lint_string ~file ~scope src) in
+  List.map
+    (fun mut ->
+      let mutated_src, hits = mutate_lines src ~mut in
+      let mutated = rendered (lint_string ~file ~scope mutated_src) in
+      let fresh =
+        List.filter (fun f -> not (List.mem f pristine)) mutated
+      in
+      let caught =
+        hits > 0
+        && List.exists (fun f -> contains ~sub:"[R2]" f || contains ~sub:"[R3]" f) fresh
+      in
+      { mo_name = mut.mut_name; mo_hits = hits; mo_new = fresh; mo_caught = caught })
+    ff_mutations
+
+(* --- CLI entry ------------------------------------------------------------- *)
+
+type opts = {
+  roots : string list;
+  baseline : string option;
+  update_baseline : bool;
+  run_mutation_check : bool;
+  mutation_file : string;
+  show_stats : bool;
+  all_rules : bool;  (* force Scope.all, for fixture trees outside lib/ *)
+}
+
+let default_opts =
+  {
+    roots = [ "lib" ];
+    baseline = None;
+    update_baseline = false;
+    run_mutation_check = false;
+    mutation_file = "lib/fastfair/fastfair.ml";
+    show_stats = false;
+    all_rules = false;
+  }
+
+let print_stats out tree =
+  Printf.fprintf out
+    "pmlint stats: %d files linted\n\
+     %-10s %5s %6s %7s %6s %9s %9s %5s\n"
+    tree.files_linted "lib" "fns" "stores" "flushes" "fences" "publishes"
+    "mutations" "sites";
+  List.iter
+    (fun (lib, (s : Rules.stats)) ->
+      Printf.fprintf out "%-10s %5d %6d %7d %6d %9d %9d %5d\n" lib
+        s.Rules.s_functions s.s_stores s.s_flushes s.s_fences s.s_publishes
+        s.s_mutations s.s_sites)
+    tree.per_lib
+
+(* Returns the process exit code. *)
+let run ?(out = stdout) opts =
+  let scope_of =
+    if opts.all_rules then fun _ -> Scope.all else Scope.of_path
+  in
+  let tree = lint_tree ~scope_of opts.roots in
+  let rendered = List.map Finding.render tree.findings in
+  if opts.show_stats then print_stats out tree;
+  let lint_failed =
+    match opts.baseline with
+    | Some path when opts.update_baseline ->
+        Baseline.save path ~found:rendered;
+        Printf.fprintf out "pmlint: baseline updated (%d findings) -> %s\n"
+          (List.length rendered) path;
+        false
+    | Some path ->
+        let d = Baseline.diff ~baseline:(Baseline.load path) ~found:rendered in
+        List.iter
+          (fun f -> Printf.fprintf out "pmlint: new finding: %s\n" f)
+          d.Baseline.fresh;
+        List.iter
+          (fun b ->
+            Printf.fprintf out
+              "pmlint: stale baseline entry (fixed? delete its line): %s\n" b)
+          d.Baseline.stale;
+        let bad = d.Baseline.fresh <> [] || d.Baseline.stale <> [] in
+        if not bad then
+          Printf.fprintf out
+            "pmlint: clean (%d findings, all baselined; %d files)\n"
+            (List.length rendered) tree.files_linted;
+        bad
+    | None ->
+        List.iter
+          (fun f -> Printf.fprintf out "%s\n" (Finding.render_loc f))
+          tree.findings;
+        Printf.fprintf out "pmlint: %d findings in %d files\n"
+          (List.length rendered) tree.files_linted;
+        rendered <> []
+  in
+  let mutation_failed =
+    if not opts.run_mutation_check then false
+    else begin
+      let outcomes = mutation_check ~file:opts.mutation_file in
+      List.iter
+        (fun o ->
+          Printf.fprintf out "pmlint: mutation %S: %s (%d lines mutated)\n"
+            o.mo_name
+            (if o.mo_caught then "CAUGHT" else "MISSED")
+            o.mo_hits;
+          List.iter
+            (fun f -> Printf.fprintf out "  new: %s\n" f)
+            o.mo_new)
+        outcomes;
+      List.exists (fun o -> not o.mo_caught) outcomes
+    end
+  in
+  if lint_failed || mutation_failed then 1 else 0

@@ -1,0 +1,106 @@
+(* Syntactic classification of the persistence vocabulary.
+
+   pmlint is a Parsetree linter: it never type-checks, so "is this call a
+   flush?" is answered by the identifier's shape — the last module of its
+   path and its value name.  The tables below encode the repository's
+   idiom (module aliases [W]/[R]/[P] for [Pmem.Words]/[Pmem.Refs]/
+   [Recipe.Persist] are ubiquitous and load-bearing: index code that
+   spells the alias differently is index code a reviewer will also
+   misread).  A call the tables don't recognize simply has no modelled
+   effect — false negatives are possible by design, false classification
+   is what we guard against by requiring the qualifier. *)
+
+(* The persistence effect of one call, as far as the rules care. *)
+type effect_ = {
+  e_store : bool;  (* writes persistent words/slots *)
+  e_flush : bool;  (* issues (or subsumes) a clwb *)
+  e_fence : bool;  (* issues (or subsumes) an sfence *)
+  e_publish : bool;  (* a visibility commit / sanitize_publish point *)
+}
+
+let no_effect = { e_store = false; e_flush = false; e_fence = false; e_publish = false }
+let is_effect e = e.e_store || e.e_flush || e.e_fence || e.e_publish
+
+let union a b =
+  {
+    e_store = a.e_store || b.e_store;
+    e_flush = a.e_flush || b.e_flush;
+    e_fence = a.e_fence || b.e_fence;
+    e_publish = a.e_publish || b.e_publish;
+  }
+
+(* Module aliases under which the substrate's word/slot arrays travel. *)
+let word_mods = [ "W"; "Words"; "R"; "Refs" ]
+
+(* Aliases of [Recipe.Persist], the conversion-action combinators. *)
+let persist_mods = [ "P"; "Persist" ]
+
+let last_mod mods = match List.rev mods with [] -> "" | m :: _ -> m
+
+(* [classify ~mods ~name] for a fully split identifier path: [mods] are the
+   module components, [name] the value.  E.g. [Pmem.Words.set] comes in as
+   [~mods:["Pmem"; "Words"] ~name:"set"]. *)
+let classify ~mods ~name =
+  let m = last_mod mods in
+  let in_words = List.mem m word_mods in
+  let in_persist = List.mem m persist_mods in
+  match name with
+  | "sfence" -> { no_effect with e_fence = true }
+  | "clwb" | "clwb_all" | "clwb_all_dirty" -> { no_effect with e_flush = true }
+  | "flush_word" | "persist_new_words" | "persist_new_refs" ->
+      { no_effect with e_flush = true; e_fence = true }
+  | "flush_ref" when in_persist || m = "Pmem" ->
+      { no_effect with e_flush = true; e_fence = true }
+  | "flush" when in_persist -> { no_effect with e_flush = true; e_fence = true }
+  | ("commit" | "commit_ref" | "commit_cas" | "commit_cas_ref") when in_persist
+    ->
+      { e_store = true; e_flush = true; e_fence = true; e_publish = true }
+  | "sanitize_publish" -> { no_effect with e_publish = true }
+  | "set" when in_words -> { no_effect with e_store = true }
+  | ("store" | "store_ref") when in_persist -> { no_effect with e_store = true }
+  | ("cas" | "fetch_add") when in_words -> { no_effect with e_store = true }
+  | _ -> no_effect
+
+(* Whether this exact identifier is a *bare* fence instruction — the only
+   shape rule R3a reports on (composite calls contain their own clwb). *)
+let is_bare_sfence ~mods:_ ~name = name = "sfence"
+
+(* --- R1: the raw-mutation catalog ---------------------------------------- *)
+
+type mutation =
+  | Ref_assign  (* :=, incr, decr *)
+  | Array_mut  (* Array.set / a.(i) <- v / Bytes.set *)
+  | Atomic_mut  (* Atomic.set / compare_and_set / exchange / fetch_and_add *)
+
+let mutation_doc = function
+  | Ref_assign -> "ref assignment"
+  | Array_mut -> "array mutation"
+  | Atomic_mut -> "atomic mutation"
+
+(* [mutation_of ~mods ~name] classifies an applied identifier as a raw
+   mutation, or returns [None].  The parser desugars [a.(i) <- v] into an
+   application of [Array.set], so the sugar is covered by the same row. *)
+let mutation_of ~mods ~name =
+  let m = last_mod mods in
+  match name with
+  | ":=" -> Some Ref_assign
+  | ("incr" | "decr") when m = "" || m = "Stdlib" -> Some Ref_assign
+  | ("set" | "unsafe_set") when m = "Array" || m = "Bytes" -> Some Array_mut
+  | ("set" | "compare_and_set" | "exchange" | "fetch_and_add" | "incr"
+    | "decr")
+    when m = "Atomic" ->
+      Some Atomic_mut
+  | _ -> None
+
+(* Local bindings whose target is known-volatile by construction: a ref or
+   array allocated inside the function can never live in simulated PM (the
+   substrate only hands out {!Pmem.Words}/{!Refs}), so mutating it is not
+   an escape.  [local_maker ~mods ~name] recognizes the allocating call. *)
+let local_maker ~mods ~name =
+  let m = last_mod mods in
+  match name with
+  | "ref" when m = "" || m = "Stdlib" -> true
+  | ("make" | "init" | "copy" | "of_list" | "create" | "sub")
+    when m = "Array" || m = "Bytes" || m = "Atomic" || m = "Buffer" ->
+      true
+  | _ -> false

@@ -1,0 +1,31 @@
+(* Source → Parsetree, via compiler-libs.
+
+   No ppx, no type-checking: [Parse.implementation] over the raw text is
+   all pmlint needs, which keeps the linter runnable on any tree state
+   that merely *parses* — including the mutation self-check's deliberately
+   broken variants, and files whose build is currently red. *)
+
+type result = Ok of Parsetree.structure | Error of Finding.t
+
+let structure_of_string ~filename src =
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf filename;
+  Location.input_name := filename;
+  match Parse.implementation lexbuf with
+  | s -> Ok s
+  | exception exn ->
+      let loc, msg =
+        match Location.error_of_exn exn with
+        | Some (`Ok (e : Location.error)) ->
+            (e.main.loc, Format.asprintf "%t" e.main.txt)
+        | _ -> (Location.in_file filename, Printexc.to_string exn)
+      in
+      Error (Finding.v ~file:filename ~loc Finding.Parse msg)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let structure_of_file path = structure_of_string ~filename:path (read_file path)

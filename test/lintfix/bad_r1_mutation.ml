@@ -1,0 +1,15 @@
+(* pmlint fixture: R1 raw-mutation escapes.  Parsed by the linter, never
+   compiled — the record fields and modules here don't need to exist. *)
+
+let bump_stat t = t.count <- t.count + 1
+
+let set_version t v = Atomic.set t.version v
+
+let push t x = t.backlog := x :: !(t.backlog)
+
+let scratch n =
+  let buf = Array.make n 0 in
+  Array.set buf 0 1;
+  buf
+
+let tick t = Atomic.incr t.clock [@pm.volatile]

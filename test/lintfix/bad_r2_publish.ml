@@ -1,0 +1,37 @@
+(* pmlint fixture: R2 publish hygiene.  Parsed by the linter, never
+   compiled. *)
+
+module W = Pmem.Words
+module P = Recipe.Persist
+
+let bad_publish w =
+  W.set w 0 42;
+  W.sanitize_publish w 0
+
+let bad_commit w =
+  W.set w 1 7;
+  P.commit w 0 1
+
+let good_publish ?site w =
+  W.set w 0 42;
+  W.clwb ?site w 0;
+  Pmem.sfence ?site ();
+  W.sanitize_publish w 0
+
+let deferred_publish w =
+  W.set w 0 42;
+  W.sanitize_publish w 0 [@pm.deferred]
+
+let persist_all ?site w =
+  W.clwb_all ?site w;
+  Pmem.sfence ?site ()
+
+let good_via_helper ?site w =
+  W.set w 2 9;
+  persist_all ?site w;
+  W.sanitize_publish w 2
+
+let bad_one_branch ?site w cond =
+  W.set w 3 1;
+  if cond then W.clwb ?site w 3;
+  W.sanitize_publish w 3

@@ -1,0 +1,18 @@
+(* pmlint fixture: R3 fence hygiene.  Parsed by the linter, never
+   compiled. *)
+
+module W = Pmem.Words
+
+let double_fence ?site w =
+  W.set w 0 1;
+  W.clwb ?site w 0;
+  Pmem.sfence ?site ();
+  Pmem.sfence ?site ()
+
+let flush_no_fence ?site w =
+  W.set w 0 1;
+  W.clwb ?site w 0
+
+let flush_caller_fences ?site w =
+  W.clwb_all ?site w
+[@@pm.deferred]

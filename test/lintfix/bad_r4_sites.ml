@@ -1,0 +1,20 @@
+(* pmlint fixture: R4 site hygiene.  Parsed by the linter, never
+   compiled. *)
+
+module W = Pmem.Words
+
+let name = "FIX"
+let site = Obs.Site.v ~index:name
+let s_used = site "used"
+let s_orphan = site "orphan"
+let s_dup_a = site ~crash:true "dup"
+let s_dup_b = site "dup"
+let limit = 64
+
+let op w =
+  W.clwb ~site:s_used w 0;
+  W.clwb ~site:limit w 0;
+  W.clwb ~site:s_dup_a w 0;
+  W.clwb ~site:s_dup_b w 0
+
+let late_reg () = Obs.Site.v ~index:name "late"

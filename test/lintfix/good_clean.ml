@@ -1,0 +1,41 @@
+(* pmlint fixture: idiomatic clean conversion code — the linter must
+   report nothing here.  Parsed by the linter, never compiled. *)
+
+module W = Pmem.Words
+module R = Pmem.Refs
+module P = Recipe.Persist
+
+let name = "CLEAN"
+let site = Obs.Site.v ~index:name
+let s_alloc = site "alloc"
+let s_insert = site ~crash:true "insert"
+
+(* Flush-then-fence before publication, the long way. *)
+let insert_manual w v =
+  W.set w 0 v;
+  W.clwb ~site:s_insert w 0;
+  Pmem.sfence ~site:s_insert ();
+  W.sanitize_publish ~site:s_insert w 0
+
+(* The combinator way: P.commit is store+flush+fence+publish in one. *)
+let insert_commit w k =
+  P.store ~site:s_insert w 1 0;
+  W.clwb ~site:s_insert w 1;
+  Pmem.sfence ~site:s_insert ();
+  P.commit ~site:s_insert w 0 k
+
+(* A local flush helper with its own fence: calls are self-contained. *)
+let persist_node ~site n =
+  W.clwb_all ~site n;
+  Pmem.sfence ~site ()
+
+let publish_node w n =
+  W.set n 0 1;
+  persist_node ~site:s_alloc n;
+  P.commit_ref ~site:s_alloc w 0 n
+
+(* Volatile scratch state is fine without annotations. *)
+let histogram keys =
+  let counts = Array.make 8 0 in
+  Array.iter (fun k -> Array.set counts (k land 7) (counts.(k land 7) + 1)) keys;
+  counts

@@ -253,7 +253,7 @@ let test_fastfair_torn_split_repaired () =
      crash positions across the whole window — the repair-worthy states
      (sibling linked, stale suffix not yet nulled) sit well past the first
      sibling persist. *)
-  let split_site = Obs.Site.v ~index:"FAST&FAIR" "split" in
+  let split_site = Obs.Site.find_or_create ~index:"FAST&FAIR" "split" in
   fresh_env ();
   let probe = Harness.Subjects.fastfair () in
   let before = Obs.Site.clwb_count split_site in
@@ -313,7 +313,7 @@ let test_fastfair_torn_split_repaired () =
    flush position inside the split window must lose an acknowledged key —
    the fault-injection analogue of test_crashtest.ml's campaign catch. *)
 let test_fastfair_bug_caught_by_faults () =
-  let split_site = Obs.Site.v ~index:"FAST&FAIR" "split" in
+  let split_site = Obs.Site.find_or_create ~index:"FAST&FAIR" "split" in
   fresh_env ();
   let probe = Harness.Subjects.fastfair ~bug_split_order:true () in
   let before = Obs.Site.clwb_count split_site in

@@ -301,6 +301,34 @@ let test_json_rejects_garbage () =
       | Error _ -> ())
     bad
 
+(* Runtime mirror of pmlint rule R4: a tag is registered exactly once.  A
+   typo'd re-registration must fail loudly instead of silently minting a
+   second site (split attribution) or aliasing an unrelated one. *)
+let test_site_duplicate_registration_rejected () =
+  let s = Obs.Site.v ~index:"obs-test" "dup/probe" in
+  let contains ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  (match Obs.Site.v ~index:"obs-test" "dup/probe" with
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool)
+        "error names the tag" true
+        (contains ~sub:"obs-test/dup/probe" msg)
+  | _ -> Alcotest.fail "duplicate Site.v registration did not raise");
+  (* find_or_create is the sanctioned lookup-or-register path: same tag
+     yields the same site, counters included. *)
+  let s' = Obs.Site.find_or_create ~index:"obs-test" "dup/probe" in
+  Alcotest.(check bool) "find_or_create aliases the registration" true (s == s');
+  Alcotest.(check (option string))
+    "find resolves the tag" (Some "obs-test/dup/probe")
+    (Option.map Obs.Site.name (Obs.Site.find "obs-test/dup/probe"));
+  let fresh = Obs.Site.find_or_create ~index:"obs-test" "dup/fresh" in
+  Alcotest.(check string)
+    "find_or_create registers unseen tags" "obs-test/dup/fresh"
+    (Obs.Site.name fresh)
+
 let () =
   Alcotest.run "obs"
     [
@@ -318,6 +346,8 @@ let () =
             test_site_totals_single;
           Alcotest.test_case "totals = Stats (multi-domain)" `Quick
             test_site_totals_multi;
+          Alcotest.test_case "duplicate registration rejected" `Quick
+            test_site_duplicate_registration_rejected;
         ] );
       ( "trace",
         [
